@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 9 — random block read throughput vs block size. Series:
+ * Mirage (blkif direct), Linux PV direct I/O, Linux PV buffered I/O.
+ * Paper: direct paths rise to ~1.6 GB/s; the buffer cache plateaus
+ * around 300 MB/s.
+ */
+
+#include <cstdio>
+
+#include "baseline/buffer_cache.h"
+#include "core/cloud.h"
+#include "loadgen/fio.h"
+
+using namespace mirage;
+
+namespace {
+
+double
+measure(std::size_t block_kib, int mode)
+{
+    core::Cloud cloud;
+    xen::VirtualDisk &disk = cloud.addDisk("ssd", 4u << 20); // 2 GB
+    xen::Blkback &back = cloud.blkbackFor(disk);
+    core::Guest &guest =
+        mode == 0 ? cloud.startUnikernel("io", net::Ipv4Addr(10, 0, 0, 2))
+                  : cloud.startGuest("io", xen::GuestKind::LinuxMinimal,
+                                     net::Ipv4Addr(10, 0, 0, 2), 512, 1,
+                                     1.0);
+    drivers::Blkif blkif(guest.boot, back);
+    storage::BlkifDevice direct(blkif);
+    baseline::BufferCacheDevice buffered(direct, guest.dom.vcpu(),
+                                         8192);
+    storage::BlockDevice &dev =
+        mode == 2 ? static_cast<storage::BlockDevice &>(buffered)
+                  : direct;
+
+    loadgen::Fio::Config cfg;
+    cfg.blockKiB = block_kib;
+    cfg.queueDepth = 1; // fio's default: one outstanding user read
+    cfg.window = Duration::millis(100);
+    loadgen::Fio fio(cloud.engine(), dev, cfg);
+    double mibs = 0;
+    fio.run([&](auto r) { mibs = r.mibPerSecond; });
+    cloud.run();
+    return mibs;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("# Figure 9: random block read throughput (MiB/s) vs "
+                "block size\n");
+    std::printf("# paper: Mirage == Linux direct (to ~1.6 GB/s); "
+                "buffered plateaus ~300 MB/s\n");
+    std::printf("%-12s %12s %14s %16s\n", "block_KiB", "mirage",
+                "linux_direct", "linux_buffered");
+    for (std::size_t kib :
+         {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}) {
+        double mirage = measure(kib, 0);
+        double direct = measure(kib, 1);
+        double buffered = measure(kib, 2);
+        std::printf("%-12zu %12.0f %14.0f %16.0f\n", kib, mirage,
+                    direct, buffered);
+        std::fflush(stdout);
+    }
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 6 — VM startup time with the parallel (asynchronous)
+ * toolstack, isolating guest initialisation from domain building.
+ * Paper: Mirage boots in under 50 ms; Linux PV grows with memory.
+ */
+
+#include <cstdio>
+
+#include "core/cloud.h"
+
+using namespace mirage;
+
+int
+main()
+{
+    std::printf("# Figure 6: VM startup time, parallel toolstack\n");
+    std::printf("# paper: Mirage < 50 ms across the sweep\n");
+    std::printf("%-10s %14s %14s\n", "mem_MiB", "mirage_s",
+                "linux_pv_s");
+    for (std::size_t mem : {64, 128, 256, 512, 1024, 2048}) {
+        Duration mirage = xen::Toolstack::guestInitCost(
+            xen::GuestKind::Unikernel, mem);
+        Duration linux_pv = xen::Toolstack::guestInitCost(
+            xen::GuestKind::LinuxMinimal, mem);
+        std::printf("%-10zu %14.3f %14.3f\n", mem,
+                    mirage.toSecondsF(), linux_pv.toSecondsF());
+    }
+
+    // And measured end-to-end through the toolstack for one size.
+    sim::Engine engine;
+    xen::Hypervisor hv(engine);
+    xen::Toolstack ts(hv, xen::Toolstack::Mode::Parallel);
+    Duration init;
+    ts.boot({"uk", xen::GuestKind::Unikernel, 128, 1, nullptr},
+            [&](xen::Domain &, xen::BootBreakdown b) {
+                init = b.guestInit;
+            });
+    engine.run();
+    std::printf("\nmeasured Mirage startup at 128 MiB: %.1f ms %s\n",
+                init.toSecondsF() * 1e3,
+                init < Duration::millis(50) ? "(< 50 ms, as in the "
+                                              "paper)"
+                                            : "(!! exceeds 50 ms)");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 10 — DNS throughput vs zone size (queryperf workload).
+ * Series: Bind9/Linux, NSD/Linux, NSD/MiniOS -O, NSD/MiniOS -O3,
+ * Mirage without memoization, Mirage with memoization.
+ * Paper: Mirage+memo 75-80 kq/s > NSD ~70 kq/s > Bind ~55 kq/s >
+ * Mirage-no-memo ~40 kq/s; the MiniOS ports trail everything.
+ */
+
+#include <cstdio>
+
+#include "baseline/dns_servers.h"
+#include "loadgen/queryperf.h"
+
+using namespace mirage;
+
+namespace {
+
+double
+measure(baseline::DnsAppliance::Kind kind, std::size_t zone_entries)
+{
+    core::Cloud cloud;
+    baseline::DnsAppliance appliance(
+        cloud, kind,
+        dns::syntheticZone("bench.example.", zone_entries),
+        net::Ipv4Addr(10, 0, 0, 2));
+    core::Guest &client = cloud.startGuest(
+        "queryperf", xen::GuestKind::LinuxMinimal,
+        net::Ipv4Addr(10, 0, 0, 3), 256, 1, 1.0);
+
+    loadgen::QueryPerf::Config cfg;
+    cfg.server = net::Ipv4Addr(10, 0, 0, 2);
+    cfg.zoneEntries = zone_entries;
+    cfg.concurrency = 16;
+    cfg.window = Duration::millis(400);
+    loadgen::QueryPerf qp(client, cfg);
+    double qps = 0;
+    qp.run([&](loadgen::QueryPerf::Report r) { qps = r.qps; });
+    cloud.run();
+    return qps / 1e3;
+}
+
+} // namespace
+
+int
+main()
+{
+    using Kind = baseline::DnsAppliance::Kind;
+    std::printf("# Figure 10: DNS throughput (kqueries/s) vs zone "
+                "size\n");
+    std::printf("# paper: mirage+memo > NSD > Bind9 > mirage-no-memo "
+                ">> NSD/MiniOS\n");
+    std::printf("%-10s %10s %10s %12s %12s %12s %12s\n", "zone",
+                "bind9", "nsd", "nsd_miniosO", "nsd_miniosO3",
+                "mirage_nomemo", "mirage_memo");
+    for (std::size_t zone : {100, 300, 1000, 3000, 10000}) {
+        std::printf("%-10zu", zone);
+        std::printf(" %10.1f", measure(Kind::BindLinux, zone));
+        std::printf(" %10.1f", measure(Kind::NsdLinux, zone));
+        std::printf(" %12.1f", measure(Kind::NsdMiniOsO1, zone));
+        std::printf(" %12.1f", measure(Kind::NsdMiniOsO3, zone));
+        std::printf(" %12.1f", measure(Kind::MirageNoMemo, zone));
+        std::printf(" %12.1f", measure(Kind::MirageMemo, zone));
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * §4.2 label-compression ablation (real wall-clock time via
+ * google-benchmark): writing DNS responses with (a) no compression,
+ * (b) the naive mutable hashtable, and (c) the functional map with
+ * size-first ordering. The paper reports ~20 % speedup for (c) over
+ * (b), plus immunity to hash-collision DoS.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "protocols/dns/server.h"
+
+using namespace mirage;
+
+namespace {
+
+dns::DnsMessage
+makeResponse(int answer_count)
+{
+    dns::DnsMessage msg;
+    msg.header = dns::DnsHeader{};
+    msg.header.qr = true;
+    msg.header.qdcount = 1;
+    msg.questions.push_back(dns::Question{
+        dns::nameFromString("host000123.bench.example").value(), 1, 1});
+    for (int i = 0; i < answer_count; i++) {
+        dns::ResourceRecord rr;
+        rr.name = dns::nameFromString(
+                      strprintf("host%06d.bench.example", i))
+                      .value();
+        rr.type = dns::RrType::A;
+        rr.ttl = 3600;
+        rr.a = net::Ipv4Addr(u32(0x0a000000 + i));
+        msg.answers.push_back(rr);
+    }
+    return msg;
+}
+
+void
+writeWith(benchmark::State &state, dns::CompressionImpl impl)
+{
+    dns::DnsMessage msg = makeResponse(int(state.range(0)));
+    std::size_t bytes = 0;
+    for (auto _ : state) {
+        dns::MessageWriter writer(impl);
+        Cstruct out = writer.write(msg);
+        bytes = out.length();
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.counters["packet_bytes"] = double(bytes);
+}
+
+void
+BM_NoCompression(benchmark::State &state)
+{
+    writeWith(state, dns::CompressionImpl::None);
+}
+
+void
+BM_NaiveHashtable(benchmark::State &state)
+{
+    writeWith(state, dns::CompressionImpl::NaiveHashtable);
+}
+
+void
+BM_FunctionalMap(benchmark::State &state)
+{
+    writeWith(state, dns::CompressionImpl::FunctionalMap);
+}
+
+} // namespace
+
+BENCHMARK(BM_NoCompression)->Arg(4)->Arg(12);
+BENCHMARK(BM_NaiveHashtable)->Arg(4)->Arg(12);
+BENCHMARK(BM_FunctionalMap)->Arg(4)->Arg(12);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 11 — OpenFlow controller throughput under cbench: 16
+ * emulated switches x 100 MACs, batch and single modes. Series:
+ * Maestro, NOX destiny-fast, Mirage. Paper: NOX > Mirage > Maestro in
+ * both modes; NOX shows extreme short-term unfairness in batch mode.
+ */
+
+#include <cstdio>
+
+#include "baseline/of_controllers.h"
+#include "loadgen/cbench.h"
+
+using namespace mirage;
+
+namespace {
+
+loadgen::CBench::Report
+measure(baseline::OfControllerAppliance::Kind kind, bool batch)
+{
+    core::Cloud cloud;
+    baseline::OfControllerAppliance controller(
+        cloud, kind, net::Ipv4Addr(10, 0, 0, 2), batch);
+    core::Guest &client = cloud.startGuest(
+        "cbench", xen::GuestKind::LinuxMinimal,
+        net::Ipv4Addr(10, 0, 0, 3), 512, 1, 1.0);
+
+    loadgen::CBench::Config cfg;
+    cfg.controller = net::Ipv4Addr(10, 0, 0, 2);
+    cfg.switches = 16;
+    cfg.macsPerSwitch = 100;
+    cfg.batch = batch;
+    cfg.batchDepth = 44; // ~64 kB of packet-ins per switch
+    cfg.window = Duration::millis(400);
+    loadgen::CBench cb(client, cfg);
+    loadgen::CBench::Report report;
+    cb.run([&](auto r) { report = r; });
+    cloud.run();
+    return report;
+}
+
+} // namespace
+
+int
+main()
+{
+    using Kind = baseline::OfControllerAppliance::Kind;
+    std::printf("# Figure 11: OpenFlow controller throughput "
+                "(kresponses/s), 16 switches x 100 MACs\n");
+    std::printf("# paper: NOX ~160/60 > Mirage ~110/45 > Maestro "
+                "~60/20 (batch/single)\n");
+    std::printf("%-18s %12s %12s %16s\n", "controller", "batch_krps",
+                "single_krps", "batch_unfairness");
+    for (Kind kind : {Kind::Maestro, Kind::NoxFast, Kind::Mirage}) {
+        auto batch = measure(kind, true);
+        auto single = measure(kind, false);
+        std::printf("%-18s %12.1f %12.1f %15.2fx\n",
+                    baseline::OfControllerAppliance::name(kind),
+                    batch.responsesPerSecond / 1e3,
+                    single.responsesPerSecond / 1e3,
+                    batch.unfairness);
+        std::fflush(stdout);
+    }
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * §2.3.3 — sealing: cost of the seal hypercall, the page-table state
+ * it freezes, the injection attempts it refuses, and the evidence
+ * that sealed appliances keep serving I/O (fresh non-executable I/O
+ * mappings stay legal).
+ */
+
+#include <cstdio>
+
+#include "core/cloud.h"
+#include "core/linker.h"
+#include "loadgen/pingflood.h"
+
+using namespace mirage;
+
+int
+main()
+{
+    std::printf("# §2.3.3: seal hypercall — W^X freeze of a unikernel "
+                "address space\n");
+
+    core::Cloud cloud;
+    core::Guest &appliance =
+        cloud.startUnikernel("sealed", net::Ipv4Addr(10, 0, 0, 2));
+    auto &pt = appliance.dom.pageTables();
+
+    std::size_t mapped = pt.mappedPages();
+    u64 updates_before = pt.updatesApplied();
+    i64 busy_before = appliance.dom.vcpu().busyTime().ns();
+    Status sealed = appliance.seal();
+    i64 seal_cost = appliance.dom.vcpu().busyTime().ns() - busy_before;
+    std::printf("pages mapped at seal: %zu (built with %llu PT "
+                "updates)\n",
+                mapped, (unsigned long long)updates_before);
+    std::printf("seal result: %s, hypercall cost %lld ns\n",
+                sealed.ok() ? "sealed" : "REFUSED", (long long)seal_cost);
+
+    // Injection attempts.
+    u64 refused_before = pt.updatesRefused();
+    bool exec_new = pt.map(0x7777, xen::PagePerms::rx(),
+                           xen::PageRole::Text)
+                        .ok();
+    bool flip_heap =
+        pt.protect(pvboot::LayoutMap::minorHeapVpn,
+                   xen::PagePerms::rx())
+            .ok();
+    bool unmap_text =
+        pt.unmap(pvboot::LayoutMap::textVpn).ok();
+    std::printf("post-seal attacks: map-executable=%s "
+                "flip-heap-to-exec=%s unmap-text=%s (refused: %llu)\n",
+                exec_new ? "ALLOWED!" : "refused",
+                flip_heap ? "ALLOWED!" : "refused",
+                unmap_text ? "ALLOWED!" : "refused",
+                (unsigned long long)(pt.updatesRefused() -
+                                     refused_before));
+
+    // I/O exemption: a fresh non-executable I/O mapping is legal...
+    bool io_ok = pt.map(0x800000, xen::PagePerms::rw(),
+                        xen::PageRole::IoPage)
+                     .ok();
+    std::printf("fresh non-executable I/O mapping: %s\n",
+                io_ok ? "allowed (I/O unaffected by sealing)"
+                      : "REFUSED!");
+
+    // ...and the sealed appliance still serves traffic.
+    core::Guest &pinger =
+        cloud.startUnikernel("pinger", net::Ipv4Addr(10, 0, 0, 3));
+    loadgen::PingFlood::Config cfg;
+    cfg.target = net::Ipv4Addr(10, 0, 0, 2);
+    cfg.count = 10000;
+    cfg.interval = Duration::micros(20);
+    loadgen::PingFlood flood(pinger, cfg);
+    loadgen::PingFlood::Report report;
+    flood.run([&](auto r) { report = r; });
+    cloud.run();
+    std::printf("sealed appliance under flood ping: %llu/%llu "
+                "answered, mean rtt %.1f us\n",
+                (unsigned long long)report.received,
+                (unsigned long long)report.sent,
+                report.meanRtt.toMillisF() * 1e3);
+
+    // The hypervisor patch footprint claim (<50 lines): our seal
+    // implementation is PageTables::seal() + the hypercall plumbing.
+    std::printf("\n# paper: the Xen seal patch added <50 lines; here "
+                "it is PageTables::seal() + Hypervisor::seal()\n");
+    return 0;
+}

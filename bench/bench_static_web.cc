@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Figure 13 — static page serving (connections/s): Apache2/Linux in
+ * three placements (1 host x 6 vCPUs, 2 x 3, 6 x 1) versus 6 Mirage
+ * unikernels with one vCPU each. A closed loop of concurrent
+ * connections measures saturated throughput. Paper: Mirage wins in
+ * all cases, and scaling Apache out beats scaling it up.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "baseline/web_servers.h"
+#include "core/cloud.h"
+#include "loadgen/httperf.h"
+#include "protocols/http/client.h"
+#include "protocols/http/server.h"
+
+using namespace mirage;
+
+namespace {
+
+struct Server
+{
+    core::Guest *guest;
+    std::unique_ptr<baseline::LinuxGuest> lg;
+    std::unique_ptr<http::HttpServer> web;
+    unsigned nextWorker = 0;
+};
+
+/** Closed loop: keep `concurrency` one-shot connections in flight. */
+struct ClosedLoop
+{
+    core::Guest &client;
+    std::vector<net::Ipv4Addr> targets;
+    Duration window;
+    u64 completed = 0;
+    bool running = true;
+    std::size_t rr = 0;
+
+    void
+    fire()
+    {
+        if (!running)
+            return;
+        net::Ipv4Addr target = targets[rr++ % targets.size()];
+        http::httpGet(client.stack, target, 80, "/index.html",
+                      [this](Result<http::HttpResponse> r) {
+                          if (r.ok())
+                              completed++;
+                          fire();
+                      });
+    }
+
+    double
+    run(u32 concurrency)
+    {
+        TimePoint start = client.sched.engine().now();
+        for (u32 i = 0; i < concurrency; i++)
+            fire();
+        client.sched.engine().after(window, [this] { running = false; });
+        client.sched.engine().run();
+        Duration elapsed = client.sched.engine().now() - start;
+        return double(completed) / elapsed.toSecondsF();
+    }
+};
+
+double
+measure(bool mirage, unsigned hosts, unsigned vcpus_each)
+{
+    core::Cloud cloud;
+    std::vector<std::unique_ptr<Server>> servers;
+    std::vector<net::Ipv4Addr> ips;
+    for (unsigned h = 0; h < hosts; h++) {
+        net::Ipv4Addr ip(10, 0, 0, u8(10 + h));
+        ips.push_back(ip);
+        auto server = std::make_unique<Server>();
+        server->guest =
+            mirage ? &cloud.startUnikernel(strprintf("www%u", h), ip, 32)
+                   : &cloud.startGuest(strprintf("apache%u", h),
+                                       xen::GuestKind::LinuxMinimal, ip,
+                                       512, vcpus_each, 1.0);
+        server->lg =
+            std::make_unique<baseline::LinuxGuest>(*server->guest);
+        Server *raw = server.get();
+        server->web = std::make_unique<http::HttpServer>(
+            server->guest->stack, 80,
+            [raw, mirage, vcpus_each](const http::HttpRequest &,
+                                      auto respond) {
+                if (mirage) {
+                    baseline::chargeMirageStaticConnection(*raw->guest);
+                } else {
+                    raw->nextWorker = baseline::chargeApacheConnection(
+                        *raw->lg, vcpus_each, raw->nextWorker, 4096);
+                }
+                respond(http::HttpResponse::text(
+                    200, std::string(4096, 'x')));
+            });
+        servers.push_back(std::move(server));
+    }
+    core::Guest &client = cloud.startGuest(
+        "httperf", xen::GuestKind::LinuxMinimal,
+        net::Ipv4Addr(10, 0, 0, 3), 512, 4, 1.0);
+
+    ClosedLoop loop{client, ips, Duration::millis(800)};
+    return loop.run(u32(64 * hosts));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("# Figure 13: static page serving throughput "
+                "(connections/s)\n");
+    std::printf("# paper: 6 Mirage unikernels > Apache in every "
+                "placement; scale-out > scale-up\n");
+    struct Row
+    {
+        const char *name;
+        bool mirage;
+        unsigned hosts, vcpus;
+    } rows[] = {
+        {"Linux (1 host, 6 vcpus)", false, 1, 6},
+        {"Linux (2 hosts, 3 vcpus)", false, 2, 3},
+        {"Linux (6 hosts, 1 vcpu)", false, 6, 1},
+        {"Mirage (6 unikernels)", true, 6, 1},
+    };
+    std::printf("%-28s %14s\n", "configuration", "conns_per_s");
+    for (const Row &row : rows) {
+        double rate = measure(row.mirage, row.hosts, row.vcpus);
+        std::printf("%-28s %14.0f\n", row.name, rate);
+        std::fflush(stdout);
+    }
+    return 0;
+}

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The §4.4 dynamic web appliance: a "Twitter-like" service keeping
+ * tweets in the append-only copy-on-write B-tree on a virtual disk,
+ * served over HTTP by a sealed unikernel. Two API calls:
+ *
+ *   POST /tweet/<user>     body = the tweet
+ *   GET  /timeline/<user>  returns the last 100 tweets
+ */
+
+#include <cstdio>
+
+#include "core/cloud.h"
+#include "protocols/http/client.h"
+#include "protocols/http/server.h"
+#include "storage/btree.h"
+
+using namespace mirage;
+
+namespace {
+
+/** Timeline store: tweets keyed "user/seq" in the B-tree. */
+class TweetStore
+{
+  public:
+    explicit TweetStore(storage::BTree &tree) : tree_(tree) {}
+
+    void
+    post(const std::string &user, const std::string &text,
+         std::function<void(Status)> done)
+    {
+        u64 seq = next_seq_[user]++;
+        tree_.set(strprintf("%s/%08llu", user.c_str(),
+                            (unsigned long long)seq),
+                  text, std::move(done));
+    }
+
+    void
+    timeline(const std::string &user,
+             std::function<void(std::vector<std::string>)> done)
+    {
+        tree_.range(user + "/", user + "/~",
+                    [done = std::move(done)](auto r) {
+                        std::vector<std::string> out;
+                        if (r.ok()) {
+                            auto &all = r.value();
+                            std::size_t from =
+                                all.size() > 100 ? all.size() - 100 : 0;
+                            for (std::size_t i = from; i < all.size();
+                                 i++)
+                                out.push_back(all[i].second);
+                        }
+                        done(out);
+                    });
+    }
+
+  private:
+    storage::BTree &tree_;
+    std::map<std::string, u64> next_seq_;
+};
+
+} // namespace
+
+int
+main()
+{
+    core::Cloud cloud;
+
+    // Storage substrate: virtual SSD + blkback in dom0, blkif in the
+    // guest, B-tree library on top.
+    xen::VirtualDisk &disk = cloud.addDisk("tweets", 1u << 18);
+    xen::Blkback &blkback = cloud.blkbackFor(disk);
+    core::Guest &appliance =
+        cloud.startUnikernel("twitter", net::Ipv4Addr(10, 0, 0, 80), 32);
+    drivers::Blkif blkif(appliance.boot, blkback);
+    storage::BlkifDevice dev(blkif);
+    storage::BTree tree(dev);
+    TweetStore store(tree);
+
+    bool ready = false;
+    tree.format([&](Status st) { ready = st.ok(); });
+
+    http::HttpServer web(
+        appliance.stack, 80,
+        [&](const http::HttpRequest &req, auto respond) {
+            if (req.method == "POST" &&
+                req.path.rfind("/tweet/", 0) == 0) {
+                store.post(req.path.substr(7), req.body,
+                           [respond](Status st) {
+                               respond(st.ok()
+                                           ? http::HttpResponse::text(
+                                                 201, "created")
+                                           : http::HttpResponse::text(
+                                                 500, "store error"));
+                           });
+                return;
+            }
+            if (req.method == "GET" &&
+                req.path.rfind("/timeline/", 0) == 0) {
+                store.timeline(req.path.substr(10),
+                               [respond](std::vector<std::string> tl) {
+                                   std::string body;
+                                   for (const auto &t : tl)
+                                       body += t + "\n";
+                                   respond(http::HttpResponse::text(
+                                       200, body));
+                               });
+                return;
+            }
+            respond(http::HttpResponse::notFound());
+        });
+
+    if (auto st = appliance.seal(); !st.ok()) {
+        std::fprintf(stderr, "seal: %s\n", st.error().message.c_str());
+        return 1;
+    }
+
+    // ---- A client posts and reads back ---------------------------------
+    core::Guest &client =
+        cloud.startUnikernel("browser", net::Ipv4Addr(10, 0, 0, 9));
+
+    auto session_holder =
+        std::make_shared<std::shared_ptr<http::HttpSession>>();
+    *session_holder = http::HttpSession::open(
+        client.stack, net::Ipv4Addr(10, 0, 0, 80), 80,
+        [&, session_holder](Status st) {
+            if (!st.ok())
+                return;
+            auto session = *session_holder;
+            for (int i = 0; i < 3; i++) {
+                http::HttpRequest post;
+                post.method = "POST";
+                post.path = "/tweet/alice";
+                post.body = strprintf("tweet number %d", i);
+                session->request(post, [](auto) {});
+            }
+            http::HttpRequest get;
+            get.method = "GET";
+            get.path = "/timeline/alice";
+            session->request(get, [session](
+                                      Result<http::HttpResponse> r) {
+                if (r.ok())
+                    std::printf("alice's timeline:\n%s",
+                                r.value().body.c_str());
+                session->close();
+            });
+        });
+
+    cloud.run();
+
+    std::printf("b-tree: %llu entries, %llu commits, %llu nodes "
+                "appended, log=%llu kB\n",
+                (unsigned long long)tree.entryCount(),
+                (unsigned long long)tree.commits(),
+                (unsigned long long)tree.nodesAppended(),
+                (unsigned long long)(tree.logBytes() / 1024));
+    std::printf("disk requests served: %llu\n",
+                (unsigned long long)disk.requestsServed());
+    std::printf("http: %llu requests over %llu connections\n",
+                (unsigned long long)web.requestsServed(),
+                (unsigned long long)web.connectionsAccepted());
+    return ready ? 0 : 1;
+}

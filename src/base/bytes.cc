@@ -1,0 +1,42 @@
+#include "base/bytes.h"
+
+namespace mirage {
+
+CopyStats &
+copyStats()
+{
+    static CopyStats stats;
+    return stats;
+}
+
+CopyStats
+resetCopyStats()
+{
+    CopyStats prev = copyStats();
+    copyStats() = CopyStats{};
+    return prev;
+}
+
+std::shared_ptr<Buffer>
+Buffer::alloc(std::size_t size)
+{
+    return std::shared_ptr<Buffer>(new Buffer(size));
+}
+
+std::shared_ptr<Buffer>
+Buffer::fromBytes(const u8 *data, std::size_t size)
+{
+    auto buf = alloc(size);
+    std::memcpy(buf->data(), data, size);
+    copyStats().copies++;
+    copyStats().bytesCopied += size;
+    return buf;
+}
+
+Buffer::~Buffer()
+{
+    if (release_)
+        release_(*this);
+}
+
+} // namespace mirage

@@ -1,0 +1,57 @@
+#include "base/checksum.h"
+
+namespace mirage {
+
+void
+ChecksumAccumulator::add(const Cstruct &view)
+{
+    const u8 *p = view.data();
+    std::size_t n = view.length();
+    std::size_t i = 0;
+    if (odd_ && n > 0) {
+        // Complete the dangling high byte from the previous fragment.
+        sum_ += p[0];
+        i = 1;
+        odd_ = false;
+    }
+    for (; i + 1 < n; i += 2)
+        sum_ += (u64(p[i]) << 8) | u64(p[i + 1]);
+    if (i < n) {
+        sum_ += u64(p[i]) << 8;
+        odd_ = true;
+    }
+}
+
+void
+ChecksumAccumulator::addWord(u16 word)
+{
+    sum_ += word;
+}
+
+u16
+ChecksumAccumulator::finish() const
+{
+    u64 s = sum_;
+    while (s >> 16)
+        s = (s & 0xffff) + (s >> 16);
+    return static_cast<u16>(~s & 0xffff);
+}
+
+u16
+internetChecksum(const Cstruct &view)
+{
+    ChecksumAccumulator acc;
+    acc.add(view);
+    return acc.finish();
+}
+
+u16
+internetChecksum(const std::vector<Cstruct> &views)
+{
+    ChecksumAccumulator acc;
+    for (const auto &v : views)
+        acc.add(v);
+    return acc.finish();
+}
+
+} // namespace mirage

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Internet checksum (RFC 1071) over Cstruct views, used by IPv4, ICMP,
+ * UDP and TCP.
+ */
+
+#ifndef MIRAGE_BASE_CHECKSUM_H
+#define MIRAGE_BASE_CHECKSUM_H
+
+#include <initializer_list>
+#include <vector>
+
+#include "base/cstruct.h"
+#include "base/types.h"
+
+namespace mirage {
+
+/** Running ones'-complement sum, foldable across multiple fragments. */
+class ChecksumAccumulator
+{
+  public:
+    /** Add @p view's bytes to the sum (handles odd lengths). */
+    void add(const Cstruct &view);
+
+    /** Add one big-endian 16-bit word. */
+    void addWord(u16 word);
+
+    /** Fold to the final 16-bit ones'-complement checksum. */
+    u16 finish() const;
+
+  private:
+    u64 sum_ = 0;
+    bool odd_ = false; //!< previous fragment ended on an odd byte
+};
+
+/** One-shot checksum of a single view. */
+u16 internetChecksum(const Cstruct &view);
+
+/** Checksum of a scatter list of views (TCP/UDP pseudo-header + data). */
+u16 internetChecksum(const std::vector<Cstruct> &views);
+
+} // namespace mirage
+
+#endif // MIRAGE_BASE_CHECKSUM_H

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Cstruct — bounds-checked, endian-aware views over shared buffers.
+ *
+ * This is the C++ analogue of Mirage's `cstruct` syntax extension
+ * (paper Fig 3): all wire-format parsing throughout the network,
+ * storage and protocol stacks goes through these accessors, so no
+ * protocol code ever touches raw memory. Views are cheap value types
+ * that alias the underlying Buffer; `sub`/`shift` slice without copying
+ * (§3.4.1), which is the basis of the zero-copy I/O path.
+ */
+
+#ifndef MIRAGE_BASE_CSTRUCT_H
+#define MIRAGE_BASE_CSTRUCT_H
+
+#include <memory>
+#include <string>
+
+#include "base/bytes.h"
+#include "base/endian.h"
+#include "base/result.h"
+#include "base/types.h"
+
+namespace mirage {
+
+/**
+ * A view of [offset, offset+length) within a shared Buffer.
+ *
+ * All accessors are bounds-checked; violations return an Error (parsers)
+ * or panic (fixed-layout accessors, where an overrun is a library bug).
+ */
+class Cstruct
+{
+  public:
+    /** The empty view. */
+    Cstruct() : off_(0), len_(0) {}
+
+    /** View over an entire buffer. */
+    explicit Cstruct(std::shared_ptr<Buffer> buf);
+
+    /** View over a slice of a buffer; panics when out of range. */
+    Cstruct(std::shared_ptr<Buffer> buf, std::size_t off, std::size_t len);
+
+    /** Allocate a fresh zeroed buffer of @p len bytes and view it. */
+    static Cstruct create(std::size_t len);
+
+    /** Copy a string into a fresh buffer (counts as one copy). */
+    static Cstruct ofString(const std::string &s);
+
+    std::size_t length() const { return len_; }
+    bool empty() const { return len_ == 0; }
+
+    /** Sub-view [off, off+len) of this view; panics when out of range. */
+    Cstruct sub(std::size_t off, std::size_t len) const;
+
+    /** Drop the first @p n bytes; panics when n > length. */
+    Cstruct shift(std::size_t n) const;
+
+    /** Checked variant of sub for parser use. */
+    Result<Cstruct> trySub(std::size_t off, std::size_t len) const;
+
+    /** @{ Fixed-layout accessors; panic on out-of-range (library bug). */
+    u8 getU8(std::size_t off) const;
+    u16 getBe16(std::size_t off) const;
+    u32 getBe32(std::size_t off) const;
+    u64 getBe64(std::size_t off) const;
+    u16 getLe16(std::size_t off) const;
+    u32 getLe32(std::size_t off) const;
+    u64 getLe64(std::size_t off) const;
+    void setU8(std::size_t off, u8 v);
+    void setBe16(std::size_t off, u16 v);
+    void setBe32(std::size_t off, u32 v);
+    void setBe64(std::size_t off, u64 v);
+    void setLe16(std::size_t off, u16 v);
+    void setLe32(std::size_t off, u32 v);
+    void setLe64(std::size_t off, u64 v);
+    /** @} */
+
+    /** @{ Checked accessors for parsing untrusted input. */
+    Result<u8> tryGetU8(std::size_t off) const;
+    Result<u16> tryGetBe16(std::size_t off) const;
+    Result<u32> tryGetBe32(std::size_t off) const;
+    /** @} */
+
+    /**
+     * Copy @p len bytes from @p src at @p src_off into this view at
+     * @p dst_off. The only sanctioned copy primitive — it feeds the
+     * global copy counters so zero-copy tests can assert a path never
+     * copies payload bytes.
+     */
+    void blitFrom(const Cstruct &src, std::size_t src_off,
+                  std::size_t dst_off, std::size_t len);
+
+    /** Fill the whole view with @p value. */
+    void fill(u8 value);
+
+    /** Copy out as a std::string (counts as a copy). */
+    std::string toString() const;
+
+    /** Byte-wise equality of contents. */
+    bool contentEquals(const Cstruct &other) const;
+
+    /** Raw pointer to the first byte. Driver-level code only. */
+    u8 *data();
+    const u8 *data() const;
+
+    /** The underlying buffer (for page-identity checks in tests). */
+    const std::shared_ptr<Buffer> &buffer() const { return buf_; }
+
+  private:
+    void checkRange(std::size_t off, std::size_t n) const;
+
+    std::shared_ptr<Buffer> buf_;
+    std::size_t off_;
+    std::size_t len_;
+};
+
+} // namespace mirage
+
+#endif // MIRAGE_BASE_CSTRUCT_H

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Endian conversion helpers used by the cstruct accessor layer (Fig 3 of
+ * the paper: generated accessors handle endianness for the caller).
+ */
+
+#ifndef MIRAGE_BASE_ENDIAN_H
+#define MIRAGE_BASE_ENDIAN_H
+
+#include <cstring>
+
+#include "base/types.h"
+
+namespace mirage {
+
+inline u16
+loadBe16(const u8 *p)
+{
+    return static_cast<u16>((u16(p[0]) << 8) | u16(p[1]));
+}
+
+inline u32
+loadBe32(const u8 *p)
+{
+    return (u32(p[0]) << 24) | (u32(p[1]) << 16) | (u32(p[2]) << 8) |
+           u32(p[3]);
+}
+
+inline u64
+loadBe64(const u8 *p)
+{
+    return (u64(loadBe32(p)) << 32) | u64(loadBe32(p + 4));
+}
+
+inline void
+storeBe16(u8 *p, u16 v)
+{
+    p[0] = u8(v >> 8);
+    p[1] = u8(v);
+}
+
+inline void
+storeBe32(u8 *p, u32 v)
+{
+    p[0] = u8(v >> 24);
+    p[1] = u8(v >> 16);
+    p[2] = u8(v >> 8);
+    p[3] = u8(v);
+}
+
+inline void
+storeBe64(u8 *p, u64 v)
+{
+    storeBe32(p, u32(v >> 32));
+    storeBe32(p + 4, u32(v));
+}
+
+inline u16
+loadLe16(const u8 *p)
+{
+    return static_cast<u16>(u16(p[0]) | (u16(p[1]) << 8));
+}
+
+inline u32
+loadLe32(const u8 *p)
+{
+    return u32(p[0]) | (u32(p[1]) << 8) | (u32(p[2]) << 16) |
+           (u32(p[3]) << 24);
+}
+
+inline u64
+loadLe64(const u8 *p)
+{
+    return u64(loadLe32(p)) | (u64(loadLe32(p + 4)) << 32);
+}
+
+inline void
+storeLe16(u8 *p, u16 v)
+{
+    p[0] = u8(v);
+    p[1] = u8(v >> 8);
+}
+
+inline void
+storeLe32(u8 *p, u32 v)
+{
+    p[0] = u8(v);
+    p[1] = u8(v >> 8);
+    p[2] = u8(v >> 16);
+    p[3] = u8(v >> 24);
+}
+
+inline void
+storeLe64(u8 *p, u64 v)
+{
+    storeLe32(p, u32(v));
+    storeLe32(p + 4, u32(v >> 32));
+}
+
+} // namespace mirage
+
+#endif // MIRAGE_BASE_ENDIAN_H

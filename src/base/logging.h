@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 style: panic() for internal
+ * invariant violations, fatal() for unrecoverable user/configuration
+ * errors, warn()/inform() for advisories.
+ */
+
+#ifndef MIRAGE_BASE_LOGGING_H
+#define MIRAGE_BASE_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace mirage {
+
+/** Severity of a log line. */
+enum class LogLevel { Debug, Info, Warn, Error };
+
+/**
+ * Minimum severity that is actually printed. Tests and benches raise this
+ * to keep output quiet.
+ */
+void setLogLevel(LogLevel min_level);
+LogLevel logLevel();
+
+/** Emit one formatted line if @p level passes the filter. */
+void logf(LogLevel level, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** Informative message; normal operation. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+/** Something may be wrong but execution can continue. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+/**
+ * Unrecoverable condition caused by configuration or input: throws
+ * std::runtime_error so library users can catch it at the appliance
+ * boundary.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+/** Internal invariant violated — a bug in this library. Aborts. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace mirage
+
+#endif // MIRAGE_BASE_LOGGING_H

@@ -1,0 +1,88 @@
+#include "base/rand.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace mirage {
+
+namespace {
+
+u64
+splitmix64(u64 &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    u64 z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+u64
+rotl(u64 x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(u64 seed)
+{
+    u64 x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+u64
+Rng::next()
+{
+    u64 result = rotl(s_[1] * 5, 7) * 9;
+    u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+u64
+Rng::below(u64 bound)
+{
+    if (bound == 0)
+        panic("Rng::below(0)");
+    // Rejection sampling to avoid modulo bias.
+    u64 threshold = (~bound + 1) % bound;
+    for (;;) {
+        u64 r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+u64
+Rng::range(u64 lo, u64 hi)
+{
+    if (hi < lo)
+        panic("Rng::range: hi < lo");
+    return lo + below(hi - lo + 1);
+}
+
+double
+Rng::uniform()
+{
+    return double(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double
+Rng::exponential(double mean)
+{
+    double u = uniform();
+    // Guard against log(0).
+    if (u <= 0.0)
+        u = 1e-18;
+    return -mean * std::log(u);
+}
+
+} // namespace mirage

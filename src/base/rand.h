@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Deterministic PRNG (xoshiro256**) — every stochastic element of the
+ * simulation (workload generators, ASR layout shuffles, jitter models)
+ * draws from an explicitly-seeded instance so runs are reproducible.
+ */
+
+#ifndef MIRAGE_BASE_RAND_H
+#define MIRAGE_BASE_RAND_H
+
+#include "base/types.h"
+
+namespace mirage {
+
+class Rng
+{
+  public:
+    explicit Rng(u64 seed);
+
+    /** Uniform over all 64-bit values. */
+    u64 next();
+
+    /** Uniform in [0, bound). @p bound must be non-zero. */
+    u64 below(u64 bound);
+
+    /** Uniform in [lo, hi] inclusive. */
+    u64 range(u64 lo, u64 hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Exponentially-distributed double with the given mean. */
+    double exponential(double mean);
+
+  private:
+    u64 s_[4];
+};
+
+} // namespace mirage
+
+#endif // MIRAGE_BASE_RAND_H

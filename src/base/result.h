@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Result<T> — explicit success-or-error values.
+ *
+ * The OCaml prototype leans on the type system to force callers to
+ * handle parse failures; the C++ analogue is a small sum type that makes
+ * ignoring an error a compile- or assert-time event rather than silent
+ * memory corruption. Protocol parsers throughout src/net and
+ * src/protocols return Result rather than writing through unchecked
+ * pointers.
+ */
+
+#ifndef MIRAGE_BASE_RESULT_H
+#define MIRAGE_BASE_RESULT_H
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "base/logging.h"
+
+namespace mirage {
+
+/** Error payload: a category tag plus a human-readable message. */
+struct Error
+{
+    /** Broad category, used by tests asserting *why* something failed. */
+    enum class Kind {
+        Parse,       //!< malformed input (truncated/invalid wire data)
+        Bounds,      //!< access outside a checked buffer
+        State,       //!< operation invalid in the current state
+        NotFound,    //!< lookup miss
+        Exhausted,   //!< a finite resource (ring slot, grant, page) ran out
+        Unsupported, //!< feature deliberately not linked into this image
+        Io,          //!< device-level failure
+    };
+
+    Kind kind;
+    std::string message;
+
+    Error(Kind k, std::string msg) : kind(k), message(std::move(msg)) {}
+};
+
+/** A value of type T, or an Error. */
+template <typename T>
+class Result
+{
+  public:
+    Result(T value) : v_(std::move(value)) {}
+    Result(Error err) : v_(std::move(err)) {}
+
+    bool ok() const { return std::holds_alternative<T>(v_); }
+    explicit operator bool() const { return ok(); }
+
+    /** Access the value; panics (library bug) if this holds an error. */
+    T &
+    value()
+    {
+        if (!ok())
+            panic("Result::value() on error: %s", error().message.c_str());
+        return std::get<T>(v_);
+    }
+
+    const T &
+    value() const
+    {
+        if (!ok())
+            panic("Result::value() on error: %s", error().message.c_str());
+        return std::get<T>(v_);
+    }
+
+    const Error &
+    error() const
+    {
+        if (ok())
+            panic("Result::error() on success value");
+        return std::get<Error>(v_);
+    }
+
+    /** The value, or @p fallback when this holds an error. */
+    T valueOr(T fallback) const { return ok() ? std::get<T>(v_) : fallback; }
+
+  private:
+    std::variant<T, Error> v_;
+};
+
+/** Result specialisation for operations with no payload. */
+class Status
+{
+  public:
+    Status() : err_(std::nullopt) {}
+    Status(Error err) : err_(std::move(err)) {}
+
+    static Status success() { return Status(); }
+
+    bool ok() const { return !err_.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    const Error &
+    error() const
+    {
+        if (ok())
+            panic("Status::error() on success");
+        return *err_;
+    }
+
+  private:
+    std::optional<Error> err_;
+};
+
+/** Convenience constructors. */
+inline Error
+parseError(std::string msg)
+{
+    return Error(Error::Kind::Parse, std::move(msg));
+}
+
+inline Error
+boundsError(std::string msg)
+{
+    return Error(Error::Kind::Bounds, std::move(msg));
+}
+
+inline Error
+stateError(std::string msg)
+{
+    return Error(Error::Kind::State, std::move(msg));
+}
+
+inline Error
+notFoundError(std::string msg)
+{
+    return Error(Error::Kind::NotFound, std::move(msg));
+}
+
+inline Error
+exhaustedError(std::string msg)
+{
+    return Error(Error::Kind::Exhausted, std::move(msg));
+}
+
+} // namespace mirage
+
+#endif // MIRAGE_BASE_RESULT_H

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Fundamental type aliases shared by every subsystem.
+ */
+
+#ifndef MIRAGE_BASE_TYPES_H
+#define MIRAGE_BASE_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mirage {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Size of one machine page in the simulated address spaces. */
+constexpr std::size_t pageSize = 4096;
+/** Size of one x86_64 superpage; the extent allocator's grain (§3.2). */
+constexpr std::size_t superpageSize = 2 * 1024 * 1024;
+
+} // namespace mirage
+
+#endif // MIRAGE_BASE_TYPES_H

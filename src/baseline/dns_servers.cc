@@ -1,0 +1,156 @@
+#include "baseline/dns_servers.h"
+
+#include <cmath>
+
+namespace mirage::baseline {
+
+const DnsWorkModel &
+DnsWorkModel::defaults()
+{
+    static DnsWorkModel model;
+    return model;
+}
+
+const char *
+DnsAppliance::name(Kind kind)
+{
+    switch (kind) {
+      case Kind::MirageMemo: return "Mirage (memo)";
+      case Kind::MirageNoMemo: return "Mirage (no memo)";
+      case Kind::NsdLinux: return "NSD, Linux";
+      case Kind::BindLinux: return "Bind9, Linux";
+      case Kind::NsdMiniOsO1: return "NSD, MiniOS -O";
+      case Kind::NsdMiniOsO3: return "NSD, MiniOS -O3";
+    }
+    return "?";
+}
+
+namespace {
+
+bool
+isMirage(DnsAppliance::Kind k)
+{
+    return k == DnsAppliance::Kind::MirageMemo ||
+           k == DnsAppliance::Kind::MirageNoMemo;
+}
+
+bool
+isUserspace(DnsAppliance::Kind k)
+{
+    return k == DnsAppliance::Kind::NsdLinux ||
+           k == DnsAppliance::Kind::BindLinux;
+}
+
+/** Language/runtime factor on algorithmic work. */
+double
+workFactor(DnsAppliance::Kind k)
+{
+    switch (k) {
+      case DnsAppliance::Kind::MirageMemo:
+      case DnsAppliance::Kind::MirageNoMemo:
+        return sim::costs().safetyTaxFactor; // type-safe runtime
+      case DnsAppliance::Kind::NsdMiniOsO1:
+        return 1.25; // embedded libc, -O
+      case DnsAppliance::Kind::NsdMiniOsO3:
+        return 1.1; // embedded libc, -O3
+      default:
+        return 1.0; // optimised C on glibc
+    }
+}
+
+core::Guest &
+provision(core::Cloud &cloud, DnsAppliance::Kind kind,
+          net::Ipv4Addr ip)
+{
+    if (isMirage(kind)) {
+        return cloud.startUnikernel(DnsAppliance::name(kind), ip, 32);
+    }
+    if (isUserspace(kind)) {
+        return cloud.startGuest(DnsAppliance::name(kind),
+                                xen::GuestKind::LinuxMinimal, ip, 256,
+                                1, 1.0);
+    }
+    // MiniOS libOS guest: single image, C stack.
+    return cloud.startGuest(DnsAppliance::name(kind),
+                            xen::GuestKind::Unikernel, ip, 64, 1, 1.0);
+}
+
+} // namespace
+
+DnsAppliance::DnsAppliance(core::Cloud &cloud, Kind kind,
+                           dns::Zone zone, net::Ipv4Addr ip)
+    : kind_(kind), zone_entries_(zone.recordCount()),
+      guest_(provision(cloud, kind, ip))
+{
+    dns::DnsServer::Config cfg;
+    switch (kind) {
+      case Kind::MirageMemo:
+        cfg.memoize = true;
+        cfg.compression = dns::CompressionImpl::FunctionalMap;
+        break;
+      case Kind::MirageNoMemo:
+        cfg.memoize = false;
+        cfg.compression = dns::CompressionImpl::FunctionalMap;
+        break;
+      default:
+        // The C servers precompile/cache answers (NSD's model) but
+        // use the classic mutable hashtable for compression.
+        cfg.memoize = true;
+        cfg.compression = dns::CompressionImpl::NaiveHashtable;
+        break;
+    }
+    server_ = std::make_unique<dns::DnsServer>(std::move(zone), cfg);
+    if (isUserspace(kind))
+        sys_ = std::make_unique<SyscallLayer>(guest_.dom);
+
+    Status st = guest_.stack.udp().listen(
+        53, [this](const net::UdpDatagram &dgram) {
+            u64 hits_before = server_->stats().memoHits;
+            auto rsp = server_->answer(dgram.payload);
+            if (!rsp.ok())
+                return;
+            bool memo_hit = server_->stats().memoHits > hits_before;
+            answered_++;
+            if (sys_) {
+                sys_->chargeSelect();
+                sys_->chargeProcessWake();
+                sys_->chargeRecv(dgram.payload.length());
+                sys_->chargeSend(rsp.value().length());
+            }
+            guest_.dom.vcpu().charge(queryCost(dgram.payload.length(),
+                                               rsp.value().length(),
+                                               memo_hit));
+            guest_.stack.udp().sendTo(dgram.srcIp, dgram.srcPort, 53,
+                                      {rsp.value()});
+        });
+    if (!st.ok())
+        fatal("DnsAppliance: %s", st.error().message.c_str());
+}
+
+Duration
+DnsAppliance::queryCost(std::size_t query_bytes,
+                        std::size_t response_bytes, bool memo_hit) const
+{
+    const DnsWorkModel &w = DnsWorkModel::defaults();
+    double factor = workFactor(kind_);
+    double ns = 0;
+
+    if (memo_hit && kind_ != Kind::MirageNoMemo) {
+        // Precompiled/cached answer path.
+        ns += w.memoHitNs + double(response_bytes) * 0.2;
+    } else {
+        ns += w.parseNsPerByte * double(query_bytes);
+        ns += w.lookupNsPerLogEntry *
+              std::log2(double(zone_entries_) + 2.0);
+        ns += w.buildFixedNs + w.buildNsPerByte * double(response_bytes);
+    }
+    ns *= factor;
+
+    if (kind_ == Kind::BindLinux)
+        ns += w.bindFeatureNs;
+    if (kind_ == Kind::NsdMiniOsO1 || kind_ == Kind::NsdMiniOsO3)
+        ns += w.miniosSelectNs;
+    return Duration(i64(ns));
+}
+
+} // namespace mirage::baseline

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The Fig 10 contenders. Every variant runs this repository's *real*
+ * DNS implementation for functional correctness (parse, zone lookup,
+ * response build, memoization); what distinguishes them is structure,
+ * charged in virtual time:
+ *
+ *  - mirage-memo / mirage-nomemo: unikernel path (no userspace), the
+ *    type-safe runtime's work model, with/without response memoization;
+ *  - nsd-linux: a lean precompiled-answer C server behind the
+ *    kernel/userspace boundary (syscalls + copies + select);
+ *  - bind-linux: adds BIND's general-purpose per-query feature
+ *    processing (views/ACLs/statistics machinery);
+ *  - nsd-minios (-O / -O3): the paper's C libOS port, paying the
+ *    MiniOS select(2)/netfront interaction penalty (§4.2).
+ *
+ * The work-model constants are documented estimates of 2012-era
+ * per-query costs; the *relationships* between variants (what each
+ * architecture adds or removes) are structural, not tuned.
+ */
+
+#ifndef MIRAGE_BASELINE_DNS_SERVERS_H
+#define MIRAGE_BASELINE_DNS_SERVERS_H
+
+#include <memory>
+
+#include "baseline/conventional.h"
+#include "protocols/dns/server.h"
+
+namespace mirage::baseline {
+
+/** Per-query server-side work, in nanoseconds (pre-factor). */
+struct DnsWorkModel
+{
+    /** Query parse, per byte. */
+    double parseNsPerByte = 15.0;
+    /** Zone lookup per log2(entries) step. */
+    double lookupNsPerLogEntry = 200.0;
+    /** Response construction fixed + per-byte (full path). */
+    double buildFixedNs = 9000.0;
+    double buildNsPerByte = 20.0;
+    /** Memo hit: patch id + hand back the cached packet. */
+    double memoHitNs = 2500.0;
+    /** BIND's per-query generality machinery. */
+    double bindFeatureNs = 3500.0;
+    /** MiniOS select/netfront scheduling stall per query. */
+    double miniosSelectNs = 12000.0;
+
+    static const DnsWorkModel &defaults();
+};
+
+class DnsAppliance
+{
+  public:
+    enum class Kind {
+        MirageMemo,
+        MirageNoMemo,
+        NsdLinux,
+        BindLinux,
+        NsdMiniOsO1,
+        NsdMiniOsO3,
+    };
+
+    static const char *name(Kind kind);
+
+    DnsAppliance(core::Cloud &cloud, Kind kind, dns::Zone zone,
+                 net::Ipv4Addr ip);
+
+    core::Guest &guest() { return guest_; }
+    const dns::DnsServer &server() const { return *server_; }
+    u64 answered() const { return answered_; }
+
+  private:
+    Duration queryCost(std::size_t query_bytes,
+                       std::size_t response_bytes, bool memo_hit) const;
+
+    Kind kind_;
+    std::size_t zone_entries_;
+    core::Guest &guest_;
+    std::unique_ptr<SyscallLayer> sys_; //!< userspace variants only
+    std::unique_ptr<dns::DnsServer> server_;
+    u64 answered_ = 0;
+};
+
+} // namespace mirage::baseline
+
+#endif // MIRAGE_BASELINE_DNS_SERVERS_H

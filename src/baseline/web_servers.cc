@@ -1,0 +1,67 @@
+#include "baseline/web_servers.h"
+
+namespace mirage::baseline {
+
+const WebWorkModel &
+WebWorkModel::defaults()
+{
+    static WebWorkModel model;
+    return model;
+}
+
+void
+chargeLinuxDynamicRequest(LinuxGuest &lg, std::size_t req_bytes,
+                          std::size_t rsp_bytes)
+{
+    const WebWorkModel &w = WebWorkModel::defaults();
+    // nginx accepts and parses, then proxies over a unix socket to the
+    // FastCGI runner, which wakes the Python process; the response
+    // retraces the same path.
+    lg.sys.chargeRecv(req_bytes);
+    lg.dom().vcpu().charge(Duration(i64(w.nginxProxyNs)));
+    lg.sys.chargeProcessWake(); // nginx -> fastcgi runner
+    lg.dom().vcpu().charge(Duration(i64(w.fastcgiHopNs)));
+    lg.sys.chargeSend(req_bytes); // into the unix socket
+    lg.sys.chargeRecv(req_bytes);
+    lg.sys.chargeProcessWake(); // fastcgi -> python
+    lg.dom().vcpu().charge(Duration(i64(w.pythonHandlerNs)));
+    lg.dom().vcpu().charge(Duration(i64(w.fastcgiHopNs)));
+    lg.sys.chargeSend(rsp_bytes);
+    lg.sys.chargeRecv(rsp_bytes);
+    lg.sys.chargeProcessWake(); // python -> nginx
+    lg.sys.chargeSend(rsp_bytes);
+}
+
+void
+chargeMirageDynamicRequest(core::Guest &guest)
+{
+    guest.dom.vcpu().charge(
+        Duration(i64(WebWorkModel::defaults().mirageDynamicNs)));
+}
+
+unsigned
+chargeApacheConnection(LinuxGuest &lg, unsigned vcpus,
+                       unsigned next_worker, std::size_t rsp_bytes)
+{
+    const WebWorkModel &w = WebWorkModel::defaults();
+    // SMP contention inflates per-connection work as vCPUs are added.
+    double contention =
+        1.0 + w.apacheSmpContentionPerVcpu * double(vcpus - 1);
+    Duration work(i64(w.apacheStaticConnNs * contention));
+    unsigned worker = next_worker % vcpus;
+    lg.dom().vcpu(worker).charge(work);
+    lg.dom().vcpu(worker).charge(
+        sim::costs().processSwitch +
+        sim::costs().syscall * 4 + // accept, read, write, close
+        sim::costs().copy(rsp_bytes) * 2);
+    return worker + 1;
+}
+
+void
+chargeMirageStaticConnection(core::Guest &guest)
+{
+    guest.dom.vcpu().charge(
+        Duration(i64(WebWorkModel::defaults().mirageStaticConnNs)));
+}
+
+} // namespace mirage::baseline

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Web-serving work models for Figs 12 and 13. All HTTP parsing and
+ * B-tree storage is this repository's real code; the constants below
+ * are the per-request application/server work of each architecture,
+ * with the conventional stacks additionally paying the syscall/copy/
+ * process-switch boundary through SyscallLayer.
+ *
+ *  - Fig 12 dynamic appliance: the Mirage unikernel renders a tweet
+ *    timeline from the B-tree (unoptimised OCaml-era cost), while the
+ *    Linux appliance runs nginx → FastCGI → web.py: proxy parse, two
+ *    IPC hops, and an interpreted-Python handler.
+ *  - Fig 13 static serving: Apache2 mpm-worker's per-connection
+ *    dispatch plus an SMP-contention factor that makes scale-out beat
+ *    scale-up, versus the Mirage static appliance.
+ */
+
+#ifndef MIRAGE_BASELINE_WEB_SERVERS_H
+#define MIRAGE_BASELINE_WEB_SERVERS_H
+
+#include "baseline/conventional.h"
+#include "protocols/http/server.h"
+
+namespace mirage::baseline {
+
+struct WebWorkModel
+{
+    // ---- Fig 12 (dynamic) -------------------------------------------
+    /** Mirage appliance per-request work: OCaml HTTP handling +
+     *  timeline render + B-tree access (unoptimised, §4.4). */
+    double mirageDynamicNs = 800e3;
+    /** nginx request parse + proxy bookkeeping. */
+    double nginxProxyNs = 60e3;
+    /** One FastCGI hop: serialize + unix-socket copy + wakeup. */
+    double fastcgiHopNs = 40e3;
+    /** web.py handler under the Python interpreter. */
+    double pythonHandlerNs = 3300e3;
+
+    // ---- Fig 13 (static) --------------------------------------------
+    /** Apache2 worker per connection: accept, worker dispatch, VFS
+     *  lookup, sendfile, logging. */
+    double apacheStaticConnNs = 1200e3;
+    /** Apache SMP efficiency loss per extra vCPU (lock contention —
+     *  why scaling out beats adding cores in Fig 13). */
+    double apacheSmpContentionPerVcpu = 0.15;
+    /** Mirage static appliance per connection (full TCP lifecycle +
+     *  HTTP serve in the type-safe stack). */
+    double mirageStaticConnNs = 800e3;
+
+    static const WebWorkModel &defaults();
+};
+
+/**
+ * The nginx+FastCGI+web.py request pipeline, as a cost wrapper the
+ * Fig 12 bench applies around its real HTTP handler running on a
+ * LinuxGuest.
+ */
+void chargeLinuxDynamicRequest(LinuxGuest &lg, std::size_t req_bytes,
+                               std::size_t rsp_bytes);
+
+/** The Mirage dynamic appliance's per-request work (Fig 12). */
+void chargeMirageDynamicRequest(core::Guest &guest);
+
+/**
+ * Apache mpm-worker per-connection cost on a guest with @p vcpus,
+ * applied per served connection; returns the vCPU index used so the
+ * bench can round-robin workers.
+ */
+unsigned chargeApacheConnection(LinuxGuest &lg, unsigned vcpus,
+                                unsigned next_worker,
+                                std::size_t rsp_bytes);
+
+/** Mirage static appliance per-connection work (Fig 13). */
+void chargeMirageStaticConnection(core::Guest &guest);
+
+} // namespace mirage::baseline
+
+#endif // MIRAGE_BASELINE_WEB_SERVERS_H

@@ -1,0 +1,75 @@
+#include "core/cloud.h"
+
+namespace mirage::core {
+
+Guest::Guest(xen::Domain &d, xen::Netback &netback, xen::MacBytes mac,
+             net::NetworkStack::Config net_config)
+    : dom(d), boot(d), sched(d.hypervisor().engine(), &d.vcpu()),
+      nif(boot, netback, mac), stack(nif, sched, net_config),
+      console(d)
+{
+}
+
+Cloud::Cloud()
+    : hv_(engine_), bridge_(engine_, "xenbr0"),
+      dom0_(hv_.createDomain("dom0", xen::GuestKind::LinuxMinimal, 512,
+                             2)),
+      netback_(dom0_, bridge_),
+      toolstack_(hv_, xen::Toolstack::Mode::Parallel)
+{
+    dom0_.setState(xen::DomainState::Running);
+}
+
+Guest &
+Cloud::startUnikernel(const std::string &name, net::Ipv4Addr ip,
+                      std::size_t memory_mib, double cpu_factor)
+{
+    if (cpu_factor < 0)
+        cpu_factor = unikernelCpuFactor();
+    return startGuest(name, xen::GuestKind::Unikernel, ip, memory_mib,
+                      1, cpu_factor);
+}
+
+Guest &
+Cloud::startGuest(const std::string &name, xen::GuestKind kind,
+                  net::Ipv4Addr ip, std::size_t memory_mib,
+                  unsigned vcpus, double cpu_factor)
+{
+    xen::Domain &dom = hv_.createDomain(name, kind, memory_mib, vcpus);
+    dom.setState(xen::DomainState::Running);
+    xen::MacBytes mac = {0x02, 0x16, 0x3e, u8(next_mac_ >> 16),
+                         u8(next_mac_ >> 8), u8(next_mac_)};
+    next_mac_++;
+    net::NetworkStack::Config cfg;
+    cfg.ip = ip;
+    cfg.netmask = net::Ipv4Addr(255, 255, 255, 0);
+    cfg.gateway = net::Ipv4Addr((ip.raw() & 0xffffff00u) | 254u);
+    cfg.cpuFactor = cpu_factor;
+    // Architecture-specific per-packet extras (see the cost model).
+    if (kind == xen::GuestKind::Unikernel) {
+        cfg.txOverheadPerPacket = sim::costs().mirageTxPerPacket;
+    } else {
+        cfg.txOverheadPerPacket = sim::costs().linuxTxPerPacket;
+        cfg.rxOverheadPerPacket = sim::costs().socketRxPerPacket;
+    }
+    guests_.push_back(
+        std::make_unique<Guest>(dom, netback_, mac, cfg));
+    return *guests_.back();
+}
+
+xen::VirtualDisk &
+Cloud::addDisk(const std::string &name, u64 sectors)
+{
+    disks_.push_back(
+        std::make_unique<xen::VirtualDisk>(engine_, name, sectors));
+    return *disks_.back();
+}
+
+xen::Blkback &
+Cloud::blkbackFor(xen::VirtualDisk &disk)
+{
+    blkbacks_.push_back(std::make_unique<xen::Blkback>(dom0_, disk));
+    return *blkbacks_.back();
+}
+
+} // namespace mirage::core

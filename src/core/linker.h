@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The appliance linker: compile-time specialisation made executable.
+ *
+ * Given an appliance spec (root modules + used features + compiled-in
+ * configuration), it computes the dependency closure, performs module-
+ * level elision (standard build) or function-level dead-code
+ * elimination (the ocamlclean pass of Table 2), randomises the section
+ * layout at link time from a seed (§2.3.4 — reconfiguration implies
+ * recompilation, so ASR costs nothing at runtime), and emits the page
+ * permissions a sealed image boots with (§2.3.3).
+ */
+
+#ifndef MIRAGE_CORE_LINKER_H
+#define MIRAGE_CORE_LINKER_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/rand.h"
+#include "base/result.h"
+#include "core/registry.h"
+#include "hypervisor/paging.h"
+
+namespace mirage::core {
+
+/** What the developer writes: configuration as code (§2.1). */
+struct ApplianceSpec
+{
+    std::string name;
+    /** Root modules the application code references. */
+    std::vector<std::string> modules;
+    /** (module, feature) pairs the application actually uses. */
+    std::vector<std::pair<std::string, std::string>> usedFeatures;
+    /** Static configuration compiled into the image (§2.3.1). */
+    std::map<std::string, std::string> config;
+    /** Application's own code size (LoC). */
+    std::size_t appLoc = 200;
+};
+
+/** One section of the linked image. */
+struct Section
+{
+    std::string module;
+    u64 baseVpn;
+    std::size_t bytes;
+    xen::PagePerms perms;
+};
+
+struct LinkedImage
+{
+    std::string name;
+    u64 seed;
+    bool dce; //!< function-level DCE applied
+    std::vector<Section> sections;
+    std::size_t textBytes = 0;
+    std::size_t dataBytes = 0;
+    std::size_t totalLoc = 0;
+
+    std::size_t
+    imageBytes() const
+    {
+        return textBytes + dataBytes;
+    }
+};
+
+class Linker
+{
+  public:
+    enum class Mode {
+        Standard, //!< whole linked modules (default elision)
+        Dce       //!< + drop unused functions within modules
+    };
+
+    explicit Linker(const Registry &registry = Registry::instance())
+        : registry_(registry)
+    {
+    }
+
+    /**
+     * Produce an image. @p seed drives the compile-time address-space
+     * randomisation: same seed → identical layout, different seed →
+     * different layout, zero runtime machinery either way.
+     */
+    Result<LinkedImage> link(const ApplianceSpec &spec, Mode mode,
+                             u64 seed) const;
+
+    /**
+     * Install the image's sections into @p pt and seal. The W^X
+     * property holds by construction: the linker never emits a
+     * writable+executable section.
+     */
+    Status loadAndSeal(const LinkedImage &image,
+                       xen::PageTables &pt) const;
+
+    /** Module names in the closure (dependency audit, §2.3.1). */
+    Result<std::vector<std::string>>
+    auditModules(const ApplianceSpec &spec) const;
+
+  private:
+    std::size_t retainedBytes(const Module &m,
+                              const ApplianceSpec &spec,
+                              Mode mode) const;
+
+    const Registry &registry_;
+};
+
+} // namespace mirage::core
+
+#endif // MIRAGE_CORE_LINKER_H

@@ -1,0 +1,271 @@
+#include "core/registry.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "base/logging.h"
+
+namespace mirage::core {
+
+namespace {
+
+/** Count non-empty lines of one file. */
+std::size_t
+countLoc(const std::filesystem::path &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return 0;
+    std::size_t loc = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find_first_not_of(" \t\r") != std::string::npos)
+            loc++;
+    }
+    return loc;
+}
+
+/** Locate the repository's src/ directory, if present. */
+std::filesystem::path
+findSrcRoot()
+{
+    if (const char *env = std::getenv("MIRAGE_SRC_ROOT"))
+        return env;
+    for (const char *candidate :
+         {"src", "../src", "../../src", "/root/repo/src"}) {
+        std::error_code ec;
+        if (std::filesystem::is_directory(candidate, ec))
+            return candidate;
+    }
+    return {};
+}
+
+} // namespace
+
+const Registry &
+Registry::instance()
+{
+    static Registry registry;
+    return registry;
+}
+
+void
+Registry::add(Module m)
+{
+    index_[m.name] = modules_.size();
+    modules_.push_back(std::move(m));
+}
+
+const Module *
+Registry::find(const std::string &name) const
+{
+    auto it = index_.find(name);
+    return it == index_.end() ? nullptr : &modules_[it->second];
+}
+
+Result<std::vector<const Module *>>
+Registry::closure(const std::vector<std::string> &roots) const
+{
+    std::vector<const Module *> out;
+    std::map<std::string, bool> seen;
+    std::vector<std::string> stack = roots;
+    while (!stack.empty()) {
+        std::string name = stack.back();
+        stack.pop_back();
+        if (seen[name])
+            continue;
+        seen[name] = true;
+        const Module *m = find(name);
+        if (!m)
+            return notFoundError("unknown module: " + name);
+        out.push_back(m);
+        for (const auto &dep : m->deps)
+            stack.push_back(dep);
+    }
+    return out;
+}
+
+void
+Registry::measureFromDisk()
+{
+    std::filesystem::path root = findSrcRoot();
+    if (root.empty())
+        return;
+    for (auto &m : modules_) {
+        std::size_t measured = 0;
+        for (const auto &src : m.sources) {
+            std::error_code ec;
+            std::filesystem::path p = root / src;
+            if (std::filesystem::is_regular_file(p, ec))
+                measured += countLoc(p);
+        }
+        if (measured > 0)
+            m.loc = measured;
+    }
+}
+
+Registry::Registry()
+{
+    // Baked LoC values are fallbacks, overwritten from disk when the
+    // sources are present. Feature shares reflect how much of each
+    // module an appliance can shed when it does not use the feature.
+    add({"pvboot",
+         "Core",
+         {"pvboot/pvboot.cc", "pvboot/layout.cc", "pvboot/slab.cc",
+          "pvboot/extent.cc", "pvboot/io_pages.cc", "pvboot/pvboot.h",
+          "pvboot/layout.h", "pvboot/slab.h", "pvboot/extent.h",
+          "pvboot/io_pages.h"},
+         900,
+         {},
+         {}});
+    add({"cstruct",
+         "Core",
+         {"base/cstruct.cc", "base/cstruct.h", "base/bytes.cc",
+          "base/bytes.h", "base/endian.h", "base/checksum.cc",
+          "base/checksum.h"},
+         800,
+         {},
+         {}});
+    add({"lwt",
+         "Core",
+         {"runtime/promise.cc", "runtime/promise.h",
+          "runtime/scheduler.cc", "runtime/scheduler.h"},
+         600,
+         {},
+         {}});
+    add({"gc",
+         "Core",
+         {"runtime/gc_heap.cc", "runtime/gc_heap.h"},
+         400,
+         {"pvboot"},
+         {}});
+    add({"ring",
+         "Core",
+         {"hypervisor/ring.cc", "hypervisor/ring.h"},
+         350,
+         {"cstruct"},
+         {}});
+    add({"netif",
+         "Network",
+         {"drivers/netif.cc", "drivers/netif.h"},
+         450,
+         {"ring", "pvboot", "lwt"},
+         {}});
+    add({"blkif",
+         "Network",
+         {"drivers/blkif.cc", "drivers/blkif.h"},
+         300,
+         {"ring", "pvboot", "lwt"},
+         {}});
+    add({"console",
+         "Core",
+         {"drivers/console.cc", "drivers/console.h"},
+         100,
+         {},
+         {}});
+    add({"ethernet",
+         "Network",
+         {"net/ethernet.cc", "net/ethernet.h", "net/addresses.cc",
+          "net/addresses.h"},
+         350,
+         {"netif"},
+         {}});
+    add({"arp",
+         "Network",
+         {"net/arp.cc", "net/arp.h"},
+         300,
+         {"ethernet"},
+         {}});
+    add({"ipv4",
+         "Network",
+         {"net/ipv4.cc", "net/ipv4.h", "net/stack.cc", "net/stack.h"},
+         700,
+         {"ethernet", "arp"},
+         {{"fragmentation", 0.25}}});
+    add({"icmp",
+         "Network",
+         {"net/icmp.cc", "net/icmp.h"},
+         250,
+         {"ipv4"},
+         {{"ping-client", 0.4}}});
+    add({"udp",
+         "Network",
+         {"net/udp.cc", "net/udp.h"},
+         250,
+         {"ipv4"},
+         {}});
+    add({"dhcp",
+         "Network",
+         {"net/dhcp.cc", "net/dhcp.h"},
+         550,
+         {"udp"},
+         {{"server", 0.4}}});
+    add({"tcp",
+         "Network",
+         {"net/tcp.cc", "net/tcp.h", "net/tcp_conn.cc",
+          "net/tcp_conn.h", "net/tcp_wire.cc", "net/tcp_wire.h",
+          "net/flow.h"},
+         1500,
+         {"ipv4"},
+         {{"window-scaling", 0.05}, {"fast-recovery", 0.12}}});
+    add({"openflow",
+         "Network",
+         {"protocols/openflow/wire.cc", "protocols/openflow/wire.h",
+          "protocols/openflow/controller.cc",
+          "protocols/openflow/controller.h",
+          "protocols/openflow/datapath.cc",
+          "protocols/openflow/datapath.h"},
+         1100,
+         {"tcp"},
+         {{"controller", 0.3}, {"switch", 0.35}}});
+    add({"block",
+         "Storage",
+         {"storage/block.cc", "storage/block.h"},
+         300,
+         {"blkif"},
+         {}});
+    add({"kv",
+         "Storage",
+         {"storage/kv.cc", "storage/kv.h"},
+         350,
+         {"block"},
+         {}});
+    add({"fat32",
+         "Storage",
+         {"storage/fat32.cc", "storage/fat32.h"},
+         750,
+         {"block"},
+         {{"write-support", 0.35}}});
+    add({"btree",
+         "Storage",
+         {"storage/btree.cc", "storage/btree.h"},
+         800,
+         {"block"},
+         {{"range-queries", 0.15}, {"delete", 0.1}}});
+    add({"memoize",
+         "Storage",
+         {"storage/memoize.h"},
+         150,
+         {},
+         {}});
+    add({"dns",
+         "Application",
+         {"protocols/dns/wire.cc", "protocols/dns/wire.h",
+          "protocols/dns/zone.cc", "protocols/dns/zone.h",
+          "protocols/dns/server.cc", "protocols/dns/server.h"},
+         1100,
+         {"udp", "memoize"},
+         {{"zone-parser", 0.25}, {"memoization", 0.05}}});
+    add({"http",
+         "Application",
+         {"protocols/http/message.cc", "protocols/http/message.h",
+          "protocols/http/server.cc", "protocols/http/server.h",
+          "protocols/http/client.cc", "protocols/http/client.h"},
+         900,
+         {"tcp"},
+         {{"client", 0.25}, {"server", 0.35}}});
+    measureFromDisk();
+}
+
+} // namespace mirage::core

@@ -1,0 +1,140 @@
+#include "drivers/blkif.h"
+
+#include "base/logging.h"
+#include "sim/cost_model.h"
+
+namespace mirage::drivers {
+
+Blkif::Blkif(pvboot::PVBoot &boot, xen::Blkback &backend)
+    : boot_(boot), backend_domid_(backend.backendDomain().id()),
+      size_sectors_(backend.disk().sizeSectors())
+{
+    xen::Domain &dom = boot_.domain();
+    xen::Domain &back_dom = backend.backendDomain();
+    xen::Hypervisor &hv = dom.hypervisor();
+
+    ring_page_ = Cstruct::create(xen::RingLayout::pageBytes());
+    xen::SharedRing(ring_page_).init();
+    ring_ = std::make_unique<xen::FrontRing>(ring_page_);
+
+    xen::GrantRef ring_grant =
+        dom.grantTable().grantAccess(back_dom.id(), ring_page_, false);
+    auto [front_port, back_port] = hv.events().connect(dom, back_dom);
+    port_ = front_port;
+    dom.setPortHandler(port_, [this] {
+        boot_.domain().clearPending(port_);
+        onEvent();
+    });
+    backend.connect(dom, ring_grant, back_port);
+}
+
+rt::PromisePtr
+Blkif::submit(u8 op, u64 sector, u32 count, Cstruct page)
+{
+    xen::Domain &dom = boot_.domain();
+    auto p = rt::Promise::make();
+
+    if (count == 0 || count > xen::BlkifWire::maxSectors ||
+        page.length() <
+            std::size_t(count) * xen::BlkifWire::sectorBytes) {
+        errors_++;
+        p->cancel();
+        return p;
+    }
+    // Ring full (or earlier waiters): park in the driver queue, as a
+    // real blkfront parks bios.
+    if (!wait_queue_.empty() || ring_->freeRequests() == 0) {
+        if (wait_queue_.size() >= waitQueueLimit) {
+            errors_++;
+            p->cancel();
+            return p;
+        }
+        wait_queue_.push_back(
+            Queued{op, sector, count, std::move(page), p});
+        return p;
+    }
+    enqueueOnRing(op, sector, count, page, p);
+    return p;
+}
+
+bool
+Blkif::enqueueOnRing(u8 op, u64 sector, u32 count, const Cstruct &page,
+                     const rt::PromisePtr &p)
+{
+    xen::Domain &dom = boot_.domain();
+    auto slot = ring_->startRequest();
+    if (!slot.ok())
+        return false;
+    u64 id = next_id_++;
+    bool write = op == xen::BlkifWire::opWrite;
+    xen::GrantRef gref =
+        dom.grantTable().grantAccess(backend_domid_, page, write);
+    dom.vcpu().charge(sim::costs().grantIssue);
+
+    slot.value().setLe64(xen::BlkifWire::reqId, id);
+    slot.value().setU8(xen::BlkifWire::reqOp, op);
+    slot.value().setU8(xen::BlkifWire::reqSectors, u8(count));
+    slot.value().setLe64(xen::BlkifWire::reqSector, sector);
+    slot.value().setLe32(xen::BlkifWire::reqGrant, gref);
+
+    pending_.emplace(id, Pending{p, gref, page});
+    p->addFinalizer([this, gref] {
+        Status st = boot_.domain().grantTable().endAccess(gref);
+        if (!st.ok())
+            warn("blkif: endAccess: %s", st.error().message.c_str());
+    });
+
+    if (ring_->pushRequests())
+        dom.hypervisor().events().notify(dom, port_);
+    return true;
+}
+
+void
+Blkif::drainWaitQueue()
+{
+    while (!wait_queue_.empty() && ring_->freeRequests() > 0) {
+        Queued q = std::move(wait_queue_.front());
+        wait_queue_.pop_front();
+        enqueueOnRing(q.op, q.sector, q.count, q.page, q.promise);
+    }
+}
+
+rt::PromisePtr
+Blkif::read(u64 sector, u32 count, Cstruct page)
+{
+    return submit(xen::BlkifWire::opRead, sector, count, std::move(page));
+}
+
+rt::PromisePtr
+Blkif::write(u64 sector, u32 count, Cstruct page)
+{
+    return submit(xen::BlkifWire::opWrite, sector, count,
+                  std::move(page));
+}
+
+void
+Blkif::onEvent()
+{
+    do {
+        while (ring_->unconsumedResponses() > 0) {
+            Cstruct rsp = ring_->takeResponse().value();
+            u64 id = rsp.getLe64(xen::BlkifWire::rspId);
+            u8 status = rsp.getU8(xen::BlkifWire::rspStatus);
+            auto it = pending_.find(id);
+            if (it == pending_.end())
+                continue;
+            Pending pending = std::move(it->second);
+            pending_.erase(it);
+            if (status == xen::BlkifWire::statusOk) {
+                completed_++;
+                pending.promise->resolve();
+            } else {
+                errors_++;
+                pending.promise->cancel();
+            }
+        }
+    } while (ring_->finalCheckForResponses());
+    drainWaitQueue();
+}
+
+} // namespace mirage::drivers

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Blkif — the block frontend driver (§3.5.2): shares the Ring
+ * abstraction with networking and uses the same I/O pages, so storage
+ * and network I/O present one asynchronous API. All writes are direct —
+ * the only built-in policy; caching belongs to library code above.
+ */
+
+#ifndef MIRAGE_DRIVERS_BLKIF_H
+#define MIRAGE_DRIVERS_BLKIF_H
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "hypervisor/blkback.h"
+#include "hypervisor/ring.h"
+#include "pvboot/pvboot.h"
+#include "runtime/promise.h"
+
+namespace mirage::drivers {
+
+class Blkif
+{
+  public:
+    Blkif(pvboot::PVBoot &boot, xen::Blkback &backend);
+
+    /** Device capacity. */
+    u64 sizeSectors() const { return size_sectors_; }
+
+    /**
+     * Read @p count sectors starting at @p sector into @p page
+     * (a 4 kB I/O page; count <= 8). @p done receives the outcome.
+     * @return a promise resolved on success, cancelled on error.
+     */
+    rt::PromisePtr read(u64 sector, u32 count, Cstruct page);
+
+    /** Write @p count sectors from @p page at @p sector. */
+    rt::PromisePtr write(u64 sector, u32 count, Cstruct page);
+
+    /** A fresh I/O page for data transfer. */
+    Result<Cstruct> allocPage() { return boot_.ioPages().allocPage(); }
+
+    u64 requestsCompleted() const { return completed_; }
+    u64 requestErrors() const { return errors_; }
+
+  private:
+    struct Pending
+    {
+        rt::PromisePtr promise;
+        xen::GrantRef gref;
+        Cstruct page;
+    };
+
+    /** Requests parked behind a full ring (driver request queue). */
+    struct Queued
+    {
+        u8 op;
+        u64 sector;
+        u32 count;
+        Cstruct page;
+        rt::PromisePtr promise;
+    };
+
+    static constexpr std::size_t waitQueueLimit = 4096;
+
+    rt::PromisePtr submit(u8 op, u64 sector, u32 count, Cstruct page);
+    bool enqueueOnRing(u8 op, u64 sector, u32 count, const Cstruct &page,
+                       const rt::PromisePtr &p);
+    void drainWaitQueue();
+    void onEvent();
+
+    pvboot::PVBoot &boot_;
+    xen::DomId backend_domid_;
+    u64 size_sectors_;
+    xen::Port port_;
+    Cstruct ring_page_;
+    std::unique_ptr<xen::FrontRing> ring_;
+    std::unordered_map<u64, Pending> pending_;
+    std::deque<Queued> wait_queue_;
+    u64 next_id_ = 0;
+    u64 completed_ = 0;
+    u64 errors_ = 0;
+};
+
+} // namespace mirage::drivers
+
+#endif // MIRAGE_DRIVERS_BLKIF_H

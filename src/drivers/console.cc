@@ -1,0 +1,18 @@
+#include "drivers/console.h"
+
+#include "base/logging.h"
+#include "hypervisor/xen.h"
+
+namespace mirage::drivers {
+
+Console::Console(xen::Domain &dom) : dom_(dom) {}
+
+void
+Console::writeLine(const std::string &line)
+{
+    dom_.hypervisor().chargeHypercall(dom_, xen::Hypercall::DomCtl);
+    lines_.push_back(line);
+    logf(LogLevel::Debug, "[%s] %s", dom_.name().c_str(), line.c_str());
+}
+
+} // namespace mirage::drivers

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Console — the simplest Xen device: an output-only byte stream from
+ * the guest to the control domain's log. Useful for appliance debug
+ * output and for asserting boot milestones in tests.
+ */
+
+#ifndef MIRAGE_DRIVERS_CONSOLE_H
+#define MIRAGE_DRIVERS_CONSOLE_H
+
+#include <string>
+#include <vector>
+
+#include "hypervisor/domain.h"
+
+namespace mirage::drivers {
+
+class Console
+{
+  public:
+    explicit Console(xen::Domain &dom);
+
+    /** Write one line; charged as a hypercall (console_io). */
+    void writeLine(const std::string &line);
+
+    /** Everything written so far (the "xl console" view). */
+    const std::vector<std::string> &lines() const { return lines_; }
+
+  private:
+    xen::Domain &dom_;
+    std::vector<std::string> lines_;
+};
+
+} // namespace mirage::drivers
+
+#endif // MIRAGE_DRIVERS_CONSOLE_H

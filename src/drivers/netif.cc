@@ -1,0 +1,239 @@
+#include "drivers/netif.h"
+
+#include "base/logging.h"
+#include "sim/cost_model.h"
+
+namespace mirage::drivers {
+
+Netif::Netif(pvboot::PVBoot &boot, xen::Netback &backend,
+             xen::MacBytes mac)
+    : boot_(boot), mac_(mac)
+{
+    xen::Domain &dom = boot_.domain();
+    xen::Domain &back_dom = backend.backendDomain();
+    backend_domid_ = back_dom.id();
+    xen::Hypervisor &hv = dom.hypervisor();
+
+    tx_ring_page_ = Cstruct::create(xen::RingLayout::pageBytes());
+    rx_ring_page_ = Cstruct::create(xen::RingLayout::pageBytes());
+    xen::SharedRing(tx_ring_page_).init();
+    xen::SharedRing(rx_ring_page_).init();
+    tx_ring_ = std::make_unique<xen::FrontRing>(tx_ring_page_);
+    rx_ring_ = std::make_unique<xen::FrontRing>(rx_ring_page_);
+
+    xen::GrantRef tx_grant = dom.grantTable().grantAccess(
+        back_dom.id(), tx_ring_page_, false);
+    xen::GrantRef rx_grant = dom.grantTable().grantAccess(
+        back_dom.id(), rx_ring_page_, false);
+
+    auto [ftx, btx] = hv.events().connect(dom, back_dom);
+    auto [frx, brx] = hv.events().connect(dom, back_dom);
+    tx_port_ = ftx;
+    rx_port_ = frx;
+    dom.setPortHandler(tx_port_, [this] {
+        boot_.domain().clearPending(tx_port_);
+        onEvent();
+    });
+    dom.setPortHandler(rx_port_, [this] {
+        boot_.domain().clearPending(rx_port_);
+        onEvent();
+    });
+
+    backend.connect(xen::NetConnectInfo{&dom, tx_grant, rx_grant, btx,
+                                        brx, mac_});
+    postRxBuffers();
+}
+
+Result<Cstruct>
+Netif::allocTxPage()
+{
+    return boot_.ioPages().allocPage();
+}
+
+rt::PromisePtr
+Netif::writeFrame(Cstruct frame)
+{
+    return writeFrameV({std::move(frame)});
+}
+
+rt::PromisePtr
+Netif::writeFrameV(const std::vector<Cstruct> &frags)
+{
+    auto p = rt::Promise::make();
+    if (frags.empty()) {
+        tx_errors_++;
+        p->cancel();
+        return p;
+    }
+    // Preserve ordering: queue behind earlier waiters, then behind a
+    // full ring. Frames stay queued in the driver exactly as real
+    // netfront holds skbs when the ring is full.
+    if (!tx_wait_queue_.empty() ||
+        tx_ring_->freeRequests() < frags.size()) {
+        if (tx_wait_queue_.size() >= txQueueLimit) {
+            tx_errors_++;
+            p->cancel();
+            return p;
+        }
+        tx_wait_queue_.push_back(QueuedTx{frags, p});
+        return p;
+    }
+    enqueueOnRing(frags, p);
+    return p;
+}
+
+bool
+Netif::enqueueOnRing(const std::vector<Cstruct> &frags,
+                     const rt::PromisePtr &p)
+{
+    xen::Domain &dom = boot_.domain();
+    if (tx_ring_->freeRequests() < frags.size())
+        return false;
+    for (std::size_t i = 0; i < frags.size(); i++) {
+        bool last = i + 1 == frags.size();
+        Cstruct slot = tx_ring_->startRequest().value();
+        u16 id = next_id_++;
+        xen::GrantRef gref = dom.grantTable().grantAccess(
+            backend_domid_, frags[i], true);
+        dom.vcpu().charge(sim::costs().grantIssue);
+
+        slot.setLe16(xen::NetifWire::txreqId, id);
+        slot.setLe32(xen::NetifWire::txreqGrant, gref);
+        slot.setLe16(xen::NetifWire::txreqOffset, 0);
+        slot.setLe16(xen::NetifWire::txreqLen, u16(frags[i].length()));
+        slot.setLe16(xen::NetifWire::txreqFlags,
+                     last ? 0 : xen::NetifWire::txflagMoreData);
+        // The grant is released when this fragment's ack arrives; the
+        // promise rides on the final fragment.
+        tx_pending_.emplace(
+            id, TxPending{last ? p : rt::PromisePtr(), gref, frags[i]});
+    }
+
+    if (tx_ring_->pushRequests())
+        dom.hypervisor().events().notify(dom, tx_port_);
+    return true;
+}
+
+void
+Netif::drainTxQueue()
+{
+    bool pushed = false;
+    while (!tx_wait_queue_.empty()) {
+        QueuedTx &head = tx_wait_queue_.front();
+        if (tx_ring_->freeRequests() < head.frags.size())
+            break;
+        enqueueOnRing(head.frags, head.promise);
+        tx_wait_queue_.pop_front();
+        pushed = true;
+    }
+    (void)pushed;
+}
+
+void
+Netif::onFrame(std::function<void(Cstruct)> handler)
+{
+    rx_handler_ = std::move(handler);
+}
+
+void
+Netif::postRxBuffers()
+{
+    xen::Domain &dom = boot_.domain();
+    bool posted = false;
+    for (;;) {
+        if (rx_posted_.size() >= xen::RingLayout::slotCount)
+            break;
+        auto slot = rx_ring_->startRequest();
+        if (!slot.ok())
+            break;
+        auto page = boot_.ioPages().allocPage();
+        if (!page.ok())
+            break; // pool exhausted; repost on next recycle
+        u16 id = next_id_++;
+        xen::GrantRef gref = dom.grantTable().grantAccess(
+            backend_domid_, page.value(), false);
+        dom.vcpu().charge(sim::costs().grantIssue);
+        slot.value().setLe16(xen::NetifWire::rxreqId, id);
+        slot.value().setLe32(xen::NetifWire::rxreqGrant, gref);
+        rx_posted_.emplace(id, RxPosted{page.value(), gref});
+        posted = true;
+    }
+    if (posted && rx_ring_->pushRequests())
+        dom.hypervisor().events().notify(dom, rx_port_);
+}
+
+void
+Netif::onEvent()
+{
+    drainTxResponses();
+    drainRxResponses();
+}
+
+void
+Netif::drainTxResponses()
+{
+    do {
+        while (tx_ring_->unconsumedResponses() > 0) {
+            Cstruct rsp = tx_ring_->takeResponse().value();
+            u16 id = rsp.getLe16(xen::NetifWire::txrspId);
+            u8 status = rsp.getU8(xen::NetifWire::txrspStatus);
+            auto it = tx_pending_.find(id);
+            if (it == tx_pending_.end())
+                continue;
+            TxPending pending = std::move(it->second);
+            tx_pending_.erase(it);
+            Status end =
+                boot_.domain().grantTable().endAccess(pending.gref);
+            if (!end.ok())
+                warn("netif tx: endAccess: %s",
+                     end.error().message.c_str());
+            if (status == xen::NetifWire::statusOk) {
+                if (pending.promise) {
+                    tx_completed_++;
+                    pending.promise->resolve();
+                }
+            } else {
+                tx_errors_++;
+                if (pending.promise)
+                    pending.promise->cancel();
+            }
+        }
+    } while (tx_ring_->finalCheckForResponses());
+    drainTxQueue();
+}
+
+void
+Netif::drainRxResponses()
+{
+    bool delivered = false;
+    do {
+        while (rx_ring_->unconsumedResponses() > 0) {
+            Cstruct rsp = rx_ring_->takeResponse().value();
+            u16 id = rsp.getLe16(xen::NetifWire::rxrspId);
+            u16 len = rsp.getLe16(xen::NetifWire::rxrspLen);
+            u8 status = rsp.getU8(xen::NetifWire::rxrspStatus);
+            auto it = rx_posted_.find(id);
+            if (it == rx_posted_.end())
+                continue;
+            RxPosted posted = std::move(it->second);
+            rx_posted_.erase(it);
+            Status end =
+                boot_.domain().grantTable().endAccess(posted.gref);
+            if (!end.ok())
+                warn("netif rx: endAccess: %s",
+                     end.error().message.c_str());
+            delivered = true;
+            if (status == xen::NetifWire::statusOk && rx_handler_ &&
+                len <= posted.page.length()) {
+                rx_delivered_++;
+                // Zero-copy delivery: the stack gets a view of the
+                // pool page; the page recycles when all views drop.
+                rx_handler_(posted.page.sub(0, len));
+            }
+        }
+    } while (rx_ring_->finalCheckForResponses());
+    if (delivered)
+        postRxBuffers();
+}
+
+} // namespace mirage::drivers

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Netif — the type-safe Ethernet frontend driver (§3.4).
+ *
+ * Pure library code over the shared-ring primitives: a tx ring whose
+ * requests carry grants of the frame pages, and an rx ring kept stocked
+ * with empty I/O pages from the reserved pool. Received frames are
+ * delivered to the stack as views of those pages — no copy between the
+ * driver and the application (§3.4.1).
+ */
+
+#ifndef MIRAGE_DRIVERS_NETIF_H
+#define MIRAGE_DRIVERS_NETIF_H
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "hypervisor/netback.h"
+#include "hypervisor/ring.h"
+#include "pvboot/pvboot.h"
+#include "runtime/promise.h"
+
+namespace mirage::drivers {
+
+class Netif
+{
+  public:
+    /**
+     * Bring up the interface: allocate and grant the ring pages, bind
+     * two event channels and register with the backend — the xenstore
+     * handshake, distilled.
+     */
+    Netif(pvboot::PVBoot &boot, xen::Netback &backend, xen::MacBytes mac);
+
+    xen::MacBytes mac() const { return mac_; }
+    xen::Domain &domain() { return boot_.domain(); }
+
+    /**
+     * Take a fresh 4 kB I/O page to build a frame in. The page returns
+     * to the pool when every view of it is dropped.
+     */
+    Result<Cstruct> allocTxPage();
+
+    /**
+     * Transmit @p frame (a view into an I/O page, offset preserved).
+     * Resolves when the backend acknowledges the tx; the frame's grant
+     * is released when the ack arrives.
+     */
+    rt::PromisePtr writeFrame(Cstruct frame);
+
+    /**
+     * Scatter-gather transmit (§3.5.1, Fig 4): the fragments — header
+     * page first, then payload sub-views — are pushed onto the ring as
+     * one chained packet, so the stack never copies payload bytes.
+     * Resolves when the final fragment is acknowledged.
+     */
+    rt::PromisePtr writeFrameV(const std::vector<Cstruct> &frags);
+
+    /** Handler for received frames (views of pool pages). */
+    void onFrame(std::function<void(Cstruct)> handler);
+
+    u64 txCompleted() const { return tx_completed_; }
+    u64 rxDelivered() const { return rx_delivered_; }
+    u64 txErrors() const { return tx_errors_; }
+    std::size_t txQueueDepth() const { return tx_wait_queue_.size(); }
+
+    /** Frames queued behind a full ring before being refused. */
+    static constexpr std::size_t txQueueLimit = 4096;
+
+  private:
+    struct TxPending
+    {
+        rt::PromisePtr promise;
+        xen::GrantRef gref;
+        Cstruct page; //!< keeps the frame page alive until acked
+    };
+
+    struct RxPosted
+    {
+        Cstruct page;
+        xen::GrantRef gref;
+    };
+
+    struct QueuedTx
+    {
+        std::vector<Cstruct> frags;
+        rt::PromisePtr promise;
+    };
+
+    void postRxBuffers();
+    void onEvent();
+    void drainTxResponses();
+    void drainRxResponses();
+    void drainTxQueue();
+    bool enqueueOnRing(const std::vector<Cstruct> &frags,
+                       const rt::PromisePtr &p);
+
+    pvboot::PVBoot &boot_;
+    xen::MacBytes mac_;
+    xen::DomId backend_domid_ = 0;
+    xen::Port tx_port_;
+    xen::Port rx_port_;
+    Cstruct tx_ring_page_;
+    Cstruct rx_ring_page_;
+    std::unique_ptr<xen::FrontRing> tx_ring_;
+    std::unique_ptr<xen::FrontRing> rx_ring_;
+    std::unordered_map<u16, TxPending> tx_pending_;
+    std::unordered_map<u16, RxPosted> rx_posted_;
+    std::deque<QueuedTx> tx_wait_queue_;
+    u16 next_id_ = 0;
+    std::function<void(Cstruct)> rx_handler_;
+    u64 tx_completed_ = 0;
+    u64 rx_delivered_ = 0;
+    u64 tx_errors_ = 0;
+};
+
+} // namespace mirage::drivers
+
+#endif // MIRAGE_DRIVERS_NETIF_H

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The block backend: an in-memory virtual disk with a PCIe-SSD service
+ * model, driven through the blkif ring protocol (§3.5.2, Fig 9).
+ */
+
+#ifndef MIRAGE_HYPERVISOR_BLKBACK_H
+#define MIRAGE_HYPERVISOR_BLKBACK_H
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/cstruct.h"
+#include "hypervisor/domain.h"
+#include "hypervisor/ring.h"
+#include "sim/cpu.h"
+
+namespace mirage::xen {
+
+/** Wire layout of blkif ring slots, shared with drivers/blkif. */
+struct BlkifWire
+{
+    // request
+    static constexpr std::size_t reqId = 0;      // le64
+    static constexpr std::size_t reqOp = 8;      // u8: 0 read, 1 write
+    static constexpr std::size_t reqSectors = 9; // u8: 1..8 (one page)
+    static constexpr std::size_t reqSector = 16; // le64 start sector
+    static constexpr std::size_t reqGrant = 24;  // le32 data page grant
+    // response
+    static constexpr std::size_t rspId = 0;     // le64
+    static constexpr std::size_t rspStatus = 8; // u8: 0 ok
+
+    static constexpr u8 opRead = 0;
+    static constexpr u8 opWrite = 1;
+    static constexpr u8 statusOk = 0;
+    static constexpr u8 statusError = 1;
+
+    static constexpr std::size_t sectorBytes = 512;
+    static constexpr u8 maxSectors = 8; //!< one 4 kB page per request
+};
+
+/**
+ * Sparse in-memory disk with a serialised service-time model:
+ * per-request fixed latency plus streaming bandwidth, so small random
+ * reads are latency-bound and large reads hit the device's bandwidth
+ * ceiling — the two regimes Fig 9 sweeps across.
+ */
+class VirtualDisk
+{
+  public:
+    VirtualDisk(sim::Engine &engine, std::string name, u64 size_sectors);
+
+    u64 sizeSectors() const { return size_sectors_; }
+
+    /** Direct, unmodelled access (test setup / mkfs-style tooling). */
+    Status readSync(u64 sector, u32 count, Cstruct dst);
+    Status writeSync(u64 sector, u32 count, const Cstruct &src);
+
+    /** Modelled access: completes on the disk's service timeline. */
+    void readAsync(u64 sector, u32 count, Cstruct dst,
+                   std::function<void(Status)> done);
+    void writeAsync(u64 sector, u32 count, Cstruct src,
+                    std::function<void(Status)> done);
+
+    u64 requestsServed() const { return requests_; }
+
+  private:
+    static constexpr std::size_t chunkSectors = 8; //!< 4 kB chunks
+
+    Duration serviceTime(u32 count) const;
+    std::vector<u8> &chunkFor(u64 sector);
+
+    sim::Engine &engine_;
+    sim::Cpu server_;
+    u64 size_sectors_;
+    std::unordered_map<u64, std::vector<u8>> chunks_;
+    u64 requests_ = 0;
+};
+
+class Blkback
+{
+  public:
+    Blkback(Domain &backend_dom, VirtualDisk &disk);
+
+    /** Bind a frontend's ring (already granted) and event port. */
+    void connect(Domain &frontend, GrantRef ring_grant, Port backend_port);
+
+    VirtualDisk &disk() { return disk_; }
+    Domain &backendDomain() { return dom_; }
+    u64 requestsHandled() const { return handled_; }
+
+  private:
+    void onEvent();
+    void complete(u64 id, u8 status);
+
+    Domain &dom_;
+    VirtualDisk &disk_;
+    Domain *frontend_ = nullptr;
+    Port port_ = 0;
+    std::unique_ptr<BackRing> ring_;
+    u64 handled_ = 0;
+};
+
+} // namespace mirage::xen
+
+#endif // MIRAGE_HYPERVISOR_BLKBACK_H

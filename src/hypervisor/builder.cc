@@ -1,0 +1,76 @@
+#include "hypervisor/builder.h"
+
+#include <algorithm>
+
+#include "sim/cost_model.h"
+
+namespace mirage::xen {
+
+Toolstack::Toolstack(Hypervisor &hv, Mode mode) : hv_(hv), mode_(mode) {}
+
+Duration
+Toolstack::buildCost(std::size_t memory_mib)
+{
+    const auto &c = sim::costs();
+    return c.domainBuildFixed + c.domainBuildPerMiB * i64(memory_mib);
+}
+
+Duration
+Toolstack::guestInitCost(GuestKind kind, std::size_t memory_mib)
+{
+    const auto &c = sim::costs();
+    switch (kind) {
+      case GuestKind::Unikernel:
+        return c.unikernelInit + c.unikernelInitPerMiB * i64(memory_mib);
+      case GuestKind::LinuxMinimal:
+        return c.linuxKernelBoot +
+               c.linuxKernelBootPerMiB * i64(memory_mib);
+      case GuestKind::LinuxDebianApache:
+        return c.linuxKernelBoot +
+               c.linuxKernelBootPerMiB * i64(memory_mib) +
+               c.debianServicesBoot + c.apacheStart;
+    }
+    return Duration(0);
+}
+
+void
+Toolstack::boot(BootSpec spec,
+                std::function<void(Domain &, BootBreakdown)> on_ready)
+{
+    auto &engine = hv_.engine();
+    const auto &c = sim::costs();
+
+    Duration build = buildCost(spec.memoryMib);
+    Duration init = guestInitCost(spec.kind, spec.memoryMib);
+
+    TimePoint submit = engine.now();
+    TimePoint build_start;
+    Duration toolstack_cost;
+    if (mode_ == Mode::Synchronous) {
+        // xend handles one request at a time; later requests queue.
+        build_start = std::max(submit, toolstack_free_at_) +
+                      c.toolstackSync;
+        toolstack_free_at_ = build_start + build;
+        toolstack_cost = build_start - submit;
+    } else {
+        // Parallel toolstack: small fixed dispatch cost, no queueing.
+        toolstack_cost = Duration::millis(5);
+        build_start = submit + toolstack_cost;
+    }
+
+    Domain &dom = hv_.createDomain(spec.name, spec.kind, spec.memoryMib,
+                                   spec.vcpus);
+    BootBreakdown breakdown{toolstack_cost, build, init};
+
+    TimePoint ready = build_start + build + init;
+    engine.at(ready, [&dom, breakdown, entry = std::move(spec.entry),
+                      cb = std::move(on_ready)] {
+        dom.setState(DomainState::Running);
+        if (entry)
+            entry(dom);
+        if (cb)
+            cb(dom, breakdown);
+    });
+}
+
+} // namespace mirage::xen

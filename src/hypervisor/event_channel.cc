@@ -1,0 +1,62 @@
+#include "hypervisor/event_channel.h"
+
+#include "base/logging.h"
+#include "hypervisor/domain.h"
+#include "hypervisor/xen.h"
+#include "sim/cost_model.h"
+
+namespace mirage::xen {
+
+std::pair<Port, Port>
+EventChannelHub::connect(Domain &a, Domain &b)
+{
+    Port pa = a.allocPort();
+    Port pb = b.allocPort();
+    channels_.push_back(Channel{{&a, pa}, {&b, pb}, true});
+    return {pa, pb};
+}
+
+EventChannelHub::Channel *
+EventChannelHub::findChannel(Domain &dom, Port port, bool &is_a)
+{
+    for (auto &ch : channels_) {
+        if (!ch.open)
+            continue;
+        if (ch.a.dom == &dom && ch.a.port == port) {
+            is_a = true;
+            return &ch;
+        }
+        if (ch.b.dom == &dom && ch.b.port == port) {
+            is_a = false;
+            return &ch;
+        }
+    }
+    return nullptr;
+}
+
+void
+EventChannelHub::close(Domain &dom, Port port)
+{
+    bool is_a = false;
+    if (Channel *ch = findChannel(dom, port, is_a))
+        ch->open = false;
+}
+
+Status
+EventChannelHub::notify(Domain &dom, Port port)
+{
+    bool is_a = false;
+    Channel *ch = findChannel(dom, port, is_a);
+    if (!ch)
+        return notFoundError("notify on unbound port");
+    notifications_++;
+    dom.hypervisor().chargeHypercall(dom, Hypercall::EventNotify);
+    dom.vcpu().charge(sim::costs().eventNotify);
+    Domain *peer = is_a ? ch->b.dom : ch->a.dom;
+    Port peer_port = is_a ? ch->b.port : ch->a.port;
+    engine_.after(sim::costs().interrupt,
+                  [peer, peer_port] { peer->deliverEvent(peer_port); });
+    return Status::success();
+}
+
+} // namespace mirage::xen

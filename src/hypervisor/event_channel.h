@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Xen-style event channels: the asynchronous notification primitive
+ * binding frontends to backends and vchan endpoints to each other.
+ *
+ * A channel is a pair of ports, one per domain. notify() on one port
+ * marks the peer port pending and, after the modelled upcall latency,
+ * invokes the handler the peer guest registered (or wakes its
+ * domainpoll). Pending bits are level-triggered and cleared by the
+ * guest, as on real Xen.
+ */
+
+#ifndef MIRAGE_HYPERVISOR_EVENT_CHANNEL_H
+#define MIRAGE_HYPERVISOR_EVENT_CHANNEL_H
+
+#include <functional>
+#include <vector>
+
+#include "base/result.h"
+#include "base/types.h"
+#include "sim/engine.h"
+
+namespace mirage::xen {
+
+class Domain;
+
+/** Port number local to one domain. */
+using Port = u32;
+
+class EventChannelHub
+{
+  public:
+    explicit EventChannelHub(sim::Engine &engine) : engine_(engine) {}
+
+    /**
+     * Create a channel between two domains.
+     * @return the (portA, portB) pair, one port in each domain's space.
+     */
+    std::pair<Port, Port> connect(Domain &a, Domain &b);
+
+    /** Close a channel from either end; the peer port becomes invalid. */
+    void close(Domain &dom, Port port);
+
+    /**
+     * Send an event from @p dom's @p port to its peer. Charges the
+     * notify hypercall on the sender and delivers the upcall after the
+     * interrupt latency.
+     */
+    Status notify(Domain &dom, Port port);
+
+    /** Count of notify() calls, for hypercall-traffic assertions. */
+    u64 notifications() const { return notifications_; }
+
+  private:
+    struct Endpoint
+    {
+        Domain *dom = nullptr;
+        Port port = 0;
+    };
+
+    struct Channel
+    {
+        Endpoint a, b;
+        bool open = false;
+    };
+
+    Channel *findChannel(Domain &dom, Port port, bool &is_a);
+
+    sim::Engine &engine_;
+    std::vector<Channel> channels_;
+    u64 notifications_ = 0;
+};
+
+} // namespace mirage::xen
+
+#endif // MIRAGE_HYPERVISOR_EVENT_CHANNEL_H

@@ -1,0 +1,67 @@
+#include "hypervisor/grant_table.h"
+
+#include "base/logging.h"
+
+namespace mirage::xen {
+
+GrantRef
+GrantTable::grantAccess(DomId peer, Cstruct page, bool readonly)
+{
+    GrantRef ref = next_ref_++;
+    entries_.emplace(ref, Entry{peer, std::move(page), readonly, 0});
+    return ref;
+}
+
+Status
+GrantTable::endAccess(GrantRef ref)
+{
+    auto it = entries_.find(ref);
+    if (it == entries_.end())
+        return notFoundError("endAccess on unknown grant");
+    if (it->second.mapCount > 0)
+        return stateError("grant still mapped by peer");
+    entries_.erase(it);
+    return Status::success();
+}
+
+Result<Cstruct>
+GrantTable::mapFor(DomId peer, GrantRef ref, bool write)
+{
+    auto it = entries_.find(ref);
+    if (it == entries_.end())
+        return notFoundError("map of unknown grant ref");
+    Entry &e = it->second;
+    if (e.peer != peer)
+        return stateError("grant not issued to this domain");
+    if (write && e.readonly)
+        return stateError("write map of read-only grant");
+    e.mapCount++;
+    return e.page;
+}
+
+Status
+GrantTable::unmapFor(DomId peer, GrantRef ref)
+{
+    auto it = entries_.find(ref);
+    if (it == entries_.end())
+        return notFoundError("unmap of unknown grant ref");
+    Entry &e = it->second;
+    if (e.peer != peer)
+        return stateError("unmap by wrong domain");
+    if (e.mapCount == 0)
+        return stateError("unmap of unmapped grant");
+    e.mapCount--;
+    return Status::success();
+}
+
+std::size_t
+GrantTable::mappedGrants() const
+{
+    std::size_t n = 0;
+    for (const auto &[ref, e] : entries_)
+        if (e.mapCount > 0)
+            n++;
+    return n;
+}
+
+} // namespace mirage::xen

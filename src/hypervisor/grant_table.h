@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Grant tables (paper §3.4.1): a domain shares a page with a specific
+ * peer by entering it in its grant table; the peer maps the grant —
+ * checked and charged by the hypervisor — and both then touch the same
+ * underlying Buffer, giving genuine zero-copy inter-domain I/O.
+ */
+
+#ifndef MIRAGE_HYPERVISOR_GRANT_TABLE_H
+#define MIRAGE_HYPERVISOR_GRANT_TABLE_H
+
+#include <unordered_map>
+
+#include "base/cstruct.h"
+#include "base/result.h"
+#include "base/types.h"
+
+namespace mirage::xen {
+
+using DomId = u32;
+using GrantRef = u32;
+
+class GrantTable
+{
+  public:
+    explicit GrantTable(DomId owner) : owner_(owner) {}
+
+    /**
+     * Grant @p peer access to @p page.
+     * @param readonly when true the peer may only read.
+     * @return the grant reference to pass over a ring.
+     */
+    GrantRef grantAccess(DomId peer, Cstruct page, bool readonly);
+
+    /**
+     * Revoke a grant. Fails while the peer still has it mapped —
+     * exactly the resource-leak hazard the paper's combinators guard
+     * (the `with_grant` wrapper in src/drivers frees on all paths).
+     */
+    Status endAccess(GrantRef ref);
+
+    /** Hypervisor-side validation when @p peer maps @p ref. */
+    Result<Cstruct> mapFor(DomId peer, GrantRef ref, bool write);
+
+    /** Peer finished with the mapping. */
+    Status unmapFor(DomId peer, GrantRef ref);
+
+    /** Number of currently active (not ended) grants. */
+    std::size_t activeGrants() const { return entries_.size(); }
+
+    /** Grants that are currently mapped by the peer. */
+    std::size_t mappedGrants() const;
+
+  private:
+    struct Entry
+    {
+        DomId peer;
+        Cstruct page;
+        bool readonly;
+        u32 mapCount = 0;
+    };
+
+    DomId owner_;
+    GrantRef next_ref_ = 1;
+    std::unordered_map<GrantRef, Entry> entries_;
+};
+
+} // namespace mirage::xen
+
+#endif // MIRAGE_HYPERVISOR_GRANT_TABLE_H

@@ -1,0 +1,243 @@
+#include "hypervisor/netback.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "hypervisor/xen.h"
+#include "sim/cost_model.h"
+
+namespace mirage::xen {
+
+// ---- Bridge ---------------------------------------------------------------
+
+Bridge::Bridge(sim::Engine &engine, std::string name)
+    : engine_(engine), fabric_(engine, name + "/fabric")
+{
+}
+
+void
+Bridge::attach(BridgeEndpoint *ep)
+{
+    ports_.push_back(ep);
+}
+
+void
+Bridge::detach(BridgeEndpoint *ep)
+{
+    std::erase(ports_, ep);
+    for (auto it = learned_.begin(); it != learned_.end();) {
+        if (it->second == ep)
+            it = learned_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+Bridge::send(BridgeEndpoint *from, Cstruct frame)
+{
+    if (frame.length() < 12)
+        return; // runt frame: not even two MAC addresses
+    MacBytes src;
+    for (int i = 0; i < 6; i++)
+        src[std::size_t(i)] = frame.getU8(std::size_t(6 + i));
+    learned_[src] = from;
+
+    const auto &c = sim::costs();
+    // Only the wire transfer serialises on the fabric; switch latency
+    // is a pipelined delay, so the bridge does not become the
+    // bottleneck of host-CPU-bound comparisons (Fig 8).
+    Duration transfer(i64(c.bridgeNsPerByte * double(frame.length())));
+    fabric_.submit(transfer, [this, from,
+                              frame = std::move(frame)]() mutable {
+        engine_.after(sim::costs().bridgeLatency,
+                      [this, from, frame = std::move(frame)]() mutable {
+                          deliver(from, frame);
+                      });
+    });
+}
+
+void
+Bridge::deliver(BridgeEndpoint *from, const Cstruct &frame)
+{
+    if (drop_fn_ && drop_fn_()) {
+        dropped_++;
+        return;
+    }
+    MacBytes dst;
+    for (int i = 0; i < 6; i++)
+        dst[std::size_t(i)] = frame.getU8(std::size_t(i));
+
+    bool broadcast = std::all_of(dst.begin(), dst.end(),
+                                 [](u8 b) { return b == 0xff; });
+    if (!broadcast) {
+        auto it = learned_.find(dst);
+        if (it != learned_.end()) {
+            if (it->second != from) {
+                switched_++;
+                it->second->frameFromBridge(frame);
+            }
+            return;
+        }
+    }
+    // Broadcast or unknown destination: flood.
+    flooded_++;
+    for (BridgeEndpoint *ep : ports_)
+        if (ep != from)
+            ep->frameFromBridge(frame);
+}
+
+// ---- Netback ----------------------------------------------------------------
+
+Netback::Netback(Domain &backend_dom, Bridge &bridge)
+    : dom_(backend_dom), bridge_(bridge)
+{
+}
+
+Netback::~Netback() = default;
+
+Netback::Vif &
+Netback::connect(const NetConnectInfo &info)
+{
+    vifs_.push_back(std::make_unique<Vif>(*this, info));
+    bridge_.attach(vifs_.back().get());
+    return *vifs_.back();
+}
+
+Netback::Vif::Vif(Netback &owner, const NetConnectInfo &info)
+    : owner_(owner), frontend_(*info.frontend), mac_(info.mac),
+      tx_port_(info.backendTxPort), rx_port_(info.backendRxPort)
+{
+    Hypervisor &hv = owner_.dom_.hypervisor();
+    auto tx_page =
+        hv.grantMap(owner_.dom_, frontend_, info.txRingGrant, true);
+    auto rx_page =
+        hv.grantMap(owner_.dom_, frontend_, info.rxRingGrant, true);
+    if (!tx_page.ok() || !rx_page.ok())
+        fatal("netback: cannot map ring grants for %s",
+              frontend_.name().c_str());
+    tx_ring_ = std::make_unique<BackRing>(tx_page.value());
+    rx_ring_ = std::make_unique<BackRing>(rx_page.value());
+
+    owner_.dom_.setPortHandler(tx_port_, [this] {
+        owner_.dom_.clearPending(tx_port_);
+        onTxEvent();
+    });
+    owner_.dom_.setPortHandler(rx_port_, [this] {
+        owner_.dom_.clearPending(rx_port_);
+        onRxEvent();
+    });
+}
+
+void
+Netback::Vif::onTxEvent()
+{
+    Hypervisor &hv = owner_.dom_.hypervisor();
+    const auto &c = sim::costs();
+    bool any = false;
+    do {
+        while (tx_ring_->unconsumedRequests() > 0) {
+            Cstruct req = tx_ring_->takeRequest().value();
+            u16 id = req.getLe16(NetifWire::txreqId);
+            GrantRef gref = req.getLe32(NetifWire::txreqGrant);
+            u16 offset = req.getLe16(NetifWire::txreqOffset);
+            u16 len = req.getLe16(NetifWire::txreqLen);
+            u16 flags = req.getLe16(NetifWire::txreqFlags);
+
+            owner_.dom_.vcpu().charge(c.backendPerRequest);
+            auto page = hv.grantMap(owner_.dom_, frontend_, gref, false);
+            u8 status = NetifWire::statusOk;
+            if (page.ok() &&
+                std::size_t(offset) + len <= page.value().length()) {
+                // Hold the fragment view; the grant stays mapped only
+                // within this handler, so take a reference to the
+                // shared page. The frontend keeps the page alive until
+                // it sees the response.
+                pending_frags_.push_back(page.value().sub(offset, len));
+                pending_bytes_ += len;
+            } else {
+                status = NetifWire::statusError;
+                pending_frags_.clear();
+                pending_bytes_ = 0;
+            }
+            if (page.ok())
+                hv.grantUnmap(owner_.dom_, frontend_, gref);
+
+            bool more = (flags & NetifWire::txflagMoreData) != 0;
+            if (!more && status == NetifWire::statusOk &&
+                !pending_frags_.empty()) {
+                // Last fragment: coalesce the chain into one owned
+                // frame (the backend's copy-out) and switch it.
+                Cstruct owned = Cstruct::create(pending_bytes_);
+                std::size_t at = 0;
+                for (const Cstruct &frag : pending_frags_) {
+                    owned.blitFrom(frag, 0, at, frag.length());
+                    at += frag.length();
+                }
+                owner_.dom_.vcpu().charge(c.copy(pending_bytes_));
+                pending_frags_.clear();
+                pending_bytes_ = 0;
+                forwarded_++;
+                owner_.bridge_.send(this, owned);
+            }
+
+            Cstruct rsp = tx_ring_->startResponse().value();
+            rsp.setLe16(NetifWire::txrspId, id);
+            rsp.setU8(NetifWire::txrspStatus, status);
+            any = true;
+        }
+    } while (tx_ring_->finalCheckForRequests());
+    if (any && tx_ring_->pushResponses())
+        hv.events().notify(owner_.dom_, tx_port_);
+}
+
+void
+Netback::Vif::onRxEvent()
+{
+    // The frontend posted fresh rx buffers; harvest them.
+    do {
+        while (rx_ring_->unconsumedRequests() > 0) {
+            Cstruct req = rx_ring_->takeRequest().value();
+            posted_rx_.emplace_back(req.getLe16(NetifWire::rxreqId),
+                                    req.getLe32(NetifWire::rxreqGrant));
+        }
+    } while (rx_ring_->finalCheckForRequests());
+}
+
+void
+Netback::Vif::frameFromBridge(const Cstruct &frame)
+{
+    Hypervisor &hv = owner_.dom_.hypervisor();
+    const auto &c = sim::costs();
+
+    // Late buffer harvest, as netback does on its rx path.
+    onRxEvent();
+    if (posted_rx_.empty()) {
+        dropped_++;
+        return;
+    }
+    auto [id, gref] = posted_rx_.front();
+    posted_rx_.pop_front();
+
+    owner_.dom_.vcpu().charge(c.backendPerRequest);
+    auto page = hv.grantMap(owner_.dom_, frontend_, gref, true);
+    u8 status = NetifWire::statusOk;
+    u16 len = u16(std::min<std::size_t>(frame.length(), pageSize));
+    if (page.ok() && len <= page.value().length()) {
+        page.value().blitFrom(frame, 0, 0, len);
+        owner_.dom_.vcpu().charge(c.copy(len));
+    } else {
+        status = NetifWire::statusError;
+    }
+    if (page.ok())
+        hv.grantUnmap(owner_.dom_, frontend_, gref);
+
+    Cstruct rsp = rx_ring_->startResponse().value();
+    rsp.setLe16(NetifWire::rxrspId, id);
+    rsp.setLe16(NetifWire::rxrspLen, len);
+    rsp.setU8(NetifWire::rxrspStatus, status);
+    if (rx_ring_->pushResponses())
+        hv.events().notify(owner_.dom_, rx_port_);
+}
+
+} // namespace mirage::xen

@@ -1,0 +1,99 @@
+#include "hypervisor/paging.h"
+
+#include "base/logging.h"
+
+namespace mirage::xen {
+
+Status
+PageTables::map(u64 vpn, PagePerms perms, PageRole role)
+{
+    if (sealed_) {
+        // Post-seal, only fresh non-executable I/O mappings are legal
+        // (§2.3.3): they must not replace any existing page.
+        bool io_ok = role == PageRole::IoPage && !perms.exec &&
+                     pages_.find(vpn) == pages_.end();
+        if (!io_ok) {
+            refused_++;
+            return stateError("page-table modification after seal");
+        }
+    }
+    auto [it, inserted] = pages_.try_emplace(vpn, Entry{perms, role});
+    (void)it;
+    if (!inserted) {
+        refused_++;
+        return stateError(strprintf("vpn %llu already mapped",
+                                    (unsigned long long)vpn));
+    }
+    updates_++;
+    return Status::success();
+}
+
+Status
+PageTables::protect(u64 vpn, PagePerms perms)
+{
+    if (sealed_) {
+        refused_++;
+        return stateError("protect after seal");
+    }
+    auto it = pages_.find(vpn);
+    if (it == pages_.end()) {
+        refused_++;
+        return notFoundError("protect of unmapped page");
+    }
+    it->second.perms = perms;
+    updates_++;
+    return Status::success();
+}
+
+Status
+PageTables::unmap(u64 vpn)
+{
+    if (sealed_) {
+        refused_++;
+        return stateError("unmap after seal");
+    }
+    if (pages_.erase(vpn) == 0) {
+        refused_++;
+        return notFoundError("unmap of unmapped page");
+    }
+    updates_++;
+    return Status::success();
+}
+
+Status
+PageTables::seal()
+{
+    if (sealed_)
+        return stateError("domain already sealed");
+    for (const auto &[vpn, entry] : pages_) {
+        if (violatesWx(entry.perms))
+            return stateError(strprintf(
+                "seal refused: vpn %llu is writable and executable",
+                (unsigned long long)vpn));
+    }
+    sealed_ = true;
+    return Status::success();
+}
+
+const PageTables::Entry *
+PageTables::lookup(u64 vpn) const
+{
+    auto it = pages_.find(vpn);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+bool
+PageTables::canExecute(u64 vpn) const
+{
+    const Entry *e = lookup(vpn);
+    return e && e->perms.exec;
+}
+
+bool
+PageTables::canWrite(u64 vpn) const
+{
+    const Entry *e = lookup(vpn);
+    return e && e->perms.write;
+}
+
+} // namespace mirage::xen

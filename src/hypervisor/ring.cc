@@ -1,0 +1,135 @@
+#include "hypervisor/ring.h"
+
+#include "base/logging.h"
+
+namespace mirage::xen {
+
+SharedRing::SharedRing(Cstruct page) : page_(std::move(page))
+{
+    if (page_.length() < RingLayout::pageBytes())
+        panic("SharedRing: page too small (%zu < %zu)", page_.length(),
+              RingLayout::pageBytes());
+}
+
+void
+SharedRing::init()
+{
+    setReqProd(0);
+    setReqEvent(1);
+    setRspProd(0);
+    setRspEvent(1);
+}
+
+Cstruct
+SharedRing::slot(u32 index) const
+{
+    u32 masked = index & (RingLayout::slotCount - 1);
+    return page_.sub(RingLayout::headerBytes +
+                         std::size_t(masked) * RingLayout::slotBytes,
+                     RingLayout::slotBytes);
+}
+
+// ---- FrontRing -----------------------------------------------------------
+
+FrontRing::FrontRing(Cstruct page) : ring_(std::move(page)) {}
+
+u32
+FrontRing::freeRequests() const
+{
+    return RingLayout::slotCount - (req_prod_pvt_ - rsp_cons_);
+}
+
+Result<Cstruct>
+FrontRing::startRequest()
+{
+    if (freeRequests() == 0)
+        return exhaustedError("ring full");
+    Cstruct s = ring_.slot(req_prod_pvt_);
+    req_prod_pvt_++;
+    return s;
+}
+
+bool
+FrontRing::pushRequests()
+{
+    u32 old = ring_.reqProd();
+    u32 now = req_prod_pvt_;
+    // wmb(): the slot contents must be visible before the index —
+    // a no-op in the single-threaded simulation but kept as the
+    // protocol's ordering point.
+    ring_.setReqProd(now);
+    // Notify iff the consumer's req_event lies in (old, now].
+    return (now - ring_.reqEvent()) < (now - old);
+}
+
+u32
+FrontRing::unconsumedResponses() const
+{
+    return ring_.rspProd() - rsp_cons_;
+}
+
+Result<Cstruct>
+FrontRing::takeResponse()
+{
+    if (unconsumedResponses() == 0)
+        return exhaustedError("no responses");
+    Cstruct s = ring_.slot(rsp_cons_);
+    rsp_cons_++;
+    return s;
+}
+
+bool
+FrontRing::finalCheckForResponses()
+{
+    ring_.setRspEvent(rsp_cons_ + 1);
+    // mb(): re-check after arming, closing the wakeup race.
+    return unconsumedResponses() > 0;
+}
+
+// ---- BackRing ------------------------------------------------------------
+
+BackRing::BackRing(Cstruct page) : ring_(std::move(page)) {}
+
+u32
+BackRing::unconsumedRequests() const
+{
+    return ring_.reqProd() - req_cons_;
+}
+
+Result<Cstruct>
+BackRing::takeRequest()
+{
+    if (unconsumedRequests() == 0)
+        return exhaustedError("no requests");
+    Cstruct s = ring_.slot(req_cons_);
+    req_cons_++;
+    return s;
+}
+
+Result<Cstruct>
+BackRing::startResponse()
+{
+    // Responses reuse request slots; the frontend's flow control
+    // guarantees a response slot is free once its request was consumed.
+    Cstruct s = ring_.slot(rsp_prod_pvt_);
+    rsp_prod_pvt_++;
+    return s;
+}
+
+bool
+BackRing::pushResponses()
+{
+    u32 old = ring_.rspProd();
+    u32 now = rsp_prod_pvt_;
+    ring_.setRspProd(now);
+    return (now - ring_.rspEvent()) < (now - old);
+}
+
+bool
+BackRing::finalCheckForRequests()
+{
+    ring_.setReqEvent(req_cons_ + 1);
+    return unconsumedRequests() > 0;
+}
+
+} // namespace mirage::xen

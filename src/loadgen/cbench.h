@@ -1,0 +1,86 @@
+/**
+ * @file
+ * cbench-style OpenFlow controller benchmark (Fig 11): emulates N
+ * switches concurrently connected to a controller, each serving a set
+ * of MAC addresses. In *batch* mode each switch keeps a full buffer of
+ * packet-in messages in flight; in *single* mode exactly one is
+ * outstanding per switch. Throughput is controller responses per
+ * second; per-switch response counts expose (un)fairness.
+ */
+
+#ifndef MIRAGE_LOADGEN_CBENCH_H
+#define MIRAGE_LOADGEN_CBENCH_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "base/rand.h"
+#include "core/cloud.h"
+#include "protocols/openflow/wire.h"
+
+namespace mirage::loadgen {
+
+class CBench
+{
+  public:
+    struct Config
+    {
+        net::Ipv4Addr controller;
+        u16 port = 6633;
+        u32 switches = 16;
+        u32 macsPerSwitch = 100;
+        bool batch = true;
+        u32 batchDepth = 64; //!< outstanding packet-ins per switch
+        Duration window = Duration::seconds(1);
+        u64 seed = 1;
+    };
+
+    struct Report
+    {
+        u64 responses = 0;
+        double responsesPerSecond = 0;
+        /** max/min per-switch responses: 1.0 = perfectly fair. */
+        double unfairness = 1.0;
+    };
+
+    CBench(core::Guest &client, Config config);
+
+    void run(std::function<void(Report)> done);
+
+  private:
+    struct EmulatedSwitch
+        : std::enable_shared_from_this<EmulatedSwitch>
+    {
+        CBench *owner;
+        u32 index;
+        net::TcpConnPtr conn;
+        openflow::MessageFramer framer;
+        Rng rng;
+        u64 responses = 0;
+        u32 outstanding = 0;
+        u32 next_xid = 1;
+
+        EmulatedSwitch(CBench *o, u32 i, u64 seed)
+            : owner(o), index(i), rng(seed)
+        {
+        }
+
+        void onData(Cstruct data);
+        void sendPacketIn();
+        void refill();
+    };
+
+    void finish();
+
+    core::Guest &client_;
+    Config config_;
+    std::function<void(Report)> done_;
+    std::vector<std::shared_ptr<EmulatedSwitch>> switches_;
+    TimePoint started_;
+    bool running_ = false;
+};
+
+} // namespace mirage::loadgen
+
+#endif // MIRAGE_LOADGEN_CBENCH_H

@@ -1,0 +1,65 @@
+#include "loadgen/fio.h"
+
+namespace mirage::loadgen {
+
+Fio::Fio(sim::Engine &engine, storage::BlockDevice &dev, Config config)
+    : engine_(engine), dev_(dev), config_(config), rng_(config.seed)
+{
+}
+
+void
+Fio::run(std::function<void(Report)> done)
+{
+    done_ = std::move(done);
+    report_ = Report{};
+    running_ = true;
+    started_ = engine_.now();
+    for (u32 i = 0; i < config_.queueDepth; i++)
+        issue();
+    engine_.after(config_.window, [this] {
+        running_ = false;
+        // finish() runs when the last in-flight read drains.
+        if (inflight_ == 0)
+            finish();
+    });
+}
+
+void
+Fio::issue()
+{
+    if (!running_)
+        return;
+    std::size_t bytes = config_.blockKiB * 1024;
+    u32 sectors = u32(bytes / storage::BlockDevice::sectorBytes);
+    u64 max_start = dev_.sizeSectors() - sectors;
+    u64 sector = (rng_.below(max_start / 8)) * 8; // 4 kB aligned
+    Cstruct buf = Cstruct::create(bytes);
+    inflight_++;
+    storage::readRange(dev_, sector, sectors, buf, [this,
+                                                    bytes](Status st) {
+        inflight_--;
+        if (st.ok()) {
+            report_.reads++;
+            report_.bytes += bytes;
+        }
+        if (running_)
+            issue();
+        else if (inflight_ == 0)
+            finish();
+    });
+}
+
+void
+Fio::finish()
+{
+    if (!done_)
+        return;
+    Duration elapsed = engine_.now() - started_;
+    report_.mibPerSecond = double(report_.bytes) /
+                           (1024.0 * 1024.0) / elapsed.toSecondsF();
+    auto done = std::move(done_);
+    done_ = nullptr;
+    done(report_);
+}
+
+} // namespace mirage::loadgen

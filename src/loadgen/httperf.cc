@@ -1,0 +1,96 @@
+#include "loadgen/httperf.h"
+
+namespace mirage::loadgen {
+
+HttPerf::HttPerf(core::Guest &client, Config config)
+    : client_(client), config_(config), rng_(config.seed)
+{
+}
+
+void
+HttPerf::run(std::function<void(Report)> done)
+{
+    done_ = std::move(done);
+    report_ = Report{};
+    running_ = true;
+    started_ = client_.sched.engine().now();
+
+    // Schedule session arrivals over the window at the offered rate.
+    double interval_s = 1.0 / config_.sessionsPerSecond;
+    double t = 0;
+    while (t < config_.window.toSecondsF()) {
+        client_.sched.engine().after(Duration::fromSecondsF(t),
+                                     [this] { startSession(); });
+        t += interval_s;
+    }
+    client_.sched.engine().after(config_.window + Duration::millis(200),
+                                 [this] { finish(); });
+}
+
+void
+HttPerf::startSession()
+{
+    if (!running_)
+        return;
+    report_.sessionsStarted++;
+    u32 user = u32(rng_.below(config_.userCount));
+    auto session_holder =
+        std::make_shared<std::shared_ptr<http::HttpSession>>();
+    *session_holder = http::HttpSession::open(
+        client_.stack, config_.server, config_.port,
+        [this, session_holder, user](Status st) {
+            if (!st.ok()) {
+                report_.errors++;
+                return;
+            }
+            issueRequest(*session_holder, config_.requestsPerSession,
+                         user);
+        });
+}
+
+void
+HttPerf::issueRequest(std::shared_ptr<http::HttpSession> session,
+                      u32 remaining, u32 user)
+{
+    if (remaining == 0) {
+        report_.sessionsCompleted++;
+        session->close();
+        return;
+    }
+    http::HttpRequest req;
+    std::string who = "user" + std::to_string(user);
+    if (remaining == 1) {
+        // The POST comes last: one tweet per session.
+        req.method = "POST";
+        req.path = "/tweet/" + who;
+        req.body = "status update at " +
+                   std::to_string(
+                       client_.sched.engine().now().ns() / 1000000);
+    } else {
+        req.method = "GET";
+        req.path = "/timeline/" + who;
+    }
+    session->request(req, [this, session, remaining,
+                           user](Result<http::HttpResponse> r) {
+        if (!r.ok()) {
+            report_.errors++;
+            return;
+        }
+        report_.repliesReceived++;
+        issueRequest(session, remaining - 1, user);
+    });
+}
+
+void
+HttPerf::finish()
+{
+    if (!running_)
+        return;
+    running_ = false;
+    Duration elapsed = client_.sched.engine().now() - started_;
+    report_.replyRate =
+        double(report_.repliesReceived) / elapsed.toSecondsF();
+    done_(report_);
+}
+
+} // namespace mirage::loadgen

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * httperf-style session generator (Fig 12): sessions arrive at a
+ * fixed rate; each opens a connection and issues 10 requests (9 GETs
+ * of the last-100 timeline, 1 POST of a tweet). Reports the achieved
+ * reply rate — which tracks the offered rate until the server
+ * saturates, the shape Fig 12 plots.
+ */
+
+#ifndef MIRAGE_LOADGEN_HTTPERF_H
+#define MIRAGE_LOADGEN_HTTPERF_H
+
+#include <functional>
+
+#include "base/rand.h"
+#include "core/cloud.h"
+#include "protocols/http/client.h"
+
+namespace mirage::loadgen {
+
+class HttPerf
+{
+  public:
+    struct Config
+    {
+        net::Ipv4Addr server;
+        u16 port = 80;
+        double sessionsPerSecond = 10;
+        u32 requestsPerSession = 10; //!< 9 GET + 1 POST
+        Duration window = Duration::seconds(4);
+        u64 seed = 1;
+        u32 userCount = 100; //!< distinct timeline owners
+    };
+
+    struct Report
+    {
+        u64 sessionsStarted = 0;
+        u64 sessionsCompleted = 0;
+        u64 repliesReceived = 0;
+        u64 errors = 0;
+        double replyRate = 0; //!< replies per second
+    };
+
+    HttPerf(core::Guest &client, Config config);
+
+    void run(std::function<void(Report)> done);
+
+  private:
+    void startSession();
+    void issueRequest(std::shared_ptr<http::HttpSession> session,
+                      u32 remaining, u32 user);
+    void finish();
+
+    core::Guest &client_;
+    Config config_;
+    Rng rng_;
+    std::function<void(Report)> done_;
+    Report report_;
+    TimePoint started_;
+    bool running_ = false;
+};
+
+} // namespace mirage::loadgen
+
+#endif // MIRAGE_LOADGEN_HTTPERF_H

@@ -1,0 +1,60 @@
+#include "loadgen/pingflood.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mirage::loadgen {
+
+PingFlood::PingFlood(core::Guest &client, Config config)
+    : client_(client), config_(config)
+{
+}
+
+void
+PingFlood::run(std::function<void(Report)> done)
+{
+    done_ = std::move(done);
+    rtts_ns_.clear();
+    sendOne(0);
+}
+
+void
+PingFlood::sendOne(u64 index)
+{
+    if (index >= config_.count) {
+        // All sent; completion happens as replies/timeouts drain.
+        return;
+    }
+    sent_++;
+    client_.stack.icmp().ping(
+        config_.target, u16(index & 0xffff), config_.payloadBytes,
+        [this](Result<Duration> rtt) {
+            if (rtt.ok())
+                rtts_ns_.push_back(rtt.value().ns());
+            completed_++;
+            if (completed_ == config_.count)
+                finish();
+        });
+    client_.sched.engine().after(
+        config_.interval, [this, index] { sendOne(index + 1); });
+}
+
+void
+PingFlood::finish()
+{
+    Report report;
+    report.sent = sent_;
+    report.received = rtts_ns_.size();
+    if (!rtts_ns_.empty()) {
+        std::sort(rtts_ns_.begin(), rtts_ns_.end());
+        i64 sum = std::accumulate(rtts_ns_.begin(), rtts_ns_.end(),
+                                  i64(0));
+        report.meanRtt = Duration(sum / i64(rtts_ns_.size()));
+        report.p50 = Duration(rtts_ns_[rtts_ns_.size() / 2]);
+        report.p99 = Duration(rtts_ns_[rtts_ns_.size() * 99 / 100]);
+        report.maxRtt = Duration(rtts_ns_.back());
+    }
+    done_(report);
+}
+
+} // namespace mirage::loadgen

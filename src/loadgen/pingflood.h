@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Flood-ping latency measurement (§4.1.3): a stream of echo requests
+ * with RTT statistics — mean, percentiles, loss.
+ */
+
+#ifndef MIRAGE_LOADGEN_PINGFLOOD_H
+#define MIRAGE_LOADGEN_PINGFLOOD_H
+
+#include <functional>
+#include <vector>
+
+#include "core/cloud.h"
+
+namespace mirage::loadgen {
+
+class PingFlood
+{
+  public:
+    struct Config
+    {
+        net::Ipv4Addr target;
+        u64 count = 1000;
+        Duration interval = Duration::micros(100);
+        std::size_t payloadBytes = 56;
+    };
+
+    struct Report
+    {
+        u64 sent = 0;
+        u64 received = 0;
+        Duration meanRtt;
+        Duration p50;
+        Duration p99;
+        Duration maxRtt;
+    };
+
+    PingFlood(core::Guest &client, Config config);
+
+    void run(std::function<void(Report)> done);
+
+  private:
+    void sendOne(u64 index);
+    void finish();
+
+    core::Guest &client_;
+    Config config_;
+    std::function<void(Report)> done_;
+    std::vector<i64> rtts_ns_;
+    u64 sent_ = 0;
+    u64 completed_ = 0;
+};
+
+} // namespace mirage::loadgen
+
+#endif // MIRAGE_LOADGEN_PINGFLOOD_H

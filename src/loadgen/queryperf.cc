@@ -1,0 +1,77 @@
+#include "loadgen/queryperf.h"
+
+#include "base/logging.h"
+#include "protocols/dns/server.h"
+
+namespace mirage::loadgen {
+
+QueryPerf::QueryPerf(core::Guest &client, Config config)
+    : client_(client), config_(config), rng_(config.seed)
+{
+}
+
+void
+QueryPerf::run(std::function<void(Report)> done)
+{
+    done_ = std::move(done);
+    report_ = Report{};
+    running_ = true;
+    started_ = client_.sched.engine().now();
+
+    Status st = client_.stack.udp().listen(
+        client_port_, [this](const net::UdpDatagram &dgram) {
+            if (!running_)
+                return;
+            auto msg = dns::parseMessage(dgram.payload);
+            if (!msg.ok() || !msg.value().header.qr ||
+                msg.value().header.rcode != dns::Rcode::NoError ||
+                msg.value().answers.empty()) {
+                report_.mismatches++;
+            }
+            report_.completed++;
+            sendNext(0);
+        });
+    if (!st.ok())
+        fatal("queryperf: %s", st.error().message.c_str());
+
+    for (u32 i = 0; i < config_.concurrency; i++)
+        sendNext(u16(i));
+
+    client_.sched.engine().after(config_.window, [this] { finish(); });
+}
+
+void
+QueryPerf::sendNext(u16)
+{
+    if (!running_)
+        return;
+    u64 host = rng_.below(config_.zoneEntries);
+    dns::DnsMessage q;
+    q.header = dns::DnsHeader{};
+    q.header.id = next_id_++;
+    q.header.rd = false;
+    q.header.qdcount = 1;
+    q.questions.push_back(dns::Question{
+        dns::nameFromString(strprintf("host%06llu.%s",
+                                      (unsigned long long)host,
+                                      config_.origin.c_str()))
+            .value(),
+        1, 1});
+    dns::MessageWriter w(dns::CompressionImpl::None);
+    client_.stack.udp().sendTo(config_.server, config_.serverPort,
+                               client_port_, {w.write(q)});
+}
+
+void
+QueryPerf::finish()
+{
+    if (!running_)
+        return;
+    running_ = false;
+    client_.stack.udp().unlisten(client_port_);
+    Duration elapsed = client_.sched.engine().now() - started_;
+    report_.qps = double(report_.completed) / elapsed.toSecondsF();
+    done_(report_);
+}
+
+} // namespace mirage::loadgen

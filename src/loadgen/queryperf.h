@@ -1,0 +1,62 @@
+/**
+ * @file
+ * queryperf-style DNS load generator (Fig 10): a closed loop of
+ * concurrent outstanding queries for random names in a zone, reporting
+ * completed queries per second of virtual time.
+ */
+
+#ifndef MIRAGE_LOADGEN_QUERYPERF_H
+#define MIRAGE_LOADGEN_QUERYPERF_H
+
+#include <functional>
+
+#include "base/rand.h"
+#include "core/cloud.h"
+#include "protocols/dns/wire.h"
+
+namespace mirage::loadgen {
+
+class QueryPerf
+{
+  public:
+    struct Config
+    {
+        net::Ipv4Addr server;
+        u16 serverPort = 53;
+        std::string origin = "bench.example";
+        std::size_t zoneEntries = 1000;
+        u32 concurrency = 8;
+        Duration window = Duration::seconds(2);
+        u64 seed = 1;
+    };
+
+    struct Report
+    {
+        u64 completed = 0;
+        u64 mismatches = 0; //!< responses that failed validation
+        double qps = 0;
+    };
+
+    QueryPerf(core::Guest &client, Config config);
+
+    /** Run the measurement window; @p done receives the report. */
+    void run(std::function<void(Report)> done);
+
+  private:
+    void sendNext(u16 slot);
+    void finish();
+
+    core::Guest &client_;
+    Config config_;
+    Rng rng_;
+    std::function<void(Report)> done_;
+    Report report_;
+    TimePoint started_;
+    bool running_ = false;
+    u16 client_port_ = 40000;
+    u16 next_id_ = 1;
+};
+
+} // namespace mirage::loadgen
+
+#endif // MIRAGE_LOADGEN_QUERYPERF_H

@@ -1,0 +1,75 @@
+#include "net/addresses.h"
+
+#include <cstdio>
+
+namespace mirage::net {
+
+MacAddr
+MacAddr::broadcast()
+{
+    return MacAddr({0xff, 0xff, 0xff, 0xff, 0xff, 0xff});
+}
+
+MacAddr
+MacAddr::local(u32 index)
+{
+    // 02:xx:xx:xx:xx:xx — locally administered, unicast.
+    return MacAddr({0x02, 0x16, 0x3e, u8(index >> 16), u8(index >> 8),
+                    u8(index)});
+}
+
+Result<MacAddr>
+MacAddr::parse(const std::string &s)
+{
+    unsigned b[6];
+    if (std::sscanf(s.c_str(), "%x:%x:%x:%x:%x:%x", &b[0], &b[1], &b[2],
+                    &b[3], &b[4], &b[5]) != 6)
+        return parseError("bad MAC address: " + s);
+    xen::MacBytes bytes;
+    for (int i = 0; i < 6; i++) {
+        if (b[i] > 0xff)
+            return parseError("bad MAC octet in: " + s);
+        bytes[std::size_t(i)] = u8(b[i]);
+    }
+    return MacAddr(bytes);
+}
+
+bool
+MacAddr::isBroadcast() const
+{
+    for (u8 b : bytes_)
+        if (b != 0xff)
+            return false;
+    return true;
+}
+
+std::string
+MacAddr::toString() const
+{
+    return strprintf("%02x:%02x:%02x:%02x:%02x:%02x", bytes_[0],
+                     bytes_[1], bytes_[2], bytes_[3], bytes_[4],
+                     bytes_[5]);
+}
+
+Result<Ipv4Addr>
+Ipv4Addr::parse(const std::string &s)
+{
+    unsigned a, b, c, d;
+    char tail;
+    if (std::sscanf(s.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail) !=
+        4)
+        return parseError("bad IPv4 address: " + s);
+    if (a > 255 || b > 255 || c > 255 || d > 255)
+        return parseError("IPv4 octet out of range: " + s);
+    return Ipv4Addr(u8(a), u8(b), u8(c), u8(d));
+}
+
+std::string
+Ipv4Addr::toString() const
+{
+    return strprintf("%u.%u.%u.%u", (addr_ >> 24) & 0xff,
+                     (addr_ >> 16) & 0xff, (addr_ >> 8) & 0xff,
+                     addr_ & 0xff);
+}
+
+} // namespace mirage::net

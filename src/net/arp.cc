@@ -1,0 +1,142 @@
+#include "net/arp.h"
+
+#include "net/stack.h"
+
+namespace mirage::net {
+
+namespace {
+
+constexpr u16 operRequest = 1;
+constexpr u16 operReply = 2;
+
+} // namespace
+
+Arp::Arp(NetworkStack &stack) : stack_(stack) {}
+
+void
+Arp::input(const Cstruct &payload)
+{
+    if (payload.length() < wireBytes)
+        return;
+    u16 htype = payload.getBe16(0);
+    u16 ptype = payload.getBe16(2);
+    if (htype != 1 || ptype != 0x0800 || payload.getU8(4) != 6 ||
+        payload.getU8(5) != 4)
+        return;
+    u16 oper = payload.getBe16(6);
+    xen::MacBytes sha;
+    for (std::size_t i = 0; i < 6; i++)
+        sha[i] = payload.getU8(8 + i);
+    Ipv4Addr spa(payload.getBe32(14));
+    Ipv4Addr tpa(payload.getBe32(24));
+
+    // Learn the sender (also covers gratuitous ARP).
+    if (!spa.isAny())
+        learn(spa, MacAddr(sha));
+
+    if (oper == operRequest && tpa == stack_.ip())
+        sendReply(MacAddr(sha), spa);
+}
+
+void
+Arp::learn(Ipv4Addr ip, const MacAddr &mac)
+{
+    cache_[ip] = Entry{mac, stack_.scheduler().engine().now()};
+    auto it = pending_.find(ip);
+    if (it != pending_.end()) {
+        auto waiters = std::move(it->second.waiters);
+        pending_.erase(it);
+        for (auto &w : waiters)
+            w(mac);
+    }
+}
+
+void
+Arp::resolve(Ipv4Addr ip, std::function<void(Result<MacAddr>)> done)
+{
+    if (ip.isBroadcast()) {
+        done(MacAddr::broadcast());
+        return;
+    }
+    auto it = cache_.find(ip);
+    if (it != cache_.end()) {
+        Duration age =
+            stack_.scheduler().engine().now() - it->second.learned;
+        if (age < Duration::seconds(entryTtlSeconds)) {
+            done(it->second.mac);
+            return;
+        }
+        cache_.erase(it);
+    }
+    bool first = pending_.find(ip) == pending_.end();
+    pending_[ip].waiters.push_back(std::move(done));
+    if (first) {
+        sendRequest(ip);
+        retryTimer(ip);
+    }
+}
+
+void
+Arp::retryTimer(Ipv4Addr ip)
+{
+    stack_.scheduler().engine().after(Duration::seconds(1), [this, ip] {
+        auto it = pending_.find(ip);
+        if (it == pending_.end())
+            return; // resolved meanwhile
+        if (++it->second.retries >= maxRetries) {
+            auto waiters = std::move(it->second.waiters);
+            pending_.erase(it);
+            for (auto &w : waiters)
+                w(notFoundError("ARP: no reply from " + ip.toString()));
+            return;
+        }
+        sendRequest(ip);
+        retryTimer(ip);
+    });
+}
+
+void
+Arp::sendRequest(Ipv4Addr ip)
+{
+    auto hdr = stack_.allocHeader(wireBytes);
+    if (!hdr.ok())
+        return;
+    Cstruct p = hdr.value().shift(EthFrame::headerBytes);
+    p.setBe16(0, 1);      // Ethernet
+    p.setBe16(2, 0x0800); // IPv4
+    p.setU8(4, 6);
+    p.setU8(5, 4);
+    p.setBe16(6, operRequest);
+    for (std::size_t i = 0; i < 6; i++) {
+        p.setU8(8 + i, stack_.mac().bytes()[i]);
+        p.setU8(18 + i, 0);
+    }
+    p.setBe32(14, stack_.ip().raw());
+    p.setBe32(24, ip.raw());
+    requests_sent_++;
+    stack_.transmit(MacAddr::broadcast(), EtherType::Arp, {hdr.value()});
+}
+
+void
+Arp::sendReply(const MacAddr &to_mac, Ipv4Addr to_ip)
+{
+    auto hdr = stack_.allocHeader(wireBytes);
+    if (!hdr.ok())
+        return;
+    Cstruct p = hdr.value().shift(EthFrame::headerBytes);
+    p.setBe16(0, 1);
+    p.setBe16(2, 0x0800);
+    p.setU8(4, 6);
+    p.setU8(5, 4);
+    p.setBe16(6, operReply);
+    for (std::size_t i = 0; i < 6; i++) {
+        p.setU8(8 + i, stack_.mac().bytes()[i]);
+        p.setU8(18 + i, to_mac.bytes()[i]);
+    }
+    p.setBe32(14, stack_.ip().raw());
+    p.setBe32(24, to_ip.raw());
+    replies_sent_++;
+    stack_.transmit(to_mac, EtherType::Arp, {hdr.value()});
+}
+
+} // namespace mirage::net

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * ARP: resolution cache with request retry, reply generation, and
+ * gratuitous-ARP learning. Pending packets queue behind an in-flight
+ * resolution rather than being dropped.
+ */
+
+#ifndef MIRAGE_NET_ARP_H
+#define MIRAGE_NET_ARP_H
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "base/cstruct.h"
+#include "base/time.h"
+#include "net/addresses.h"
+#include "net/ethernet.h"
+
+namespace mirage::net {
+
+class NetworkStack;
+
+class Arp
+{
+  public:
+    static constexpr std::size_t wireBytes = 28;
+    static constexpr int maxRetries = 3;
+
+    explicit Arp(NetworkStack &stack);
+
+    /** Handle an incoming ARP payload. */
+    void input(const Cstruct &payload);
+
+    /**
+     * Resolve @p ip to a MAC, from cache or by broadcasting requests
+     * (retried, then failed with NotFound).
+     */
+    void resolve(Ipv4Addr ip,
+                 std::function<void(Result<MacAddr>)> done);
+
+    /** Entries currently cached. */
+    std::size_t cacheSize() const { return cache_.size(); }
+    u64 requestsSent() const { return requests_sent_; }
+    u64 repliesSent() const { return replies_sent_; }
+
+    /** Cache entry lifetime. */
+    static constexpr i64 entryTtlSeconds = 300;
+
+  private:
+    struct Entry
+    {
+        MacAddr mac;
+        TimePoint learned;
+    };
+
+    struct PendingResolve
+    {
+        std::vector<std::function<void(Result<MacAddr>)>> waiters;
+        int retries = 0;
+    };
+
+    void sendRequest(Ipv4Addr ip);
+    void sendReply(const MacAddr &to_mac, Ipv4Addr to_ip);
+    void learn(Ipv4Addr ip, const MacAddr &mac);
+    void retryTimer(Ipv4Addr ip);
+
+    NetworkStack &stack_;
+    std::unordered_map<Ipv4Addr, Entry> cache_;
+    std::unordered_map<Ipv4Addr, PendingResolve> pending_;
+    u64 requests_sent_ = 0;
+    u64 replies_sent_ = 0;
+};
+
+} // namespace mirage::net
+
+#endif // MIRAGE_NET_ARP_H

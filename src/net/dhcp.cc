@@ -1,0 +1,315 @@
+#include "net/dhcp.h"
+
+#include "base/logging.h"
+#include "net/stack.h"
+
+namespace mirage::net {
+
+namespace {
+
+/** Build a BOOTP/DHCP message skeleton into a fresh view. */
+Cstruct
+buildMessage(NetworkStack &stack, u8 op, u32 xid,
+             Ipv4Addr yiaddr = Ipv4Addr())
+{
+    // Fixed part + up to 64 bytes of options.
+    Cstruct msg = Cstruct::create(DhcpWire::fixedBytes + 64);
+    msg.setU8(0, op);     // 1 request, 2 reply
+    msg.setU8(1, 1);      // htype Ethernet
+    msg.setU8(2, 6);      // hlen
+    msg.setBe32(4, xid);
+    msg.setBe16(10, 0x8000); // broadcast flag
+    msg.setBe32(16, yiaddr.raw());
+    for (std::size_t i = 0; i < 6; i++)
+        msg.setU8(28 + i, stack.mac().bytes()[i]);
+    msg.setBe32(236, DhcpWire::magic);
+    return msg;
+}
+
+/** Append one option; returns the new cursor. */
+std::size_t
+putOption(Cstruct msg, std::size_t at, u8 code, const u8 *data, u8 len)
+{
+    msg.setU8(at, code);
+    msg.setU8(at + 1, len);
+    for (u8 i = 0; i < len; i++)
+        msg.setU8(at + 2 + i, data[i]);
+    return at + 2 + len;
+}
+
+std::size_t
+putOptionIp(Cstruct msg, std::size_t at, u8 code, Ipv4Addr ip)
+{
+    u8 quad[4] = {u8(ip.raw() >> 24), u8(ip.raw() >> 16),
+                  u8(ip.raw() >> 8), u8(ip.raw())};
+    return putOption(msg, at, code, quad, 4);
+}
+
+std::size_t
+putOptionU32(Cstruct msg, std::size_t at, u8 code, u32 v)
+{
+    u8 quad[4] = {u8(v >> 24), u8(v >> 16), u8(v >> 8), u8(v)};
+    return putOption(msg, at, code, quad, 4);
+}
+
+/** Scan options for code; returns (found, 4-byte value view). */
+struct OptionScan
+{
+    u8 msgType = 0;
+    Ipv4Addr netmask;
+    Ipv4Addr router;
+    Ipv4Addr serverId;
+    Ipv4Addr requestedIp;
+    u32 leaseSeconds = 0;
+};
+
+Result<OptionScan>
+scanOptions(const Cstruct &msg)
+{
+    if (msg.length() < DhcpWire::fixedBytes)
+        return parseError("short DHCP message");
+    if (msg.getBe32(236) != DhcpWire::magic)
+        return parseError("bad DHCP magic");
+    OptionScan out;
+    std::size_t i = DhcpWire::fixedBytes;
+    while (i < msg.length()) {
+        u8 code = msg.getU8(i);
+        if (code == DhcpWire::optEnd)
+            break;
+        if (code == 0) {
+            i++;
+            continue;
+        }
+        if (i + 1 >= msg.length())
+            return parseError("truncated DHCP option");
+        u8 len = msg.getU8(i + 1);
+        if (i + 2 + len > msg.length())
+            return parseError("overlong DHCP option");
+        auto ip_at = [&](std::size_t off) {
+            return Ipv4Addr(msg.getBe32(off));
+        };
+        switch (code) {
+          case DhcpWire::optMsgType:
+            if (len >= 1)
+                out.msgType = msg.getU8(i + 2);
+            break;
+          case DhcpWire::optNetmask:
+            if (len == 4)
+                out.netmask = ip_at(i + 2);
+            break;
+          case DhcpWire::optRouter:
+            if (len >= 4)
+                out.router = ip_at(i + 2);
+            break;
+          case DhcpWire::optServerId:
+            if (len == 4)
+                out.serverId = ip_at(i + 2);
+            break;
+          case DhcpWire::optRequestedIp:
+            if (len == 4)
+                out.requestedIp = ip_at(i + 2);
+            break;
+          case DhcpWire::optLeaseTime:
+            if (len == 4)
+                out.leaseSeconds = msg.getBe32(i + 2);
+            break;
+          default:
+            break;
+        }
+        i += 2 + std::size_t(len);
+    }
+    return out;
+}
+
+} // namespace
+
+// ---- Client -----------------------------------------------------------------
+
+DhcpClient::DhcpClient(NetworkStack &stack) : stack_(stack) {}
+
+void
+DhcpClient::start(std::function<void(Result<DhcpLease>)> done)
+{
+    done_ = std::move(done);
+    xid_ = u32(stack_.scheduler().engine().now().ns() ^ 0x6d697261);
+    Status st = stack_.udp().listen(
+        clientPort, [this](const UdpDatagram &d) { handlePacket(d); });
+    if (!st.ok()) {
+        fail("client port busy");
+        return;
+    }
+    state_ = State::Selecting;
+    sendDiscover();
+}
+
+void
+DhcpClient::fail(const std::string &why)
+{
+    stack_.udp().unlisten(clientPort);
+    state_ = State::Init;
+    if (done_) {
+        auto cb = std::move(done_);
+        done_ = nullptr;
+        cb(Error(Error::Kind::Io, "DHCP failed: " + why));
+    }
+}
+
+void
+DhcpClient::sendDiscover()
+{
+    Cstruct msg = buildMessage(stack_, 1, xid_);
+    std::size_t at = DhcpWire::fixedBytes;
+    u8 t = DhcpWire::msgDiscover;
+    at = putOption(msg, at, DhcpWire::optMsgType, &t, 1);
+    msg.setU8(at, DhcpWire::optEnd);
+    stack_.udp().sendTo(Ipv4Addr::broadcast(), serverPort, clientPort,
+                        {msg});
+    retry_event_ = stack_.scheduler().engine().after(
+        Duration::seconds(2), [this] {
+            if (state_ != State::Selecting)
+                return;
+            if (++retries_ >= 4)
+                fail("no OFFER");
+            else
+                sendDiscover();
+        });
+}
+
+void
+DhcpClient::sendRequest(Ipv4Addr offered, Ipv4Addr server)
+{
+    Cstruct msg = buildMessage(stack_, 1, xid_);
+    std::size_t at = DhcpWire::fixedBytes;
+    u8 t = DhcpWire::msgRequest;
+    at = putOption(msg, at, DhcpWire::optMsgType, &t, 1);
+    at = putOptionIp(msg, at, DhcpWire::optRequestedIp, offered);
+    at = putOptionIp(msg, at, DhcpWire::optServerId, server);
+    msg.setU8(at, DhcpWire::optEnd);
+    state_ = State::Requesting;
+    stack_.udp().sendTo(Ipv4Addr::broadcast(), serverPort, clientPort,
+                        {msg});
+}
+
+void
+DhcpClient::handlePacket(const UdpDatagram &dgram)
+{
+    const Cstruct &msg = dgram.payload;
+    if (msg.length() < DhcpWire::fixedBytes || msg.getU8(0) != 2)
+        return;
+    if (msg.getBe32(4) != xid_)
+        return;
+    auto opts = scanOptions(msg);
+    if (!opts.ok())
+        return;
+    Ipv4Addr yiaddr(msg.getBe32(16));
+
+    if (state_ == State::Selecting &&
+        opts.value().msgType == DhcpWire::msgOffer) {
+        stack_.scheduler().engine().cancel(retry_event_);
+        sendRequest(yiaddr, opts.value().serverId);
+        return;
+    }
+    if (state_ == State::Requesting &&
+        opts.value().msgType == DhcpWire::msgAck) {
+        state_ = State::Bound;
+        DhcpLease lease{yiaddr, opts.value().netmask,
+                        opts.value().router,
+                        Duration::seconds(opts.value().leaseSeconds)};
+        stack_.configure(lease.address, lease.netmask, lease.gateway);
+        stack_.udp().unlisten(clientPort);
+        if (done_) {
+            auto cb = std::move(done_);
+            done_ = nullptr;
+            cb(lease);
+        }
+        return;
+    }
+    if (state_ == State::Requesting &&
+        opts.value().msgType == DhcpWire::msgNak)
+        fail("NAK");
+}
+
+// ---- Server -----------------------------------------------------------------
+
+DhcpServer::DhcpServer(NetworkStack &stack, Ipv4Addr pool_first,
+                       u32 pool_size, Ipv4Addr netmask,
+                       Ipv4Addr gateway)
+    : stack_(stack), pool_first_(pool_first), pool_size_(pool_size),
+      netmask_(netmask), gateway_(gateway)
+{
+    Status st = stack_.udp().listen(
+        DhcpClient::serverPort,
+        [this](const UdpDatagram &d) { handlePacket(d); });
+    if (!st.ok())
+        fatal("DHCP server: port 67 busy");
+}
+
+Result<Ipv4Addr>
+DhcpServer::leaseFor(const MacAddr &mac)
+{
+    auto it = leases_.find(mac);
+    if (it != leases_.end())
+        return it->second;
+    if (next_offset_ >= pool_size_)
+        return exhaustedError("DHCP pool empty");
+    Ipv4Addr addr(pool_first_.raw() + next_offset_++);
+    leases_[mac] = addr;
+    return addr;
+}
+
+void
+DhcpServer::handlePacket(const UdpDatagram &dgram)
+{
+    const Cstruct &msg = dgram.payload;
+    if (msg.length() < DhcpWire::fixedBytes || msg.getU8(0) != 1)
+        return;
+    auto opts = scanOptions(msg);
+    if (!opts.ok())
+        return;
+    xen::MacBytes ch;
+    for (std::size_t i = 0; i < 6; i++)
+        ch[i] = msg.getU8(28 + i);
+    MacAddr client_mac(ch);
+    u32 xid = msg.getBe32(4);
+
+    u8 reply_type;
+    Ipv4Addr addr;
+    if (opts.value().msgType == DhcpWire::msgDiscover) {
+        auto lease = leaseFor(client_mac);
+        if (!lease.ok())
+            return;
+        addr = lease.value();
+        reply_type = DhcpWire::msgOffer;
+    } else if (opts.value().msgType == DhcpWire::msgRequest) {
+        auto it = leases_.find(client_mac);
+        if (it == leases_.end() ||
+            (opts.value().requestedIp != it->second)) {
+            reply_type = DhcpWire::msgNak;
+            addr = Ipv4Addr();
+        } else {
+            addr = it->second;
+            reply_type = DhcpWire::msgAck;
+            granted_++;
+        }
+    } else {
+        return;
+    }
+
+    Cstruct reply = buildMessage(stack_, 2, xid, addr);
+    // Echo the client hardware address.
+    for (std::size_t i = 0; i < 6; i++)
+        reply.setU8(28 + i, ch[i]);
+    std::size_t at = DhcpWire::fixedBytes;
+    at = putOption(reply, at, DhcpWire::optMsgType, &reply_type, 1);
+    if (reply_type != DhcpWire::msgNak) {
+        at = putOptionIp(reply, at, DhcpWire::optNetmask, netmask_);
+        at = putOptionIp(reply, at, DhcpWire::optRouter, gateway_);
+        at = putOptionU32(reply, at, DhcpWire::optLeaseTime, 86400);
+        at = putOptionIp(reply, at, DhcpWire::optServerId, stack_.ip());
+    }
+    reply.setU8(at, DhcpWire::optEnd);
+    stack_.udp().sendTo(Ipv4Addr::broadcast(), DhcpClient::clientPort,
+                        DhcpClient::serverPort, {reply});
+}
+
+} // namespace mirage::net

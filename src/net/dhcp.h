@@ -1,0 +1,110 @@
+/**
+ * @file
+ * DHCP client and server. The client is the paper's "dynamic
+ * configuration directive" (§2.3.1): an appliance that must stay
+ * clonable uses DHCP instead of a compiled-in static address. The
+ * server exists so self-contained simulations (and the examples) can
+ * hand out leases.
+ */
+
+#ifndef MIRAGE_NET_DHCP_H
+#define MIRAGE_NET_DHCP_H
+
+#include <functional>
+#include <map>
+
+#include "base/rand.h"
+#include "net/addresses.h"
+#include "net/udp.h"
+
+namespace mirage::net {
+
+class NetworkStack;
+
+/** Lease configuration obtained by a client. */
+struct DhcpLease
+{
+    Ipv4Addr address;
+    Ipv4Addr netmask;
+    Ipv4Addr gateway;
+    Duration leaseTime;
+};
+
+class DhcpClient
+{
+  public:
+    enum class State { Init, Selecting, Requesting, Bound };
+
+    static constexpr u16 clientPort = 68;
+    static constexpr u16 serverPort = 67;
+
+    explicit DhcpClient(NetworkStack &stack);
+
+    /**
+     * Run DISCOVER → OFFER → REQUEST → ACK; on success the stack is
+     * reconfigured with the lease and @p done is called.
+     */
+    void start(std::function<void(Result<DhcpLease>)> done);
+
+    State state() const { return state_; }
+
+  private:
+    void sendDiscover();
+    void sendRequest(Ipv4Addr offered, Ipv4Addr server);
+    void handlePacket(const UdpDatagram &dgram);
+    void fail(const std::string &why);
+
+    NetworkStack &stack_;
+    State state_ = State::Init;
+    u32 xid_ = 0;
+    int retries_ = 0;
+    sim::EventId retry_event_ = 0;
+    std::function<void(Result<DhcpLease>)> done_;
+};
+
+class DhcpServer
+{
+  public:
+    /** Serve leases from [pool_first, pool_first + pool_size). */
+    DhcpServer(NetworkStack &stack, Ipv4Addr pool_first,
+               u32 pool_size, Ipv4Addr netmask, Ipv4Addr gateway);
+
+    u64 leasesGranted() const { return granted_; }
+
+  private:
+    void handlePacket(const UdpDatagram &dgram);
+    Result<Ipv4Addr> leaseFor(const MacAddr &mac);
+
+    NetworkStack &stack_;
+    Ipv4Addr pool_first_;
+    u32 pool_size_;
+    Ipv4Addr netmask_;
+    Ipv4Addr gateway_;
+    std::map<MacAddr, Ipv4Addr> leases_;
+    u32 next_offset_ = 0;
+    u64 granted_ = 0;
+};
+
+/** Shared wire helpers (exposed for tests). */
+struct DhcpWire
+{
+    static constexpr std::size_t fixedBytes = 240; //!< incl. magic
+    static constexpr u32 magic = 0x63825363;
+    static constexpr u8 msgDiscover = 1;
+    static constexpr u8 msgOffer = 2;
+    static constexpr u8 msgRequest = 3;
+    static constexpr u8 msgAck = 5;
+    static constexpr u8 msgNak = 6;
+
+    static constexpr u8 optMsgType = 53;
+    static constexpr u8 optNetmask = 1;
+    static constexpr u8 optRouter = 3;
+    static constexpr u8 optLeaseTime = 51;
+    static constexpr u8 optServerId = 54;
+    static constexpr u8 optRequestedIp = 50;
+    static constexpr u8 optEnd = 255;
+};
+
+} // namespace mirage::net
+
+#endif // MIRAGE_NET_DHCP_H

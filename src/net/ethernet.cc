@@ -1,0 +1,34 @@
+#include "net/ethernet.h"
+
+namespace mirage::net {
+
+Result<EthFrame>
+EthFrame::parse(const Cstruct &frame)
+{
+    if (frame.length() < headerBytes)
+        return parseError("runt Ethernet frame");
+    xen::MacBytes dst, src;
+    for (std::size_t i = 0; i < 6; i++) {
+        dst[i] = frame.getU8(i);
+        src[i] = frame.getU8(6 + i);
+    }
+    EthFrame out;
+    out.dst = MacAddr(dst);
+    out.src = MacAddr(src);
+    out.etherType = frame.getBe16(12);
+    out.payload = frame.shift(headerBytes);
+    return out;
+}
+
+void
+writeEthHeader(Cstruct buf, const MacAddr &dst, const MacAddr &src,
+               EtherType type)
+{
+    for (std::size_t i = 0; i < 6; i++) {
+        buf.setU8(i, dst.bytes()[i]);
+        buf.setU8(6 + i, src.bytes()[i]);
+    }
+    buf.setBe16(12, u16(type));
+}
+
+} // namespace mirage::net

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Ethernet framing: header layout, parse into a typed view, and header
+ * construction into an I/O page.
+ */
+
+#ifndef MIRAGE_NET_ETHERNET_H
+#define MIRAGE_NET_ETHERNET_H
+
+#include "base/cstruct.h"
+#include "base/result.h"
+#include "net/addresses.h"
+
+namespace mirage::net {
+
+enum class EtherType : u16 {
+    Ipv4 = 0x0800,
+    Arp = 0x0806,
+};
+
+/** Parsed Ethernet frame: typed header fields + a payload view. */
+struct EthFrame
+{
+    MacAddr dst;
+    MacAddr src;
+    u16 etherType;
+    Cstruct payload; //!< view into the original frame; no copy
+
+    static constexpr std::size_t headerBytes = 14;
+
+    /** Parse a raw frame; rejects runts. */
+    static Result<EthFrame> parse(const Cstruct &frame);
+};
+
+/** Write an Ethernet header at the start of @p buf (>= 14 bytes). */
+void writeEthHeader(Cstruct buf, const MacAddr &dst, const MacAddr &src,
+                    EtherType type);
+
+} // namespace mirage::net
+
+#endif // MIRAGE_NET_ETHERNET_H

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Flow — the byte-stream interface protocol libraries program against
+ * (§3.5): data arrives as discrete packet views and is consumed by a
+ * chained handler ("channel iteratees"), eliminating intermediate
+ * fixed-size buffers between the stack and the application.
+ */
+
+#ifndef MIRAGE_NET_FLOW_H
+#define MIRAGE_NET_FLOW_H
+
+#include <functional>
+
+#include "base/cstruct.h"
+#include "runtime/promise.h"
+
+namespace mirage::net {
+
+class Flow
+{
+  public:
+    virtual ~Flow() = default;
+
+    /**
+     * Queue @p data for transmission. The promise resolves when the
+     * bytes are accepted into the send window (backpressure point);
+     * it is cancelled if the flow dies first.
+     */
+    virtual rt::PromisePtr write(Cstruct data) = 0;
+
+    /** Handler invoked once per in-order chunk of received data. */
+    virtual void onData(std::function<void(Cstruct)> handler) = 0;
+
+    /** Handler invoked when the peer finishes or the flow aborts. */
+    virtual void onClose(std::function<void()> handler) = 0;
+
+    /** Close the sending direction (TCP FIN semantics). */
+    virtual void close() = 0;
+};
+
+} // namespace mirage::net
+
+#endif // MIRAGE_NET_FLOW_H

@@ -1,0 +1,90 @@
+#include "net/icmp.h"
+
+#include "base/checksum.h"
+#include "net/stack.h"
+
+namespace mirage::net {
+
+Icmp::Icmp(NetworkStack &stack) : stack_(stack) {}
+
+void
+Icmp::input(const Ipv4Packet &pkt)
+{
+    const Cstruct &p = pkt.payload;
+    if (p.length() < 8)
+        return;
+    if (internetChecksum(p) != 0)
+        return;
+    stack_.chargeChecksum(p.length());
+    u8 type = p.getU8(0);
+
+    if (type == typeEchoRequest) {
+        echo_served_++;
+        // Build the reply header; the echoed identifier/sequence/data
+        // reuse the request's payload view directly (no copy).
+        auto hdr = stack_.allocHeader(8);
+        if (!hdr.ok())
+            return;
+        Cstruct reply = hdr.value().shift(EthFrame::headerBytes);
+        reply.setU8(0, typeEchoReply);
+        reply.setU8(1, 0);
+        reply.setBe16(2, 0);
+        reply.setBe32(4, p.getBe32(4)); // ident + seq
+        Cstruct echo_data = p.shift(8);
+        ChecksumAccumulator acc;
+        acc.add(reply);
+        acc.add(echo_data);
+        reply.setBe16(2, acc.finish());
+        stack_.chargeChecksum(8 + echo_data.length());
+        stack_.ipv4().send(pkt.src, IpProto::icmp, {reply, echo_data});
+        return;
+    }
+    if (type == typeEchoReply) {
+        u32 key = p.getBe32(4);
+        auto it = pending_.find(key);
+        if (it == pending_.end())
+            return;
+        replies_++;
+        PendingPing pending = std::move(it->second);
+        pending_.erase(it);
+        stack_.scheduler().engine().cancel(pending.timeout);
+        pending.done(stack_.scheduler().engine().now() - pending.sentAt);
+    }
+}
+
+void
+Icmp::ping(Ipv4Addr dst, u16 seq, std::size_t payload_bytes,
+           std::function<void(Result<Duration>)> done)
+{
+    auto hdr = stack_.allocHeader(8 + payload_bytes);
+    if (!hdr.ok()) {
+        done(hdr.error());
+        return;
+    }
+    Cstruct req = hdr.value().shift(EthFrame::headerBytes);
+    req.setU8(0, typeEchoRequest);
+    req.setU8(1, 0);
+    req.setBe16(2, 0);
+    req.setBe16(4, ident_);
+    req.setBe16(6, seq);
+    for (std::size_t i = 0; i < payload_bytes; i++)
+        req.setU8(8 + i, u8(i));
+    req.setBe16(2, internetChecksum(req));
+    stack_.chargeChecksum(req.length());
+
+    u32 key = (u32(ident_) << 16) | seq;
+    auto &engine = stack_.scheduler().engine();
+    sim::EventId timeout =
+        engine.after(Duration::seconds(5), [this, key] {
+            auto it = pending_.find(key);
+            if (it == pending_.end())
+                return;
+            auto cb = std::move(it->second.done);
+            pending_.erase(it);
+            cb(Error(Error::Kind::Io, "ping timeout"));
+        });
+    pending_[key] = PendingPing{engine.now(), std::move(done), timeout};
+    stack_.ipv4().send(dst, IpProto::icmp, {req});
+}
+
+} // namespace mirage::net

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * ICMP: echo server (replies reuse the request's payload view — no
+ * copy) and an echo client for the §4.1.3 latency experiment.
+ */
+
+#ifndef MIRAGE_NET_ICMP_H
+#define MIRAGE_NET_ICMP_H
+
+#include <functional>
+#include <unordered_map>
+
+#include "base/cstruct.h"
+#include "base/time.h"
+#include "net/addresses.h"
+#include "net/ipv4.h"
+
+namespace mirage::net {
+
+class NetworkStack;
+
+class Icmp
+{
+  public:
+    static constexpr u8 typeEchoReply = 0;
+    static constexpr u8 typeEchoRequest = 8;
+
+    explicit Icmp(NetworkStack &stack);
+
+    void input(const Ipv4Packet &pkt);
+
+    /**
+     * Send an echo request; @p done receives the round-trip time or a
+     * timeout error.
+     */
+    void ping(Ipv4Addr dst, u16 seq, std::size_t payload_bytes,
+              std::function<void(Result<Duration>)> done);
+
+    u64 echoRequestsServed() const { return echo_served_; }
+    u64 echoRepliesReceived() const { return replies_; }
+
+  private:
+    struct PendingPing
+    {
+        TimePoint sentAt;
+        std::function<void(Result<Duration>)> done;
+        sim::EventId timeout;
+    };
+
+    NetworkStack &stack_;
+    u16 ident_ = 0x4d49; // 'MI'
+    std::unordered_map<u32, PendingPing> pending_; //!< key: ident<<16|seq
+    u64 echo_served_ = 0;
+    u64 replies_ = 0;
+};
+
+} // namespace mirage::net
+
+#endif // MIRAGE_NET_ICMP_H

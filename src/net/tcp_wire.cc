@@ -1,0 +1,119 @@
+#include "net/tcp_wire.h"
+
+#include "base/checksum.h"
+#include "net/ipv4.h"
+
+namespace mirage::net {
+
+Result<TcpSegment>
+TcpSegment::parse(const Cstruct &data)
+{
+    if (data.length() < 20)
+        return parseError("truncated TCP header");
+    TcpSegment seg;
+    seg.srcPort = data.getBe16(0);
+    seg.dstPort = data.getBe16(2);
+    seg.seq = data.getBe32(4);
+    seg.ack = data.getBe32(8);
+    u8 data_off = data.getU8(12) >> 4;
+    std::size_t hdr_len = std::size_t(data_off) * 4;
+    if (hdr_len < 20 || hdr_len > data.length())
+        return parseError("bad TCP data offset");
+    seg.flags = data.getU8(13) & 0x3f;
+    seg.window = data.getBe16(14);
+
+    // Parse options within [20, hdr_len).
+    std::size_t i = 20;
+    while (i < hdr_len) {
+        u8 kind = data.getU8(i);
+        if (kind == 0)
+            break; // end of options
+        if (kind == 1) {
+            i++;
+            continue; // NOP
+        }
+        if (i + 1 >= hdr_len)
+            return parseError("truncated TCP option");
+        u8 len = data.getU8(i + 1);
+        if (len < 2 || i + len > hdr_len)
+            return parseError("bad TCP option length");
+        if (kind == 2 && len == 4)
+            seg.mssOpt = data.getBe16(i + 2);
+        else if (kind == 3 && len == 3)
+            seg.wscaleOpt = data.getU8(i + 2);
+        i += len;
+    }
+    seg.payload = data.sub(hdr_len, data.length() - hdr_len);
+    return seg;
+}
+
+std::size_t
+writeTcpHeader(Cstruct buf, u16 sport, u16 dport, u32 seq, u32 ack,
+               u8 flags, u16 window, bool with_mss, u16 mss, int wscale)
+{
+    std::size_t opt_len = 0;
+    if (with_mss)
+        opt_len += 4;
+    if (wscale >= 0)
+        opt_len += 3;
+    std::size_t hdr_len = (20 + opt_len + 3) & ~std::size_t(3);
+
+    buf.setBe16(0, sport);
+    buf.setBe16(2, dport);
+    buf.setBe32(4, seq);
+    buf.setBe32(8, ack);
+    buf.setU8(12, u8((hdr_len / 4) << 4));
+    buf.setU8(13, flags);
+    buf.setBe16(14, window);
+    buf.setBe16(16, 0); // checksum placeholder
+    buf.setBe16(18, 0); // urgent pointer
+
+    std::size_t i = 20;
+    if (with_mss) {
+        buf.setU8(i, 2);
+        buf.setU8(i + 1, 4);
+        buf.setBe16(i + 2, mss);
+        i += 4;
+    }
+    if (wscale >= 0) {
+        buf.setU8(i, 3);
+        buf.setU8(i + 1, 3);
+        buf.setU8(i + 2, u8(wscale));
+        i += 3;
+    }
+    while (i < hdr_len)
+        buf.setU8(i++, 1); // NOP padding
+    return hdr_len;
+}
+
+void
+fillTcpChecksum(Ipv4Addr src, Ipv4Addr dst, Cstruct header,
+                std::size_t header_len,
+                const std::vector<Cstruct> &payload)
+{
+    std::size_t total = header_len;
+    for (const auto &p : payload)
+        total += p.length();
+    ChecksumAccumulator acc;
+    u32 pseudo = Ipv4::pseudoHeaderSum(src, dst, IpProto::tcp, total);
+    acc.addWord(u16(pseudo >> 16));
+    acc.addWord(u16(pseudo & 0xffff));
+    acc.add(header.sub(0, header_len));
+    for (const auto &p : payload)
+        acc.add(p);
+    header.setBe16(16, acc.finish());
+}
+
+bool
+verifyTcpChecksum(Ipv4Addr src, Ipv4Addr dst, const Cstruct &data)
+{
+    ChecksumAccumulator acc;
+    u32 pseudo =
+        Ipv4::pseudoHeaderSum(src, dst, IpProto::tcp, data.length());
+    acc.addWord(u16(pseudo >> 16));
+    acc.addWord(u16(pseudo & 0xffff));
+    acc.add(data);
+    return acc.finish() == 0;
+}
+
+} // namespace mirage::net

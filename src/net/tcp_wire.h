@@ -1,0 +1,84 @@
+/**
+ * @file
+ * TCP wire format: header parse/build with the MSS and window-scale
+ * options the stack negotiates (§4.1.3: "full connection lifecycle,
+ * fast retransmit and recovery, New Reno congestion control, and
+ * window scaling").
+ */
+
+#ifndef MIRAGE_NET_TCP_WIRE_H
+#define MIRAGE_NET_TCP_WIRE_H
+
+#include <vector>
+
+#include "base/cstruct.h"
+#include "base/result.h"
+#include "net/addresses.h"
+
+namespace mirage::net {
+
+struct TcpFlags
+{
+    static constexpr u8 fin = 0x01;
+    static constexpr u8 syn = 0x02;
+    static constexpr u8 rst = 0x04;
+    static constexpr u8 psh = 0x08;
+    static constexpr u8 ack = 0x10;
+};
+
+/** A parsed TCP segment; payload is a zero-copy view. */
+struct TcpSegment
+{
+    u16 srcPort = 0;
+    u16 dstPort = 0;
+    u32 seq = 0;
+    u32 ack = 0;
+    u8 flags = 0;
+    u16 window = 0;
+    u16 mssOpt = 0;    //!< 0 when the option is absent
+    int wscaleOpt = -1; //!< -1 when absent
+    Cstruct payload;
+
+    static Result<TcpSegment> parse(const Cstruct &data);
+
+    bool has(u8 flag) const { return (flags & flag) != 0; }
+};
+
+/**
+ * Write a TCP header into @p buf.
+ * @param wscale window-scale shift to advertise, or -1 for none
+ * @param with_mss whether to include an MSS option (SYN segments)
+ * @return the header length written (20 + options, padded to 4).
+ */
+std::size_t writeTcpHeader(Cstruct buf, u16 sport, u16 dport, u32 seq,
+                           u32 ack, u8 flags, u16 window, bool with_mss,
+                           u16 mss, int wscale);
+
+/**
+ * Compute the TCP checksum over pseudo-header + header + payload and
+ * store it in @p header at offset 16. Scatter-aware: payload views are
+ * folded in place, no flattening.
+ */
+void fillTcpChecksum(Ipv4Addr src, Ipv4Addr dst, Cstruct header,
+                     std::size_t header_len,
+                     const std::vector<Cstruct> &payload);
+
+/** Verify the checksum of a received segment. */
+bool verifyTcpChecksum(Ipv4Addr src, Ipv4Addr dst, const Cstruct &data);
+
+/** Serial-number arithmetic (RFC 1982 style) for 32-bit sequences. */
+inline bool
+seqLt(u32 a, u32 b)
+{
+    return i32(a - b) < 0;
+}
+
+inline bool
+seqLe(u32 a, u32 b)
+{
+    return i32(a - b) <= 0;
+}
+
+} // namespace mirage::net
+
+#endif // MIRAGE_NET_TCP_WIRE_H

@@ -1,0 +1,94 @@
+#include "protocols/dns/server.h"
+
+namespace mirage::dns {
+
+DnsServer::DnsServer(Zone zone, Config config)
+    : zone_(std::move(zone)), config_(config),
+      memo_(config.memoCapacity)
+{
+}
+
+Cstruct
+DnsServer::buildResponse(const DnsMessage &query)
+{
+    DnsMessage rsp;
+    rsp.header = query.header;
+    rsp.header.qr = true;
+    rsp.header.aa = true;
+    rsp.header.ra = false;
+    rsp.header.rcode = Rcode::NoError;
+    rsp.questions = query.questions;
+
+    const Question &q = query.questions.front();
+    if (!zone_.inZone(q.qname)) {
+        rsp.header.rcode = Rcode::Refused;
+    } else {
+        // Chase one CNAME hop, then the target type.
+        auto direct = zone_.lookup(q.qname, RrType(q.qtype));
+        if (direct.empty()) {
+            auto cname = zone_.lookup(q.qname, RrType::CNAME);
+            if (!cname.empty()) {
+                rsp.answers.push_back(cname.front());
+                auto chased =
+                    zone_.lookup(cname.front().target, RrType(q.qtype));
+                for (auto &rr : chased)
+                    rsp.answers.push_back(rr);
+            } else if (!zone_.nameExists(q.qname)) {
+                rsp.header.rcode = Rcode::NxDomain;
+                stats_.nxdomain++;
+            }
+            // else: NODATA — empty answer, NoError.
+        } else {
+            rsp.answers = std::move(direct);
+        }
+    }
+    MessageWriter writer(config_.compression);
+    return writer.write(rsp);
+}
+
+Result<Cstruct>
+DnsServer::answer(const Cstruct &query)
+{
+    stats_.queries++;
+    auto parsed = parseMessage(query);
+    if (!parsed.ok() || parsed.value().header.qr ||
+        parsed.value().questions.empty()) {
+        stats_.dropped++;
+        return parseError("unanswerable query");
+    }
+    const DnsMessage &msg = parsed.value();
+    const Question &q = msg.questions.front();
+
+    if (!config_.memoize) {
+        return buildResponse(msg);
+    }
+
+    // Memoize on (qname, qtype); the cached packet is copied and its
+    // id patched per query — the §4.2 "20 line patch".
+    std::string key =
+        nameToString(q.qname) + "/" + std::to_string(q.qtype);
+    u64 hits_before = memo_.hits();
+    Cstruct cached =
+        memo_.get(key, [&] { return buildResponse(msg); });
+    if (memo_.hits() > hits_before)
+        stats_.memoHits++;
+    Cstruct out = Cstruct::create(cached.length());
+    out.blitFrom(cached, 0, 0, cached.length());
+    out.setBe16(0, msg.header.id);
+    return out;
+}
+
+Status
+DnsServer::attachUdp(net::NetworkStack &stack)
+{
+    return stack.udp().listen(
+        53, [this, &stack](const net::UdpDatagram &dgram) {
+            auto rsp = answer(dgram.payload);
+            if (!rsp.ok())
+                return; // drop malformed input
+            stack.udp().sendTo(dgram.srcIp, dgram.srcPort, 53,
+                               {rsp.value()});
+        });
+}
+
+} // namespace mirage::dns

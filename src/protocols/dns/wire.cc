@@ -1,0 +1,327 @@
+#include "protocols/dns/wire.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace mirage::dns {
+
+std::string
+nameToString(const Name &name)
+{
+    if (name.empty())
+        return ".";
+    std::string out;
+    for (const auto &label : name) {
+        out += label;
+        out += '.';
+    }
+    out.pop_back();
+    return out;
+}
+
+Result<Name>
+nameFromString(const std::string &dotted)
+{
+    Name out;
+    std::string label;
+    for (char c : dotted) {
+        if (c == '.') {
+            if (label.empty())
+                continue; // tolerate trailing dot
+            out.push_back(label);
+            label.clear();
+            continue;
+        }
+        label += char(std::tolower(static_cast<unsigned char>(c)));
+    }
+    if (!label.empty())
+        out.push_back(label);
+    for (const auto &l : out)
+        if (l.size() > 63)
+            return parseError("DNS label too long: " + l);
+    if (out.size() > 32)
+        return parseError("DNS name too deep");
+    return out;
+}
+
+namespace {
+
+/** Parse a (possibly compressed) name starting at @p at. Updates @p at
+ *  to just past the name in the original stream. */
+Result<Name>
+parseName(const Cstruct &pkt, std::size_t &at)
+{
+    Name out;
+    std::size_t pos = at;
+    bool jumped = false;
+    int hops = 0;
+    for (;;) {
+        auto len_r = pkt.tryGetU8(pos);
+        if (!len_r.ok())
+            return parseError("DNS name runs past packet");
+        u8 len = len_r.value();
+        if ((len & 0xc0) == 0xc0) {
+            auto ptr_r = pkt.tryGetBe16(pos);
+            if (!ptr_r.ok())
+                return parseError("truncated compression pointer");
+            u16 target = ptr_r.value() & 0x3fff;
+            if (!jumped)
+                at = pos + 2;
+            jumped = true;
+            if (++hops > 32)
+                return parseError("compression pointer loop");
+            pos = target;
+            continue;
+        }
+        if (len > 63)
+            return parseError("bad label length");
+        if (len == 0) {
+            if (!jumped)
+                at = pos + 1;
+            return out;
+        }
+        auto label = pkt.trySub(pos + 1, len);
+        if (!label.ok())
+            return parseError("label runs past packet");
+        std::string l = label.value().toString();
+        for (auto &c : l)
+            c = char(std::tolower(static_cast<unsigned char>(c)));
+        out.push_back(std::move(l));
+        pos += 1 + std::size_t(len);
+        if (out.size() > 64)
+            return parseError("name too long");
+    }
+}
+
+Result<ResourceRecord>
+parseRecord(const Cstruct &pkt, std::size_t &at)
+{
+    ResourceRecord rr;
+    auto name = parseName(pkt, at);
+    if (!name.ok())
+        return name.error();
+    rr.name = name.value();
+    auto type_r = pkt.tryGetBe16(at);
+    if (!type_r.ok())
+        return parseError("truncated RR fixed part");
+    rr.type = RrType(type_r.value());
+    auto ttl_hi = pkt.tryGetBe16(at + 4);
+    auto ttl_lo = pkt.tryGetBe16(at + 6);
+    auto rdlen_r = pkt.tryGetBe16(at + 8);
+    if (!ttl_hi.ok() || !ttl_lo.ok() || !rdlen_r.ok())
+        return parseError("truncated RR fixed part");
+    rr.ttl = (u32(ttl_hi.value()) << 16) | ttl_lo.value();
+    u16 rdlen = rdlen_r.value();
+    std::size_t rdata_at = at + 10;
+    auto rdata = pkt.trySub(rdata_at, rdlen);
+    if (!rdata.ok())
+        return parseError("RDATA runs past packet");
+    at = rdata_at + rdlen;
+
+    switch (rr.type) {
+      case RrType::A:
+        if (rdlen != 4)
+            return parseError("bad A RDATA length");
+        rr.a = net::Ipv4Addr(rdata.value().getBe32(0));
+        break;
+      case RrType::NS:
+      case RrType::CNAME: {
+        std::size_t p = rdata_at;
+        auto target = parseName(pkt, p);
+        if (!target.ok())
+            return target.error();
+        rr.target = target.value();
+        break;
+      }
+      case RrType::TXT:
+        rr.text = rdata.value().toString();
+        break;
+      default:
+        rr.text = rdata.value().toString();
+        break;
+    }
+    return rr;
+}
+
+} // namespace
+
+Result<DnsMessage>
+parseMessage(const Cstruct &packet)
+{
+    if (packet.length() < 12)
+        return parseError("DNS message shorter than header");
+    DnsMessage msg;
+    DnsHeader &h = msg.header;
+    h.id = packet.getBe16(0);
+    u16 flags = packet.getBe16(2);
+    h.qr = (flags >> 15) & 1;
+    h.opcode = u8((flags >> 11) & 0xf);
+    h.aa = (flags >> 10) & 1;
+    h.tc = (flags >> 9) & 1;
+    h.rd = (flags >> 8) & 1;
+    h.ra = (flags >> 7) & 1;
+    h.rcode = Rcode(flags & 0xf);
+    h.qdcount = packet.getBe16(4);
+    h.ancount = packet.getBe16(6);
+    h.nscount = packet.getBe16(8);
+    h.arcount = packet.getBe16(10);
+
+    std::size_t at = 12;
+    for (u16 i = 0; i < h.qdcount; i++) {
+        auto qname = parseName(packet, at);
+        if (!qname.ok())
+            return qname.error();
+        auto qtype = packet.tryGetBe16(at);
+        auto qclass = packet.tryGetBe16(at + 2);
+        if (!qtype.ok() || !qclass.ok())
+            return parseError("truncated question");
+        at += 4;
+        msg.questions.push_back(
+            Question{qname.value(), qtype.value(), qclass.value()});
+    }
+    for (u16 i = 0; i < h.ancount; i++) {
+        auto rr = parseRecord(packet, at);
+        if (!rr.ok())
+            return rr.error();
+        msg.answers.push_back(rr.value());
+    }
+    for (u16 i = 0; i < h.nscount; i++) {
+        auto rr = parseRecord(packet, at);
+        if (!rr.ok())
+            return rr.error();
+        msg.authority.push_back(rr.value());
+    }
+    // Additional records ignored.
+    return msg;
+}
+
+// ---- Writer ---------------------------------------------------------------------
+
+std::string
+suffixKey(const Name &name, std::size_t from)
+{
+    std::string key;
+    for (std::size_t i = from; i < name.size(); i++) {
+        key += name[i];
+        key += '.';
+    }
+    return key;
+}
+
+void
+MessageWriter::writeName(std::vector<u8> &out, const Name &name)
+{
+    for (std::size_t i = 0; i < name.size(); i++) {
+        // Look for a previously-written suffix to point at.
+        if (impl_ != CompressionImpl::None) {
+            std::string key = suffixKey(name, i);
+            u16 offset = 0;
+            bool found = false;
+            if (impl_ == CompressionImpl::FunctionalMap) {
+                auto it = functional_.find(key);
+                if (it != functional_.end()) {
+                    offset = it->second;
+                    found = true;
+                }
+            } else {
+                auto it = hashtable_.find(key);
+                if (it != hashtable_.end()) {
+                    offset = it->second;
+                    found = true;
+                }
+            }
+            if (found) {
+                pointer_hits_++;
+                out.push_back(u8(0xc0 | (offset >> 8)));
+                out.push_back(u8(offset & 0xff));
+                return;
+            }
+            // Record this suffix's position (if encodable in 14 bits).
+            if (out.size() < 0x3fff) {
+                u16 here = u16(out.size());
+                if (impl_ == CompressionImpl::FunctionalMap)
+                    functional_.emplace(std::move(key), here);
+                else
+                    hashtable_.emplace(std::move(key), here);
+            }
+        }
+        out.push_back(u8(name[i].size()));
+        for (char c : name[i])
+            out.push_back(u8(c));
+    }
+    out.push_back(0);
+}
+
+void
+MessageWriter::writeRecord(std::vector<u8> &out,
+                           const ResourceRecord &rr)
+{
+    writeName(out, rr.name);
+    auto be16 = [&](u16 v) {
+        out.push_back(u8(v >> 8));
+        out.push_back(u8(v));
+    };
+    be16(u16(rr.type));
+    be16(1); // IN
+    be16(u16(rr.ttl >> 16));
+    be16(u16(rr.ttl));
+    switch (rr.type) {
+      case RrType::A:
+        be16(4);
+        out.push_back(u8(rr.a.raw() >> 24));
+        out.push_back(u8(rr.a.raw() >> 16));
+        out.push_back(u8(rr.a.raw() >> 8));
+        out.push_back(u8(rr.a.raw()));
+        break;
+      case RrType::NS:
+      case RrType::CNAME: {
+        std::size_t len_at = out.size();
+        be16(0); // placeholder
+        std::size_t start = out.size();
+        writeName(out, rr.target);
+        u16 rdlen = u16(out.size() - start);
+        out[len_at] = u8(rdlen >> 8);
+        out[len_at + 1] = u8(rdlen);
+        break;
+      }
+      default:
+        be16(u16(rr.text.size()));
+        for (char c : rr.text)
+            out.push_back(u8(c));
+        break;
+    }
+}
+
+Cstruct
+MessageWriter::write(const DnsMessage &msg)
+{
+    std::vector<u8> out;
+    out.reserve(512);
+    auto be16 = [&](u16 v) {
+        out.push_back(u8(v >> 8));
+        out.push_back(u8(v));
+    };
+    const DnsHeader &h = msg.header;
+    be16(h.id);
+    u16 flags = u16((h.qr ? 0x8000 : 0) | (u16(h.opcode & 0xf) << 11) |
+                    (h.aa ? 0x0400 : 0) | (h.tc ? 0x0200 : 0) |
+                    (h.rd ? 0x0100 : 0) | (h.ra ? 0x0080 : 0) |
+                    u16(u8(h.rcode) & 0xf));
+    be16(flags);
+    be16(u16(msg.questions.size()));
+    be16(u16(msg.answers.size()));
+    be16(u16(msg.authority.size()));
+    be16(0);
+    for (const auto &q : msg.questions) {
+        writeName(out, q.qname);
+        be16(q.qtype);
+        be16(q.qclass);
+    }
+    for (const auto &rr : msg.answers)
+        writeRecord(out, rr);
+    for (const auto &rr : msg.authority)
+        writeRecord(out, rr);
+    return Cstruct(Buffer::fromBytes(out.data(), out.size()));
+}
+
+} // namespace mirage::dns

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * DNS wire format: header, names with decompression, questions and
+ * resource records, and two interchangeable label-compression
+ * implementations for the response writer — the naive mutable
+ * hashtable and the functional map with a size-first ordering, whose
+ * ~20 % speedup and hash-DoS resistance §4.2 reports.
+ */
+
+#ifndef MIRAGE_PROTOCOLS_DNS_WIRE_H
+#define MIRAGE_PROTOCOLS_DNS_WIRE_H
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/cstruct.h"
+#include "base/result.h"
+#include "net/addresses.h"
+
+namespace mirage::dns {
+
+/** Record types supported by the library. */
+enum class RrType : u16 {
+    A = 1,
+    NS = 2,
+    CNAME = 5,
+    SOA = 6,
+    TXT = 16,
+};
+
+/** Response codes. */
+enum class Rcode : u8 {
+    NoError = 0,
+    FormErr = 1,
+    ServFail = 2,
+    NxDomain = 3,
+    NotImp = 4,
+    Refused = 5,
+};
+
+/** A domain name as lowercase labels, e.g. {"www","example","com"}. */
+using Name = std::vector<std::string>;
+
+std::string nameToString(const Name &name);
+Result<Name> nameFromString(const std::string &dotted);
+
+struct Question
+{
+    Name qname;
+    u16 qtype;
+    u16 qclass;
+};
+
+struct ResourceRecord
+{
+    Name name;
+    RrType type;
+    u32 ttl;
+    // Payload variants (only the one matching `type` is meaningful).
+    net::Ipv4Addr a;
+    Name target; //!< NS/CNAME
+    std::string text;
+};
+
+struct DnsHeader
+{
+    u16 id;
+    bool qr;     //!< response flag
+    u8 opcode;
+    bool aa;     //!< authoritative
+    bool tc;
+    bool rd;
+    bool ra;
+    Rcode rcode;
+    u16 qdcount, ancount, nscount, arcount;
+};
+
+struct DnsMessage
+{
+    DnsHeader header;
+    std::vector<Question> questions;
+    std::vector<ResourceRecord> answers;
+    std::vector<ResourceRecord> authority;
+};
+
+/** Parse a full message (with compression-pointer support). */
+Result<DnsMessage> parseMessage(const Cstruct &packet);
+
+// ---- Response writer ---------------------------------------------------------
+
+/** Label-compression strategy for the writer (§4.2 ablation). */
+enum class CompressionImpl {
+    None,          //!< never compress (baseline of baselines)
+    NaiveHashtable,//!< mutable hashtable keyed by suffix string
+    FunctionalMap  //!< ordered map, size-first comparison
+};
+
+/**
+ * Serialises one DNS message. A writer instance holds the compression
+ * state for a single packet.
+ */
+class MessageWriter
+{
+  public:
+    explicit MessageWriter(CompressionImpl impl)
+        : impl_(impl)
+    {
+    }
+
+    /** Serialise @p msg into a fresh view. */
+    Cstruct write(const DnsMessage &msg);
+
+    u64 pointerHits() const { return pointer_hits_; }
+
+  private:
+    struct SizeFirstLess
+    {
+        /**
+         * The §4.2 trick: compare sizes before contents, so unequal-
+         * length suffixes resolve in O(1) and the structure is immune
+         * to collision-crafting.
+         */
+        bool
+        operator()(const std::string &a, const std::string &b) const
+        {
+            if (a.size() != b.size())
+                return a.size() < b.size();
+            return a < b;
+        }
+    };
+
+    void writeName(std::vector<u8> &out, const Name &name);
+    void writeRecord(std::vector<u8> &out, const ResourceRecord &rr);
+
+    CompressionImpl impl_;
+    std::map<std::string, u16, SizeFirstLess> functional_;
+    std::unordered_map<std::string, u16> hashtable_;
+    u64 pointer_hits_ = 0;
+};
+
+/** Canonical suffix key for compression tables. */
+std::string suffixKey(const Name &name, std::size_t from);
+
+} // namespace mirage::dns
+
+#endif // MIRAGE_PROTOCOLS_DNS_WIRE_H

@@ -1,0 +1,207 @@
+#include "protocols/dns/zone.h"
+
+#include <sstream>
+
+#include "base/logging.h"
+
+namespace mirage::dns {
+
+void
+Zone::addRecord(ResourceRecord rr)
+{
+    byName_[nameToString(rr.name)].push_back(std::move(rr));
+    records_++;
+}
+
+std::vector<ResourceRecord>
+Zone::lookup(const Name &name, RrType type) const
+{
+    auto it = byName_.find(nameToString(name));
+    if (it == byName_.end())
+        return {};
+    std::vector<ResourceRecord> out;
+    for (const auto &rr : it->second)
+        if (rr.type == type || type == RrType(255))
+            out.push_back(rr);
+    return out;
+}
+
+bool
+Zone::nameExists(const Name &name) const
+{
+    return byName_.find(nameToString(name)) != byName_.end();
+}
+
+bool
+Zone::inZone(const Name &name) const
+{
+    if (name.size() < origin_.size())
+        return false;
+    std::size_t off = name.size() - origin_.size();
+    for (std::size_t i = 0; i < origin_.size(); i++)
+        if (name[off + i] != origin_[i])
+            return false;
+    return true;
+}
+
+Result<Zone>
+Zone::parse(const std::string &text)
+{
+    Zone zone;
+    u32 default_ttl = 3600;
+    Name origin;
+    Name last_name;
+    std::istringstream in(text);
+    std::string line;
+    int line_no = 0;
+
+    while (std::getline(in, line)) {
+        line_no++;
+        // Strip comments.
+        auto semi = line.find(';');
+        if (semi != std::string::npos)
+            line = line.substr(0, semi);
+        std::istringstream ls(line);
+        std::vector<std::string> tok;
+        std::string t;
+        while (ls >> t)
+            tok.push_back(t);
+        if (tok.empty())
+            continue;
+
+        if (tok[0] == "$ORIGIN") {
+            if (tok.size() < 2)
+                return parseError(
+                    strprintf("line %d: $ORIGIN needs a name", line_no));
+            auto o = nameFromString(tok[1]);
+            if (!o.ok())
+                return o.error();
+            origin = o.value();
+            if (zone.origin_.empty())
+                zone.origin_ = origin;
+            continue;
+        }
+        if (tok[0] == "$TTL") {
+            if (tok.size() < 2)
+                return parseError(
+                    strprintf("line %d: $TTL needs a value", line_no));
+            default_ttl = u32(std::stoul(tok[1]));
+            continue;
+        }
+
+        // [name] [ttl] [IN] type rdata...
+        std::size_t i = 0;
+        Name rname;
+        bool starts_with_ws =
+            !line.empty() && (line[0] == ' ' || line[0] == '\t');
+        if (starts_with_ws) {
+            rname = last_name;
+        } else {
+            std::string raw = tok[i++];
+            if (raw == "@") {
+                rname = origin;
+            } else {
+                auto n = nameFromString(raw);
+                if (!n.ok())
+                    return n.error();
+                rname = n.value();
+                // Relative names append the origin.
+                if (!raw.empty() && raw.back() != '.')
+                    rname.insert(rname.end(), origin.begin(),
+                                 origin.end());
+            }
+        }
+        last_name = rname;
+
+        u32 ttl = default_ttl;
+        if (i < tok.size() && !tok[i].empty() &&
+            std::isdigit(static_cast<unsigned char>(tok[i][0]))) {
+            ttl = u32(std::stoul(tok[i++]));
+        }
+        if (i < tok.size() && (tok[i] == "IN" || tok[i] == "in"))
+            i++;
+        if (i >= tok.size())
+            return parseError(
+                strprintf("line %d: missing record type", line_no));
+        std::string type = tok[i++];
+
+        ResourceRecord rr;
+        rr.name = rname;
+        rr.ttl = ttl;
+        if (type == "A") {
+            if (i >= tok.size())
+                return parseError(
+                    strprintf("line %d: A needs an address", line_no));
+            auto a = net::Ipv4Addr::parse(tok[i]);
+            if (!a.ok())
+                return a.error();
+            rr.type = RrType::A;
+            rr.a = a.value();
+        } else if (type == "NS" || type == "CNAME") {
+            if (i >= tok.size())
+                return parseError(
+                    strprintf("line %d: %s needs a target", line_no,
+                              type.c_str()));
+            auto target = nameFromString(tok[i]);
+            if (!target.ok())
+                return target.error();
+            rr.type = type == "NS" ? RrType::NS : RrType::CNAME;
+            rr.target = target.value();
+            if (!tok[i].empty() && tok[i].back() != '.')
+                rr.target.insert(rr.target.end(), origin.begin(),
+                                 origin.end());
+        } else if (type == "TXT") {
+            rr.type = RrType::TXT;
+            std::string text_joined;
+            for (; i < tok.size(); i++) {
+                if (!text_joined.empty())
+                    text_joined += ' ';
+                text_joined += tok[i];
+            }
+            // Strip surrounding quotes.
+            if (text_joined.size() >= 2 && text_joined.front() == '"' &&
+                text_joined.back() == '"')
+                text_joined =
+                    text_joined.substr(1, text_joined.size() - 2);
+            rr.text = text_joined;
+        } else if (type == "SOA") {
+            rr.type = RrType::SOA;
+            // Stored opaque; serials not tracked.
+            rr.text = "soa";
+        } else {
+            return parseError(strprintf("line %d: unsupported type %s",
+                                        line_no, type.c_str()));
+        }
+        zone.addRecord(std::move(rr));
+    }
+    if (zone.origin_.empty())
+        return parseError("zone has no $ORIGIN");
+    return zone;
+}
+
+Zone
+syntheticZone(const std::string &origin, std::size_t entries)
+{
+    auto o = nameFromString(origin);
+    if (!o.ok())
+        panic("syntheticZone: bad origin %s", origin.c_str());
+    Zone zone(o.value());
+    ResourceRecord ns;
+    ns.name = o.value();
+    ns.type = RrType::NS;
+    ns.ttl = 3600;
+    ns.target = nameFromString("ns1." + origin).value();
+    zone.addRecord(ns);
+    for (std::size_t i = 0; i < entries; i++) {
+        ResourceRecord rr;
+        rr.name = nameFromString(strprintf("host%06zu.", i) + origin)
+                      .value();
+        rr.type = RrType::A;
+        rr.ttl = 3600;
+        rr.a = net::Ipv4Addr(u32(0x0a000000 + i + 1));
+        zone.addRecord(std::move(rr));
+    }
+    return zone;
+}
+
+} // namespace mirage::dns

@@ -1,0 +1,106 @@
+#include "protocols/http/client.h"
+
+namespace mirage::http {
+
+std::shared_ptr<HttpSession>
+HttpSession::open(net::NetworkStack &stack, net::Ipv4Addr host,
+                  u16 port, std::function<void(Status)> ready)
+{
+    auto session = std::shared_ptr<HttpSession>(new HttpSession());
+    stack.tcp().connect(
+        host, port,
+        [session, ready = std::move(ready)](
+            Result<net::TcpConnPtr> r) {
+            if (!r.ok()) {
+                ready(r.error());
+                return;
+            }
+            session->conn_ = r.value();
+            session->conn_->onClose([session] {
+                session->closed_ = true;
+                session->failAll("connection closed");
+            });
+            session->conn_->onData([session](Cstruct data) {
+                session->onData(data);
+            });
+            ready(Status::success());
+        });
+    return session;
+}
+
+void
+HttpSession::onData(Cstruct data)
+{
+    parser_.feed(data);
+    while (parser_.state() == ResponseParser::State::Ready) {
+        HttpResponse rsp = parser_.take();
+        if (waiting_.empty())
+            break; // unsolicited response; drop
+        auto cb = std::move(waiting_.front());
+        waiting_.pop_front();
+        completed_++;
+        cb(std::move(rsp));
+    }
+    if (parser_.state() == ResponseParser::State::Broken)
+        failAll("response parse error: " + parser_.error());
+}
+
+void
+HttpSession::failAll(const std::string &why)
+{
+    auto waiting = std::move(waiting_);
+    waiting_.clear();
+    for (auto &cb : waiting)
+        cb(Error(Error::Kind::Io, why));
+}
+
+void
+HttpSession::request(HttpRequest req, ResponseCb done)
+{
+    if (!connected()) {
+        done(stateError("session not connected"));
+        return;
+    }
+    waiting_.push_back(std::move(done));
+    conn_->write(serialiseRequest(req));
+}
+
+void
+HttpSession::close()
+{
+    if (conn_ && !closed_) {
+        closed_ = true;
+        conn_->close();
+    }
+}
+
+void
+httpGet(net::NetworkStack &stack, net::Ipv4Addr host, u16 port,
+        const std::string &path,
+        std::function<void(Result<HttpResponse>)> done)
+{
+    auto session_holder = std::make_shared<std::shared_ptr<HttpSession>>();
+    auto done_ptr = std::make_shared<
+        std::function<void(Result<HttpResponse>)>>(std::move(done));
+    *session_holder = HttpSession::open(
+        stack, host, port,
+        [session_holder, path, done_ptr](Status st) {
+            auto session = *session_holder;
+            if (!st.ok()) {
+                (*done_ptr)(st.error());
+                return;
+            }
+            HttpRequest req;
+            req.method = "GET";
+            req.path = path;
+            req.headers["Connection"] = "close";
+            session->request(std::move(req),
+                             [session, done_ptr](
+                                 Result<HttpResponse> r) {
+                                 session->close();
+                                 (*done_ptr)(std::move(r));
+                             });
+        });
+}
+
+} // namespace mirage::http

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * HTTP client: one-shot requests and persistent sessions (the shape
+ * httperf drives in §4.4 — several requests per connection).
+ */
+
+#ifndef MIRAGE_PROTOCOLS_HTTP_CLIENT_H
+#define MIRAGE_PROTOCOLS_HTTP_CLIENT_H
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "net/stack.h"
+#include "protocols/http/message.h"
+
+namespace mirage::http {
+
+/** A persistent connection issuing requests in order. */
+class HttpSession : public std::enable_shared_from_this<HttpSession>
+{
+  public:
+    using ResponseCb = std::function<void(Result<HttpResponse>)>;
+
+    static std::shared_ptr<HttpSession>
+    open(net::NetworkStack &stack, net::Ipv4Addr host, u16 port,
+         std::function<void(Status)> ready);
+
+    /** Queue a request; callbacks fire in order. */
+    void request(HttpRequest req, ResponseCb done);
+
+    void close();
+
+    bool connected() const { return conn_ != nullptr && !closed_; }
+    u64 requestsCompleted() const { return completed_; }
+
+  private:
+    HttpSession() = default;
+
+    void onData(Cstruct data);
+    void failAll(const std::string &why);
+
+    net::TcpConnPtr conn_;
+    ResponseParser parser_;
+    std::deque<ResponseCb> waiting_;
+    bool closed_ = false;
+    u64 completed_ = 0;
+};
+
+/** One-shot convenience: connect, request, close. */
+void httpGet(net::NetworkStack &stack, net::Ipv4Addr host, u16 port,
+             const std::string &path,
+             std::function<void(Result<HttpResponse>)> done);
+
+} // namespace mirage::http
+
+#endif // MIRAGE_PROTOCOLS_HTTP_CLIENT_H

@@ -1,0 +1,60 @@
+#include "protocols/http/server.h"
+
+#include "base/logging.h"
+
+namespace mirage::http {
+
+HttpServer::HttpServer(net::NetworkStack &stack, u16 port,
+                       Handler handler)
+    : stack_(stack), handler_(std::move(handler))
+{
+    Status st = stack_.tcp().listen(
+        port, [this](net::TcpConnPtr conn) { onAccept(conn); });
+    if (!st.ok())
+        fatal("HttpServer: %s", st.error().message.c_str());
+}
+
+void
+HttpServer::onAccept(net::TcpConnPtr conn)
+{
+    connections_++;
+    auto st = std::make_shared<ConnState>();
+    st->conn = std::move(conn);
+    st->conn->onClose([st] { st->closed = true; });
+    st->conn->onData([this, st](Cstruct data) {
+        st->parser.feed(data);
+        pump(st);
+    });
+}
+
+void
+HttpServer::pump(std::shared_ptr<ConnState> st)
+{
+    if (st->closed)
+        return;
+    if (st->parser.state() == RequestParser::State::Broken) {
+        parse_failures_++;
+        st->conn->close();
+        return;
+    }
+    if (st->parser.state() != RequestParser::State::Ready)
+        return;
+    HttpRequest req = st->parser.take();
+    bool keep = req.keepAlive();
+    requests_++;
+    handler_(req, [this, st, keep](HttpResponse rsp) {
+        if (st->closed)
+            return;
+        if (!keep)
+            rsp.headers["Connection"] = "close";
+        st->conn->write(serialiseResponse(rsp));
+        if (!keep) {
+            st->conn->close();
+            return;
+        }
+        // Serve any pipelined request already buffered.
+        pump(st);
+    });
+}
+
+} // namespace mirage::http

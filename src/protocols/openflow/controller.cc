@@ -1,0 +1,132 @@
+#include "protocols/openflow/controller.h"
+
+#include "base/logging.h"
+
+namespace mirage::openflow {
+
+Controller::Controller(net::NetworkStack &stack, u16 port,
+                       PacketInHandler on_packet_in)
+    : stack_(stack), on_packet_in_(std::move(on_packet_in))
+{
+    Status st = stack_.tcp().listen(port, [this](net::TcpConnPtr conn) {
+        auto session = SessionPtr(new Session(*this, std::move(conn)));
+        sessions_.push_back(session);
+    });
+    if (!st.ok())
+        fatal("openflow controller: %s", st.error().message.c_str());
+}
+
+Controller::Session::Session(Controller &owner, net::TcpConnPtr conn)
+    : owner_(owner), conn_(std::move(conn))
+{
+    conn_->onData([this](Cstruct data) { onData(std::move(data)); });
+    send(buildHello(next_xid_++));
+}
+
+void
+Controller::Session::send(const Cstruct &msg)
+{
+    conn_->write(msg);
+}
+
+void
+Controller::Session::onData(Cstruct data)
+{
+    framer_.feed(data);
+    auto self = shared_from_this();
+    while (auto msg = framer_.next())
+        self->handleMessage(*msg);
+}
+
+void
+Controller::Session::handleMessage(const Cstruct &msg)
+{
+    auto h = parseHeader(msg);
+    if (!h.ok())
+        return;
+    switch (h.value().type) {
+      case MsgType::Hello:
+        send(buildFeaturesRequest(next_xid_++));
+        break;
+      case MsgType::FeaturesReply: {
+        auto f = parseFeaturesReply(msg);
+        if (f.ok()) {
+            dpid_ = f.value().datapathId;
+            ready_ = true;
+        }
+        break;
+      }
+      case MsgType::EchoRequest:
+        send(buildEchoReply(h.value().xid));
+        break;
+      case MsgType::PacketIn: {
+        auto p = parsePacketIn(msg);
+        if (p.ok()) {
+            owner_.packet_ins_++;
+            if (owner_.on_packet_in_)
+                owner_.on_packet_in_(*this, p.value());
+        }
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+void
+Controller::Session::sendPacketOut(u32 buffer_id, u16 in_port,
+                                   const std::vector<u16> &out_ports,
+                                   const Cstruct &frame)
+{
+    owner_.packet_outs_++;
+    // When the switch buffered the packet, resend by reference only.
+    Cstruct data = buffer_id != 0xffffffff ? Cstruct() : frame;
+    send(buildPacketOut(next_xid_++, buffer_id, in_port, out_ports,
+                        data));
+}
+
+void
+Controller::Session::sendFlowMod(const Match &match, u16 priority,
+                                 u32 buffer_id,
+                                 const std::vector<u16> &out_ports)
+{
+    owner_.flow_mods_++;
+    send(buildFlowMod(next_xid_++, match, priority, buffer_id,
+                      out_ports));
+}
+
+Controller::PacketInHandler
+LearningSwitchApp::handler()
+{
+    return [this](Controller::Session &sw, const PacketIn &pin) {
+        if (pin.frame.length() < 14)
+            return;
+        xen::MacBytes dst_b, src_b;
+        for (std::size_t i = 0; i < 6; i++) {
+            dst_b[i] = pin.frame.getU8(i);
+            src_b[i] = pin.frame.getU8(6 + i);
+        }
+        net::MacAddr dst(dst_b), src(src_b);
+        u16 dl_type = pin.frame.getBe16(12);
+
+        auto &table = tables_[sw.datapathId()];
+        table[src] = pin.inPort;
+
+        auto it = table.find(dst);
+        if (it == table.end() || dst.isBroadcast()) {
+            floods_++;
+            sw.sendPacketOut(pin.bufferId, pin.inPort, {portFlood},
+                             pin.frame);
+            return;
+        }
+        // Known destination: install an exact flow and forward.
+        flows_++;
+        sw.sendFlowMod(Match::l2Exact(pin.inPort, src, dst, dl_type),
+                       100, pin.bufferId, {it->second});
+        if (pin.bufferId == 0xffffffff)
+            sw.sendPacketOut(pin.bufferId, pin.inPort, {it->second},
+                             pin.frame);
+    };
+}
+
+} // namespace mirage::openflow

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * OpenFlow controller library (§4.3): appliances link against it to
+ * "exercise direct control over hardware and software OpenFlow
+ * switches". Handles the HELLO/FEATURES handshake and echo keepalive;
+ * application policy lives in the packet-in handler.
+ */
+
+#ifndef MIRAGE_PROTOCOLS_OPENFLOW_CONTROLLER_H
+#define MIRAGE_PROTOCOLS_OPENFLOW_CONTROLLER_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/stack.h"
+#include "protocols/openflow/wire.h"
+
+namespace mirage::openflow {
+
+constexpr u16 controllerPort = 6633;
+
+class Controller
+{
+  public:
+    /** One connected switch. */
+    class Session : public std::enable_shared_from_this<Session>
+    {
+      public:
+        u64 datapathId() const { return dpid_; }
+        bool ready() const { return ready_; }
+
+        void sendPacketOut(u32 buffer_id, u16 in_port,
+                           const std::vector<u16> &out_ports,
+                           const Cstruct &frame);
+        void sendFlowMod(const Match &match, u16 priority,
+                         u32 buffer_id,
+                         const std::vector<u16> &out_ports);
+
+      private:
+        friend class Controller;
+        Session(Controller &owner, net::TcpConnPtr conn);
+        void onData(Cstruct data);
+        void handleMessage(const Cstruct &msg);
+        void send(const Cstruct &msg);
+
+        Controller &owner_;
+        net::TcpConnPtr conn_;
+        MessageFramer framer_;
+        u64 dpid_ = 0;
+        bool ready_ = false;
+        u32 next_xid_ = 1;
+    };
+
+    using SessionPtr = std::shared_ptr<Session>;
+    using PacketInHandler =
+        std::function<void(Session &, const PacketIn &)>;
+
+    Controller(net::NetworkStack &stack, u16 port,
+               PacketInHandler on_packet_in);
+
+    std::size_t switchesConnected() const { return sessions_.size(); }
+    u64 packetInsHandled() const { return packet_ins_; }
+    u64 flowModsSent() const { return flow_mods_; }
+    u64 packetOutsSent() const { return packet_outs_; }
+
+  private:
+    friend class Session;
+
+    net::NetworkStack &stack_;
+    PacketInHandler on_packet_in_;
+    std::vector<SessionPtr> sessions_;
+    u64 packet_ins_ = 0;
+    u64 flow_mods_ = 0;
+    u64 packet_outs_ = 0;
+};
+
+/**
+ * The canonical controller application: an L2 learning switch
+ * (cbench's workload shape). Installs exact flows once a destination
+ * is learned; floods unknowns.
+ */
+class LearningSwitchApp
+{
+  public:
+    Controller::PacketInHandler handler();
+
+    u64 flowsInstalled() const { return flows_; }
+    u64 floods() const { return floods_; }
+
+  private:
+    /** dpid -> (mac -> port). */
+    std::map<u64, std::map<net::MacAddr, u16>> tables_;
+    u64 flows_ = 0;
+    u64 floods_ = 0;
+};
+
+} // namespace mirage::openflow
+
+#endif // MIRAGE_PROTOCOLS_OPENFLOW_CONTROLLER_H

@@ -1,0 +1,148 @@
+#include "protocols/openflow/datapath.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace mirage::openflow {
+
+Datapath::Datapath(net::NetworkStack &stack, u64 dpid, u16 n_ports,
+                   std::function<void(u16, Cstruct)> output)
+    : stack_(stack), dpid_(dpid), n_ports_(n_ports),
+      output_(std::move(output))
+{
+}
+
+void
+Datapath::connectToController(net::Ipv4Addr addr, u16 port,
+                              std::function<void(Status)> ready)
+{
+    stack_.tcp().connect(
+        addr, port,
+        [this, ready = std::move(ready)](Result<net::TcpConnPtr> r) {
+            if (!r.ok()) {
+                ready(r.error());
+                return;
+            }
+            conn_ = r.value();
+            conn_->onData([this](Cstruct data) {
+                framer_.feed(data);
+                while (auto msg = framer_.next())
+                    handleMessage(*msg);
+            });
+            conn_->write(buildHello(next_xid_++));
+            ready(Status::success());
+        });
+}
+
+void
+Datapath::handleMessage(const Cstruct &msg)
+{
+    auto h = parseHeader(msg);
+    if (!h.ok())
+        return;
+    switch (h.value().type) {
+      case MsgType::Hello:
+        break;
+      case MsgType::FeaturesRequest:
+        conn_->write(buildFeaturesReply(h.value().xid, dpid_, 256, 1));
+        break;
+      case MsgType::EchoRequest:
+        conn_->write(buildEchoReply(h.value().xid));
+        break;
+      case MsgType::FlowMod: {
+        auto f = parseFlowMod(msg);
+        if (!f.ok() || f.value().command != 0)
+            return;
+        flows_.push_back(FlowEntry{f.value().match, f.value().priority,
+                                   f.value().outputPorts, 0});
+        // A flow-mod naming a buffered packet releases it.
+        if (f.value().bufferId != 0xffffffff) {
+            for (auto it = buffered_.begin(); it != buffered_.end();
+                 ++it) {
+                if (it->first == f.value().bufferId) {
+                    output(it->second.first, f.value().outputPorts,
+                           it->second.second);
+                    buffered_.erase(it);
+                    break;
+                }
+            }
+        }
+        break;
+      }
+      case MsgType::PacketOut: {
+        auto p = parsePacketOut(msg);
+        if (!p.ok())
+            return;
+        if (p.value().bufferId != 0xffffffff) {
+            for (auto it = buffered_.begin(); it != buffered_.end();
+                 ++it) {
+                if (it->first == p.value().bufferId) {
+                    output(it->second.first, p.value().outputPorts,
+                           it->second.second);
+                    buffered_.erase(it);
+                    break;
+                }
+            }
+        } else if (!p.value().frame.empty()) {
+            output(p.value().inPort, p.value().outputPorts,
+                   p.value().frame);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+const Datapath::FlowEntry *
+Datapath::lookup(u16 in_port, const Cstruct &frame) const
+{
+    const FlowEntry *best = nullptr;
+    for (const auto &f : flows_) {
+        if (!f.match.matchesFrame(in_port, frame))
+            continue;
+        if (!best || f.priority > best->priority)
+            best = &f;
+    }
+    return best;
+}
+
+void
+Datapath::output(u16 in_port, const std::vector<u16> &ports,
+                 const Cstruct &frame)
+{
+    for (u16 port : ports) {
+        if (port == portFlood) {
+            for (u16 p = 1; p <= n_ports_; p++)
+                if (p != in_port && output_)
+                    output_(p, frame);
+        } else if (port <= n_ports_ && output_) {
+            output_(port, frame);
+        }
+    }
+}
+
+void
+Datapath::injectFrame(u16 in_port, Cstruct frame)
+{
+    if (const FlowEntry *f = lookup(in_port, frame)) {
+        hits_++;
+        const_cast<FlowEntry *>(f)->packetsMatched++;
+        output(in_port, f->outputPorts, frame);
+        return;
+    }
+    misses_++;
+    if (!conn_) {
+        // Headless switch: drop misses.
+        return;
+    }
+    u32 buffer_id = next_buffer_id_++;
+    buffered_.emplace_back(buffer_id, std::make_pair(in_port, frame));
+    if (buffered_.size() > 256)
+        buffered_.pop_front(); // bounded buffer, oldest dropped
+    conn_->write(
+        buildPacketIn(next_xid_++, buffer_id, in_port, 0, frame));
+}
+
+} // namespace mirage::openflow

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * OpenFlow datapath (software switch) library (§4.3): a flow table
+ * with priority matching, a controller channel for table misses, and
+ * frame injection/output hooks so an appliance can act "as if it were
+ * an OpenFlow switch" — router, firewall, proxy or other middlebox.
+ */
+
+#ifndef MIRAGE_PROTOCOLS_OPENFLOW_DATAPATH_H
+#define MIRAGE_PROTOCOLS_OPENFLOW_DATAPATH_H
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "net/stack.h"
+#include "protocols/openflow/wire.h"
+
+namespace mirage::openflow {
+
+class Datapath
+{
+  public:
+    struct FlowEntry
+    {
+        Match match;
+        u16 priority;
+        std::vector<u16> outputPorts;
+        u64 packetsMatched = 0;
+    };
+
+    /**
+     * @param n_ports number of switch ports (1..n)
+     * @param output invoked when a frame leaves a port
+     */
+    Datapath(net::NetworkStack &stack, u64 dpid, u16 n_ports,
+             std::function<void(u16, Cstruct)> output);
+
+    /** Dial the controller and run the handshake. */
+    void connectToController(net::Ipv4Addr addr, u16 port,
+                             std::function<void(Status)> ready);
+
+    /** A frame arrived on @p in_port (from the wire side). */
+    void injectFrame(u16 in_port, Cstruct frame);
+
+    std::size_t flowCount() const { return flows_.size(); }
+    u64 tableHits() const { return hits_; }
+    u64 tableMisses() const { return misses_; }
+    u64 datapathId() const { return dpid_; }
+
+  private:
+    void handleMessage(const Cstruct &msg);
+    void output(u16 in_port, const std::vector<u16> &ports,
+                const Cstruct &frame);
+    const FlowEntry *lookup(u16 in_port, const Cstruct &frame) const;
+
+    net::NetworkStack &stack_;
+    u64 dpid_;
+    u16 n_ports_;
+    std::function<void(u16, Cstruct)> output_;
+    net::TcpConnPtr conn_;
+    MessageFramer framer_;
+    std::vector<FlowEntry> flows_;
+    /** Buffered miss packets awaiting controller verdict. */
+    std::deque<std::pair<u32, std::pair<u16, Cstruct>>> buffered_;
+    u32 next_buffer_id_ = 1;
+    u32 next_xid_ = 1;
+    u64 hits_ = 0;
+    u64 misses_ = 0;
+};
+
+} // namespace mirage::openflow
+
+#endif // MIRAGE_PROTOCOLS_OPENFLOW_DATAPATH_H

@@ -1,0 +1,70 @@
+#include "pvboot/extent.h"
+
+#include "sim/cost_model.h"
+
+namespace mirage::pvboot {
+
+ExtentAllocator::ExtentAllocator(u64 base_vpn, std::size_t max_superpages)
+    : base_vpn_(base_vpn), max_(max_superpages)
+{
+}
+
+Result<u64>
+ExtentAllocator::growSuperpage()
+{
+    if (used_ >= max_)
+        return exhaustedError("extent reservation exhausted");
+    u64 vpn = base_vpn_ + u64(used_) * (superpageSize / pageSize);
+    used_++;
+    return vpn;
+}
+
+MemoryBackend
+MemoryBackend::xenExtent()
+{
+    const auto &c = sim::costs();
+    return MemoryBackend({"xen-extent", true, Duration(0), c.superpageMap,
+                          Duration(0), superpageSize});
+}
+
+MemoryBackend
+MemoryBackend::xenMalloc()
+{
+    const auto &c = sim::costs();
+    // A PV guest's own PTE writes go through mmu_update; no syscall
+    // boundary exists inside the unikernel, and the address space is
+    // still a single contiguous layout.
+    return MemoryBackend({"xen-malloc", true, c.ptUpdatePv, Duration(0),
+                          Duration(0), superpageSize});
+}
+
+MemoryBackend
+MemoryBackend::linuxNative()
+{
+    const auto &c = sim::costs();
+    // Userspace: mmap syscall per chunk; each fresh page demand-faults.
+    return MemoryBackend({"linux-native", false,
+                          c.pageFault + c.ptUpdateNative, Duration(0),
+                          c.syscall, 128 * 1024});
+}
+
+MemoryBackend
+MemoryBackend::linuxPv()
+{
+    const auto &c = sim::costs();
+    // As linux-native, but every PTE write is validated by Xen.
+    return MemoryBackend({"linux-pv", false, c.pageFault + c.ptUpdatePv,
+                          Duration(0), c.syscall, 128 * 1024});
+}
+
+Duration
+MemoryBackend::growCost(std::size_t bytes) const
+{
+    std::size_t pages = (bytes + pageSize - 1) / pageSize;
+    std::size_t supers = (bytes + superpageSize - 1) / superpageSize;
+    std::size_t chunks = (bytes + p_.growChunk - 1) / p_.growChunk;
+    return p_.perPage * i64(pages) + p_.perSuperpage * i64(supers) +
+           p_.perGrowSyscall * i64(chunks);
+}
+
+} // namespace mirage::pvboot

@@ -1,0 +1,28 @@
+#include "pvboot/io_pages.h"
+
+namespace mirage::pvboot {
+
+IoPagePool::IoPagePool(std::size_t capacity_pages)
+    : capacity_(capacity_pages)
+{
+}
+
+Result<Cstruct>
+IoPagePool::allocPage()
+{
+    if (in_use_ >= capacity_) {
+        exhaustions_++;
+        return exhaustedError("I/O page pool exhausted");
+    }
+    in_use_++;
+    high_water_ = std::max(high_water_, in_use_);
+    allocations_++;
+    auto buf = Buffer::alloc(pageSize);
+    buf->setReleaseHook([this](Buffer &) {
+        in_use_--;
+        recycled_++;
+    });
+    return Cstruct(std::move(buf));
+}
+
+} // namespace mirage::pvboot

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The reserved I/O page pool (Fig 2 / Fig 4): external memory pages
+ * live outside the GC heap in their own region; Cstruct views alias
+ * them, and when the last view drops the page returns to the free pool.
+ * Keeping I/O data out of the scanned heap is one of the two factors
+ * behind the stack's predictable performance (§3.3).
+ */
+
+#ifndef MIRAGE_PVBOOT_IO_PAGES_H
+#define MIRAGE_PVBOOT_IO_PAGES_H
+
+#include "base/cstruct.h"
+#include "base/result.h"
+#include "base/types.h"
+
+namespace mirage::pvboot {
+
+class IoPagePool
+{
+  public:
+    explicit IoPagePool(std::size_t capacity_pages);
+
+    /**
+     * Take a 4 kB page from the pool. The returned view (and any
+     * sub-view sliced from it) keeps the page live; when the final view
+     * is dropped the page returns to the pool automatically.
+     */
+    Result<Cstruct> allocPage();
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t inUse() const { return in_use_; }
+    std::size_t available() const { return capacity_ - in_use_; }
+    std::size_t highWater() const { return high_water_; }
+    u64 allocations() const { return allocations_; }
+    u64 recycled() const { return recycled_; }
+    u64 exhaustions() const { return exhaustions_; }
+
+  private:
+    std::size_t capacity_;
+    std::size_t in_use_ = 0;
+    std::size_t high_water_ = 0;
+    u64 allocations_ = 0;
+    u64 recycled_ = 0;
+    u64 exhaustions_ = 0;
+};
+
+} // namespace mirage::pvboot
+
+#endif // MIRAGE_PVBOOT_IO_PAGES_H

@@ -1,0 +1,23 @@
+#include "pvboot/pvboot.h"
+
+#include "base/logging.h"
+#include "sim/cost_model.h"
+
+namespace mirage::pvboot {
+
+PVBoot::PVBoot(xen::Domain &dom, LayoutSpec spec)
+    : dom_(dom), spec_(spec), slab_(256), io_pages_(spec.ioPages),
+      major_extent_(LayoutMap::majorHeapVpn,
+                    dom.memoryMib() * (1024 * 1024 / superpageSize))
+{
+    auto updates = buildLayout(dom_.pageTables(), spec_);
+    if (!updates.ok())
+        fatal("PVBoot: layout construction failed: %s",
+              updates.error().message.c_str());
+    layout_updates_ = updates.value();
+    // Note: the CPU time of start-of-day PT construction is part of
+    // the toolstack's guest-init cost model (Figs 5-6); charging it
+    // again here would double count, so only the update count is kept.
+}
+
+} // namespace mirage::pvboot

@@ -1,0 +1,117 @@
+#include "runtime/promise.h"
+
+namespace mirage::rt {
+
+PromisePtr
+Promise::resolved()
+{
+    auto p = make();
+    p->resolve();
+    return p;
+}
+
+void
+Promise::onComplete(std::function<void(Promise &)> fn)
+{
+    if (state_ != State::Pending) {
+        fn(*this);
+        return;
+    }
+    callbacks_.push_back(std::move(fn));
+}
+
+void
+Promise::settle(State s)
+{
+    if (state_ != State::Pending)
+        return;
+    state_ = s;
+    // Keep self alive across callbacks that may drop the last ref.
+    auto self = shared_from_this();
+    auto finalizers = std::move(finalizers_);
+    finalizers_.clear();
+    for (auto &f : finalizers)
+        f();
+    auto callbacks = std::move(callbacks_);
+    callbacks_.clear();
+    for (auto &cb : callbacks)
+        cb(*this);
+}
+
+void
+Promise::resolve()
+{
+    settle(State::Resolved);
+}
+
+void
+Promise::cancel()
+{
+    if (state_ != State::Pending)
+        return;
+    if (cancel_hook_) {
+        auto hook = std::move(cancel_hook_);
+        cancel_hook_ = nullptr;
+        hook();
+    }
+    settle(State::Cancelled);
+}
+
+void
+Promise::addFinalizer(std::function<void()> fn)
+{
+    if (state_ != State::Pending) {
+        fn();
+        return;
+    }
+    finalizers_.push_back(std::move(fn));
+}
+
+void
+Promise::setCancelHook(std::function<void()> fn)
+{
+    cancel_hook_ = std::move(fn);
+}
+
+PromisePtr
+joinAll(const std::vector<PromisePtr> &ps)
+{
+    auto joined = Promise::make();
+    if (ps.empty()) {
+        joined->resolve();
+        return joined;
+    }
+    auto remaining = std::make_shared<std::size_t>(ps.size());
+    for (const auto &p : ps) {
+        p->onComplete([joined, remaining](Promise &) {
+            if (--*remaining == 0)
+                joined->resolve();
+        });
+    }
+    return joined;
+}
+
+PromisePtr
+pick(PromisePtr a, PromisePtr b)
+{
+    auto winner = Promise::make();
+    a->onComplete([winner, b](Promise &p) {
+        if (p.resolvedOk()) {
+            b->cancel();
+            winner->resolve();
+        } else if (b->cancelled()) {
+            winner->cancel();
+        }
+    });
+    b->onComplete([winner, a](Promise &p) {
+        if (p.resolvedOk()) {
+            a->cancel();
+            winner->resolve();
+        } else if (a->cancelled()) {
+            winner->cancel();
+        }
+    });
+    return winner;
+}
+
+} // namespace mirage::rt

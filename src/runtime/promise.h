@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Lwt-style cooperative threads (§3.3): a lightweight thread is a
+ * heap-allocated promise; blocking operations return promises and
+ * continuations attach with onComplete (Lwt's bind). Cancellation
+ * propagates through cancel hooks — the mechanism the resource
+ * combinators (§3.4.1) use to free grants on every exit path.
+ */
+
+#ifndef MIRAGE_RUNTIME_PROMISE_H
+#define MIRAGE_RUNTIME_PROMISE_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "base/types.h"
+
+namespace mirage::rt {
+
+class Promise;
+using PromisePtr = std::shared_ptr<Promise>;
+
+class Promise : public std::enable_shared_from_this<Promise>
+{
+  public:
+    enum class State { Pending, Resolved, Cancelled };
+
+    static PromisePtr make() { return PromisePtr(new Promise()); }
+
+    /** An already-resolved promise (Lwt.return). */
+    static PromisePtr resolved();
+
+    State state() const { return state_; }
+    bool pending() const { return state_ == State::Pending; }
+    bool resolvedOk() const { return state_ == State::Resolved; }
+    bool cancelled() const { return state_ == State::Cancelled; }
+
+    /**
+     * Attach a continuation; runs immediately when already settled.
+     * The callback receives this promise (to inspect final state).
+     */
+    void onComplete(std::function<void(Promise &)> fn);
+
+    /** Settle successfully; runs continuations. Idempotent no-op when
+     *  already settled. */
+    void resolve();
+
+    /**
+     * Cancel: runs cancel hooks (resource cleanup) then continuations.
+     * No-op when already settled.
+     */
+    void cancel();
+
+    /**
+     * Register cleanup run exactly once on *any* settlement —
+     * resolution, cancellation, or exception-equivalent. This is the
+     * `with_grant` combinator's guarantee.
+     */
+    void addFinalizer(std::function<void()> fn);
+
+    /** Hook run only on cancellation (e.g., abort an in-flight I/O). */
+    void setCancelHook(std::function<void()> fn);
+
+  private:
+    Promise() = default;
+    void settle(State s);
+
+    State state_ = State::Pending;
+    std::vector<std::function<void(Promise &)>> callbacks_;
+    std::vector<std::function<void()>> finalizers_;
+    std::function<void()> cancel_hook_;
+};
+
+/** Promise that resolves when all of @p ps settle (Lwt.join). */
+PromisePtr joinAll(const std::vector<PromisePtr> &ps);
+
+/**
+ * Promise that settles when the first of @p a / @p b does; the loser
+ * is cancelled (Lwt.pick).
+ */
+PromisePtr pick(PromisePtr a, PromisePtr b);
+
+} // namespace mirage::rt
+
+#endif // MIRAGE_RUNTIME_PROMISE_H

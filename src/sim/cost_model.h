@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The calibration table: every modelled overhead in one place.
+ *
+ * Each constant is the virtual-time cost of one structural operation the
+ * paper's evaluation hinges on. Magnitudes are taken from the paper
+ * itself where it reports them (boot times, Fig 5–6), and otherwise from
+ * well-known measurements of ~2012-era x86 virtualised systems. The
+ * benches reproduce the paper's *shapes* from these structural costs;
+ * they never hard-code a result.
+ *
+ * Tests pin the invariants between costs that the paper's arguments rely
+ * on (e.g., a PV page-table update costs more than a native one because
+ * it is a hypercall; a VM context switch costs more than a process one).
+ */
+
+#ifndef MIRAGE_SIM_COST_MODEL_H
+#define MIRAGE_SIM_COST_MODEL_H
+
+#include "base/time.h"
+#include "base/types.h"
+
+namespace mirage::sim {
+
+struct CostModel
+{
+    // ---- Privilege crossings -------------------------------------------
+    /** One syscall entry+exit (Linux getpid-class, ~2012 Xeon). */
+    Duration syscall = Duration::nanos(150);
+    /** One hypercall into Xen (PV trap, deeper than a syscall). */
+    Duration hypercall = Duration::nanos(300);
+    /** Delivering an interrupt / event-channel upcall into a guest. */
+    Duration interrupt = Duration::nanos(1000);
+    /** Notifying an event channel (evtchn_send hypercall + mark). */
+    Duration eventNotify = Duration::nanos(400);
+
+    // ---- Scheduling ----------------------------------------------------
+    /** Process context switch inside a conventional kernel. */
+    Duration processSwitch = Duration::nanos(2000);
+    /** VM (vCPU) context switch by the hypervisor. */
+    Duration vmSwitch = Duration::nanos(4000);
+    /** select(2)/poll wakeup dispatch in a conventional kernel. */
+    Duration selectDispatch = Duration::nanos(1500);
+
+    // ---- Memory --------------------------------------------------------
+    /** memcpy cost per byte (~10 GB/s sustained); see copy(). */
+    double copyNsPerByte = 0.1;
+    /** Native page-table update (one PTE write + eventual TLB cost). */
+    Duration ptUpdateNative = Duration::nanos(250);
+    /**
+     * Paravirtual page-table update: validated by the hypervisor via
+     * mmu_update — strictly more expensive than native. This asymmetry
+     * is why linux-pv is the slowest line in Fig 7a.
+     */
+    Duration ptUpdatePv = Duration::nanos(900);
+    /** Mapping one 2 MB superpage extent (one PTE at the PMD level). */
+    Duration superpageMap = Duration::nanos(400);
+    /** Demand page-fault trap + kernel handling (excl. the PTE write). */
+    Duration pageFault = Duration::nanos(800);
+    /** Minor-heap GC scan+promote cost per live byte. */
+    double gcPerLiveByteNs = 1.5;
+    /** Incremental major-heap mark cost per live byte per mark pass. */
+    double gcMajorMarkPerByteNs = 0.1;
+    /** Major mark pass runs every this many minor collections. */
+    u32 gcMajorMarkInterval = 32;
+    /** Fixed overhead of one minor collection. */
+    Duration gcMinorFixed = Duration::micros(20);
+    /** Bump allocation cost per object. */
+    Duration gcAlloc = Duration::nanos(3);
+    /**
+     * GC penalty factor for a non-contiguous (chunk-tracked) heap: a
+     * userspace collector maintains a page table of heap chunks and
+     * pays for it on every scan (§3.3).
+     */
+    double chunkedHeapGcFactor = 1.4;
+    /** Lightweight-thread creation (closure + timer insert). */
+    Duration threadCreate = Duration::nanos(20);
+    /** Dispatching one thread wakeup in the run loop. */
+    Duration threadWakeup = Duration::nanos(50);
+    /** Zeroing freshly mapped memory, per byte. */
+    double zeroNsPerByte = 0.05;
+
+    // ---- Grant / ring I/O ----------------------------------------------
+    /** Granting a page (table update, no hypercall on the grant side). */
+    Duration grantIssue = Duration::nanos(120);
+    /** Mapping a granted page in the peer (hypercall + PT update). */
+    Duration grantMap = Duration::nanos(1100);
+    /** Backend processing one ring request (netback/blkback switch). */
+    Duration backendPerRequest = Duration::nanos(1800);
+
+    // ---- Network device & stack -----------------------------------------
+    /** Software bridge switch latency (pure delay, pipelined). */
+    Duration bridgeLatency = Duration::nanos(4000);
+    /** Bridge fabric serialised per-byte cost (~8 GB/s wire). */
+    double bridgeNsPerByte = 0.12;
+    /** Protocol-stack per-packet CPU cost (header processing, no
+     *  offload), identical algorithmic work for both systems. */
+    Duration stackPerPacket = Duration::nanos(2500);
+    /** Per-byte checksum cost with hardware offload disabled. */
+    double checksumNsPerByte = 0.8;
+    /**
+     * Per-packet factor of the type-safe (bounds-checked, GC'd) stack
+     * relative to C — the paper measures a 4-10 % ICMP latency delta
+     * (§4.1.3).
+     */
+    double safetyTaxFactor = 1.10;
+    /** Conventional-kernel receive extras per data packet: softirq →
+     *  socket-queue handoff, sk_buff management, and the kernel→user
+     *  copy of one MSS. The unikernel deletes this path entirely,
+     *  which is why Linux→Mirage leads Fig 8. */
+    Duration socketRxPerPacket = Duration::nanos(2000);
+    /** Conventional-kernel transmit extras per data packet
+     *  (user→kernel copy share + sendmsg bookkeeping). */
+    Duration linuxTxPerPacket = Duration::nanos(450);
+    /** Unikernel transmit extras per data packet: fresh header page,
+     *  per-fragment grant bookkeeping, functional segmentation — the
+     *  higher tx CPU that puts Mirage→Linux last in Fig 8. */
+    Duration mirageTxPerPacket = Duration::nanos(4000);
+    /** Frames below this size (bare ACKs, ARP) skip the per-data-
+     *  packet overheads above. */
+    std::size_t dataPacketThreshold = 256;
+
+    // ---- Block device ----------------------------------------------------
+    /** Fixed per-request service time of the PCIe SSD model. */
+    Duration ssdPerRequest = Duration::micros(24);
+    /** SSD streaming bandwidth (bytes/ns) — 1.6 GB/s as in Fig 9. */
+    double ssdBytesPerNs = 1.6;
+    /** Buffer-cache lookup + management per request. */
+    Duration bufferCachePerRequest = Duration::micros(2);
+
+    // ---- Domain construction & boot (Figs 5 & 6) -------------------------
+    /** Synchronous toolstack overhead per domain (xend serialisation). */
+    Duration toolstackSync = Duration::millis(300);
+    /** Fixed part of building any domain. */
+    Duration domainBuildFixed = Duration::millis(20);
+    /** Per-MiB domain build cost (scrubbing + PT construction). */
+    Duration domainBuildPerMiB = Duration::micros(250);
+    /** Mirage unikernel entry-to-main (PVBoot + runtime init). */
+    Duration unikernelInit = Duration::millis(10);
+    /** Unikernel per-MiB start-of-day cost (extent reservation only). */
+    Duration unikernelInitPerMiB = Duration::micros(10);
+    /** Minimal Linux kernel boot to userspace (initrd + ifconfig). */
+    Duration linuxKernelBoot = Duration::millis(100);
+    /** Linux per-MiB init (struct page init etc.). */
+    Duration linuxKernelBootPerMiB = Duration::micros(150);
+    /** Debian boot scripts (sysvinit multi-service sequence). */
+    Duration debianServicesBoot = Duration::millis(900);
+    /** Apache2 startup on top of Debian. */
+    Duration apacheStart = Duration::millis(400);
+
+    // ---- Helpers ---------------------------------------------------------
+    /** Cost of copying @p bytes. */
+    Duration
+    copy(std::size_t bytes) const
+    {
+        return Duration(static_cast<std::int64_t>(copyNsPerByte * bytes));
+    }
+
+    /** Cost of zeroing @p bytes. */
+    Duration
+    zero(std::size_t bytes) const
+    {
+        return Duration(static_cast<std::int64_t>(zeroNsPerByte * bytes));
+    }
+
+    /** Checksum cost over @p bytes. */
+    Duration
+    checksum(std::size_t bytes) const
+    {
+        return Duration(
+            static_cast<std::int64_t>(checksumNsPerByte * bytes));
+    }
+};
+
+/** The process-wide default cost table. */
+inline CostModel &
+costs()
+{
+    static CostModel model;
+    return model;
+}
+
+} // namespace mirage::sim
+
+#endif // MIRAGE_SIM_COST_MODEL_H

@@ -1,0 +1,43 @@
+#include "sim/cpu.h"
+
+#include <algorithm>
+
+namespace mirage::sim {
+
+Cpu::Cpu(Engine &engine, std::string name)
+    : engine_(engine), name_(std::move(name))
+{
+}
+
+void
+Cpu::submit(Duration cost, std::function<void()> done)
+{
+    TimePoint start = std::max(engine_.now(), free_at_);
+    free_at_ = start + cost;
+    busy_ += cost;
+    if (done)
+        engine_.at(free_at_, std::move(done));
+}
+
+void
+Cpu::charge(Duration cost)
+{
+    submit(cost, nullptr);
+}
+
+TimePoint
+Cpu::freeAt() const
+{
+    return std::max(engine_.now(), free_at_);
+}
+
+double
+Cpu::utilisation(TimePoint t0, TimePoint t1) const
+{
+    if (t1 <= t0)
+        return 0.0;
+    double u = busy_.toSecondsF() / (t1 - t0).toSecondsF();
+    return std::min(u, 1.0);
+}
+
+} // namespace mirage::sim

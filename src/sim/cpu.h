@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Cpu — busy-time accounting for one simulated virtual CPU.
+ *
+ * The paper's throughput comparisons are CPU-saturation shapes (e.g.,
+ * Fig 12 "linear until it becomes CPU bound"). A Cpu serialises charged
+ * work: a request costing S completes at max(now, freeAt) + S, so once
+ * offered load exceeds 1/S the completion rate plateaus — no magic
+ * numbers, just queueing.
+ */
+
+#ifndef MIRAGE_SIM_CPU_H
+#define MIRAGE_SIM_CPU_H
+
+#include <functional>
+#include <string>
+
+#include "base/time.h"
+#include "sim/engine.h"
+
+namespace mirage::sim {
+
+class Cpu
+{
+  public:
+    Cpu(Engine &engine, std::string name);
+
+    /**
+     * Charge @p cost of CPU work and run @p done when it completes.
+     * Work is serialised FIFO behind whatever this CPU is already doing.
+     */
+    void submit(Duration cost, std::function<void()> done);
+
+    /**
+     * Charge @p cost with no completion callback (bookkeeping overhead
+     * attached to some other event's timeline).
+     */
+    void charge(Duration cost);
+
+    /** Earliest time at which newly submitted work could start. */
+    TimePoint freeAt() const;
+
+    /** Total CPU time charged so far. */
+    Duration busyTime() const { return busy_; }
+
+    /** Utilisation over [t0, t1]: busy time / wall time, clamped to 1. */
+    double utilisation(TimePoint t0, TimePoint t1) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    Engine &engine_;
+    std::string name_;
+    TimePoint free_at_;
+    Duration busy_;
+};
+
+} // namespace mirage::sim
+
+#endif // MIRAGE_SIM_CPU_H

@@ -1,0 +1,83 @@
+#include "sim/engine.h"
+
+#include "base/logging.h"
+
+namespace mirage::sim {
+
+EventId
+Engine::at(TimePoint t, std::function<void()> fn)
+{
+    if (t < now_)
+        t = now_; // late scheduling runs as soon as possible
+    EventId id = next_id_++;
+    queue_.push(Item{t, next_seq_++, id, std::move(fn)});
+    return id;
+}
+
+EventId
+Engine::after(Duration d, std::function<void()> fn)
+{
+    return at(now_ + d, std::move(fn));
+}
+
+void
+Engine::cancel(EventId id)
+{
+    cancelled_.insert(id);
+}
+
+bool
+Engine::step()
+{
+    while (!queue_.empty()) {
+        Item item = queue_.top();
+        queue_.pop();
+        auto it = cancelled_.find(item.id);
+        if (it != cancelled_.end()) {
+            cancelled_.erase(it);
+            continue;
+        }
+        now_ = item.when;
+        events_run_++;
+        item.fn();
+        return true;
+    }
+    return false;
+}
+
+void
+Engine::run()
+{
+    while (step()) {
+    }
+}
+
+void
+Engine::runUntil(TimePoint t)
+{
+    while (!queue_.empty()) {
+        const Item &top = queue_.top();
+        if (cancelled_.count(top.id)) {
+            cancelled_.erase(top.id);
+            queue_.pop();
+            continue;
+        }
+        if (top.when > t)
+            break;
+        Item item = queue_.top();
+        queue_.pop();
+        now_ = item.when;
+        events_run_++;
+        item.fn();
+    }
+    if (now_ < t)
+        now_ = t;
+}
+
+void
+Engine::runFor(Duration d)
+{
+    runUntil(now_ + d);
+}
+
+} // namespace mirage::sim

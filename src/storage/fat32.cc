@@ -1,0 +1,531 @@
+#include "storage/fat32.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "base/logging.h"
+
+namespace mirage::storage {
+
+namespace {
+
+constexpr std::size_t sector = BlockDevice::sectorBytes;
+constexpr std::size_t clusterBytes =
+    Fat32Volume::sectorsPerCluster * sector;
+constexpr std::size_t dirEntryBytes = 32;
+
+/** Encode "NAME.EXT" into the 11-byte padded directory form. */
+void
+encode83(const std::string &canonical, Cstruct entry)
+{
+    std::string name, ext;
+    auto dot = canonical.find('.');
+    if (dot == std::string::npos) {
+        name = canonical;
+    } else {
+        name = canonical.substr(0, dot);
+        ext = canonical.substr(dot + 1);
+    }
+    for (std::size_t i = 0; i < 8; i++)
+        entry.setU8(i, i < name.size() ? u8(name[i]) : ' ');
+    for (std::size_t i = 0; i < 3; i++)
+        entry.setU8(8 + i, i < ext.size() ? u8(ext[i]) : ' ');
+}
+
+std::string
+decode83(const Cstruct &entry)
+{
+    std::string name, ext;
+    for (std::size_t i = 0; i < 8; i++) {
+        char c = char(entry.getU8(i));
+        if (c != ' ')
+            name += c;
+    }
+    for (std::size_t i = 0; i < 3; i++) {
+        char c = char(entry.getU8(8 + i));
+        if (c != ' ')
+            ext += c;
+    }
+    return ext.empty() ? name : name + "." + ext;
+}
+
+} // namespace
+
+Result<std::string>
+Fat32Volume::normaliseName(const std::string &name)
+{
+    std::string upper;
+    for (char c : name)
+        upper += char(std::toupper(static_cast<unsigned char>(c)));
+    auto dot = upper.find('.');
+    std::string base =
+        dot == std::string::npos ? upper : upper.substr(0, dot);
+    std::string ext =
+        dot == std::string::npos ? "" : upper.substr(dot + 1);
+    if (base.empty() || base.size() > 8 || ext.size() > 3 ||
+        ext.find('.') != std::string::npos)
+        return parseError("not an 8.3 name: " + name);
+    return ext.empty() ? base : base + "." + ext;
+}
+
+void
+Fat32Volume::format(std::function<void(Status)> done)
+{
+    total_sectors_ = u32(dev_.sizeSectors());
+    // FAT sizing: entries for the data region, 128 entries per sector.
+    u32 data_sectors = total_sectors_ - reservedSectors;
+    cluster_count_ = data_sectors / sectorsPerCluster; // approx
+    fat_sectors_ = (cluster_count_ + 2 + 127) / 128;
+    cluster_count_ =
+        (total_sectors_ - reservedSectors - fat_sectors_) /
+        sectorsPerCluster;
+
+    Cstruct boot = Cstruct::create(sector);
+    boot.setU8(0, 0xeb); // jump, traditional
+    boot.setLe16(11, u16(sector));
+    boot.setU8(13, sectorsPerCluster);
+    boot.setLe16(14, reservedSectors);
+    boot.setU8(16, 1); // one FAT
+    boot.setLe32(32, total_sectors_);
+    boot.setLe32(36, fat_sectors_);
+    boot.setLe32(44, rootCluster);
+    const char *label = "FAT32   ";
+    for (std::size_t i = 0; i < 8; i++)
+        boot.setU8(82 + i, u8(label[i]));
+    boot.setU8(510, 0x55);
+    boot.setU8(511, 0xaa);
+
+    fat_.assign(cluster_count_ + 2, 0);
+    fat_[0] = 0x0ffffff8;
+    fat_[1] = 0x0fffffff;
+    fat_[rootCluster] = endOfChain;
+    for (u32 s = 0; s < fat_sectors_; s++)
+        dirty_fat_sectors_.insert(s);
+
+    dev_.write(0, 1, boot, [this, done = std::move(done)](Status st) {
+        if (!st.ok()) {
+            done(st);
+            return;
+        }
+        flushFat([this, done](Status fst) {
+            if (!fst.ok()) {
+                done(fst);
+                return;
+            }
+            // Zero the root directory cluster.
+            Cstruct zero = Cstruct::create(clusterBytes);
+            writeRange(dev_, clusterToSector(rootCluster),
+                       sectorsPerCluster, zero,
+                       [this, done](Status wst) {
+                           mounted_ = wst.ok();
+                           done(wst);
+                       });
+        });
+    });
+}
+
+void
+Fat32Volume::mount(std::function<void(Status)> done)
+{
+    Cstruct boot = Cstruct::create(sector);
+    dev_.read(0, 1, boot, [this, boot,
+                           done = std::move(done)](Status st) {
+        if (!st.ok()) {
+            done(st);
+            return;
+        }
+        if (boot.getU8(510) != 0x55 || boot.getU8(511) != 0xaa) {
+            done(parseError("FAT32: bad boot signature"));
+            return;
+        }
+        if (boot.getLe16(11) != sector ||
+            boot.getU8(13) != sectorsPerCluster) {
+            done(parseError("FAT32: unsupported geometry"));
+            return;
+        }
+        total_sectors_ = boot.getLe32(32);
+        fat_sectors_ = boot.getLe32(36);
+        cluster_count_ =
+            (total_sectors_ - reservedSectors - fat_sectors_) /
+            sectorsPerCluster;
+        Cstruct fat_raw =
+            Cstruct::create(std::size_t(fat_sectors_) * sector);
+        readRange(dev_, fatStartSector(), fat_sectors_, fat_raw,
+                  [this, fat_raw, done](Status fst) {
+                      if (!fst.ok()) {
+                          done(fst);
+                          return;
+                      }
+                      fat_.assign(cluster_count_ + 2, 0);
+                      for (u32 i = 0; i < cluster_count_ + 2; i++)
+                          fat_[i] = fat_raw.getLe32(std::size_t(i) * 4);
+                      dirty_fat_sectors_.clear();
+                      mounted_ = true;
+                      done(Status::success());
+                  });
+    });
+}
+
+u32
+Fat32Volume::fatGet(u32 cluster) const
+{
+    return fat_.at(cluster) & 0x0fffffff;
+}
+
+void
+Fat32Volume::fatSet(u32 cluster, u32 value)
+{
+    fat_.at(cluster) = value;
+    dirty_fat_sectors_.insert(cluster / 128);
+}
+
+u32
+Fat32Volume::freeClusters() const
+{
+    u32 n = 0;
+    for (u32 c = 2; c < cluster_count_ + 2; c++)
+        if ((fat_[c] & 0x0fffffff) == 0)
+            n++;
+    return n;
+}
+
+Result<std::vector<u32>>
+Fat32Volume::allocateChain(u32 clusters)
+{
+    std::vector<u32> chain;
+    for (u32 c = 3; c < cluster_count_ + 2 && chain.size() < clusters;
+         c++) {
+        if ((fat_[c] & 0x0fffffff) == 0)
+            chain.push_back(c);
+    }
+    if (chain.size() < clusters)
+        return exhaustedError("FAT32: volume full");
+    for (std::size_t i = 0; i < chain.size(); i++)
+        fatSet(chain[i],
+               i + 1 < chain.size() ? chain[i + 1] : endOfChain);
+    return chain;
+}
+
+void
+Fat32Volume::freeChain(u32 first)
+{
+    u32 c = first;
+    while (c >= 2 && c < cluster_count_ + 2) {
+        u32 next = fatGet(c);
+        fatSet(c, 0);
+        if (next >= endOfChain || next < 2)
+            break;
+        c = next;
+    }
+}
+
+void
+Fat32Volume::flushFat(std::function<void(Status)> done)
+{
+    if (dirty_fat_sectors_.empty()) {
+        done(Status::success());
+        return;
+    }
+    // Write dirty FAT sectors one at a time.
+    u32 s = *dirty_fat_sectors_.begin();
+    dirty_fat_sectors_.erase(dirty_fat_sectors_.begin());
+    Cstruct buf = Cstruct::create(sector);
+    for (u32 i = 0; i < 128; i++) {
+        u32 cluster = s * 128 + i;
+        u32 v = cluster < fat_.size() ? fat_[cluster] : 0;
+        buf.setLe32(std::size_t(i) * 4, v);
+    }
+    dev_.write(fatStartSector() + s, 1, buf,
+               [this, done = std::move(done)](Status st) {
+                   if (!st.ok()) {
+                       done(st);
+                       return;
+                   }
+                   flushFat(done);
+               });
+}
+
+void
+Fat32Volume::readDir(std::function<void(Result<Cstruct>)> done)
+{
+    // Root directory: a single cluster (fits 128 entries).
+    Cstruct dir = Cstruct::create(clusterBytes);
+    readRange(dev_, clusterToSector(rootCluster), sectorsPerCluster, dir,
+              [dir, done = std::move(done)](Status st) {
+                  if (!st.ok())
+                      done(st.error());
+                  else
+                      done(dir);
+              });
+}
+
+void
+Fat32Volume::writeDir(Cstruct dir, std::function<void(Status)> done)
+{
+    writeRange(dev_, clusterToSector(rootCluster), sectorsPerCluster,
+               dir, std::move(done));
+}
+
+void
+Fat32Volume::list(
+    std::function<void(Result<std::vector<FatDirEntry>>)> done)
+{
+    if (!mounted_) {
+        done(stateError("FAT32: not mounted"));
+        return;
+    }
+    readDir([done = std::move(done)](Result<Cstruct> dir) {
+        if (!dir.ok()) {
+            done(dir.error());
+            return;
+        }
+        std::vector<FatDirEntry> out;
+        for (std::size_t at = 0; at + dirEntryBytes <= clusterBytes;
+             at += dirEntryBytes) {
+            Cstruct e = dir.value().sub(at, dirEntryBytes);
+            u8 first = e.getU8(0);
+            if (first == 0)
+                break; // end of directory
+            if (first == 0xe5)
+                continue; // deleted
+            u32 cluster =
+                (u32(e.getLe16(20)) << 16) | e.getLe16(26);
+            out.push_back(
+                FatDirEntry{decode83(e), cluster, e.getLe32(28)});
+        }
+        done(out);
+    });
+}
+
+void
+Fat32Volume::writeFile(const std::string &name, Cstruct data,
+                       std::function<void(Status)> done)
+{
+    if (!mounted_) {
+        done(stateError("FAT32: not mounted"));
+        return;
+    }
+    auto canonical = normaliseName(name);
+    if (!canonical.ok()) {
+        done(canonical.error());
+        return;
+    }
+    u32 clusters =
+        u32((data.length() + clusterBytes - 1) / clusterBytes);
+    if (clusters == 0)
+        clusters = 1;
+    auto chain = allocateChain(clusters);
+    if (!chain.ok()) {
+        done(chain.error());
+        return;
+    }
+    auto chain_v =
+        std::make_shared<std::vector<u32>>(std::move(chain.value()));
+
+    // Write data cluster by cluster, then the FAT, then the directory.
+    auto write_cluster = std::make_shared<std::function<void(u32)>>();
+    *write_cluster = [this, data, chain_v, canonical, write_cluster,
+                      done](u32 index) {
+        if (index >= chain_v->size()) {
+            flushFat([this, data, chain_v, canonical,
+                      done](Status fst) {
+                if (!fst.ok()) {
+                    done(fst);
+                    return;
+                }
+                readDir([this, data, chain_v, canonical,
+                         done](Result<Cstruct> dir) {
+                    if (!dir.ok()) {
+                        done(dir.error());
+                        return;
+                    }
+                    // Replace an existing entry or take a free slot.
+                    Cstruct d = dir.value();
+                    std::size_t slot = clusterBytes;
+                    for (std::size_t at = 0;
+                         at + dirEntryBytes <= clusterBytes;
+                         at += dirEntryBytes) {
+                        Cstruct e = d.sub(at, dirEntryBytes);
+                        u8 first = e.getU8(0);
+                        if ((first == 0 || first == 0xe5) &&
+                            slot == clusterBytes) {
+                            slot = at;
+                            if (first == 0)
+                                break;
+                            continue;
+                        }
+                        if (first != 0 && first != 0xe5 &&
+                            decode83(e) == canonical.value()) {
+                            freeChain(
+                                (u32(e.getLe16(20)) << 16) |
+                                e.getLe16(26));
+                            slot = at;
+                            break;
+                        }
+                    }
+                    if (slot == clusterBytes) {
+                        done(exhaustedError("FAT32: root dir full"));
+                        return;
+                    }
+                    Cstruct e = d.sub(slot, dirEntryBytes);
+                    e.fill(0);
+                    encode83(canonical.value(), e);
+                    e.setU8(11, 0x20); // archive attr
+                    e.setLe16(20, u16(chain_v->front() >> 16));
+                    e.setLe16(26, u16(chain_v->front() & 0xffff));
+                    e.setLe32(28, u32(data.length()));
+                    flushFat([this, d, done](Status ffst) {
+                        if (!ffst.ok()) {
+                            done(ffst);
+                            return;
+                        }
+                        writeDir(d, done);
+                    });
+                });
+            });
+            return;
+        }
+        std::size_t off = std::size_t(index) * clusterBytes;
+        std::size_t take =
+            std::min(clusterBytes, data.length() - off);
+        Cstruct cluster_buf = Cstruct::create(clusterBytes);
+        if (take > 0)
+            cluster_buf.blitFrom(data, off, 0, take);
+        writeRange(dev_, clusterToSector((*chain_v)[index]),
+                   sectorsPerCluster, cluster_buf,
+                   [write_cluster, index, done](Status st) {
+                       if (!st.ok()) {
+                           done(st);
+                           return;
+                       }
+                       (*write_cluster)(index + 1);
+                   });
+    };
+    (*write_cluster)(0);
+}
+
+void
+Fat32Volume::removeFile(const std::string &name,
+                        std::function<void(Status)> done)
+{
+    auto canonical = normaliseName(name);
+    if (!canonical.ok()) {
+        done(canonical.error());
+        return;
+    }
+    readDir([this, canonical, done = std::move(done)](
+                Result<Cstruct> dir) {
+        if (!dir.ok()) {
+            done(dir.error());
+            return;
+        }
+        Cstruct d = dir.value();
+        for (std::size_t at = 0; at + dirEntryBytes <= clusterBytes;
+             at += dirEntryBytes) {
+            Cstruct e = d.sub(at, dirEntryBytes);
+            u8 first = e.getU8(0);
+            if (first == 0)
+                break;
+            if (first == 0xe5)
+                continue;
+            if (decode83(e) == canonical.value()) {
+                freeChain((u32(e.getLe16(20)) << 16) | e.getLe16(26));
+                e.setU8(0, 0xe5);
+                flushFat([this, d, done](Status fst) {
+                    if (!fst.ok()) {
+                        done(fst);
+                        return;
+                    }
+                    writeDir(d, done);
+                });
+                return;
+            }
+        }
+        done(notFoundError("FAT32: no such file: " + canonical.value()));
+    });
+}
+
+void
+Fat32Volume::open(
+    const std::string &name,
+    std::function<void(Result<std::shared_ptr<FileReader>>)> done)
+{
+    auto canonical = normaliseName(name);
+    if (!canonical.ok()) {
+        done(canonical.error());
+        return;
+    }
+    readDir([this, canonical, done = std::move(done)](
+                Result<Cstruct> dir) {
+        if (!dir.ok()) {
+            done(dir.error());
+            return;
+        }
+        for (std::size_t at = 0; at + dirEntryBytes <= clusterBytes;
+             at += dirEntryBytes) {
+            Cstruct e = dir.value().sub(at, dirEntryBytes);
+            u8 first = e.getU8(0);
+            if (first == 0)
+                break;
+            if (first == 0xe5)
+                continue;
+            if (decode83(e) == canonical.value()) {
+                u32 cluster =
+                    (u32(e.getLe16(20)) << 16) | e.getLe16(26);
+                done(std::shared_ptr<FileReader>(new FileReader(
+                    *this, cluster, e.getLe32(28))));
+                return;
+            }
+        }
+        done(notFoundError("FAT32: no such file: " + canonical.value()));
+    });
+}
+
+void
+Fat32Volume::FileReader::deliverFromBuffer(
+    const std::function<void(Result<Cstruct>)> &done)
+{
+    std::size_t remaining = size_ - delivered_;
+    std::size_t take = std::min(remaining, sector);
+    Cstruct view = buffered_cluster_.sub(
+        std::size_t(buffered_sector_index_) * sector, take);
+    buffered_sector_index_++;
+    delivered_ += u32(take);
+    done(view);
+}
+
+void
+Fat32Volume::FileReader::next(std::function<void(Result<Cstruct>)> done)
+{
+    if (delivered_ >= size_) {
+        done(Cstruct()); // EOF: empty view
+        return;
+    }
+    if (buffered_sector_index_ < sectorsPerCluster) {
+        deliverFromBuffer(done);
+        return;
+    }
+    // Fetch the next cluster extent (one device request per cluster:
+    // the "larger sector extents" internal buffering).
+    if (cluster_ < 2 || cluster_ >= vol_.cluster_count_ + 2) {
+        done(Error(Error::Kind::Io, "FAT32: chain truncated"));
+        return;
+    }
+    Cstruct buf = Cstruct::create(clusterBytes);
+    u32 this_cluster = cluster_;
+    readRange(vol_.dev_, vol_.clusterToSector(this_cluster),
+              sectorsPerCluster, buf,
+              [this, buf, this_cluster,
+               done = std::move(done)](Status st) {
+                  if (!st.ok()) {
+                      done(st.error());
+                      return;
+                  }
+                  buffered_cluster_ = buf;
+                  buffered_sector_index_ = 0;
+                  cluster_ = vol_.fatGet(this_cluster);
+                  deliverFromBuffer(done);
+              });
+}
+
+} // namespace mirage::storage

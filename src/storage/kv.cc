@@ -1,0 +1,190 @@
+#include "storage/kv.h"
+
+#include <cstring>
+#include <memory>
+
+#include "base/logging.h"
+
+namespace mirage::storage {
+
+namespace {
+
+constexpr std::size_t sector = BlockDevice::sectorBytes;
+
+u64
+roundUpSectors(u64 bytes)
+{
+    return (bytes + sector - 1) / sector;
+}
+
+} // namespace
+
+void
+KvStore::writeSuper(std::function<void(Status)> done)
+{
+    Cstruct super = Cstruct::create(sector);
+    super.setBe32(0, superMagic);
+    super.setBe64(4, log_end_);
+    dev_.write(0, 1, super, std::move(done));
+}
+
+void
+KvStore::format(std::function<void(Status)> done)
+{
+    index_.clear();
+    log_end_ = 0;
+    mounted_ = true;
+    writeSuper(std::move(done));
+}
+
+void
+KvStore::mount(std::function<void(Status)> done)
+{
+    Cstruct super = Cstruct::create(sector);
+    dev_.read(0, 1, super, [this, super,
+                            done = std::move(done)](Status st) {
+        if (!st.ok()) {
+            done(st);
+            return;
+        }
+        if (super.getBe32(0) != superMagic) {
+            done(parseError("KvStore: bad superblock magic"));
+            return;
+        }
+        u64 end = super.getBe64(4);
+        if (end == 0) {
+            index_.clear();
+            log_end_ = 0;
+            mounted_ = true;
+            done(Status::success());
+            return;
+        }
+        // Replay the whole log in one range read.
+        u32 sectors = u32(roundUpSectors(end));
+        Cstruct log = Cstruct::create(std::size_t(sectors) * sector);
+        readRange(dev_, logStartSector, sectors, log,
+                  [this, log, end, done](Status rst) {
+                      if (!rst.ok()) {
+                          done(rst);
+                          return;
+                      }
+                      index_.clear();
+                      std::size_t at = 0;
+                      while (at + 10 <= end) {
+                          if (log.getBe32(at) != recordMagic)
+                              break;
+                          u16 klen = log.getBe16(at + 4);
+                          u32 vlen = log.getBe32(at + 6);
+                          if (at + 10 + klen + vlen > end)
+                              break;
+                          std::string key =
+                              log.sub(at + 10, klen).toString();
+                          std::string val =
+                              log.sub(at + 10 + klen, vlen).toString();
+                          if (vlen == 0)
+                              index_.erase(key);
+                          else
+                              index_[key] = std::move(val);
+                          at += 10 + klen + vlen;
+                      }
+                      log_end_ = end;
+                      mounted_ = true;
+                      done(Status::success());
+                  });
+    });
+}
+
+void
+KvStore::appendRecord(const std::string &key, const std::string &value,
+                      std::function<void(Status)> done)
+{
+    std::size_t rec_len = 10 + key.size() + value.size();
+    u64 start_byte = log_end_;
+    u64 first_sector = logStartSector + start_byte / sector;
+    std::size_t in_sector = std::size_t(start_byte % sector);
+    u32 sectors = u32(roundUpSectors(in_sector + rec_len));
+
+    // Read-modify-write the affected sectors so earlier records in the
+    // first sector are preserved.
+    Cstruct buf = Cstruct::create(std::size_t(sectors) * sector);
+    readRange(
+        dev_, first_sector, sectors, buf,
+        [this, buf, key, value, rec_len, in_sector, first_sector,
+         sectors, done = std::move(done)](Status st) mutable {
+            if (!st.ok()) {
+                done(st);
+                return;
+            }
+            std::size_t at = in_sector;
+            buf.setBe32(at, recordMagic);
+            buf.setBe16(at + 4, u16(key.size()));
+            buf.setBe32(at + 6, u32(value.size()));
+            for (std::size_t i = 0; i < key.size(); i++)
+                buf.setU8(at + 10 + i, u8(key[i]));
+            for (std::size_t i = 0; i < value.size(); i++)
+                buf.setU8(at + 10 + key.size() + i, u8(value[i]));
+            writeRange(dev_, first_sector, sectors, buf,
+                       [this, rec_len, done](Status wst) {
+                           if (!wst.ok()) {
+                               done(wst);
+                               return;
+                           }
+                           log_end_ += rec_len;
+                           writeSuper(done);
+                       });
+        });
+}
+
+void
+KvStore::set(const std::string &key, const std::string &value,
+             std::function<void(Status)> done)
+{
+    if (!mounted_) {
+        done(stateError("KvStore: not mounted"));
+        return;
+    }
+    if (key.empty() || key.size() > 0xffff) {
+        done(boundsError("KvStore: bad key length"));
+        return;
+    }
+    if (value.empty()) {
+        done(stateError("KvStore: empty value (use remove)"));
+        return;
+    }
+    appendRecord(key, value, [this, key, value,
+                              done = std::move(done)](Status st) {
+        if (st.ok())
+            index_[key] = value;
+        done(st);
+    });
+}
+
+Result<std::string>
+KvStore::get(const std::string &key) const
+{
+    auto it = index_.find(key);
+    if (it == index_.end())
+        return notFoundError("KvStore: no such key: " + key);
+    return it->second;
+}
+
+void
+KvStore::remove(const std::string &key, std::function<void(Status)> done)
+{
+    if (!mounted_) {
+        done(stateError("KvStore: not mounted"));
+        return;
+    }
+    if (index_.find(key) == index_.end()) {
+        done(notFoundError("KvStore: no such key: " + key));
+        return;
+    }
+    appendRecord(key, "",
+                 [this, key, done = std::move(done)](Status st) {
+                     if (st.ok())
+                         index_.erase(key);
+                     done(st);
+                 });
+}
+
+} // namespace mirage::storage

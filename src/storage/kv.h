@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Simple key-value store (Table 1): an append-only record log on a
+ * block device with an in-memory index. Every set is written through
+ * immediately — the block layer's direct-write guarantee — and mount
+ * rebuilds the index by replaying the log.
+ */
+
+#ifndef MIRAGE_STORAGE_KV_H
+#define MIRAGE_STORAGE_KV_H
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "storage/block.h"
+
+namespace mirage::storage {
+
+class KvStore
+{
+  public:
+    static constexpr u32 recordMagic = 0x4b56524d; // "KVRM"
+    static constexpr u32 superMagic = 0x4b565355;  // "KVSU"
+
+    explicit KvStore(BlockDevice &dev) : dev_(dev) {}
+
+    /** Initialise an empty store on the device. */
+    void format(std::function<void(Status)> done);
+
+    /** Replay the log and build the in-memory index. */
+    void mount(std::function<void(Status)> done);
+
+    /** Write-through set. Empty value == delete (tombstone). */
+    void set(const std::string &key, const std::string &value,
+             std::function<void(Status)> done);
+
+    /** In-memory lookup (the log is authoritative after mount). */
+    Result<std::string> get(const std::string &key) const;
+
+    void remove(const std::string &key,
+                std::function<void(Status)> done);
+
+    std::size_t keyCount() const { return index_.size(); }
+    u64 logBytes() const { return log_end_; }
+    bool mounted() const { return mounted_; }
+
+  private:
+    static constexpr u64 logStartSector = 1; //!< sector 0: superblock
+
+    void appendRecord(const std::string &key, const std::string &value,
+                      std::function<void(Status)> done);
+    void writeSuper(std::function<void(Status)> done);
+
+    BlockDevice &dev_;
+    std::map<std::string, std::string> index_;
+    u64 log_end_ = 0; //!< bytes appended past the log start
+    bool mounted_ = false;
+};
+
+} // namespace mirage::storage
+
+#endif // MIRAGE_STORAGE_KV_H

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Full-system integration tests: every load generator driving its
+ * appliance across the simulated cloud — DNS via queryperf, TCP bulk
+ * via iperf, web sessions via httperf, controllers via cbench, block
+ * I/O via fio, and latency via flood ping. These are the same
+ * couplings the benches sweep; here they run at small scale and
+ * assert functional sanity and key structural relationships.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/buffer_cache.h"
+#include "baseline/dns_servers.h"
+#include "baseline/of_controllers.h"
+#include "loadgen/cbench.h"
+#include "loadgen/fio.h"
+#include "loadgen/httperf.h"
+#include "loadgen/iperf.h"
+#include "loadgen/pingflood.h"
+#include "loadgen/queryperf.h"
+#include "protocols/http/server.h"
+
+namespace mirage {
+namespace {
+
+TEST(IntegrationTest, QueryperfAgainstMirageDns)
+{
+    core::Cloud cloud;
+    baseline::DnsAppliance appliance(
+        cloud, baseline::DnsAppliance::Kind::MirageMemo,
+        dns::syntheticZone("bench.example.", 100),
+        net::Ipv4Addr(10, 0, 0, 2));
+    core::Guest &client =
+        cloud.startUnikernel("qp", net::Ipv4Addr(10, 0, 0, 3));
+
+    loadgen::QueryPerf::Config cfg;
+    cfg.server = net::Ipv4Addr(10, 0, 0, 2);
+    cfg.zoneEntries = 100;
+    cfg.window = Duration::millis(200);
+    loadgen::QueryPerf qp(client, cfg);
+    loadgen::QueryPerf::Report report;
+    qp.run([&](loadgen::QueryPerf::Report r) { report = r; });
+    cloud.run();
+    EXPECT_GT(report.completed, 100u);
+    EXPECT_EQ(report.mismatches, 0u);
+    EXPECT_GT(report.qps, 0.0);
+    EXPECT_GT(appliance.server().stats().memoHits, 0u);
+}
+
+TEST(IntegrationTest, MirageMemoBeatsBindShape)
+{
+    // The Fig 10 ordering at one point: memo > NSD > BIND > no-memo.
+    auto throughput = [](baseline::DnsAppliance::Kind kind) {
+        core::Cloud cloud;
+        baseline::DnsAppliance appliance(
+            cloud, kind, dns::syntheticZone("bench.example.", 1000),
+            net::Ipv4Addr(10, 0, 0, 2));
+        core::Guest &client =
+            cloud.startUnikernel("qp", net::Ipv4Addr(10, 0, 0, 3));
+        loadgen::QueryPerf::Config cfg;
+        cfg.server = net::Ipv4Addr(10, 0, 0, 2);
+        cfg.zoneEntries = 1000;
+        cfg.window = Duration::millis(300);
+        loadgen::QueryPerf qp(client, cfg);
+        double qps = 0;
+        qp.run([&](loadgen::QueryPerf::Report r) { qps = r.qps; });
+        cloud.run();
+        return qps;
+    };
+    double memo =
+        throughput(baseline::DnsAppliance::Kind::MirageMemo);
+    double nomemo =
+        throughput(baseline::DnsAppliance::Kind::MirageNoMemo);
+    double nsd = throughput(baseline::DnsAppliance::Kind::NsdLinux);
+    double bind = throughput(baseline::DnsAppliance::Kind::BindLinux);
+    double minios =
+        throughput(baseline::DnsAppliance::Kind::NsdMiniOsO3);
+    EXPECT_GT(memo, nsd);
+    EXPECT_GT(nsd, bind);
+    EXPECT_GT(bind, nomemo);
+    EXPECT_GT(nomemo, minios);
+}
+
+TEST(IntegrationTest, IperfBulkBetweenGuests)
+{
+    core::Cloud cloud;
+    core::Guest &server =
+        cloud.startUnikernel("rx", net::Ipv4Addr(10, 0, 0, 2));
+    core::Guest &client =
+        cloud.startUnikernel("tx", net::Ipv4Addr(10, 0, 0, 3));
+    loadgen::IperfServer iperf_server(server, 5001);
+    loadgen::IperfClient::Report report;
+    loadgen::IperfClient::run(client, iperf_server,
+                              net::Ipv4Addr(10, 0, 0, 2), 5001, 1,
+                              Duration::millis(300),
+                              [&](auto r) { report = r; });
+    cloud.run();
+    EXPECT_GT(report.mbps, 100.0) << "bulk TCP should exceed 100 Mbps";
+    EXPECT_GT(iperf_server.bytesReceived(), u64(1) << 20);
+}
+
+TEST(IntegrationTest, HttperfSessionsAgainstHttpServer)
+{
+    core::Cloud cloud;
+    core::Guest &server =
+        cloud.startUnikernel("web", net::Ipv4Addr(10, 0, 0, 2));
+    core::Guest &client =
+        cloud.startUnikernel("hp", net::Ipv4Addr(10, 0, 0, 3));
+
+    std::map<std::string, std::vector<std::string>> tweets;
+    http::HttpServer web(
+        server.stack, 80,
+        [&](const http::HttpRequest &req, auto respond) {
+            if (req.method == "POST") {
+                tweets[req.path].push_back(req.body);
+                respond(http::HttpResponse::text(200, "posted"));
+            } else {
+                respond(http::HttpResponse::text(200, "timeline"));
+            }
+        });
+
+    loadgen::HttPerf::Config cfg;
+    cfg.server = net::Ipv4Addr(10, 0, 0, 2);
+    cfg.sessionsPerSecond = 50;
+    cfg.window = Duration::millis(400);
+    loadgen::HttPerf hp(client, cfg);
+    loadgen::HttPerf::Report report;
+    hp.run([&](auto r) { report = r; });
+    cloud.run();
+    EXPECT_GT(report.sessionsCompleted, 10u);
+    EXPECT_EQ(report.errors, 0u);
+    EXPECT_EQ(report.repliesReceived, report.sessionsStarted * 10)
+        << "every request of every started session must be answered";
+    EXPECT_FALSE(tweets.empty());
+}
+
+TEST(IntegrationTest, CbenchAgainstMirageController)
+{
+    core::Cloud cloud;
+    baseline::OfControllerAppliance controller(
+        cloud, baseline::OfControllerAppliance::Kind::Mirage,
+        net::Ipv4Addr(10, 0, 0, 2), true);
+    core::Guest &client =
+        cloud.startUnikernel("cb", net::Ipv4Addr(10, 0, 0, 3));
+
+    loadgen::CBench::Config cfg;
+    cfg.controller = net::Ipv4Addr(10, 0, 0, 2);
+    cfg.switches = 4;
+    cfg.batch = true;
+    cfg.batchDepth = 16;
+    cfg.window = Duration::millis(200);
+    loadgen::CBench cb(client, cfg);
+    loadgen::CBench::Report report;
+    cb.run([&](auto r) { report = r; });
+    cloud.run();
+    EXPECT_GT(report.responses, 100u);
+    EXPECT_EQ(controller.controller().switchesConnected(), 4u);
+    EXPECT_GT(controller.controller().flowModsSent(), 0u);
+}
+
+TEST(IntegrationTest, CbenchSingleModeSlowerThanBatch)
+{
+    auto rate = [](bool batch) {
+        core::Cloud cloud;
+        baseline::OfControllerAppliance controller(
+            cloud, baseline::OfControllerAppliance::Kind::NoxFast,
+            net::Ipv4Addr(10, 0, 0, 2), batch);
+        core::Guest &client =
+            cloud.startUnikernel("cb", net::Ipv4Addr(10, 0, 0, 3));
+        loadgen::CBench::Config cfg;
+        cfg.controller = net::Ipv4Addr(10, 0, 0, 2);
+        cfg.switches = 4;
+        cfg.batch = batch;
+        cfg.window = Duration::millis(200);
+        loadgen::CBench cb(client, cfg);
+        double out = 0;
+        cb.run([&](auto r) { out = r.responsesPerSecond; });
+        cloud.run();
+        return out;
+    };
+    EXPECT_GT(rate(true), rate(false))
+        << "batch mode must beat single (boundary amortisation)";
+}
+
+TEST(IntegrationTest, FioDirectVsBuffered)
+{
+    core::Cloud cloud;
+    xen::VirtualDisk &disk = cloud.addDisk("ssd", 1u << 20);
+    xen::Blkback &back = cloud.blkbackFor(disk);
+    core::Guest &guest =
+        cloud.startUnikernel("io", net::Ipv4Addr(10, 0, 0, 2));
+    drivers::Blkif blkif(guest.boot, back);
+    storage::BlkifDevice direct(blkif);
+    baseline::BufferCacheDevice buffered(direct, guest.dom.vcpu(),
+                                         4096);
+
+    auto measure = [&](storage::BlockDevice &dev) {
+        loadgen::Fio::Config cfg;
+        cfg.blockKiB = 256;
+        cfg.queueDepth = 8;
+        cfg.window = Duration::millis(300);
+        loadgen::Fio fio(cloud.engine(), dev, cfg);
+        double mibs = 0;
+        fio.run([&](auto r) { mibs = r.mibPerSecond; });
+        cloud.run();
+        return mibs;
+    };
+    double direct_mibs = measure(direct);
+    double buffered_mibs = measure(buffered);
+    EXPECT_GT(direct_mibs, 800.0)
+        << "direct path should approach device bandwidth";
+    EXPECT_LT(buffered_mibs, direct_mibs)
+        << "Fig 9: the buffer cache must cap throughput";
+}
+
+TEST(IntegrationTest, PingFloodLatencyProfile)
+{
+    core::Cloud cloud;
+    core::Guest &target =
+        cloud.startUnikernel("t", net::Ipv4Addr(10, 0, 0, 2));
+    core::Guest &pinger =
+        cloud.startUnikernel("p", net::Ipv4Addr(10, 0, 0, 3));
+    (void)target;
+
+    loadgen::PingFlood::Config cfg;
+    cfg.target = net::Ipv4Addr(10, 0, 0, 2);
+    cfg.count = 500;
+    loadgen::PingFlood flood(pinger, cfg);
+    loadgen::PingFlood::Report report;
+    flood.run([&](auto r) { report = r; });
+    cloud.run();
+    EXPECT_EQ(report.received, 500u) << "no losses on a clean bridge";
+    EXPECT_GT(report.meanRtt.ns(), 0);
+    EXPECT_GE(report.p99.ns(), report.p50.ns());
+}
+
+} // namespace
+} // namespace mirage

@@ -1,0 +1,507 @@
+/**
+ * @file
+ * Protocol-library tests: DNS wire/zone/server (with memoization and
+ * both compression implementations), HTTP parse/serve/client over the
+ * full simulated network, and OpenFlow controller↔datapath including
+ * the learning-switch application.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/stack.h"
+#include "protocols/dns/server.h"
+#include "protocols/http/client.h"
+#include "protocols/http/server.h"
+#include "protocols/openflow/controller.h"
+#include "protocols/openflow/datapath.h"
+
+namespace mirage {
+namespace {
+
+// ---- DNS wire ------------------------------------------------------------------
+
+dns::DnsMessage
+makeQuery(const std::string &qname, u16 qtype = 1, u16 id = 0x1234)
+{
+    dns::DnsMessage q;
+    q.header = dns::DnsHeader{};
+    q.header.id = id;
+    q.header.rd = true;
+    q.header.qdcount = 1;
+    q.questions.push_back(
+        dns::Question{dns::nameFromString(qname).value(), qtype, 1});
+    return q;
+}
+
+TEST(DnsWireTest, NameRoundTrip)
+{
+    auto n = dns::nameFromString("WWW.Example.COM.");
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(dns::nameToString(n.value()), "www.example.com");
+    EXPECT_FALSE(dns::nameFromString(std::string(70, 'a') + ".com").ok());
+}
+
+TEST(DnsWireTest, QueryWriteParseRoundTrip)
+{
+    dns::MessageWriter writer(dns::CompressionImpl::None);
+    Cstruct pkt = writer.write(makeQuery("host1.example.com"));
+    auto parsed = dns::parseMessage(pkt);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().header.id, 0x1234);
+    ASSERT_EQ(parsed.value().questions.size(), 1u);
+    EXPECT_EQ(dns::nameToString(parsed.value().questions[0].qname),
+              "host1.example.com");
+}
+
+TEST(DnsWireTest, CompressionPointersShrinkResponses)
+{
+    dns::DnsMessage msg = makeQuery("a.example.com");
+    msg.header.qr = true;
+    for (int i = 0; i < 5; i++) {
+        dns::ResourceRecord rr;
+        rr.name = dns::nameFromString("a.example.com").value();
+        rr.type = dns::RrType::A;
+        rr.ttl = 60;
+        rr.a = net::Ipv4Addr(10, 0, 0, u8(i));
+        msg.answers.push_back(rr);
+    }
+    dns::MessageWriter plain(dns::CompressionImpl::None);
+    dns::MessageWriter fmap(dns::CompressionImpl::FunctionalMap);
+    dns::MessageWriter htab(dns::CompressionImpl::NaiveHashtable);
+    Cstruct p0 = plain.write(msg);
+    Cstruct p1 = fmap.write(msg);
+    Cstruct p2 = htab.write(msg);
+    EXPECT_LT(p1.length(), p0.length());
+    EXPECT_EQ(p1.length(), p2.length())
+        << "both compression tables must agree";
+    EXPECT_GT(fmap.pointerHits(), 0u);
+
+    // Compressed output must parse back identically.
+    auto parsed = dns::parseMessage(p1);
+    ASSERT_TRUE(parsed.ok());
+    ASSERT_EQ(parsed.value().answers.size(), 5u);
+    for (const auto &rr : parsed.value().answers)
+        EXPECT_EQ(dns::nameToString(rr.name), "a.example.com");
+}
+
+TEST(DnsWireTest, RejectsMalformedPackets)
+{
+    EXPECT_FALSE(dns::parseMessage(Cstruct::create(5)).ok());
+    // Compression pointer loop.
+    Cstruct loop = Cstruct::create(16);
+    loop.setBe16(4, 1); // qdcount = 1
+    loop.setU8(12, 0xc0);
+    loop.setU8(13, 12); // points at itself
+    EXPECT_FALSE(dns::parseMessage(loop).ok());
+}
+
+// ---- DNS zone -------------------------------------------------------------------
+
+TEST(DnsZoneTest, ParsesBindFormat)
+{
+    const char *text = R"($ORIGIN example.com.
+$TTL 3600
+@       IN NS  ns1.example.com.
+ns1     IN A   10.0.0.53
+www 600 IN A   10.0.0.80
+alias   IN CNAME www
+note    IN TXT "hello world" ; trailing comment
+)";
+    auto zone = dns::Zone::parse(text);
+    ASSERT_TRUE(zone.ok());
+    EXPECT_EQ(zone.value().recordCount(), 5u);
+    auto www = zone.value().lookup(
+        dns::nameFromString("www.example.com").value(),
+        dns::RrType::A);
+    ASSERT_EQ(www.size(), 1u);
+    EXPECT_EQ(www[0].a, net::Ipv4Addr(10, 0, 0, 80));
+    EXPECT_EQ(www[0].ttl, 600u);
+    auto alias = zone.value().lookup(
+        dns::nameFromString("alias.example.com").value(),
+        dns::RrType::CNAME);
+    ASSERT_EQ(alias.size(), 1u);
+    EXPECT_EQ(dns::nameToString(alias[0].target), "www.example.com");
+}
+
+TEST(DnsZoneTest, RejectsGarbage)
+{
+    EXPECT_FALSE(dns::Zone::parse("www IN A 10.0.0.1\n").ok())
+        << "no $ORIGIN";
+    EXPECT_FALSE(
+        dns::Zone::parse("$ORIGIN e.com.\nx IN BOGUS 1\n").ok());
+    EXPECT_FALSE(
+        dns::Zone::parse("$ORIGIN e.com.\nx IN A 999.0.0.1\n").ok());
+}
+
+TEST(DnsZoneTest, SyntheticZoneShape)
+{
+    dns::Zone zone = dns::syntheticZone("bench.example.", 100);
+    EXPECT_EQ(zone.recordCount(), 101u); // 100 A + 1 NS
+    auto rr = zone.lookup(
+        dns::nameFromString("host000042.bench.example").value(),
+        dns::RrType::A);
+    ASSERT_EQ(rr.size(), 1u);
+}
+
+// ---- DNS server -----------------------------------------------------------------
+
+class DnsServerTest : public ::testing::Test
+{
+  protected:
+    static dns::DnsServer
+    makeServer(bool memoize)
+    {
+        dns::DnsServer::Config cfg;
+        cfg.memoize = memoize;
+        return dns::DnsServer(dns::syntheticZone("bench.example.", 50),
+                              cfg);
+    }
+
+    static Cstruct
+    query(const std::string &qname, u16 id = 7)
+    {
+        dns::MessageWriter w(dns::CompressionImpl::None);
+        return w.write(makeQuery(qname, 1, id));
+    }
+};
+
+TEST_F(DnsServerTest, AnswersFromZone)
+{
+    auto server = makeServer(true);
+    auto rsp = server.answer(query("host000007.bench.example"));
+    ASSERT_TRUE(rsp.ok());
+    auto msg = dns::parseMessage(rsp.value());
+    ASSERT_TRUE(msg.ok());
+    EXPECT_TRUE(msg.value().header.qr);
+    EXPECT_TRUE(msg.value().header.aa);
+    EXPECT_EQ(msg.value().header.rcode, dns::Rcode::NoError);
+    ASSERT_EQ(msg.value().answers.size(), 1u);
+    EXPECT_EQ(msg.value().answers[0].a, net::Ipv4Addr(0x0a000008));
+}
+
+TEST_F(DnsServerTest, NxDomainForMissingName)
+{
+    auto server = makeServer(true);
+    auto rsp = server.answer(query("nosuch.bench.example"));
+    ASSERT_TRUE(rsp.ok());
+    EXPECT_EQ(dns::parseMessage(rsp.value()).value().header.rcode,
+              dns::Rcode::NxDomain);
+    EXPECT_EQ(server.stats().nxdomain, 1u);
+}
+
+TEST_F(DnsServerTest, RefusesOutOfZone)
+{
+    auto server = makeServer(true);
+    auto rsp = server.answer(query("www.elsewhere.org"));
+    ASSERT_TRUE(rsp.ok());
+    EXPECT_EQ(dns::parseMessage(rsp.value()).value().header.rcode,
+              dns::Rcode::Refused);
+}
+
+TEST_F(DnsServerTest, MemoHitsPatchQueryId)
+{
+    auto server = makeServer(true);
+    auto r1 = server.answer(query("host000001.bench.example", 100));
+    auto r2 = server.answer(query("host000001.bench.example", 200));
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(server.stats().memoHits, 1u);
+    EXPECT_EQ(dns::parseMessage(r1.value()).value().header.id, 100);
+    EXPECT_EQ(dns::parseMessage(r2.value()).value().header.id, 200)
+        << "memoized response must carry the new query's id";
+}
+
+TEST_F(DnsServerTest, DropsMalformedQueries)
+{
+    auto server = makeServer(false);
+    EXPECT_FALSE(server.answer(Cstruct::create(3)).ok());
+    EXPECT_EQ(server.stats().dropped, 1u);
+}
+
+TEST_F(DnsServerTest, ChasesCname)
+{
+    dns::Zone zone = dns::Zone::parse(R"($ORIGIN z.test.
+www   IN A 10.1.1.1
+alias IN CNAME www
+)").value();
+    dns::DnsServer server(std::move(zone), dns::DnsServer::Config{});
+    auto rsp = server.answer(query("alias.z.test"));
+    ASSERT_TRUE(rsp.ok());
+    auto msg = dns::parseMessage(rsp.value()).value();
+    ASSERT_EQ(msg.answers.size(), 2u);
+    EXPECT_EQ(msg.answers[0].type, dns::RrType::CNAME);
+    EXPECT_EQ(msg.answers[1].type, dns::RrType::A);
+    EXPECT_EQ(msg.answers[1].a, net::Ipv4Addr(10, 1, 1, 1));
+}
+
+// ---- Networked fixture for HTTP / OpenFlow / DNS-over-UDP -------------------------
+
+class ApplianceTest : public ::testing::Test
+{
+  protected:
+    ApplianceTest()
+        : hv(engine), bridge(engine, "br0"),
+          dom0(hv.createDomain("dom0", xen::GuestKind::LinuxMinimal, 512)),
+          netback(dom0, bridge),
+          dom_a(hv.createDomain("a", xen::GuestKind::Unikernel, 64)),
+          dom_b(hv.createDomain("b", xen::GuestKind::Unikernel, 64)),
+          boot_a(dom_a), boot_b(dom_b), sched_a(engine, &dom_a.vcpu()),
+          sched_b(engine, &dom_b.vcpu()),
+          nif_a(boot_a, netback, {0x02, 0, 0, 0, 0, 1}),
+          nif_b(boot_b, netback, {0x02, 0, 0, 0, 0, 2}),
+          stack_a(nif_a, sched_a,
+                  {net::Ipv4Addr(10, 0, 0, 1),
+                   net::Ipv4Addr(255, 255, 255, 0),
+                   net::Ipv4Addr(10, 0, 0, 254), 1.35}),
+          stack_b(nif_b, sched_b,
+                  {net::Ipv4Addr(10, 0, 0, 2),
+                   net::Ipv4Addr(255, 255, 255, 0),
+                   net::Ipv4Addr(10, 0, 0, 254), 1.35})
+    {
+    }
+
+    sim::Engine engine;
+    xen::Hypervisor hv;
+    xen::Bridge bridge;
+    xen::Domain &dom0;
+    xen::Netback netback;
+    xen::Domain &dom_a;
+    xen::Domain &dom_b;
+    pvboot::PVBoot boot_a, boot_b;
+    rt::Scheduler sched_a, sched_b;
+    drivers::Netif nif_a, nif_b;
+    net::NetworkStack stack_a, stack_b;
+};
+
+TEST_F(ApplianceTest, DnsApplianceOverUdp)
+{
+    dns::DnsServer server(dns::syntheticZone("bench.example.", 20),
+                          dns::DnsServer::Config{});
+    ASSERT_TRUE(server.attachUdp(stack_b).ok());
+
+    dns::MessageWriter w(dns::CompressionImpl::None);
+    Cstruct q = w.write(makeQuery("host000003.bench.example", 1, 77));
+
+    Cstruct got;
+    ASSERT_TRUE(stack_a.udp()
+                    .listen(30001,
+                            [&](const net::UdpDatagram &d) {
+                                got = d.payload;
+                            })
+                    .ok());
+    stack_a.udp().sendTo(net::Ipv4Addr(10, 0, 0, 2), 53, 30001, {q});
+    engine.run();
+    ASSERT_GT(got.length(), 0u);
+    auto msg = dns::parseMessage(got);
+    ASSERT_TRUE(msg.ok());
+    EXPECT_EQ(msg.value().header.id, 77);
+    ASSERT_EQ(msg.value().answers.size(), 1u);
+    EXPECT_EQ(msg.value().answers[0].a, net::Ipv4Addr(0x0a000004));
+}
+
+// ---- HTTP -----------------------------------------------------------------------
+
+TEST(HttpMessageTest, RequestParseRoundTrip)
+{
+    http::HttpRequest req;
+    req.method = "POST";
+    req.path = "/tweet/alice";
+    req.headers["Host"] = "web.example";
+    req.body = "hello world";
+    Cstruct wire = http::serialiseRequest(req);
+
+    http::RequestParser parser;
+    // Feed byte-by-byte to exercise incremental parsing.
+    for (std::size_t i = 0; i < wire.length(); i++)
+        parser.feed(wire.sub(i, 1));
+    ASSERT_EQ(parser.state(), http::RequestParser::State::Ready);
+    http::HttpRequest out = parser.take();
+    EXPECT_EQ(out.method, "POST");
+    EXPECT_EQ(out.path, "/tweet/alice");
+    EXPECT_EQ(out.headers["host"], "web.example")
+        << "headers must be case-insensitive";
+    EXPECT_EQ(out.body, "hello world");
+}
+
+TEST(HttpMessageTest, PipelinedRequests)
+{
+    http::HttpRequest r1, r2;
+    r1.method = r2.method = "GET";
+    r1.path = "/a";
+    r2.path = "/b";
+    std::string both = http::serialiseRequest(r1).toString() +
+                       http::serialiseRequest(r2).toString();
+    http::RequestParser parser;
+    parser.feed(Cstruct::ofString(both));
+    ASSERT_EQ(parser.state(), http::RequestParser::State::Ready);
+    EXPECT_EQ(parser.take().path, "/a");
+    ASSERT_EQ(parser.state(), http::RequestParser::State::Ready)
+        << "second pipelined request must be ready after take()";
+    EXPECT_EQ(parser.take().path, "/b");
+}
+
+TEST(HttpMessageTest, BrokenInputDetected)
+{
+    http::RequestParser parser;
+    parser.feed(Cstruct::ofString("NOT_HTTP\r\n\r\n"));
+    EXPECT_EQ(parser.state(), http::RequestParser::State::Broken);
+}
+
+TEST_F(ApplianceTest, HttpServerEndToEnd)
+{
+    http::HttpServer server(
+        stack_b, 80, [](const http::HttpRequest &req, auto respond) {
+            respond(http::HttpResponse::text(
+                200, "you asked for " + req.path));
+        });
+
+    Result<http::HttpResponse> got = stateError("pending");
+    http::httpGet(stack_a, net::Ipv4Addr(10, 0, 0, 2), 80, "/hello",
+                  [&](Result<http::HttpResponse> r) { got = r; });
+    engine.run();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value().status, 200);
+    EXPECT_EQ(got.value().body, "you asked for /hello");
+    EXPECT_EQ(server.requestsServed(), 1u);
+}
+
+TEST_F(ApplianceTest, HttpKeepAliveSessionServesMany)
+{
+    http::HttpServer server(
+        stack_b, 80, [](const http::HttpRequest &req, auto respond) {
+            respond(http::HttpResponse::text(200, "ok:" + req.path));
+        });
+
+    int completed = 0;
+    auto session = http::HttpSession::open(
+        stack_a, net::Ipv4Addr(10, 0, 0, 2), 80, [&](Status st) {
+            ASSERT_TRUE(st.ok());
+        });
+    engine.run();
+    ASSERT_TRUE(session->connected());
+    for (int i = 0; i < 10; i++) {
+        http::HttpRequest req;
+        req.method = "GET";
+        req.path = "/item/" + std::to_string(i);
+        session->request(req, [&](Result<http::HttpResponse> r) {
+            ASSERT_TRUE(r.ok());
+            completed++;
+        });
+    }
+    engine.run();
+    EXPECT_EQ(completed, 10);
+    EXPECT_EQ(server.connectionsAccepted(), 1u)
+        << "keep-alive must reuse one connection";
+    EXPECT_EQ(server.requestsServed(), 10u);
+}
+
+// ---- OpenFlow -------------------------------------------------------------------
+
+TEST(OpenflowWireTest, HeaderAndFramer)
+{
+    Cstruct hello = openflow::buildHello(42);
+    auto h = openflow::parseHeader(hello);
+    ASSERT_TRUE(h.ok());
+    EXPECT_EQ(h.value().type, openflow::MsgType::Hello);
+    EXPECT_EQ(h.value().xid, 42u);
+
+    // Framer reassembles split messages.
+    openflow::MessageFramer framer;
+    Cstruct features = openflow::buildFeaturesReply(7, 0xabcd, 256, 1);
+    framer.feed(hello.sub(0, 3));
+    EXPECT_FALSE(framer.next().has_value());
+    framer.feed(hello.sub(3, hello.length() - 3));
+    framer.feed(features);
+    auto m1 = framer.next();
+    auto m2 = framer.next();
+    ASSERT_TRUE(m1.has_value());
+    ASSERT_TRUE(m2.has_value());
+    EXPECT_EQ(openflow::parseHeader(*m2).value().type,
+              openflow::MsgType::FeaturesReply);
+    EXPECT_EQ(openflow::parseFeaturesReply(*m2).value().datapathId,
+              0xabcdu);
+    EXPECT_FALSE(framer.next().has_value());
+}
+
+TEST(OpenflowWireTest, PacketInRoundTrip)
+{
+    Cstruct frame = Cstruct::ofString("fake ethernet frame bytes!");
+    Cstruct msg = openflow::buildPacketIn(9, 123, 4, 0, frame);
+    auto p = openflow::parsePacketIn(msg);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(p.value().bufferId, 123u);
+    EXPECT_EQ(p.value().inPort, 4);
+    EXPECT_TRUE(p.value().frame.contentEquals(frame));
+}
+
+TEST(OpenflowWireTest, FlowModRoundTrip)
+{
+    auto match = openflow::Match::l2Exact(
+        3, net::MacAddr::local(1), net::MacAddr::local(2), 0x0800);
+    Cstruct msg = openflow::buildFlowMod(5, match, 100, 0xffffffff,
+                                         {7, 9});
+    auto f = openflow::parseFlowMod(msg);
+    ASSERT_TRUE(f.ok());
+    EXPECT_EQ(f.value().priority, 100);
+    EXPECT_EQ(f.value().match.inPort, 3);
+    EXPECT_EQ(f.value().match.dlSrc, net::MacAddr::local(1));
+    EXPECT_EQ(f.value().outputPorts, (std::vector<u16>{7, 9}));
+}
+
+TEST_F(ApplianceTest, LearningSwitchInstallsFlows)
+{
+    openflow::LearningSwitchApp app;
+    openflow::Controller controller(stack_b, openflow::controllerPort,
+                                    app.handler());
+
+    std::vector<std::pair<u16, Cstruct>> egress;
+    openflow::Datapath dp(stack_a, 0x1, 4, [&](u16 port, Cstruct f) {
+        egress.emplace_back(port, f);
+    });
+    Status connected = stateError("pending");
+    dp.connectToController(net::Ipv4Addr(10, 0, 0, 2),
+                           openflow::controllerPort,
+                           [&](Status st) { connected = st; });
+    engine.run();
+    ASSERT_TRUE(connected.ok());
+    EXPECT_EQ(controller.switchesConnected(), 1u);
+
+    auto frame = [&](net::MacAddr dst, net::MacAddr src) {
+        Cstruct f = Cstruct::create(60);
+        for (std::size_t i = 0; i < 6; i++) {
+            f.setU8(i, dst.bytes()[i]);
+            f.setU8(6 + i, src.bytes()[i]);
+        }
+        f.setBe16(12, 0x0800);
+        return f;
+    };
+    net::MacAddr h1 = net::MacAddr::local(1);
+    net::MacAddr h2 = net::MacAddr::local(2);
+
+    // h1 -> h2: unknown, controller floods.
+    dp.injectFrame(1, frame(h2, h1));
+    engine.run();
+    EXPECT_EQ(app.floods(), 1u);
+    EXPECT_EQ(egress.size(), 3u) << "flood to 3 other ports";
+
+    // h2 -> h1: known now; flow installed + forwarded to port 1.
+    egress.clear();
+    dp.injectFrame(2, frame(h1, h2));
+    engine.run();
+    EXPECT_EQ(app.flowsInstalled(), 1u);
+    EXPECT_EQ(dp.flowCount(), 1u);
+    ASSERT_EQ(egress.size(), 1u);
+    EXPECT_EQ(egress[0].first, 1);
+
+    // Repeat traffic hits the installed flow — no controller trip.
+    u64 packet_ins_before = controller.packetInsHandled();
+    egress.clear();
+    dp.injectFrame(2, frame(h1, h2));
+    engine.run();
+    EXPECT_EQ(controller.packetInsHandled(), packet_ins_before);
+    EXPECT_EQ(dp.tableHits(), 1u);
+    ASSERT_EQ(egress.size(), 1u);
+}
+
+} // namespace
+} // namespace mirage

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for the discrete-event engine and the Cpu server model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "sim/cpu.h"
+#include "sim/engine.h"
+
+namespace mirage::sim {
+namespace {
+
+TEST(EngineTest, RunsInTimeOrder)
+{
+    Engine e;
+    std::vector<int> order;
+    e.after(Duration::millis(30), [&] { order.push_back(3); });
+    e.after(Duration::millis(10), [&] { order.push_back(1); });
+    e.after(Duration::millis(20), [&] { order.push_back(2); });
+    e.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(e.now().ns(), Duration::millis(30).ns());
+}
+
+TEST(EngineTest, TiesBreakByInsertion)
+{
+    Engine e;
+    std::vector<int> order;
+    for (int i = 0; i < 5; i++)
+        e.after(Duration::millis(1), [&, i] { order.push_back(i); });
+    e.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EngineTest, CancelPreventsExecution)
+{
+    Engine e;
+    bool ran = false;
+    EventId id = e.after(Duration::millis(1), [&] { ran = true; });
+    e.cancel(id);
+    e.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(EngineTest, NestedScheduling)
+{
+    Engine e;
+    int fired = 0;
+    e.after(Duration::millis(1), [&] {
+        fired++;
+        e.after(Duration::millis(1), [&] { fired++; });
+    });
+    e.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(e.now().ns(), Duration::millis(2).ns());
+}
+
+TEST(EngineTest, RunUntilLeavesLaterEvents)
+{
+    Engine e;
+    int fired = 0;
+    e.after(Duration::millis(5), [&] { fired++; });
+    e.after(Duration::millis(15), [&] { fired++; });
+    e.runUntil(TimePoint(Duration::millis(10).ns()));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(e.now().ns(), Duration::millis(10).ns());
+    e.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EngineTest, LateScheduleClampsToNow)
+{
+    Engine e;
+    e.after(Duration::millis(10), [] {});
+    e.run();
+    bool ran = false;
+    e.at(TimePoint(0), [&] { ran = true; }); // in the past
+    e.run();
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(e.now().ns(), Duration::millis(10).ns());
+}
+
+TEST(CpuTest, SerialisesWork)
+{
+    Engine e;
+    Cpu cpu(e, "test");
+    std::vector<i64> done_at;
+    cpu.submit(Duration::millis(10),
+               [&] { done_at.push_back(e.now().ns()); });
+    cpu.submit(Duration::millis(5),
+               [&] { done_at.push_back(e.now().ns()); });
+    e.run();
+    ASSERT_EQ(done_at.size(), 2u);
+    EXPECT_EQ(done_at[0], Duration::millis(10).ns());
+    EXPECT_EQ(done_at[1], Duration::millis(15).ns()) <<
+        "second job must queue behind the first";
+}
+
+TEST(CpuTest, IdleGapsDoNotAccumulate)
+{
+    Engine e;
+    Cpu cpu(e, "test");
+    i64 done = 0;
+    cpu.submit(Duration::millis(1), [&] { done = e.now().ns(); });
+    e.run();
+    // 100 ms of idle virtual time.
+    e.after(Duration::millis(100), [] {});
+    e.run();
+    cpu.submit(Duration::millis(1), [&] { done = e.now().ns(); });
+    e.run();
+    EXPECT_EQ(done, Duration::millis(102).ns()) <<
+        "work after idle starts at now, not at freeAt from the past";
+    EXPECT_EQ(cpu.busyTime().ns(), Duration::millis(2).ns());
+}
+
+TEST(CpuTest, UtilisationSaturatesAtOne)
+{
+    Engine e;
+    Cpu cpu(e, "test");
+    for (int i = 0; i < 100; i++)
+        cpu.submit(Duration::millis(10), nullptr);
+    e.run();
+    EXPECT_DOUBLE_EQ(
+        cpu.utilisation(TimePoint(0), TimePoint(0) + Duration::millis(500)),
+        1.0);
+}
+
+TEST(CostModelTest, PaperStructuralInvariants)
+{
+    const CostModel &c = costs();
+    // PV page-table updates go through the hypervisor: dearer than
+    // native ones. This asymmetry drives Fig 7a's ordering.
+    EXPECT_GT(c.ptUpdatePv.ns(), c.ptUpdateNative.ns());
+    // A hypercall is a deeper crossing than a syscall.
+    EXPECT_GT(c.hypercall.ns(), c.syscall.ns());
+    // Switching VMs costs more than switching processes.
+    EXPECT_GT(c.vmSwitch.ns(), c.processSwitch.ns());
+    // One superpage map must beat mapping 512 individual pages.
+    EXPECT_LT(c.superpageMap.ns(), c.ptUpdateNative.ns() * 512);
+    // The type-safety tax is a modest constant factor, not an order
+    // of magnitude (the paper's central performance claim).
+    EXPECT_GT(c.safetyTaxFactor, 1.0);
+    EXPECT_LT(c.safetyTaxFactor, 2.0);
+}
+
+} // namespace
+} // namespace mirage::sim
