@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_block_read.dir/bench_block_read.cc.o"
+  "CMakeFiles/bench_block_read.dir/bench_block_read.cc.o.d"
+  "bench_block_read"
+  "bench_block_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_block_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_boot_time.dir/bench_boot_time.cc.o"
+  "CMakeFiles/bench_boot_time.dir/bench_boot_time.cc.o.d"
+  "bench_boot_time"
+  "bench_boot_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_boot_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

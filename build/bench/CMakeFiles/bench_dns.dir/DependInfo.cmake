@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_dns.cc" "bench/CMakeFiles/bench_dns.dir/bench_dns.cc.o" "gcc" "bench/CMakeFiles/bench_dns.dir/bench_dns.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/loadgen/CMakeFiles/mirage_loadgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/mirage_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mirage_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/mirage_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mirage_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mirage_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/drivers/CMakeFiles/mirage_drivers.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mirage_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/pvboot/CMakeFiles/mirage_pvboot.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/mirage_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mirage_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mirage_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dns.dir/bench_dns.cc.o"
+  "CMakeFiles/bench_dns.dir/bench_dns.cc.o.d"
+  "bench_dns"
+  "bench_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

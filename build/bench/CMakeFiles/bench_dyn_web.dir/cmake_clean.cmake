@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dyn_web.dir/bench_dyn_web.cc.o"
+  "CMakeFiles/bench_dyn_web.dir/bench_dyn_web.cc.o.d"
+  "bench_dyn_web"
+  "bench_dyn_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dyn_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

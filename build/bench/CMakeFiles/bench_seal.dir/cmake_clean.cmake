@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seal.dir/bench_seal.cc.o"
+  "CMakeFiles/bench_seal.dir/bench_seal.cc.o.d"
+  "bench_seal"
+  "bench_seal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

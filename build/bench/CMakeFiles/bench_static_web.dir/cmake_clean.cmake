@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_static_web.dir/bench_static_web.cc.o"
+  "CMakeFiles/bench_static_web.dir/bench_static_web.cc.o.d"
+  "bench_static_web"
+  "bench_static_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_static_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tcp_throughput.dir/bench_tcp_throughput.cc.o"
+  "CMakeFiles/bench_tcp_throughput.dir/bench_tcp_throughput.cc.o.d"
+  "bench_tcp_throughput"
+  "bench_tcp_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tcp_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thread_jitter.dir/bench_thread_jitter.cc.o"
+  "CMakeFiles/bench_thread_jitter.dir/bench_thread_jitter.cc.o.d"
+  "bench_thread_jitter"
+  "bench_thread_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thread_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_appliance.dir/dns_appliance.cpp.o"
+  "CMakeFiles/dns_appliance.dir/dns_appliance.cpp.o.d"
+  "dns_appliance"
+  "dns_appliance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_appliance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openflow_appliance.dir/openflow_appliance.cpp.o"
+  "CMakeFiles/openflow_appliance.dir/openflow_appliance.cpp.o.d"
+  "openflow_appliance"
+  "openflow_appliance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openflow_appliance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_site.dir/static_site.cpp.o"
+  "CMakeFiles/static_site.dir/static_site.cpp.o.d"
+  "static_site"
+  "static_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_appliance.dir/web_appliance.cpp.o"
+  "CMakeFiles/web_appliance.dir/web_appliance.cpp.o.d"
+  "web_appliance"
+  "web_appliance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_appliance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

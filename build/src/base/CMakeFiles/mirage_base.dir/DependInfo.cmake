@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/bytes.cc" "src/base/CMakeFiles/mirage_base.dir/bytes.cc.o" "gcc" "src/base/CMakeFiles/mirage_base.dir/bytes.cc.o.d"
+  "/root/repo/src/base/checksum.cc" "src/base/CMakeFiles/mirage_base.dir/checksum.cc.o" "gcc" "src/base/CMakeFiles/mirage_base.dir/checksum.cc.o.d"
+  "/root/repo/src/base/cstruct.cc" "src/base/CMakeFiles/mirage_base.dir/cstruct.cc.o" "gcc" "src/base/CMakeFiles/mirage_base.dir/cstruct.cc.o.d"
+  "/root/repo/src/base/logging.cc" "src/base/CMakeFiles/mirage_base.dir/logging.cc.o" "gcc" "src/base/CMakeFiles/mirage_base.dir/logging.cc.o.d"
+  "/root/repo/src/base/rand.cc" "src/base/CMakeFiles/mirage_base.dir/rand.cc.o" "gcc" "src/base/CMakeFiles/mirage_base.dir/rand.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

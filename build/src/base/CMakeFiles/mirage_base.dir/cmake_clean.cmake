@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mirage_base.dir/bytes.cc.o"
+  "CMakeFiles/mirage_base.dir/bytes.cc.o.d"
+  "CMakeFiles/mirage_base.dir/checksum.cc.o"
+  "CMakeFiles/mirage_base.dir/checksum.cc.o.d"
+  "CMakeFiles/mirage_base.dir/cstruct.cc.o"
+  "CMakeFiles/mirage_base.dir/cstruct.cc.o.d"
+  "CMakeFiles/mirage_base.dir/logging.cc.o"
+  "CMakeFiles/mirage_base.dir/logging.cc.o.d"
+  "CMakeFiles/mirage_base.dir/rand.cc.o"
+  "CMakeFiles/mirage_base.dir/rand.cc.o.d"
+  "libmirage_base.a"
+  "libmirage_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mirage_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mirage_baseline.dir/buffer_cache.cc.o"
+  "CMakeFiles/mirage_baseline.dir/buffer_cache.cc.o.d"
+  "CMakeFiles/mirage_baseline.dir/conventional.cc.o"
+  "CMakeFiles/mirage_baseline.dir/conventional.cc.o.d"
+  "CMakeFiles/mirage_baseline.dir/dns_servers.cc.o"
+  "CMakeFiles/mirage_baseline.dir/dns_servers.cc.o.d"
+  "CMakeFiles/mirage_baseline.dir/of_controllers.cc.o"
+  "CMakeFiles/mirage_baseline.dir/of_controllers.cc.o.d"
+  "CMakeFiles/mirage_baseline.dir/web_servers.cc.o"
+  "CMakeFiles/mirage_baseline.dir/web_servers.cc.o.d"
+  "libmirage_baseline.a"
+  "libmirage_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mirage_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

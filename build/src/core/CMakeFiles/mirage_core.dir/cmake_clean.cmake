@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mirage_core.dir/cloud.cc.o"
+  "CMakeFiles/mirage_core.dir/cloud.cc.o.d"
+  "CMakeFiles/mirage_core.dir/linker.cc.o"
+  "CMakeFiles/mirage_core.dir/linker.cc.o.d"
+  "CMakeFiles/mirage_core.dir/registry.cc.o"
+  "CMakeFiles/mirage_core.dir/registry.cc.o.d"
+  "libmirage_core.a"
+  "libmirage_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mirage_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mirage_drivers.dir/blkif.cc.o"
+  "CMakeFiles/mirage_drivers.dir/blkif.cc.o.d"
+  "CMakeFiles/mirage_drivers.dir/console.cc.o"
+  "CMakeFiles/mirage_drivers.dir/console.cc.o.d"
+  "CMakeFiles/mirage_drivers.dir/netif.cc.o"
+  "CMakeFiles/mirage_drivers.dir/netif.cc.o.d"
+  "libmirage_drivers.a"
+  "libmirage_drivers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mirage_drivers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

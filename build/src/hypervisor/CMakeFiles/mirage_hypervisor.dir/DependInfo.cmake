@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hypervisor/blkback.cc" "src/hypervisor/CMakeFiles/mirage_hypervisor.dir/blkback.cc.o" "gcc" "src/hypervisor/CMakeFiles/mirage_hypervisor.dir/blkback.cc.o.d"
+  "/root/repo/src/hypervisor/builder.cc" "src/hypervisor/CMakeFiles/mirage_hypervisor.dir/builder.cc.o" "gcc" "src/hypervisor/CMakeFiles/mirage_hypervisor.dir/builder.cc.o.d"
+  "/root/repo/src/hypervisor/domain.cc" "src/hypervisor/CMakeFiles/mirage_hypervisor.dir/domain.cc.o" "gcc" "src/hypervisor/CMakeFiles/mirage_hypervisor.dir/domain.cc.o.d"
+  "/root/repo/src/hypervisor/event_channel.cc" "src/hypervisor/CMakeFiles/mirage_hypervisor.dir/event_channel.cc.o" "gcc" "src/hypervisor/CMakeFiles/mirage_hypervisor.dir/event_channel.cc.o.d"
+  "/root/repo/src/hypervisor/grant_table.cc" "src/hypervisor/CMakeFiles/mirage_hypervisor.dir/grant_table.cc.o" "gcc" "src/hypervisor/CMakeFiles/mirage_hypervisor.dir/grant_table.cc.o.d"
+  "/root/repo/src/hypervisor/netback.cc" "src/hypervisor/CMakeFiles/mirage_hypervisor.dir/netback.cc.o" "gcc" "src/hypervisor/CMakeFiles/mirage_hypervisor.dir/netback.cc.o.d"
+  "/root/repo/src/hypervisor/paging.cc" "src/hypervisor/CMakeFiles/mirage_hypervisor.dir/paging.cc.o" "gcc" "src/hypervisor/CMakeFiles/mirage_hypervisor.dir/paging.cc.o.d"
+  "/root/repo/src/hypervisor/ring.cc" "src/hypervisor/CMakeFiles/mirage_hypervisor.dir/ring.cc.o" "gcc" "src/hypervisor/CMakeFiles/mirage_hypervisor.dir/ring.cc.o.d"
+  "/root/repo/src/hypervisor/vchan.cc" "src/hypervisor/CMakeFiles/mirage_hypervisor.dir/vchan.cc.o" "gcc" "src/hypervisor/CMakeFiles/mirage_hypervisor.dir/vchan.cc.o.d"
+  "/root/repo/src/hypervisor/xen.cc" "src/hypervisor/CMakeFiles/mirage_hypervisor.dir/xen.cc.o" "gcc" "src/hypervisor/CMakeFiles/mirage_hypervisor.dir/xen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mirage_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mirage_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

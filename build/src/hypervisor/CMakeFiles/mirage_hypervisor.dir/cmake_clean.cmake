@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mirage_hypervisor.dir/blkback.cc.o"
+  "CMakeFiles/mirage_hypervisor.dir/blkback.cc.o.d"
+  "CMakeFiles/mirage_hypervisor.dir/builder.cc.o"
+  "CMakeFiles/mirage_hypervisor.dir/builder.cc.o.d"
+  "CMakeFiles/mirage_hypervisor.dir/domain.cc.o"
+  "CMakeFiles/mirage_hypervisor.dir/domain.cc.o.d"
+  "CMakeFiles/mirage_hypervisor.dir/event_channel.cc.o"
+  "CMakeFiles/mirage_hypervisor.dir/event_channel.cc.o.d"
+  "CMakeFiles/mirage_hypervisor.dir/grant_table.cc.o"
+  "CMakeFiles/mirage_hypervisor.dir/grant_table.cc.o.d"
+  "CMakeFiles/mirage_hypervisor.dir/netback.cc.o"
+  "CMakeFiles/mirage_hypervisor.dir/netback.cc.o.d"
+  "CMakeFiles/mirage_hypervisor.dir/paging.cc.o"
+  "CMakeFiles/mirage_hypervisor.dir/paging.cc.o.d"
+  "CMakeFiles/mirage_hypervisor.dir/ring.cc.o"
+  "CMakeFiles/mirage_hypervisor.dir/ring.cc.o.d"
+  "CMakeFiles/mirage_hypervisor.dir/vchan.cc.o"
+  "CMakeFiles/mirage_hypervisor.dir/vchan.cc.o.d"
+  "CMakeFiles/mirage_hypervisor.dir/xen.cc.o"
+  "CMakeFiles/mirage_hypervisor.dir/xen.cc.o.d"
+  "libmirage_hypervisor.a"
+  "libmirage_hypervisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mirage_hypervisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

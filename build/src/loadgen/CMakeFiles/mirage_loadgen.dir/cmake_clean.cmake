@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mirage_loadgen.dir/cbench.cc.o"
+  "CMakeFiles/mirage_loadgen.dir/cbench.cc.o.d"
+  "CMakeFiles/mirage_loadgen.dir/fio.cc.o"
+  "CMakeFiles/mirage_loadgen.dir/fio.cc.o.d"
+  "CMakeFiles/mirage_loadgen.dir/httperf.cc.o"
+  "CMakeFiles/mirage_loadgen.dir/httperf.cc.o.d"
+  "CMakeFiles/mirage_loadgen.dir/iperf.cc.o"
+  "CMakeFiles/mirage_loadgen.dir/iperf.cc.o.d"
+  "CMakeFiles/mirage_loadgen.dir/pingflood.cc.o"
+  "CMakeFiles/mirage_loadgen.dir/pingflood.cc.o.d"
+  "CMakeFiles/mirage_loadgen.dir/queryperf.cc.o"
+  "CMakeFiles/mirage_loadgen.dir/queryperf.cc.o.d"
+  "libmirage_loadgen.a"
+  "libmirage_loadgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mirage_loadgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

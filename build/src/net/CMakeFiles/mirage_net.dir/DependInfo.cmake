@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/addresses.cc" "src/net/CMakeFiles/mirage_net.dir/addresses.cc.o" "gcc" "src/net/CMakeFiles/mirage_net.dir/addresses.cc.o.d"
+  "/root/repo/src/net/arp.cc" "src/net/CMakeFiles/mirage_net.dir/arp.cc.o" "gcc" "src/net/CMakeFiles/mirage_net.dir/arp.cc.o.d"
+  "/root/repo/src/net/dhcp.cc" "src/net/CMakeFiles/mirage_net.dir/dhcp.cc.o" "gcc" "src/net/CMakeFiles/mirage_net.dir/dhcp.cc.o.d"
+  "/root/repo/src/net/ethernet.cc" "src/net/CMakeFiles/mirage_net.dir/ethernet.cc.o" "gcc" "src/net/CMakeFiles/mirage_net.dir/ethernet.cc.o.d"
+  "/root/repo/src/net/icmp.cc" "src/net/CMakeFiles/mirage_net.dir/icmp.cc.o" "gcc" "src/net/CMakeFiles/mirage_net.dir/icmp.cc.o.d"
+  "/root/repo/src/net/ipv4.cc" "src/net/CMakeFiles/mirage_net.dir/ipv4.cc.o" "gcc" "src/net/CMakeFiles/mirage_net.dir/ipv4.cc.o.d"
+  "/root/repo/src/net/stack.cc" "src/net/CMakeFiles/mirage_net.dir/stack.cc.o" "gcc" "src/net/CMakeFiles/mirage_net.dir/stack.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/net/CMakeFiles/mirage_net.dir/tcp.cc.o" "gcc" "src/net/CMakeFiles/mirage_net.dir/tcp.cc.o.d"
+  "/root/repo/src/net/tcp_conn.cc" "src/net/CMakeFiles/mirage_net.dir/tcp_conn.cc.o" "gcc" "src/net/CMakeFiles/mirage_net.dir/tcp_conn.cc.o.d"
+  "/root/repo/src/net/tcp_wire.cc" "src/net/CMakeFiles/mirage_net.dir/tcp_wire.cc.o" "gcc" "src/net/CMakeFiles/mirage_net.dir/tcp_wire.cc.o.d"
+  "/root/repo/src/net/udp.cc" "src/net/CMakeFiles/mirage_net.dir/udp.cc.o" "gcc" "src/net/CMakeFiles/mirage_net.dir/udp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/drivers/CMakeFiles/mirage_drivers.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mirage_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/pvboot/CMakeFiles/mirage_pvboot.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/mirage_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mirage_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mirage_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

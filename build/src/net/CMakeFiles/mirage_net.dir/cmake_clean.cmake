@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mirage_net.dir/addresses.cc.o"
+  "CMakeFiles/mirage_net.dir/addresses.cc.o.d"
+  "CMakeFiles/mirage_net.dir/arp.cc.o"
+  "CMakeFiles/mirage_net.dir/arp.cc.o.d"
+  "CMakeFiles/mirage_net.dir/dhcp.cc.o"
+  "CMakeFiles/mirage_net.dir/dhcp.cc.o.d"
+  "CMakeFiles/mirage_net.dir/ethernet.cc.o"
+  "CMakeFiles/mirage_net.dir/ethernet.cc.o.d"
+  "CMakeFiles/mirage_net.dir/icmp.cc.o"
+  "CMakeFiles/mirage_net.dir/icmp.cc.o.d"
+  "CMakeFiles/mirage_net.dir/ipv4.cc.o"
+  "CMakeFiles/mirage_net.dir/ipv4.cc.o.d"
+  "CMakeFiles/mirage_net.dir/stack.cc.o"
+  "CMakeFiles/mirage_net.dir/stack.cc.o.d"
+  "CMakeFiles/mirage_net.dir/tcp.cc.o"
+  "CMakeFiles/mirage_net.dir/tcp.cc.o.d"
+  "CMakeFiles/mirage_net.dir/tcp_conn.cc.o"
+  "CMakeFiles/mirage_net.dir/tcp_conn.cc.o.d"
+  "CMakeFiles/mirage_net.dir/tcp_wire.cc.o"
+  "CMakeFiles/mirage_net.dir/tcp_wire.cc.o.d"
+  "CMakeFiles/mirage_net.dir/udp.cc.o"
+  "CMakeFiles/mirage_net.dir/udp.cc.o.d"
+  "libmirage_net.a"
+  "libmirage_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mirage_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/dns/server.cc" "src/protocols/CMakeFiles/mirage_protocols.dir/dns/server.cc.o" "gcc" "src/protocols/CMakeFiles/mirage_protocols.dir/dns/server.cc.o.d"
+  "/root/repo/src/protocols/dns/wire.cc" "src/protocols/CMakeFiles/mirage_protocols.dir/dns/wire.cc.o" "gcc" "src/protocols/CMakeFiles/mirage_protocols.dir/dns/wire.cc.o.d"
+  "/root/repo/src/protocols/dns/zone.cc" "src/protocols/CMakeFiles/mirage_protocols.dir/dns/zone.cc.o" "gcc" "src/protocols/CMakeFiles/mirage_protocols.dir/dns/zone.cc.o.d"
+  "/root/repo/src/protocols/http/client.cc" "src/protocols/CMakeFiles/mirage_protocols.dir/http/client.cc.o" "gcc" "src/protocols/CMakeFiles/mirage_protocols.dir/http/client.cc.o.d"
+  "/root/repo/src/protocols/http/message.cc" "src/protocols/CMakeFiles/mirage_protocols.dir/http/message.cc.o" "gcc" "src/protocols/CMakeFiles/mirage_protocols.dir/http/message.cc.o.d"
+  "/root/repo/src/protocols/http/server.cc" "src/protocols/CMakeFiles/mirage_protocols.dir/http/server.cc.o" "gcc" "src/protocols/CMakeFiles/mirage_protocols.dir/http/server.cc.o.d"
+  "/root/repo/src/protocols/openflow/controller.cc" "src/protocols/CMakeFiles/mirage_protocols.dir/openflow/controller.cc.o" "gcc" "src/protocols/CMakeFiles/mirage_protocols.dir/openflow/controller.cc.o.d"
+  "/root/repo/src/protocols/openflow/datapath.cc" "src/protocols/CMakeFiles/mirage_protocols.dir/openflow/datapath.cc.o" "gcc" "src/protocols/CMakeFiles/mirage_protocols.dir/openflow/datapath.cc.o.d"
+  "/root/repo/src/protocols/openflow/wire.cc" "src/protocols/CMakeFiles/mirage_protocols.dir/openflow/wire.cc.o" "gcc" "src/protocols/CMakeFiles/mirage_protocols.dir/openflow/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mirage_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mirage_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/drivers/CMakeFiles/mirage_drivers.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mirage_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/pvboot/CMakeFiles/mirage_pvboot.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/mirage_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mirage_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mirage_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

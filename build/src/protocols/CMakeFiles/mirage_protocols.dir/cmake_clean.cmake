@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mirage_protocols.dir/dns/server.cc.o"
+  "CMakeFiles/mirage_protocols.dir/dns/server.cc.o.d"
+  "CMakeFiles/mirage_protocols.dir/dns/wire.cc.o"
+  "CMakeFiles/mirage_protocols.dir/dns/wire.cc.o.d"
+  "CMakeFiles/mirage_protocols.dir/dns/zone.cc.o"
+  "CMakeFiles/mirage_protocols.dir/dns/zone.cc.o.d"
+  "CMakeFiles/mirage_protocols.dir/http/client.cc.o"
+  "CMakeFiles/mirage_protocols.dir/http/client.cc.o.d"
+  "CMakeFiles/mirage_protocols.dir/http/message.cc.o"
+  "CMakeFiles/mirage_protocols.dir/http/message.cc.o.d"
+  "CMakeFiles/mirage_protocols.dir/http/server.cc.o"
+  "CMakeFiles/mirage_protocols.dir/http/server.cc.o.d"
+  "CMakeFiles/mirage_protocols.dir/openflow/controller.cc.o"
+  "CMakeFiles/mirage_protocols.dir/openflow/controller.cc.o.d"
+  "CMakeFiles/mirage_protocols.dir/openflow/datapath.cc.o"
+  "CMakeFiles/mirage_protocols.dir/openflow/datapath.cc.o.d"
+  "CMakeFiles/mirage_protocols.dir/openflow/wire.cc.o"
+  "CMakeFiles/mirage_protocols.dir/openflow/wire.cc.o.d"
+  "libmirage_protocols.a"
+  "libmirage_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mirage_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

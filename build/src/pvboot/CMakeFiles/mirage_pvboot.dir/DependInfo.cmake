@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pvboot/extent.cc" "src/pvboot/CMakeFiles/mirage_pvboot.dir/extent.cc.o" "gcc" "src/pvboot/CMakeFiles/mirage_pvboot.dir/extent.cc.o.d"
+  "/root/repo/src/pvboot/io_pages.cc" "src/pvboot/CMakeFiles/mirage_pvboot.dir/io_pages.cc.o" "gcc" "src/pvboot/CMakeFiles/mirage_pvboot.dir/io_pages.cc.o.d"
+  "/root/repo/src/pvboot/layout.cc" "src/pvboot/CMakeFiles/mirage_pvboot.dir/layout.cc.o" "gcc" "src/pvboot/CMakeFiles/mirage_pvboot.dir/layout.cc.o.d"
+  "/root/repo/src/pvboot/pvboot.cc" "src/pvboot/CMakeFiles/mirage_pvboot.dir/pvboot.cc.o" "gcc" "src/pvboot/CMakeFiles/mirage_pvboot.dir/pvboot.cc.o.d"
+  "/root/repo/src/pvboot/slab.cc" "src/pvboot/CMakeFiles/mirage_pvboot.dir/slab.cc.o" "gcc" "src/pvboot/CMakeFiles/mirage_pvboot.dir/slab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hypervisor/CMakeFiles/mirage_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mirage_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mirage_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

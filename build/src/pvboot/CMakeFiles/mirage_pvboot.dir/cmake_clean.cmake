@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mirage_pvboot.dir/extent.cc.o"
+  "CMakeFiles/mirage_pvboot.dir/extent.cc.o.d"
+  "CMakeFiles/mirage_pvboot.dir/io_pages.cc.o"
+  "CMakeFiles/mirage_pvboot.dir/io_pages.cc.o.d"
+  "CMakeFiles/mirage_pvboot.dir/layout.cc.o"
+  "CMakeFiles/mirage_pvboot.dir/layout.cc.o.d"
+  "CMakeFiles/mirage_pvboot.dir/pvboot.cc.o"
+  "CMakeFiles/mirage_pvboot.dir/pvboot.cc.o.d"
+  "CMakeFiles/mirage_pvboot.dir/slab.cc.o"
+  "CMakeFiles/mirage_pvboot.dir/slab.cc.o.d"
+  "libmirage_pvboot.a"
+  "libmirage_pvboot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mirage_pvboot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mirage_runtime.dir/gc_heap.cc.o"
+  "CMakeFiles/mirage_runtime.dir/gc_heap.cc.o.d"
+  "CMakeFiles/mirage_runtime.dir/promise.cc.o"
+  "CMakeFiles/mirage_runtime.dir/promise.cc.o.d"
+  "CMakeFiles/mirage_runtime.dir/scheduler.cc.o"
+  "CMakeFiles/mirage_runtime.dir/scheduler.cc.o.d"
+  "libmirage_runtime.a"
+  "libmirage_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mirage_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

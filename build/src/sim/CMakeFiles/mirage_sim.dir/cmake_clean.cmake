@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mirage_sim.dir/cpu.cc.o"
+  "CMakeFiles/mirage_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/mirage_sim.dir/engine.cc.o"
+  "CMakeFiles/mirage_sim.dir/engine.cc.o.d"
+  "libmirage_sim.a"
+  "libmirage_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mirage_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mirage_storage.dir/block.cc.o"
+  "CMakeFiles/mirage_storage.dir/block.cc.o.d"
+  "CMakeFiles/mirage_storage.dir/btree.cc.o"
+  "CMakeFiles/mirage_storage.dir/btree.cc.o.d"
+  "CMakeFiles/mirage_storage.dir/fat32.cc.o"
+  "CMakeFiles/mirage_storage.dir/fat32.cc.o.d"
+  "CMakeFiles/mirage_storage.dir/kv.cc.o"
+  "CMakeFiles/mirage_storage.dir/kv.cc.o.d"
+  "libmirage_storage.a"
+  "libmirage_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mirage_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

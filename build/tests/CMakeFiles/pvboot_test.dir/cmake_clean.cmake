@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvboot_test.dir/pvboot_test.cc.o"
+  "CMakeFiles/pvboot_test.dir/pvboot_test.cc.o.d"
+  "pvboot_test"
+  "pvboot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvboot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
