@@ -7,6 +7,8 @@
  */
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "baseline/buffer_cache.h"
 #include "core/cloud.h"
@@ -16,10 +18,15 @@ using namespace mirage;
 
 namespace {
 
+/** --trace=FILE captures the first measurement's cross-layer trace. */
+std::string g_trace_path;
+
 double
 measure(std::size_t block_kib, int mode)
 {
     core::Cloud cloud;
+    if (!g_trace_path.empty())
+        cloud.tracer().enable();
     xen::VirtualDisk &disk = cloud.addDisk("ssd", 4u << 20); // 2 GB
     xen::Blkback &back = cloud.blkbackFor(disk);
     core::Guest &guest =
@@ -43,14 +50,25 @@ measure(std::size_t block_kib, int mode)
     double mibs = 0;
     fio.run([&](auto r) { mibs = r.mibPerSecond; });
     cloud.run();
+    if (!g_trace_path.empty()) {
+        if (auto st = cloud.tracer().writeChromeJson(g_trace_path);
+            st.ok())
+            std::fprintf(stderr, "trace: %zu events -> %s\n",
+                         cloud.tracer().eventCount(),
+                         g_trace_path.c_str());
+        g_trace_path.clear(); // only the first measurement is traced
+    }
     return mibs;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    for (int i = 1; i < argc; i++)
+        if (std::strncmp(argv[i], "--trace=", 8) == 0)
+            g_trace_path = argv[i] + 8;
     std::printf("# Figure 9: random block read throughput (MiB/s) vs "
                 "block size\n");
     std::printf("# paper: Mirage == Linux direct (to ~1.6 GB/s); "

@@ -7,6 +7,8 @@
  */
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "core/cloud.h"
 #include "loadgen/iperf.h"
@@ -14,6 +16,9 @@
 using namespace mirage;
 
 namespace {
+
+/** --trace=FILE captures the first measurement's cross-layer trace. */
+std::string g_trace_path;
 
 core::Guest &
 endpoint(core::Cloud &cloud, bool mirage, const char *name,
@@ -29,6 +34,8 @@ double
 measure(bool tx_mirage, bool rx_mirage, u32 flows, u64 &retransmits)
 {
     core::Cloud cloud;
+    if (!g_trace_path.empty())
+        cloud.tracer().enable();
     core::Guest &rx =
         endpoint(cloud, rx_mirage, "rx", net::Ipv4Addr(10, 0, 0, 2));
     core::Guest &tx =
@@ -39,6 +46,14 @@ measure(bool tx_mirage, bool rx_mirage, u32 flows, u64 &retransmits)
                               5001, flows, Duration::millis(150),
                               [&](auto r) { report = r; });
     cloud.run();
+    if (!g_trace_path.empty()) {
+        if (auto st = cloud.tracer().writeChromeJson(g_trace_path);
+            st.ok())
+            std::fprintf(stderr, "trace: %zu events -> %s\n",
+                         cloud.tracer().eventCount(),
+                         g_trace_path.c_str());
+        g_trace_path.clear(); // only the first measurement is traced
+    }
     retransmits = report.retransmits;
     return report.mbps;
 }
@@ -46,8 +61,11 @@ measure(bool tx_mirage, bool rx_mirage, u32 flows, u64 &retransmits)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    for (int i = 1; i < argc; i++)
+        if (std::strncmp(argv[i], "--trace=", 8) == 0)
+            g_trace_path = argv[i] + 8;
     std::printf("# Figure 8: TCP throughput, offload disabled "
                 "(Mbps)\n");
     std::printf("# paper: Linux->Linux 1590/1534, Linux->Mirage "

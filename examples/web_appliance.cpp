@@ -9,6 +9,8 @@
  */
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "core/cloud.h"
 #include "protocols/http/client.h"
@@ -23,16 +25,24 @@ namespace {
 class TweetStore
 {
   public:
-    explicit TweetStore(storage::BTree &tree) : tree_(tree) {}
+    TweetStore(storage::BTree &tree, rt::GcHeap &heap)
+        : tree_(tree), heap_(heap)
+    {
+    }
 
     void
     post(const std::string &user, const std::string &text,
          std::function<void(Status)> done)
     {
         u64 seq = next_seq_[user]++;
+        // The tweet lives as a managed value until written back.
+        rt::CellRef cell = heap_.alloc(u32(text.size()) + 32);
         tree_.set(strprintf("%s/%08llu", user.c_str(),
                             (unsigned long long)seq),
-                  text, std::move(done));
+                  text, [this, cell, done = std::move(done)](Status st) {
+                      heap_.release(cell);
+                      done(st);
+                  });
     }
 
     void
@@ -56,15 +66,33 @@ class TweetStore
 
   private:
     storage::BTree &tree_;
+    rt::GcHeap &heap_;
     std::map<std::string, u64> next_seq_;
 };
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string trace_path;
+    bool dump_metrics = false;
+    for (int i = 1; i < argc; i++) {
+        if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+            trace_path = argv[i] + 8;
+        } else if (std::strcmp(argv[i], "--metrics") == 0) {
+            dump_metrics = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--trace=FILE] [--metrics]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
     core::Cloud cloud;
+    if (!trace_path.empty())
+        cloud.tracer().enable();
 
     // Storage substrate: virtual SSD + blkback in dom0, blkif in the
     // guest, B-tree library on top.
@@ -75,7 +103,23 @@ main()
     drivers::Blkif blkif(appliance.boot, blkback);
     storage::BlkifDevice dev(blkif);
     storage::BTree tree(dev);
-    TweetStore store(tree);
+    // The appliance's managed heap (§3.3): tweets are heap values, and
+    // a housekeeping thread runs the runtime's periodic minor GC.
+    rt::GcHeap heap(appliance.dom.vcpu(),
+                    pvboot::MemoryBackend::xenExtent(), 64 * 1024);
+    TweetStore store(tree, heap);
+
+    auto gc_tick = std::make_shared<std::function<void(int)>>();
+    *gc_tick = [&appliance, &heap, gc_tick](int remaining) {
+        if (remaining == 0)
+            return;
+        appliance.sched.sleep(Duration::millis(5))
+            ->onComplete([&heap, gc_tick, remaining](rt::Promise &) {
+                heap.collectMinor();
+                (*gc_tick)(remaining - 1);
+            });
+    };
+    (*gc_tick)(5);
 
     bool ready = false;
     tree.format([&](Status st) { ready = st.ok(); });
@@ -159,5 +203,18 @@ main()
     std::printf("http: %llu requests over %llu connections\n",
                 (unsigned long long)web.requestsServed(),
                 (unsigned long long)web.connectionsAccepted());
+
+    if (!trace_path.empty()) {
+        if (auto st = cloud.tracer().writeChromeJson(trace_path);
+            !st.ok()) {
+            std::fprintf(stderr, "trace: %s\n",
+                         st.error().message.c_str());
+            return 1;
+        }
+        std::printf("trace: %zu events -> %s\n",
+                    cloud.tracer().eventCount(), trace_path.c_str());
+    }
+    if (dump_metrics)
+        std::fputs(cloud.metrics().dump().c_str(), stdout);
     return ready ? 0 : 1;
 }

@@ -17,6 +17,11 @@ Cloud::Cloud()
       netback_(dom0_, bridge_),
       toolstack_(hv_, xen::Toolstack::Mode::Parallel)
 {
+    // Observability first: guests built later resolve their counters
+    // at construction time, so the registry must be attached before
+    // any startGuest()/addDisk() call.
+    engine_.setTracer(&tracer_);
+    engine_.setMetrics(&metrics_);
     dom0_.setState(xen::DomainState::Running);
 }
 

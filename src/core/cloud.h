@@ -25,6 +25,8 @@
 #include "runtime/scheduler.h"
 #include "sim/cost_model.h"
 #include "sim/engine.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace mirage::core {
 
@@ -58,6 +60,8 @@ class Cloud
     Cloud();
 
     sim::Engine &engine() { return engine_; }
+    trace::TraceRecorder &tracer() { return tracer_; }
+    trace::MetricsRegistry &metrics() { return metrics_; }
     xen::Hypervisor &hypervisor() { return hv_; }
     xen::Bridge &bridge() { return bridge_; }
     xen::Netback &netback() { return netback_; }
@@ -93,6 +97,8 @@ class Cloud
 
   private:
     sim::Engine engine_;
+    trace::TraceRecorder tracer_;
+    trace::MetricsRegistry metrics_;
     xen::Hypervisor hv_;
     xen::Bridge bridge_;
     xen::Domain &dom0_;

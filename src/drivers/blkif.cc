@@ -16,6 +16,11 @@ Blkif::Blkif(pvboot::PVBoot &boot, xen::Blkback &backend)
     ring_page_ = Cstruct::create(xen::RingLayout::pageBytes());
     xen::SharedRing(ring_page_).init();
     ring_ = std::make_unique<xen::FrontRing>(ring_page_);
+    if (auto *m = hv.engine().metrics()) {
+        ring_->attachMetrics(*m, "ring.blkif");
+        c_completed_ = &m->counter("blk.completed");
+        c_errors_ = &m->counter("blk.errors");
+    }
 
     xen::GrantRef ring_grant =
         dom.grantTable().grantAccess(back_dom.id(), ring_page_, false);
@@ -38,6 +43,7 @@ Blkif::submit(u8 op, u64 sector, u32 count, Cstruct page)
         page.length() <
             std::size_t(count) * xen::BlkifWire::sectorBytes) {
         errors_++;
+        trace::bump(c_errors_);
         p->cancel();
         return p;
     }
@@ -46,6 +52,7 @@ Blkif::submit(u8 op, u64 sector, u32 count, Cstruct page)
     if (!wait_queue_.empty() || ring_->freeRequests() == 0) {
         if (wait_queue_.size() >= waitQueueLimit) {
             errors_++;
+            trace::bump(c_errors_);
             p->cancel();
             return p;
         }
@@ -77,7 +84,9 @@ Blkif::enqueueOnRing(u8 op, u64 sector, u32 count, const Cstruct &page,
     slot.value().setLe64(xen::BlkifWire::reqSector, sector);
     slot.value().setLe32(xen::BlkifWire::reqGrant, gref);
 
-    pending_.emplace(id, Pending{p, gref, page});
+    pending_.emplace(
+        id, Pending{p, gref, page, op, count,
+                    dom.hypervisor().engine().now()});
     p->addFinalizer([this, gref] {
         Status st = boot_.domain().grantTable().endAccess(gref);
         if (!st.ok())
@@ -125,11 +134,27 @@ Blkif::onEvent()
                 continue;
             Pending pending = std::move(it->second);
             pending_.erase(it);
+            sim::Engine &eng = boot_.domain().hypervisor().engine();
+            if (auto *tr = eng.tracer(); tr && tr->enabled()) {
+                if (trace_track_ == 0)
+                    trace_track_ =
+                        tr->track(boot_.domain().name() + "/blkif");
+                tr->span(trace::Cat::Storage, "blk.request",
+                         pending.submitted,
+                         eng.now() - pending.submitted, trace_track_,
+                         strprintf("\"op\":\"%s\",\"sectors\":%u",
+                                   pending.op == xen::BlkifWire::opWrite
+                                       ? "write"
+                                       : "read",
+                                   pending.count));
+            }
             if (status == xen::BlkifWire::statusOk) {
                 completed_++;
+                trace::bump(c_completed_);
                 pending.promise->resolve();
             } else {
                 errors_++;
+                trace::bump(c_errors_);
                 pending.promise->cancel();
             }
         }

@@ -51,6 +51,9 @@ class Blkif
         rt::PromisePtr promise;
         xen::GrantRef gref;
         Cstruct page;
+        u8 op = 0;
+        u32 count = 0;
+        TimePoint submitted;
     };
 
     /** Requests parked behind a full ring (driver request queue). */
@@ -82,6 +85,9 @@ class Blkif
     u64 next_id_ = 0;
     u64 completed_ = 0;
     u64 errors_ = 0;
+    trace::Counter *c_completed_ = nullptr;
+    trace::Counter *c_errors_ = nullptr;
+    u32 trace_track_ = 0;
 };
 
 } // namespace mirage::drivers

@@ -20,6 +20,10 @@ Netif::Netif(pvboot::PVBoot &boot, xen::Netback &backend,
     xen::SharedRing(rx_ring_page_).init();
     tx_ring_ = std::make_unique<xen::FrontRing>(tx_ring_page_);
     rx_ring_ = std::make_unique<xen::FrontRing>(rx_ring_page_);
+    if (auto *m = hv.engine().metrics()) {
+        tx_ring_->attachMetrics(*m, "ring.netif.tx");
+        rx_ring_->attachMetrics(*m, "ring.netif.rx");
+    }
 
     xen::GrantRef tx_grant = dom.grantTable().grantAccess(
         back_dom.id(), tx_ring_page_, false);

@@ -84,6 +84,10 @@ VirtualDisk::readAsync(u64 sector, u32 count, Cstruct dst,
                        std::function<void(Status)> done)
 {
     requests_++;
+    // Metrics attach after construction (Cloud wires them up later).
+    if (!c_requests_ && engine_.metrics())
+        c_requests_ = &engine_.metrics()->counter("disk.requests");
+    trace::bump(c_requests_);
     engine_.after(sim::costs().ssdPerRequest, [this, sector, count,
                                                dst,
                                                done = std::move(done)] {
@@ -91,7 +95,8 @@ VirtualDisk::readAsync(u64 sector, u32 count, Cstruct dst,
                        [this, sector, count, dst,
                         done = std::move(done)]() {
                            done(readSync(sector, count, dst));
-                       });
+                       },
+                       "disk.read", trace::Cat::Storage);
     });
 }
 
@@ -100,6 +105,9 @@ VirtualDisk::writeAsync(u64 sector, u32 count, Cstruct src,
                         std::function<void(Status)> done)
 {
     requests_++;
+    if (!c_requests_ && engine_.metrics())
+        c_requests_ = &engine_.metrics()->counter("disk.requests");
+    trace::bump(c_requests_);
     engine_.after(sim::costs().ssdPerRequest, [this, sector, count,
                                                src = std::move(src),
                                                done = std::move(done)] {
@@ -107,7 +115,8 @@ VirtualDisk::writeAsync(u64 sector, u32 count, Cstruct src,
                        [this, sector, count, src,
                         done = std::move(done)]() {
                            done(writeSync(sector, count, src));
-                       });
+                       },
+                       "disk.write", trace::Cat::Storage);
     });
 }
 
@@ -129,6 +138,8 @@ Blkback::connect(Domain &frontend, GrantRef ring_grant, Port backend_port)
     frontend_ = &frontend;
     port_ = backend_port;
     ring_ = std::make_unique<BackRing>(page.value());
+    if (auto *m = hv.engine().metrics())
+        ring_->attachMetrics(*m, "ring.blkback");
     dom_.setPortHandler(port_, [this] {
         dom_.clearPending(port_);
         onEvent();

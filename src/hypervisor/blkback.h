@@ -77,6 +77,7 @@ class VirtualDisk
     u64 size_sectors_;
     std::unordered_map<u64, std::vector<u8>> chunks_;
     u64 requests_ = 0;
+    trace::Counter *c_requests_ = nullptr;
 };
 
 class Blkback

@@ -89,6 +89,7 @@ Domain::poll(const std::vector<Port> &ports, Duration timeout,
     poll_ports_ = ports;
     poll_wake_ = std::move(wake);
     poll_active_ = true;
+    poll_started_ = hv_.engine().now();
     state_ = DomainState::Blocked;
 
     // A pending watched port completes the poll immediately (next turn).
@@ -112,6 +113,15 @@ Domain::finishPoll(WakeReason reason)
     if (poll_timer_) {
         hv_.engine().cancel(poll_timer_);
         poll_timer_ = 0;
+    }
+    if (auto *tr = hv_.engine().tracer(); tr && tr->enabled()) {
+        if (trace_track_ == 0)
+            trace_track_ = tr->track(name_ + "/domainpoll");
+        tr->span(trace::Cat::Hypervisor, "domainpoll", poll_started_,
+                 hv_.engine().now() - poll_started_, trace_track_,
+                 strprintf("\"wake\":\"%s\"",
+                           reason == WakeReason::Event ? "event"
+                                                       : "timeout"));
     }
     state_ = DomainState::Running;
     auto wake = std::move(poll_wake_);

@@ -113,6 +113,8 @@ class Domain
     std::vector<Port> poll_ports_;
     std::function<void(Domain::WakeReason)> poll_wake_;
     sim::EventId poll_timer_ = 0;
+    TimePoint poll_started_;
+    u32 trace_track_ = 0; //!< interned lazily on first traced poll
 
     void finishPoll(WakeReason reason);
 };

@@ -4,6 +4,7 @@
 #include "hypervisor/domain.h"
 #include "hypervisor/xen.h"
 #include "sim/cost_model.h"
+#include "trace/trace.h"
 
 namespace mirage::xen {
 
@@ -50,6 +51,16 @@ EventChannelHub::notify(Domain &dom, Port port)
     if (!ch)
         return notFoundError("notify on unbound port");
     notifications_++;
+    // Metrics may be attached to the engine after the hub exists
+    // (Cloud wires them in its constructor body), so resolve lazily.
+    if (!c_notifications_ && engine_.metrics())
+        c_notifications_ = &engine_.metrics()->counter("evtchn.notifications");
+    trace::bump(c_notifications_);
+    if (auto *tr = engine_.tracer(); tr && tr->enabled())
+        tr->instant(trace::Cat::Hypervisor, "evtchn.notify",
+                    engine_.now(), 0,
+                    strprintf("\"from\":\"%s\",\"port\":%u",
+                              dom.name().c_str(), port));
     dom.hypervisor().chargeHypercall(dom, Hypercall::EventNotify);
     dom.vcpu().charge(sim::costs().eventNotify);
     Domain *peer = is_a ? ch->b.dom : ch->a.dom;

@@ -19,6 +19,7 @@
 #include "base/result.h"
 #include "base/types.h"
 #include "sim/engine.h"
+#include "trace/metrics.h"
 
 namespace mirage::xen {
 
@@ -69,6 +70,7 @@ class EventChannelHub
     sim::Engine &engine_;
     std::vector<Channel> channels_;
     u64 notifications_ = 0;
+    trace::Counter *c_notifications_ = nullptr;
 };
 
 } // namespace mirage::xen

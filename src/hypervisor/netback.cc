@@ -118,6 +118,10 @@ Netback::Vif::Vif(Netback &owner, const NetConnectInfo &info)
               frontend_.name().c_str());
     tx_ring_ = std::make_unique<BackRing>(tx_page.value());
     rx_ring_ = std::make_unique<BackRing>(rx_page.value());
+    if (auto *m = hv.engine().metrics()) {
+        tx_ring_->attachMetrics(*m, "ring.netback.tx");
+        rx_ring_->attachMetrics(*m, "ring.netback.rx");
+    }
 
     owner_.dom_.setPortHandler(tx_port_, [this] {
         owner_.dom_.clearPending(tx_port_);

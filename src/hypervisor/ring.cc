@@ -58,6 +58,7 @@ FrontRing::pushRequests()
     // a no-op in the single-threaded simulation but kept as the
     // protocol's ordering point.
     ring_.setReqProd(now);
+    trace::bump(c_req_pushed_, now - old);
     // Notify iff the consumer's req_event lies in (old, now].
     return (now - ring_.reqEvent()) < (now - old);
 }
@@ -75,7 +76,16 @@ FrontRing::takeResponse()
         return exhaustedError("no responses");
     Cstruct s = ring_.slot(rsp_cons_);
     rsp_cons_++;
+    trace::bump(c_rsp_taken_);
     return s;
+}
+
+void
+FrontRing::attachMetrics(trace::MetricsRegistry &reg,
+                         const std::string &prefix)
+{
+    c_req_pushed_ = &reg.counter(prefix + ".req_pushed");
+    c_rsp_taken_ = &reg.counter(prefix + ".rsp_taken");
 }
 
 bool
@@ -103,6 +113,7 @@ BackRing::takeRequest()
         return exhaustedError("no requests");
     Cstruct s = ring_.slot(req_cons_);
     req_cons_++;
+    trace::bump(c_req_taken_);
     return s;
 }
 
@@ -122,6 +133,7 @@ BackRing::pushResponses()
     u32 old = ring_.rspProd();
     u32 now = rsp_prod_pvt_;
     ring_.setRspProd(now);
+    trace::bump(c_rsp_pushed_, now - old);
     return (now - ring_.rspEvent()) < (now - old);
 }
 
@@ -130,6 +142,14 @@ BackRing::finalCheckForRequests()
 {
     ring_.setReqEvent(req_cons_ + 1);
     return unconsumedRequests() > 0;
+}
+
+void
+BackRing::attachMetrics(trace::MetricsRegistry &reg,
+                        const std::string &prefix)
+{
+    c_req_taken_ = &reg.counter(prefix + ".req_taken");
+    c_rsp_pushed_ = &reg.counter(prefix + ".rsp_pushed");
 }
 
 } // namespace mirage::xen

@@ -19,9 +19,12 @@
 #ifndef MIRAGE_HYPERVISOR_RING_H
 #define MIRAGE_HYPERVISOR_RING_H
 
+#include <string>
+
 #include "base/cstruct.h"
 #include "base/result.h"
 #include "base/types.h"
+#include "trace/metrics.h"
 
 namespace mirage::xen {
 
@@ -110,10 +113,20 @@ class FrontRing
      */
     bool finalCheckForResponses();
 
+    /**
+     * Mirror push/take activity into `<prefix>.req_pushed` and
+     * `<prefix>.rsp_taken` counters (aggregated when several rings
+     * share a prefix).
+     */
+    void attachMetrics(trace::MetricsRegistry &reg,
+                       const std::string &prefix);
+
   private:
     SharedRing ring_;
     u32 req_prod_pvt_ = 0;
     u32 rsp_cons_ = 0;
+    trace::Counter *c_req_pushed_ = nullptr;
+    trace::Counter *c_rsp_taken_ = nullptr;
 };
 
 /**
@@ -133,10 +146,16 @@ class BackRing
     /** Re-arm request notifications; true when requests raced in. */
     bool finalCheckForRequests();
 
+    /** Mirror into `<prefix>.req_taken` / `<prefix>.rsp_pushed`. */
+    void attachMetrics(trace::MetricsRegistry &reg,
+                       const std::string &prefix);
+
   private:
     SharedRing ring_;
     u32 req_cons_ = 0;
     u32 rsp_prod_pvt_ = 0;
+    trace::Counter *c_req_taken_ = nullptr;
+    trace::Counter *c_rsp_pushed_ = nullptr;
 };
 
 } // namespace mirage::xen

@@ -47,9 +47,10 @@ NetworkStack::transmit(const MacAddr &dst, EtherType type,
     Duration cost = packetCost();
     if (fragsLength(frags) >= sim::costs().dataPacketThreshold)
         cost += config_.txOverheadPerPacket;
-    domain().vcpu().submit(cost, [this, frags = std::move(frags)] {
-        netif_.writeFrameV(frags);
-    });
+    domain().vcpu().submit(
+        cost,
+        [this, frags = std::move(frags)] { netif_.writeFrameV(frags); },
+        "net.tx", trace::Cat::Net);
 }
 
 Duration
@@ -62,7 +63,7 @@ NetworkStack::packetCost() const
 void
 NetworkStack::chargePacket(std::size_t)
 {
-    domain().vcpu().charge(packetCost());
+    domain().vcpu().charge(packetCost(), "net.packet", trace::Cat::Net);
 }
 
 void
@@ -70,7 +71,7 @@ NetworkStack::chargeChecksum(std::size_t bytes)
 {
     Duration cost = Duration(i64(double(sim::costs().checksum(bytes).ns()) *
                                  config_.cpuFactor));
-    domain().vcpu().charge(cost);
+    domain().vcpu().charge(cost, "net.checksum", trace::Cat::Net);
 }
 
 void
@@ -80,7 +81,9 @@ NetworkStack::frameInput(Cstruct frame)
     Duration cost = packetCost();
     if (frame.length() >= sim::costs().dataPacketThreshold)
         cost += config_.rxOverheadPerPacket;
-    domain().vcpu().submit(cost, [this, frame = std::move(frame)] {
+    domain().vcpu().submit(
+        cost,
+        [this, frame = std::move(frame)] {
         auto parsed = EthFrame::parse(frame);
         if (!parsed.ok())
             return;
@@ -97,7 +100,8 @@ NetworkStack::frameInput(Cstruct frame)
           default:
             break;
         }
-    });
+        },
+        "net.rx", trace::Cat::Net);
 }
 
 } // namespace mirage::net

@@ -43,7 +43,7 @@ Tcp::allocEphemeral()
     fatal("TCP: ephemeral ports exhausted");
 }
 
-void
+TcpConnPtr
 Tcp::connect(Ipv4Addr dst, u16 port,
              std::function<void(Result<TcpConnPtr>)> done)
 {
@@ -57,6 +57,7 @@ Tcp::connect(Ipv4Addr dst, u16 port,
         else
             done(r.error());
     });
+    return conn;
 }
 
 void

@@ -29,9 +29,13 @@ class Tcp
     Status listen(u16 port, std::function<void(TcpConnPtr)> on_accept);
     void unlisten(u16 port);
 
-    /** Active open to @p dst:@p port. */
-    void connect(Ipv4Addr dst, u16 port,
-                 std::function<void(Result<TcpConnPtr>)> done);
+    /**
+     * Active open to @p dst:@p port.
+     * @return the in-progress connection (SynSent); callers may close()
+     *         it before @p done runs to abort the handshake.
+     */
+    TcpConnPtr connect(Ipv4Addr dst, u16 port,
+                       std::function<void(Result<TcpConnPtr>)> done);
 
     std::size_t connectionCount() const { return conns_.size(); }
     u64 segmentsDemuxed() const { return demuxed_; }

@@ -6,6 +6,8 @@
 #include "net/stack.h"
 #include "net/tcp.h"
 #include "sim/cost_model.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace mirage::net {
 
@@ -23,6 +25,36 @@ TcpConnection::TcpConnection(NetworkStack &stack, Tcp &tcp,
       peer_ip_(peer_ip), peer_port_(peer_port),
       cwnd_(u32(defaultMss) * 10) // RFC 6928 initial window
 {
+    if (auto *m = stack_.scheduler().engine().metrics()) {
+        c_segments_sent_ = &m->counter("tcp.segments_sent");
+        c_segments_received_ = &m->counter("tcp.segments_received");
+        c_bytes_sent_ = &m->counter("tcp.bytes_sent");
+        c_bytes_received_ = &m->counter("tcp.bytes_received");
+        c_retransmits_ = &m->counter("tcp.retransmits");
+        c_fast_retransmits_ = &m->counter("tcp.fast_retransmits");
+        c_rto_fires_ = &m->counter("tcp.rto_fires");
+        c_dup_acks_ = &m->counter("tcp.dup_acks");
+    }
+}
+
+u32
+TcpConnection::initialSeq() const
+{
+    // ISS from the (virtual) clock, per the classical scheme, salted
+    // with both ports so the two directions of a connection (and
+    // simultaneous opens at the same instant) get distinct sequences.
+    return u32(stack_.scheduler().engine().now().ns() / 4000) ^
+           (u32(local_port_) << 16) ^ u32(peer_port_);
+}
+
+void
+TcpConnection::failConnect(const char *msg)
+{
+    if (!connect_cb_)
+        return;
+    auto cb = std::move(connect_cb_);
+    connect_cb_ = nullptr;
+    cb(stateError(msg));
 }
 
 TcpConnection::~TcpConnection() = default;
@@ -33,9 +65,7 @@ void
 TcpConnection::startConnect(std::function<void(Result<bool>)> established)
 {
     connect_cb_ = std::move(established);
-    // ISS from the (virtual) clock, per the classical scheme.
-    iss_ = u32(stack_.scheduler().engine().now().ns() / 4000) ^
-           (u32(local_port_) << 16);
+    iss_ = initialSeq();
     snd_una_ = iss_;
     snd_nxt_ = iss_ + 1;
     state_ = State::SynSent;
@@ -52,9 +82,10 @@ TcpConnection::startAccept(const TcpSegment &syn)
     if (syn.mssOpt)
         mss_ = std::min(mss_, syn.mssOpt);
     snd_wscale_ = syn.wscaleOpt >= 0 ? syn.wscaleOpt : 0;
-    snd_wnd_ = u64(syn.window) << (syn.wscaleOpt >= 0 ? snd_wscale_ : 0);
-    iss_ = u32(stack_.scheduler().engine().now().ns() / 4000) ^
-           (u32(peer_port_) << 8);
+    // RFC 7323: the window field of a SYN is never scaled; the scale
+    // factor applies only to segments after the handshake.
+    snd_wnd_ = syn.window;
+    iss_ = initialSeq();
     snd_una_ = iss_;
     snd_nxt_ = iss_ + 1;
     state_ = State::SynReceived;
@@ -100,6 +131,11 @@ void
 TcpConnection::close()
 {
     if (state_ == State::SynSent || state_ == State::Closed) {
+        // Abort an unfinished handshake: the SYN must not keep
+        // retransmitting, and the pending connect must learn it failed.
+        cancelRto();
+        unacked_.clear();
+        failConnect("closed before connection established");
         becomeClosed();
         return;
     }
@@ -115,13 +151,22 @@ void
 TcpConnection::segmentInput(const TcpSegment &seg)
 {
     stats_.segmentsReceived++;
+    trace::bump(c_segments_received_);
+    if (auto *tr = stack_.scheduler().engine().tracer();
+        tr && tr->enabled()) {
+        if (trace_track_ == 0)
+            trace_track_ =
+                tr->track(stack_.domain().name() + "/tcp");
+        tr->instant(trace::Cat::Net, "tcp.rx",
+                    stack_.scheduler().engine().now(), trace_track_,
+                    strprintf("\"port\":%u,\"seq\":%u,\"flags\":%u,"
+                              "\"len\":%zu",
+                              local_port_, seg.seq, seg.flags,
+                              seg.payload.length()));
+    }
 
     if (seg.has(TcpFlags::rst)) {
-        if (connect_cb_) {
-            auto cb = std::move(connect_cb_);
-            connect_cb_ = nullptr;
-            cb(stateError("connection refused"));
-        }
+        failConnect("connection refused");
         becomeClosed();
         return;
     }
@@ -135,7 +180,8 @@ TcpConnection::segmentInput(const TcpSegment &seg)
             if (seg.mssOpt)
                 mss_ = std::min(mss_, seg.mssOpt);
             snd_wscale_ = seg.wscaleOpt >= 0 ? seg.wscaleOpt : 0;
-            snd_wnd_ = u64(seg.window) << snd_wscale_;
+            // The SYN|ACK's window field is unscaled (RFC 7323).
+            snd_wnd_ = seg.window;
             unacked_.clear();
             cancelRto();
             state_ = State::Established;
@@ -214,6 +260,7 @@ TcpConnection::handleAck(const TcpSegment &seg)
                     sendSegment(u.flags, u.seq, u.payload);
                     u.retransmitted = true;
                     stats_.retransmits++;
+                    trace::bump(c_retransmits_);
                 }
                 cwnd_ = cwnd_ > acked ? cwnd_ - acked : u32(mss_);
                 cwnd_ += mss_;
@@ -251,6 +298,7 @@ TcpConnection::handleAck(const TcpSegment &seg)
         if (seg.payload.empty() && !seg.has(TcpFlags::fin)) {
             dup_acks_++;
             stats_.dupAcksSeen++;
+            trace::bump(c_dup_acks_);
             if (!in_recovery_ && dup_acks_ == 3) {
                 // Fast retransmit + fast recovery.
                 u32 flight = flightSize();
@@ -261,6 +309,8 @@ TcpConnection::handleAck(const TcpSegment &seg)
                 u.retransmitted = true;
                 stats_.retransmits++;
                 stats_.fastRetransmits++;
+                trace::bump(c_retransmits_);
+                trace::bump(c_fast_retransmits_);
                 in_recovery_ = true;
                 recover_ = snd_nxt_;
                 cwnd_ = ssthresh_ + 3 * u32(mss_);
@@ -307,6 +357,7 @@ TcpConnection::handleData(const TcpSegment &seg)
     if (!payload.empty()) {
         rcv_nxt_ += u32(payload.length());
         stats_.bytesReceived += payload.length();
+        trace::bump(c_bytes_received_, payload.length());
         if (data_handler_)
             data_handler_(payload);
     }
@@ -326,6 +377,7 @@ TcpConnection::handleData(const TcpSegment &seg)
         Cstruct fresh = skip ? held.shift(skip) : held;
         rcv_nxt_ += u32(fresh.length());
         stats_.bytesReceived += fresh.length();
+        trace::bump(c_bytes_received_, fresh.length());
         if (data_handler_)
             data_handler_(fresh);
         it = out_of_order_.begin();
@@ -412,6 +464,7 @@ TcpConnection::trySend()
                                    false});
         snd_nxt_ += u32(gathered);
         stats_.bytesSent += gathered;
+        trace::bump(c_bytes_sent_, gathered);
         armRto();
     }
 
@@ -460,6 +513,19 @@ TcpConnection::sendSegment(u8 flags, u32 seq,
         total += p.length();
     stack_.chargeChecksum(total);
     stats_.segmentsSent++;
+    trace::bump(c_segments_sent_);
+    if (auto *tr = stack_.scheduler().engine().tracer();
+        tr && tr->enabled()) {
+        if (trace_track_ == 0)
+            trace_track_ =
+                tr->track(stack_.domain().name() + "/tcp");
+        tr->instant(trace::Cat::Net, "tcp.tx",
+                    stack_.scheduler().engine().now(), trace_track_,
+                    strprintf("\"port\":%u,\"seq\":%u,\"flags\":%u,"
+                              "\"len\":%zu",
+                              local_port_, seq, flags,
+                              total - hdr_len));
+    }
 
     std::vector<Cstruct> frags;
     frags.push_back(hdr);
@@ -511,6 +577,8 @@ TcpConnection::onRtoFire()
         return;
     stats_.rtoFires++;
     stats_.retransmits++;
+    trace::bump(c_rto_fires_);
+    trace::bump(c_retransmits_);
     // Collapse to one MSS and back off (RFC 5681 / 6298).
     ssthresh_ = std::max(flightSize() / 2, u32(mss_) * 2);
     cwnd_ = mss_;
@@ -558,6 +626,8 @@ TcpConnection::becomeClosed()
         return;
     state_ = State::Closed;
     cancelRto();
+    unacked_.clear();
+    failConnect("connection closed");
     if (time_wait_event_)
         stack_.scheduler().engine().cancel(time_wait_event_);
     for (auto &chunk : tx_queue_)

@@ -79,6 +79,8 @@ class TcpConnection : public Flow,
     u32 cwnd() const { return cwnd_; }
     u32 ssthresh() const { return ssthresh_; }
     Duration currentRto() const { return rto_; }
+    /** Peer-advertised send window, in bytes (post-scaling). */
+    u64 sndWnd() const { return snd_wnd_; }
 
   private:
     friend class Tcp;
@@ -108,6 +110,9 @@ class TcpConnection : public Flow,
     void updateRtt(Duration sample);
     void enterTimeWait();
     void becomeClosed();
+    u32 initialSeq() const;
+    /** Deliver a failure to a pending connect callback, at most once. */
+    void failConnect(const char *msg);
 
     u32 flightSize() const { return snd_nxt_ - snd_una_; }
     u32 effectiveWindow() const;
@@ -180,6 +185,17 @@ class TcpConnection : public Flow,
     std::function<void(Result<bool>)> connect_cb_;
     bool close_signalled_ = false;
     Stats stats_;
+
+    // Registry mirrors of stats_ (null when no metrics are attached).
+    trace::Counter *c_segments_sent_ = nullptr;
+    trace::Counter *c_segments_received_ = nullptr;
+    trace::Counter *c_bytes_sent_ = nullptr;
+    trace::Counter *c_bytes_received_ = nullptr;
+    trace::Counter *c_retransmits_ = nullptr;
+    trace::Counter *c_fast_retransmits_ = nullptr;
+    trace::Counter *c_rto_fires_ = nullptr;
+    trace::Counter *c_dup_acks_ = nullptr;
+    u32 trace_track_ = 0;
 };
 
 using TcpConnPtr = std::shared_ptr<TcpConnection>;

@@ -9,6 +9,15 @@ GcHeap::GcHeap(sim::Cpu &cpu, pvboot::MemoryBackend backend,
                std::size_t minor_bytes)
     : cpu_(cpu), backend_(std::move(backend)), minor_bytes_(minor_bytes)
 {
+    if (auto *m = cpu_.engine().metrics()) {
+        c_allocations_ = &m->counter("gc.allocations");
+        c_bytes_allocated_ = &m->counter("gc.bytes_allocated");
+        c_minor_collections_ = &m->counter("gc.minor_collections");
+        c_major_marks_ = &m->counter("gc.major_marks");
+        c_promoted_bytes_ = &m->counter("gc.promoted_bytes");
+        c_grow_events_ = &m->counter("gc.grow_events");
+        h_minor_pause_ns_ = &m->histogram("gc.minor_pause_ns");
+    }
 }
 
 double
@@ -42,6 +51,8 @@ GcHeap::alloc(u32 bytes)
     stats_.liveBytes += bytes;
     stats_.peakLiveBytes = std::max(stats_.peakLiveBytes,
                                     stats_.liveBytes);
+    trace::bump(c_allocations_);
+    trace::bump(c_bytes_allocated_, bytes);
     cpu_.charge(sim::costs().gcAlloc);
     return ref;
 }
@@ -72,10 +83,13 @@ GcHeap::growMajor(u64 needed_bytes)
     // decides what that growth costs.
     u64 grow = (deficit + superpageSize - 1) / superpageSize *
                superpageSize;
-    cpu_.charge(backend_.growCost(std::size_t(grow)));
-    cpu_.charge(sim::costs().zero(std::size_t(grow)));
+    cpu_.charge(backend_.growCost(std::size_t(grow)), "gc.grow",
+                trace::Cat::Runtime);
+    cpu_.charge(sim::costs().zero(std::size_t(grow)), "gc.zero",
+                trace::Cat::Runtime);
     stats_.majorHeapBytes += grow;
     stats_.growEvents++;
+    trace::bump(c_grow_events_);
 }
 
 void
@@ -102,12 +116,16 @@ GcHeap::collectMinor()
     // Scan cost covers the whole minor region; promotion copies
     // survivors into the major heap.
     double ns = c.gcPerLiveByteNs * double(promoted) * scanFactor();
-    cpu_.charge(c.gcMinorFixed + Duration(i64(ns)));
+    Duration pause = c.gcMinorFixed + Duration(i64(ns));
+    cpu_.charge(pause, "gc.minor", trace::Cat::Runtime);
+    trace::bump(c_minor_collections_);
+    trace::observe(h_minor_pause_ns_, u64(pause.ns()));
 
     growMajor(promoted);
     major_used_ += promoted;
     live_major_bytes_ += promoted;
     stats_.promotedBytes += promoted;
+    trace::bump(c_promoted_bytes_, promoted);
     minor_used_ = 0;
 
     // Periodic incremental major mark (the "regular compaction and
@@ -115,9 +133,11 @@ GcHeap::collectMinor()
     if (++minors_since_major_ >= c.gcMajorMarkInterval) {
         minors_since_major_ = 0;
         stats_.majorMarks++;
+        trace::bump(c_major_marks_);
         double mark_ns = c.gcMajorMarkPerByteNs *
                          double(live_major_bytes_) * scanFactor();
-        cpu_.charge(Duration(i64(mark_ns)));
+        cpu_.charge(Duration(i64(mark_ns)), "gc.major_mark",
+                    trace::Cat::Runtime);
         // Sweeping compacts dead major space for reuse.
         major_used_ = live_major_bytes_;
     }

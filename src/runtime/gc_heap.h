@@ -21,6 +21,7 @@
 #include "base/types.h"
 #include "pvboot/extent.h"
 #include "sim/cpu.h"
+#include "trace/metrics.h"
 
 namespace mirage::rt {
 
@@ -86,6 +87,16 @@ class GcHeap
     std::vector<CellRef> free_cells_;
     std::vector<CellRef> minor_set_; //!< cells allocated since last GC
     Stats stats_;
+
+    // Mirrors of stats_ in the engine's metrics registry (null when no
+    // registry was attached before construction).
+    trace::Counter *c_allocations_ = nullptr;
+    trace::Counter *c_bytes_allocated_ = nullptr;
+    trace::Counter *c_minor_collections_ = nullptr;
+    trace::Counter *c_major_marks_ = nullptr;
+    trace::Counter *c_promoted_bytes_ = nullptr;
+    trace::Counter *c_grow_events_ = nullptr;
+    trace::Histogram *h_minor_pause_ns_ = nullptr;
 };
 
 } // namespace mirage::rt

@@ -13,12 +13,17 @@ Scheduler::Scheduler(sim::Engine &engine, sim::Cpu *cpu, GcHeap *heap,
                      Config config)
     : engine_(engine), cpu_(cpu), heap_(heap), config_(std::move(config))
 {
+    if (auto *m = engine_.metrics()) {
+        c_threads_created_ = &m->counter("rt.threads_created");
+        c_wakeups_ = &m->counter("rt.wakeups");
+    }
 }
 
 PromisePtr
 Scheduler::sleep(Duration d)
 {
     threads_created_++;
+    trace::bump(c_threads_created_);
     if (cpu_)
         cpu_->charge(sim::costs().threadCreate);
 
@@ -78,8 +83,10 @@ Scheduler::fireExpired()
         if (!t.promise->pending())
             continue; // cancelled thread: no wakeup dispatched
         wakeups_++;
+        trace::bump(c_wakeups_);
         if (cpu_)
-            cpu_->charge(config_.perWakeup);
+            cpu_->charge(config_.perWakeup, "thread.wakeup",
+                         trace::Cat::Runtime);
         t.promise->resolve();
     }
     armEngineTimer();

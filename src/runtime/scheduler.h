@@ -105,6 +105,8 @@ class Scheduler
     bool armed_ = false;
     u64 threads_created_ = 0;
     u64 wakeups_ = 0;
+    trace::Counter *c_threads_created_ = nullptr;
+    trace::Counter *c_wakeups_ = nullptr;
 };
 
 } // namespace mirage::rt

@@ -10,19 +10,25 @@ Cpu::Cpu(Engine &engine, std::string name)
 }
 
 void
-Cpu::submit(Duration cost, std::function<void()> done)
+Cpu::submit(Duration cost, std::function<void()> done, const char *what,
+            trace::Cat cat)
 {
     TimePoint start = std::max(engine_.now(), free_at_);
     free_at_ = start + cost;
     busy_ += cost;
+    if (auto *tr = engine_.tracer(); tr && tr->enabled()) {
+        if (trace_track_ == 0)
+            trace_track_ = tr->track(name_);
+        tr->span(cat, what, start, cost, trace_track_);
+    }
     if (done)
         engine_.at(free_at_, std::move(done));
 }
 
 void
-Cpu::charge(Duration cost)
+Cpu::charge(Duration cost, const char *what, trace::Cat cat)
 {
-    submit(cost, nullptr);
+    submit(cost, nullptr, what, cat);
 }
 
 TimePoint

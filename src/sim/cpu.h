@@ -17,6 +17,7 @@
 
 #include "base/time.h"
 #include "sim/engine.h"
+#include "trace/trace.h"
 
 namespace mirage::sim {
 
@@ -28,14 +29,19 @@ class Cpu
     /**
      * Charge @p cost of CPU work and run @p done when it completes.
      * Work is serialised FIFO behind whatever this CPU is already doing.
+     * @p what / @p cat label the span on this CPU's trace track when a
+     * recorder is attached and enabled.
      */
-    void submit(Duration cost, std::function<void()> done);
+    void submit(Duration cost, std::function<void()> done,
+                const char *what = "cpu.work",
+                trace::Cat cat = trace::Cat::Cpu);
 
     /**
      * Charge @p cost with no completion callback (bookkeeping overhead
      * attached to some other event's timeline).
      */
-    void charge(Duration cost);
+    void charge(Duration cost, const char *what = "cpu.work",
+                trace::Cat cat = trace::Cat::Cpu);
 
     /** Earliest time at which newly submitted work could start. */
     TimePoint freeAt() const;
@@ -48,11 +54,14 @@ class Cpu
 
     const std::string &name() const { return name_; }
 
+    Engine &engine() { return engine_; }
+
   private:
     Engine &engine_;
     std::string name_;
     TimePoint free_at_;
     Duration busy_;
+    u32 trace_track_ = 0; //!< interned lazily on first traced span
 };
 
 } // namespace mirage::sim

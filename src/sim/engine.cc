@@ -1,6 +1,8 @@
 #include "sim/engine.h"
 
 #include "base/logging.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace mirage::sim {
 
@@ -11,6 +13,7 @@ Engine::at(TimePoint t, std::function<void()> fn)
         t = now_; // late scheduling runs as soon as possible
     EventId id = next_id_++;
     queue_.push(Item{t, next_seq_++, id, std::move(fn)});
+    pending_.insert(id);
     return id;
 }
 
@@ -23,26 +26,57 @@ Engine::after(Duration d, std::function<void()> fn)
 void
 Engine::cancel(EventId id)
 {
-    cancelled_.insert(id);
+    // Only ids still awaiting dispatch are worth remembering; marking
+    // an already-fired (or invented) id would leave it in cancelled_
+    // forever, growing the set unboundedly over long simulations.
+    if (pending_.count(id))
+        cancelled_.insert(id);
+}
+
+void
+Engine::setMetrics(trace::MetricsRegistry *metrics)
+{
+    metrics_ = metrics;
+    c_dispatched_ = metrics ? &metrics->counter("sim.events_run") : nullptr;
+    c_cancelled_ =
+        metrics ? &metrics->counter("sim.events_cancelled") : nullptr;
+}
+
+bool
+Engine::dispatchOne(bool bounded, TimePoint limit)
+{
+    while (!queue_.empty()) {
+        const Item &top = queue_.top();
+        if (cancelled_.count(top.id)) {
+            // Reached the cancelled slot: drop all bookkeeping for it.
+            pending_.erase(top.id);
+            cancelled_.erase(top.id);
+            queue_.pop();
+            trace::bump(c_cancelled_);
+            continue;
+        }
+        if (bounded && top.when > limit)
+            return false;
+        Item item = queue_.top();
+        queue_.pop();
+        pending_.erase(item.id);
+        now_ = item.when;
+        events_run_++;
+        trace::bump(c_dispatched_);
+        if (tracer_ && tracer_->enabled())
+            tracer_->instant(trace::Cat::Engine, "dispatch", now_, 0,
+                             strprintf("\"id\":%llu",
+                                       (unsigned long long)item.id));
+        item.fn();
+        return true;
+    }
+    return false;
 }
 
 bool
 Engine::step()
 {
-    while (!queue_.empty()) {
-        Item item = queue_.top();
-        queue_.pop();
-        auto it = cancelled_.find(item.id);
-        if (it != cancelled_.end()) {
-            cancelled_.erase(it);
-            continue;
-        }
-        now_ = item.when;
-        events_run_++;
-        item.fn();
-        return true;
-    }
-    return false;
+    return dispatchOne(false, TimePoint());
 }
 
 void
@@ -55,20 +89,7 @@ Engine::run()
 void
 Engine::runUntil(TimePoint t)
 {
-    while (!queue_.empty()) {
-        const Item &top = queue_.top();
-        if (cancelled_.count(top.id)) {
-            cancelled_.erase(top.id);
-            queue_.pop();
-            continue;
-        }
-        if (top.when > t)
-            break;
-        Item item = queue_.top();
-        queue_.pop();
-        now_ = item.when;
-        events_run_++;
-        item.fn();
+    while (dispatchOne(true, t)) {
     }
     if (now_ < t)
         now_ = t;

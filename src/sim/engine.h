@@ -6,6 +6,11 @@
  * device service times, syscall costs — runs on one deterministic,
  * single-threaded event queue keyed by virtual time. Ties are broken by
  * insertion order, so a run is a pure function of its seed.
+ *
+ * The engine is also the attachment point for the observability layer:
+ * an optional trace::TraceRecorder and trace::MetricsRegistry hang off
+ * it, and every subsystem with engine access shares them. Both default
+ * to null, so uninstrumented runs pay one pointer test per hook.
  */
 
 #ifndef MIRAGE_SIM_ENGINE_H
@@ -19,6 +24,12 @@
 
 #include "base/time.h"
 #include "base/types.h"
+
+namespace mirage::trace {
+class TraceRecorder;
+class MetricsRegistry;
+class Counter;
+} // namespace mirage::trace
 
 namespace mirage::sim {
 
@@ -66,6 +77,25 @@ class Engine
     /** Number of events executed since construction. */
     u64 eventsRun() const { return events_run_; }
 
+    /** Events scheduled and not yet dispatched (cancelled or not). */
+    std::size_t pendingEvents() const { return pending_.size(); }
+
+    /**
+     * Cancelled ids whose queue slot has not been reached yet. Bounded
+     * by pendingEvents(): ids are dropped when their slot is popped,
+     * so long simulations cannot accumulate cancellation garbage.
+     */
+    std::size_t cancelledBacklog() const { return cancelled_.size(); }
+
+    // ---- Observability ----------------------------------------------
+    /** Attach (or detach with nullptr) a trace recorder. Not owned. */
+    void setTracer(trace::TraceRecorder *tracer) { tracer_ = tracer; }
+    trace::TraceRecorder *tracer() const { return tracer_; }
+
+    /** Attach (or detach with nullptr) a metrics registry. Not owned. */
+    void setMetrics(trace::MetricsRegistry *metrics);
+    trace::MetricsRegistry *metrics() const { return metrics_; }
+
   private:
     struct Item
     {
@@ -83,12 +113,24 @@ class Engine
         }
     };
 
+    /**
+     * The one dispatch path: drop cancelled slots, then run the next
+     * event — unless @p bounded and it lies beyond @p limit.
+     * @return true when an event ran.
+     */
+    bool dispatchOne(bool bounded, TimePoint limit);
+
     TimePoint now_;
     u64 next_seq_ = 0;
     u64 next_id_ = 1;
     u64 events_run_ = 0;
     std::priority_queue<Item, std::vector<Item>, std::greater<Item>> queue_;
-    std::unordered_set<EventId> cancelled_;
+    std::unordered_set<EventId> pending_;   //!< scheduled, not dispatched
+    std::unordered_set<EventId> cancelled_; //!< subset of pending_
+    trace::TraceRecorder *tracer_ = nullptr;
+    trace::MetricsRegistry *metrics_ = nullptr;
+    trace::Counter *c_dispatched_ = nullptr;
+    trace::Counter *c_cancelled_ = nullptr;
 };
 
 } // namespace mirage::sim

@@ -1,0 +1,125 @@
+#include "trace/metrics.h"
+
+#include <bit>
+
+#include "base/logging.h"
+
+namespace mirage::trace {
+
+// ---- Histogram -------------------------------------------------------------
+
+std::size_t
+Histogram::bucketIndex(u64 v)
+{
+    if (v < subBuckets)
+        return std::size_t(v); // exact for tiny values
+    u32 octave = 63u - u32(std::countl_zero(v));
+    u64 base = u64(1) << octave;
+    u64 sub = (v - base) * subBuckets / base;
+    std::size_t index =
+        subBuckets + std::size_t(octave - 2) * subBuckets + std::size_t(sub);
+    return index < bucketCount ? index : bucketCount - 1;
+}
+
+u64
+Histogram::bucketUpperBound(std::size_t index)
+{
+    if (index < subBuckets)
+        return u64(index);
+    std::size_t rel = index - subBuckets;
+    u32 octave = u32(rel / subBuckets) + 2;
+    u64 base = u64(1) << octave;
+    u64 sub = u64(rel % subBuckets);
+    return base + (sub + 1) * (base / subBuckets) - 1;
+}
+
+void
+Histogram::record(u64 v)
+{
+    buckets_[bucketIndex(v)]++;
+    count_++;
+    sum_ += v;
+    if (v < min_)
+        min_ = v;
+    if (v > max_)
+        max_ = v;
+}
+
+u64
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    if (q < 0)
+        q = 0;
+    if (q > 1)
+        q = 1;
+    u64 rank = u64(q * double(count_));
+    if (rank >= count_)
+        rank = count_ - 1;
+    u64 seen = 0;
+    for (std::size_t i = 0; i < bucketCount; i++) {
+        seen += buckets_[i];
+        if (seen > rank)
+            return bucketUpperBound(i) < max_ ? bucketUpperBound(i) : max_;
+    }
+    return max_;
+}
+
+std::string
+Histogram::summary() const
+{
+    return strprintf("count=%llu mean=%.1f p50=%llu p99=%llu max=%llu",
+                     (unsigned long long)count_, mean(),
+                     (unsigned long long)quantile(0.50),
+                     (unsigned long long)quantile(0.99),
+                     (unsigned long long)max_);
+}
+
+// ---- MetricsRegistry -------------------------------------------------------
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        it = counters_.emplace(name, std::make_unique<Counter>()).first;
+    return *it->second;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_.emplace(name, std::make_unique<Histogram>()).first;
+    return *it->second;
+}
+
+const Counter *
+MetricsRegistry::findCounter(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Histogram *
+MetricsRegistry::findHistogram(const std::string &name) const
+{
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::string
+MetricsRegistry::dump() const
+{
+    std::string out;
+    for (const auto &[name, c] : counters_)
+        out += strprintf("%-40s %llu\n", name.c_str(),
+                         (unsigned long long)c->value());
+    for (const auto &[name, h] : histograms_)
+        out += strprintf("%-40s %s\n", name.c_str(), h->summary().c_str());
+    return out;
+}
+
+} // namespace mirage::trace

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * MetricsRegistry — named counters and log-linear histograms shared by
+ * every subsystem (the functor-driven-development idea applied to
+ * observability: instrumentation is a library module linked into the
+ * appliance, not per-subsystem bookkeeping).
+ *
+ * Subsystems keep their existing `stats_` structs for cheap direct
+ * reads; when a registry is attached to the engine they additionally
+ * mirror into named counters so one dump() correlates GC, TCP, ring
+ * and block activity across layers.
+ *
+ * Naming convention: `<subsystem>.<metric>`, lower_snake_case, with
+ * byte counts suffixed `_bytes` and durations suffixed `_ns`
+ * (e.g. `gc.minor_collections`, `tcp.bytes_sent`, `ring.blkif.req_pushed`).
+ */
+
+#ifndef MIRAGE_TRACE_METRICS_H
+#define MIRAGE_TRACE_METRICS_H
+
+#include <array>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "base/types.h"
+
+namespace mirage::trace {
+
+/** A monotonically increasing named value. */
+class Counter
+{
+  public:
+    void inc(u64 n = 1) { value_ += n; }
+    u64 value() const { return value_; }
+
+  private:
+    u64 value_ = 0;
+};
+
+/** Null-safe increment for optionally-wired counter pointers. */
+inline void
+bump(Counter *c, u64 n = 1)
+{
+    if (c)
+        c->inc(n);
+}
+
+/**
+ * Log-linear histogram: power-of-two octaves, each split into four
+ * linear sub-buckets — constant relative error (~12.5%) over the full
+ * u64 range in 256 fixed slots, the classical HDR shape.
+ */
+class Histogram
+{
+  public:
+    static constexpr u32 subBuckets = 4;
+    static constexpr std::size_t bucketCount = 256;
+
+    void record(u64 v);
+
+    u64 count() const { return count_; }
+    u64 sum() const { return sum_; }
+    u64 min() const { return count_ ? min_ : 0; }
+    u64 max() const { return max_; }
+    double mean() const { return count_ ? double(sum_) / double(count_) : 0; }
+
+    /**
+     * Upper bound of the bucket containing quantile @p q in (0, 1] —
+     * an over-estimate by at most one sub-bucket width.
+     */
+    u64 quantile(double q) const;
+
+    /** One-line "count=… mean=… p50=… p99=… max=…" summary. */
+    std::string summary() const;
+
+    static std::size_t bucketIndex(u64 v);
+    static u64 bucketUpperBound(std::size_t index);
+
+  private:
+    std::array<u64, bucketCount> buckets_{};
+    u64 count_ = 0;
+    u64 sum_ = 0;
+    u64 min_ = ~u64(0);
+    u64 max_ = 0;
+};
+
+/** Null-safe record for optionally-wired histogram pointers. */
+inline void
+observe(Histogram *h, u64 v)
+{
+    if (h)
+        h->record(v);
+}
+
+class MetricsRegistry
+{
+  public:
+    /** Find-or-create; references stay valid for the registry's life. */
+    Counter &counter(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** Lookup without creating; nullptr when absent. */
+    const Counter *findCounter(const std::string &name) const;
+    const Histogram *findHistogram(const std::string &name) const;
+
+    std::size_t counterCount() const { return counters_.size(); }
+
+    /**
+     * Text dump, one `name value` / `name summary` line per metric,
+     * sorted by name (the hook examples and benches print).
+     */
+    std::string dump() const;
+
+  private:
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace mirage::trace
+
+#endif // MIRAGE_TRACE_METRICS_H

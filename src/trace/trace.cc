@@ -1,0 +1,157 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "base/logging.h"
+
+namespace mirage::trace {
+
+const char *
+catName(Cat cat)
+{
+    switch (cat) {
+      case Cat::Engine:
+        return "engine";
+      case Cat::Cpu:
+        return "cpu";
+      case Cat::Hypervisor:
+        return "hypervisor";
+      case Cat::Runtime:
+        return "runtime";
+      case Cat::Net:
+        return "net";
+      case Cat::Storage:
+        return "storage";
+      case Cat::App:
+        return "app";
+    }
+    return "unknown";
+}
+
+u32
+TraceRecorder::track(const std::string &name)
+{
+    for (std::size_t i = 0; i < tracks_.size(); i++) {
+        if (tracks_[i] == name)
+            return u32(i);
+    }
+    tracks_.push_back(name);
+    return u32(tracks_.size() - 1);
+}
+
+void
+TraceRecorder::span(Cat cat, const char *name, TimePoint start,
+                    Duration dur, u32 tid, std::string args)
+{
+    if (!enabled_)
+        return;
+    events_.push_back(Event{name, cat, 'X', tid, start.ns(), dur.ns(),
+                            std::move(args)});
+}
+
+void
+TraceRecorder::instant(Cat cat, const char *name, TimePoint ts, u32 tid,
+                       std::string args)
+{
+    if (!enabled_)
+        return;
+    events_.push_back(Event{name, cat, 'i', tid, ts.ns(), 0,
+                            std::move(args)});
+}
+
+namespace {
+
+/** Escape for a JSON string literal (control chars, quote, backslash). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (u8(c) < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+TraceRecorder::toChromeJson() const
+{
+    // Spans are recorded when scheduled, which may predate events that
+    // execute earlier (a Cpu books work at its future freeAt); sort by
+    // virtual start time so the export reads in timeline order.
+    std::vector<const Event *> ordered;
+    ordered.reserve(events_.size());
+    for (const Event &e : events_)
+        ordered.push_back(&e);
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const Event *a, const Event *b) {
+                         return a->ts_ns < b->ts_ns;
+                     });
+
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+           "\"args\":{\"name\":\"mirage\"}}";
+    for (std::size_t i = 0; i < tracks_.size(); i++) {
+        out += strprintf(",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%zu,"
+                         "\"name\":\"thread_name\","
+                         "\"args\":{\"name\":\"%s\"}}",
+                         i, jsonEscape(tracks_[i]).c_str());
+    }
+    for (const Event *e : ordered) {
+        // Chrome expects microsecond timestamps; keep ns resolution
+        // with a fractional part.
+        out += strprintf(",\n{\"ph\":\"%c\",\"pid\":1,\"tid\":%u,"
+                         "\"cat\":\"%s\",\"name\":\"%s\",\"ts\":%.3f",
+                         e->ph, e->tid, catName(e->cat),
+                         jsonEscape(e->name).c_str(),
+                         double(e->ts_ns) / 1000.0);
+        if (e->ph == 'X')
+            out += strprintf(",\"dur\":%.3f", double(e->dur_ns) / 1000.0);
+        if (e->ph == 'i')
+            out += ",\"s\":\"t\"";
+        if (!e->args.empty())
+            out += strprintf(",\"args\":{%s}", e->args.c_str());
+        out += "}";
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+Status
+TraceRecorder::writeChromeJson(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return Status(Error(Error::Kind::Io,
+                            "cannot open trace file " + path));
+    std::string json = toChromeJson();
+    std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    if (n != json.size())
+        return Status(Error(Error::Kind::Io,
+                            "short write to trace file " + path));
+    return Status::success();
+}
+
+} // namespace mirage::trace

@@ -467,6 +467,48 @@ TEST_F(NetTest, TcpWindowScaleNegotiated)
     EXPECT_EQ(received, total);
 }
 
+TEST_F(NetTest, TcpSynWindowNotScaled)
+{
+    // RFC 7323: the window field of a SYN or SYN|ACK is never scaled.
+    // The client learns its send window from the server's SYN|ACK,
+    // which advertises 65535 — a buggy receiver applying the scale
+    // factor would believe 65535 << 7 instead.
+    u64 wnd_at_establish = 0;
+    ASSERT_TRUE(stack_b.tcp().listen(9006, [](TcpConnPtr) {}).ok());
+    stack_a.tcp().connect(Ipv4Addr(10, 0, 0, 2), 9006,
+                          [&](Result<TcpConnPtr> r) {
+                              ASSERT_TRUE(r.ok());
+                              wnd_at_establish = r.value()->sndWnd();
+                          });
+    engine.run();
+    EXPECT_EQ(wnd_at_establish, 65535u);
+}
+
+TEST_F(NetTest, TcpCloseInSynSentAbortsConnect)
+{
+    // Connect to an address that never answers, then close before the
+    // handshake completes: the pending connect callback must fail, the
+    // SYN must stop retransmitting, and the simulation must drain.
+    bool cb_ran = false;
+    Result<TcpConnPtr> r = stateError("pending");
+    TcpConnPtr conn = stack_a.tcp().connect(
+        Ipv4Addr(10, 0, 0, 99), 9999,
+        [&](Result<TcpConnPtr> res) {
+            cb_ran = true;
+            r = res;
+        });
+    ASSERT_TRUE(conn != nullptr);
+    EXPECT_EQ(conn->state(), TcpConnection::State::SynSent);
+    engine.runFor(Duration::millis(10)); // below the 200 ms initial RTO
+    conn->close();
+    EXPECT_TRUE(cb_ran);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(conn->state(), TcpConnection::State::Closed);
+    EXPECT_EQ(stack_a.tcp().connectionCount(), 0u);
+    engine.run(); // an orphaned RTO timer would never let this return
+    EXPECT_EQ(conn->stats().rtoFires, 0u);
+}
+
 TEST_F(NetTest, TcpWriteAfterCloseRefused)
 {
     TcpConnPtr client_conn;

@@ -84,6 +84,38 @@ TEST(EngineTest, LateScheduleClampsToNow)
     EXPECT_EQ(e.now().ns(), Duration::millis(10).ns());
 }
 
+TEST(EngineTest, CancelBookkeepingIsBounded)
+{
+    Engine e;
+    EventId id = e.after(Duration::millis(1), [] {});
+    e.run();
+    // Cancelling an already-executed id must not accumulate state.
+    for (int i = 0; i < 1000; i++)
+        e.cancel(id);
+    EXPECT_EQ(e.cancelledBacklog(), 0u);
+    // Nor may ids that never existed.
+    for (EventId bogus = 1000; bogus < 2000; bogus++)
+        e.cancel(bogus);
+    EXPECT_EQ(e.cancelledBacklog(), 0u);
+    EXPECT_EQ(e.pendingEvents(), 0u);
+    EXPECT_TRUE(e.empty());
+}
+
+TEST(EngineTest, CancelledSlotsAreReclaimedOnDispatch)
+{
+    Engine e;
+    bool ran = false;
+    EventId id = e.after(Duration::millis(5), [&] { ran = true; });
+    e.after(Duration::millis(10), [] {});
+    e.cancel(id);
+    e.cancel(id); // idempotent while pending
+    EXPECT_EQ(e.cancelledBacklog(), 1u);
+    e.run();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(e.cancelledBacklog(), 0u);
+    EXPECT_EQ(e.pendingEvents(), 0u);
+}
+
 TEST(CpuTest, SerialisesWork)
 {
     Engine e;

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Unit tests for the tracing + metrics layer: counters, log-linear
+ * histograms, registry dump, the Chrome trace_event exporter, and the
+ * engine round-trip (mirrored counters match the engine's own stats).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "sim/engine.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
+
+namespace mirage::trace {
+namespace {
+
+TEST(CounterTest, IncrementsMonotonically)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(CounterTest, BumpIsNullSafe)
+{
+    bump(nullptr, 7); // must not crash
+    Counter c;
+    bump(&c, 7);
+    EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(HistogramTest, EmptyIsAllZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(HistogramTest, TracksExactAggregates)
+{
+    Histogram h;
+    for (u64 v : {10u, 20u, 30u, 40u})
+        h.record(v);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.sum(), 100u);
+    EXPECT_EQ(h.min(), 10u);
+    EXPECT_EQ(h.max(), 40u);
+    EXPECT_DOUBLE_EQ(h.mean(), 25.0);
+    observe(nullptr, 5); // null-safe
+}
+
+TEST(HistogramTest, QuantileWithinLogLinearError)
+{
+    Histogram h;
+    for (u64 v = 1; v <= 1000; v++)
+        h.record(v);
+    // Log-linear buckets over-estimate by at most one sub-bucket:
+    // bounded relative error of ~ 1/subBuckets.
+    u64 p50 = h.quantile(0.5);
+    EXPECT_GE(p50, 500u);
+    EXPECT_LE(p50, 640u);
+    u64 p99 = h.quantile(0.99);
+    EXPECT_GE(p99, 990u);
+    EXPECT_LE(p99, 1200u);
+    EXPECT_GE(h.quantile(1.0), h.quantile(0.5));
+}
+
+TEST(HistogramTest, BucketIndexIsMonotonicAndConsistent)
+{
+    std::size_t prev = 0;
+    for (u64 v : {0ull, 1ull, 2ull, 3ull, 5ull, 17ull, 100ull, 4096ull,
+                  1ull << 20, 1ull << 40, ~0ull >> 1}) {
+        std::size_t idx = Histogram::bucketIndex(v);
+        EXPECT_GE(idx, prev) << "index must not decrease at v=" << v;
+        EXPECT_LE(v, Histogram::bucketUpperBound(idx))
+            << "value must fall at or below its bucket's upper bound";
+        EXPECT_LT(idx, Histogram::bucketCount);
+        prev = idx;
+    }
+}
+
+TEST(HistogramTest, SummaryMentionsCountAndMax)
+{
+    Histogram h;
+    h.record(100);
+    h.record(300);
+    std::string s = h.summary();
+    EXPECT_NE(s.find("count=2"), std::string::npos) << s;
+    EXPECT_NE(s.find("max=300"), std::string::npos) << s;
+}
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStableRefs)
+{
+    MetricsRegistry reg;
+    Counter &a = reg.counter("tcp.segments_sent");
+    Counter &b = reg.counter("tcp.segments_sent");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(reg.counterCount(), 1u);
+    a.inc(3);
+    ASSERT_NE(reg.findCounter("tcp.segments_sent"), nullptr);
+    EXPECT_EQ(reg.findCounter("tcp.segments_sent")->value(), 3u);
+    EXPECT_EQ(reg.findCounter("no.such.metric"), nullptr);
+    EXPECT_EQ(reg.findHistogram("no.such.metric"), nullptr);
+    Histogram &h = reg.histogram("gc.pause_ns");
+    h.record(5);
+    EXPECT_EQ(reg.findHistogram("gc.pause_ns")->count(), 1u);
+}
+
+TEST(MetricsRegistryTest, DumpListsMetricsSortedByName)
+{
+    MetricsRegistry reg;
+    reg.counter("z.last").inc(9);
+    reg.counter("a.first").inc(1);
+    reg.histogram("m.middle_ns").record(250);
+    std::string d = reg.dump();
+    std::size_t a = d.find("a.first");
+    std::size_t m = d.find("m.middle_ns");
+    std::size_t z = d.find("z.last");
+    ASSERT_NE(a, std::string::npos) << d;
+    ASSERT_NE(m, std::string::npos) << d;
+    ASSERT_NE(z, std::string::npos) << d;
+    EXPECT_LT(a, z) << "dump must be sorted by name:\n" << d;
+}
+
+TEST(TraceRecorderTest, DisabledRecorderIsANoOp)
+{
+    TraceRecorder tr;
+    EXPECT_FALSE(tr.enabled());
+    tr.span(Cat::Net, "tcp.tx", TimePoint(0), Duration::micros(5));
+    tr.instant(Cat::App, "mark", TimePoint(0));
+    EXPECT_EQ(tr.eventCount(), 0u);
+}
+
+TEST(TraceRecorderTest, TrackInterningIsStable)
+{
+    TraceRecorder tr;
+    u32 a = tr.track("twitter/vcpu");
+    u32 b = tr.track("browser/vcpu");
+    EXPECT_NE(a, 0u) << "track 0 is reserved for the event loop";
+    EXPECT_NE(b, 0u);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(tr.track("twitter/vcpu"), a);
+}
+
+TEST(TraceRecorderTest, ChromeJsonIsSortedByTimestamp)
+{
+    TraceRecorder tr;
+    tr.enable();
+    u32 tid = tr.track("cpu0");
+    // Recorded out of order on purpose: a Cpu may book a span whose
+    // start lies in the future of the event that scheduled it.
+    tr.span(Cat::Cpu, "late", TimePoint(Duration::micros(30).ns()),
+            Duration::micros(10), tid);
+    tr.span(Cat::Cpu, "early", TimePoint(Duration::micros(1).ns()),
+            Duration::micros(2), tid, "\"seq\":7");
+    tr.instant(Cat::Engine, "dispatch", TimePoint(0));
+    EXPECT_EQ(tr.eventCount(), 3u);
+
+    std::string json = tr.toChromeJson();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"cpu0\""), std::string::npos)
+        << "track names must be emitted as thread metadata";
+    EXPECT_NE(json.find("\"seq\":7"), std::string::npos);
+    std::size_t d = json.find("\"dispatch\"");
+    std::size_t e = json.find("\"early\"");
+    std::size_t l = json.find("\"late\"");
+    ASSERT_NE(d, std::string::npos);
+    ASSERT_NE(e, std::string::npos);
+    ASSERT_NE(l, std::string::npos);
+    EXPECT_LT(d, e);
+    EXPECT_LT(e, l);
+}
+
+TEST(TraceRecorderTest, WriteChromeJsonRoundTrips)
+{
+    TraceRecorder tr;
+    tr.enable();
+    tr.instant(Cat::App, "mark", TimePoint(Duration::micros(3).ns()));
+    std::string path = testing::TempDir() + "trace_test_out.json";
+    ASSERT_TRUE(tr.writeChromeJson(path).ok());
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096] = {};
+    std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    std::remove(path.c_str());
+    std::string content(buf, n);
+    EXPECT_NE(content.find("\"mark\""), std::string::npos);
+    EXPECT_NE(content.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(TraceRecorderTest, EngineMirrorsCountersAndRecordsDispatch)
+{
+    sim::Engine e;
+    MetricsRegistry reg;
+    TraceRecorder tr;
+    tr.enable();
+    e.setMetrics(&reg);
+    e.setTracer(&tr);
+
+    int fired = 0;
+    for (int i = 0; i < 5; i++)
+        e.after(Duration::millis(i + 1), [&] { fired++; });
+    sim::EventId doomed = e.after(Duration::millis(50), [&] { fired++; });
+    e.cancel(doomed);
+    e.run();
+
+    EXPECT_EQ(fired, 5);
+    ASSERT_NE(reg.findCounter("sim.events_run"), nullptr);
+    EXPECT_EQ(reg.findCounter("sim.events_run")->value(), e.eventsRun());
+    EXPECT_EQ(reg.findCounter("sim.events_cancelled")->value(), 1u);
+    // One "dispatch" instant per executed event, on the engine track.
+    std::size_t dispatches = 0;
+    for (const TraceRecorder::Event &ev : tr.events())
+        if (ev.ph == 'i' && std::string(ev.name) == "dispatch")
+            dispatches++;
+    EXPECT_EQ(dispatches, e.eventsRun());
+}
+
+} // namespace
+} // namespace mirage::trace
