@@ -77,14 +77,18 @@ main(int argc, char **argv)
 {
     std::string trace_path;
     bool dump_metrics = false;
+    bool check = false;
     for (int i = 1; i < argc; i++) {
         if (std::strncmp(argv[i], "--trace=", 8) == 0) {
             trace_path = argv[i] + 8;
         } else if (std::strcmp(argv[i], "--metrics") == 0) {
             dump_metrics = true;
+        } else if (std::strcmp(argv[i], "--check") == 0) {
+            check = true;
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--trace=FILE] [--metrics]\n",
+                         "usage: %s [--trace=FILE] [--metrics] "
+                         "[--check]\n",
                          argv[0]);
             return 2;
         }
@@ -93,6 +97,8 @@ main(int argc, char **argv)
     core::Cloud cloud;
     if (!trace_path.empty())
         cloud.tracer().enable();
+    if (check)
+        cloud.checker().enable();
 
     // Storage substrate: virtual SSD + blkback in dom0, blkif in the
     // guest, B-tree library on top.
@@ -216,5 +222,14 @@ main(int argc, char **argv)
     }
     if (dump_metrics)
         std::fputs(cloud.metrics().dump().c_str(), stdout);
+    if (check) {
+        if (u64 v = cloud.checker().violations(); v > 0) {
+            std::fprintf(stderr, "check: %llu violation(s)\n%s",
+                         (unsigned long long)v,
+                         cloud.checker().report().c_str());
+            return 1;
+        }
+        std::printf("check: no protocol violations\n");
+    }
     return ready ? 0 : 1;
 }

@@ -50,8 +50,7 @@ Rng::next()
 u64
 Rng::below(u64 bound)
 {
-    if (bound == 0)
-        panic("Rng::below(0)");
+    CHECK_GT(bound, u64(0));
     // Rejection sampling to avoid modulo bias.
     u64 threshold = (~bound + 1) % bound;
     for (;;) {
@@ -64,8 +63,7 @@ Rng::below(u64 bound)
 u64
 Rng::range(u64 lo, u64 hi)
 {
-    if (hi < lo)
-        panic("Rng::range: hi < lo");
+    CHECK_GE(hi, lo);
     return lo + below(hi - lo + 1);
 }
 

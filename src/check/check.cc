@@ -1,0 +1,393 @@
+#include "check/check.h"
+
+#include "base/logging.h"
+#include "trace/metrics.h"
+
+namespace mirage::check {
+
+namespace {
+
+/** Signed distance between two free-running u32 ring counters. */
+inline i32
+counterDelta(u32 later, u32 earlier)
+{
+    return i32(later - earlier);
+}
+
+} // namespace
+
+const char *
+subsystemName(Subsystem s)
+{
+    switch (s) {
+      case Subsystem::Grant: return "grant";
+      case Subsystem::Ring: return "ring";
+      case Subsystem::Gc: return "gc";
+      case Subsystem::Event: return "event";
+    }
+    return "?";
+}
+
+void
+Checker::attachMetrics(trace::MetricsRegistry &reg)
+{
+    c_total_ = &reg.counter("check.violations");
+    for (std::size_t i = 0; i < subsystemCount; i++)
+        c_per_[i] = &reg.counter(std::string("check.") +
+                                 subsystemName(Subsystem(i)) +
+                                 ".violations");
+    c_gc_leaked_ = &reg.counter("check.gc.leaked_cells");
+}
+
+void
+Checker::violation(Subsystem s, const char *rule,
+                   const std::string &detail)
+{
+    total_++;
+    per_[std::size_t(s)]++;
+    last_ = strprintf("%s.%s: %s", subsystemName(s), rule,
+                      detail.c_str());
+    trace::bump(c_total_);
+    trace::bump(c_per_[std::size_t(s)]);
+    if (mode_ == Mode::Fatal)
+        panic("check: %s", last_.c_str());
+    warn("check: %s", last_.c_str());
+}
+
+std::string
+Checker::report() const
+{
+    std::string out;
+    for (std::size_t i = 0; i < subsystemCount; i++) {
+        if (per_[i] == 0)
+            continue;
+        out += strprintf("check.%s.violations %llu\n",
+                         subsystemName(Subsystem(i)),
+                         (unsigned long long)per_[i]);
+    }
+    if (gc_leaked_cells_ > 0)
+        out += strprintf("check.gc.leaked_cells %llu\n",
+                         (unsigned long long)gc_leaked_cells_);
+    return out;
+}
+
+// ---- Grant tables ----------------------------------------------------------
+
+void
+Checker::grantCreated(u32 owner, u32 ref, u32 peer)
+{
+    u64 key = grantKey(owner, ref);
+    if (grants_.count(key)) {
+        violation(Subsystem::Grant, "ref_reused",
+                  strprintf("dom%u re-issued active ref %u", owner, ref));
+        return;
+    }
+    grants_.emplace(key, GrantShadow{owner, peer, 0});
+}
+
+void
+Checker::grantEndAccess(u32 owner, u32 ref, bool table_ok)
+{
+    u64 key = grantKey(owner, ref);
+    auto it = grants_.find(key);
+    if (it == grants_.end()) {
+        violation(Subsystem::Grant,
+                  revoked_.count(key) ? "double_revoke"
+                                      : "revoke_unknown_ref",
+                  strprintf("dom%u endAccess(ref=%u)", owner, ref));
+        return;
+    }
+    if (it->second.mapCount > 0) {
+        violation(Subsystem::Grant, "revoke_while_mapped",
+                  strprintf("dom%u endAccess(ref=%u) with %u mappings "
+                            "held by dom%u",
+                            owner, ref, it->second.mapCount,
+                            it->second.peer));
+        // The table refuses this too; the grant stays active.
+        return;
+    }
+    if (table_ok) {
+        grants_.erase(it);
+        revoked_.insert(key);
+    }
+}
+
+void
+Checker::grantMap(u32 owner, u32 ref, u32 peer, bool table_ok)
+{
+    u64 key = grantKey(owner, ref);
+    auto it = grants_.find(key);
+    if (it == grants_.end()) {
+        violation(Subsystem::Grant,
+                  revoked_.count(key) ? "use_after_revoke"
+                                      : "map_unknown_ref",
+                  strprintf("dom%u mapped dom%u's ref %u", peer, owner,
+                            ref));
+        return;
+    }
+    if (!table_ok) {
+        violation(Subsystem::Grant, "map_denied",
+                  strprintf("dom%u denied mapping dom%u's ref %u "
+                            "(wrong peer or write on read-only)",
+                            peer, owner, ref));
+        return;
+    }
+    it->second.mapCount++;
+}
+
+void
+Checker::grantUnmap(u32 owner, u32 ref, u32 peer, bool table_ok)
+{
+    u64 key = grantKey(owner, ref);
+    auto it = grants_.find(key);
+    if (it == grants_.end()) {
+        violation(Subsystem::Grant,
+                  revoked_.count(key) ? "use_after_revoke"
+                                      : "unmap_unknown_ref",
+                  strprintf("dom%u unmapped dom%u's ref %u", peer,
+                            owner, ref));
+        return;
+    }
+    if (it->second.peer != peer) {
+        violation(Subsystem::Grant, "unmap_wrong_domain",
+                  strprintf("dom%u unmapped dom%u's ref %u issued to "
+                            "dom%u",
+                            peer, owner, ref, it->second.peer));
+        return;
+    }
+    if (it->second.mapCount == 0) {
+        violation(Subsystem::Grant, "unmap_without_map",
+                  strprintf("dom%u unmapped dom%u's ref %u which has "
+                            "no mapping",
+                            peer, owner, ref));
+        return;
+    }
+    if (table_ok)
+        it->second.mapCount--;
+}
+
+void
+Checker::domainTeardown(u32 dom)
+{
+    std::vector<u64> dead;
+    for (auto &[key, g] : grants_) {
+        if (g.owner == dom) {
+            if (g.mapCount > 0)
+                violation(Subsystem::Grant, "mapping_outlives_domain",
+                          strprintf("dom%u tore down with ref %u still "
+                                    "mapped %u time(s) by dom%u",
+                                    dom, u32(key), g.mapCount, g.peer));
+            dead.push_back(key);
+        } else if (g.peer == dom && g.mapCount > 0) {
+            violation(Subsystem::Grant, "teardown_holding_mappings",
+                      strprintf("dom%u tore down holding %u mapping(s) "
+                                "of dom%u's ref %u",
+                                dom, g.mapCount, g.owner, u32(key)));
+            // The mapper is gone; the mappings die with it.
+            g.mapCount = 0;
+        }
+    }
+    for (u64 key : dead)
+        grants_.erase(key);
+    for (auto it = revoked_.begin(); it != revoked_.end();) {
+        if (u32(*it >> 32) == dom)
+            it = revoked_.erase(it);
+        else
+            ++it;
+    }
+}
+
+std::size_t
+Checker::shadowMappedGrants() const
+{
+    std::size_t n = 0;
+    for (const auto &[key, g] : grants_)
+        if (g.mapCount > 0)
+            n++;
+    return n;
+}
+
+// ---- Shared rings ----------------------------------------------------------
+
+u32
+Checker::ringAttach(const void *page, const char *name, u32 slots,
+                    u32 req_prod, u32 rsp_prod)
+{
+    auto it = ring_ids_.find(page);
+    if (it != ring_ids_.end())
+        return it->second;
+    u32 id = u32(rings_.size());
+    // Published counters are adopted as-is; a ring attached mid-stream
+    // (reconnect) starts with everything published considered consumed.
+    rings_.push_back(RingShadow{name, slots, req_prod, rsp_prod,
+                                req_prod, rsp_prod});
+    ring_ids_.emplace(page, id);
+    return id;
+}
+
+void
+Checker::ringStartRequest(u32 ring, u32 new_prod_pvt, u32 rsp_cons)
+{
+    RingShadow &s = rings_.at(ring);
+    if (u32(new_prod_pvt - rsp_cons) > s.slots)
+        violation(Subsystem::Ring, "request_overrun",
+                  strprintf("%s: %u requests in flight exceeds %u slots",
+                            s.name.c_str(), new_prod_pvt - rsp_cons,
+                            s.slots));
+}
+
+void
+Checker::ringPublishRequests(u32 ring, u32 old_prod, u32 new_prod)
+{
+    RingShadow &s = rings_.at(ring);
+    if (old_prod != s.reqProd)
+        violation(Subsystem::Ring, "req_prod_tampered",
+                  strprintf("%s: req_prod is %u but protocol last "
+                            "published %u",
+                            s.name.c_str(), old_prod, s.reqProd));
+    i32 d = counterDelta(new_prod, old_prod);
+    if (d < 0)
+        violation(Subsystem::Ring, "req_prod_backwards",
+                  strprintf("%s: req_prod %u -> %u", s.name.c_str(),
+                            old_prod, new_prod));
+    else if (u32(d) > s.slots)
+        violation(Subsystem::Ring, "req_prod_overrun",
+                  strprintf("%s: published %d requests into %u slots",
+                            s.name.c_str(), d, s.slots));
+    s.reqProd = new_prod; // adopt even after a violation: no cascades
+}
+
+void
+Checker::ringConsumeRequest(u32 ring, u32 cons, u32 prod)
+{
+    RingShadow &s = rings_.at(ring);
+    if (prod != s.reqProd) {
+        violation(Subsystem::Ring, "req_prod_tampered",
+                  strprintf("%s: consuming with req_prod %u but "
+                            "protocol last published %u",
+                            s.name.c_str(), prod, s.reqProd));
+        s.reqProd = prod;
+    }
+    u32 avail = prod - cons;
+    if (avail == 0)
+        violation(Subsystem::Ring, "consume_unpublished_request",
+                  strprintf("%s: req_cons %u caught req_prod",
+                            s.name.c_str(), cons));
+    else if (avail > s.slots)
+        violation(Subsystem::Ring, "req_prod_overrun",
+                  strprintf("%s: %u unconsumed requests in %u slots",
+                            s.name.c_str(), avail, s.slots));
+    s.reqCons = cons + 1;
+}
+
+void
+Checker::ringStartResponse(u32 ring, u32 new_rsp_pvt, u32 req_cons)
+{
+    RingShadow &s = rings_.at(ring);
+    if (counterDelta(new_rsp_pvt, req_cons) > 0)
+        violation(Subsystem::Ring, "response_without_request",
+                  strprintf("%s: response %u started beyond consumed "
+                            "request %u",
+                            s.name.c_str(), new_rsp_pvt, req_cons));
+}
+
+void
+Checker::ringPublishResponses(u32 ring, u32 old_prod, u32 new_prod)
+{
+    RingShadow &s = rings_.at(ring);
+    if (old_prod != s.rspProd)
+        violation(Subsystem::Ring, "rsp_prod_tampered",
+                  strprintf("%s: rsp_prod is %u but protocol last "
+                            "published %u",
+                            s.name.c_str(), old_prod, s.rspProd));
+    i32 d = counterDelta(new_prod, old_prod);
+    if (d < 0)
+        violation(Subsystem::Ring, "rsp_prod_backwards",
+                  strprintf("%s: rsp_prod %u -> %u", s.name.c_str(),
+                            old_prod, new_prod));
+    else if (u32(d) > s.slots)
+        violation(Subsystem::Ring, "rsp_prod_overrun",
+                  strprintf("%s: published %d responses into %u slots",
+                            s.name.c_str(), d, s.slots));
+    if (counterDelta(new_prod, s.reqCons) > 0)
+        violation(Subsystem::Ring, "response_without_request",
+                  strprintf("%s: rsp_prod %u beyond consumed requests "
+                            "%u",
+                            s.name.c_str(), new_prod, s.reqCons));
+    s.rspProd = new_prod;
+}
+
+void
+Checker::ringConsumeResponse(u32 ring, u32 cons, u32 prod)
+{
+    RingShadow &s = rings_.at(ring);
+    if (prod != s.rspProd) {
+        violation(Subsystem::Ring, "consume_unpublished_response",
+                  strprintf("%s: consuming with rsp_prod %u but "
+                            "protocol last published %u",
+                            s.name.c_str(), prod, s.rspProd));
+        s.rspProd = prod;
+    }
+    u32 avail = prod - cons;
+    if (avail == 0)
+        violation(Subsystem::Ring, "consume_unpublished_response",
+                  strprintf("%s: rsp_cons %u caught rsp_prod",
+                            s.name.c_str(), cons));
+    else if (avail > s.slots)
+        violation(Subsystem::Ring, "rsp_prod_overrun",
+                  strprintf("%s: %u unconsumed responses in %u slots",
+                            s.name.c_str(), avail, s.slots));
+    s.rspCons = cons + 1;
+}
+
+// ---- GC handles ------------------------------------------------------------
+
+void
+Checker::gcAlloc(const void *heap, u32 ref)
+{
+    HeapShadow &h = heaps_[heap];
+    if (ref >= h.state.size())
+        h.state.resize(std::size_t(ref) + 1, 0);
+    if (h.state[ref] == 1) {
+        violation(Subsystem::Gc, "alloc_live_cell",
+                  strprintf("allocator handed out live cell %u", ref));
+        return;
+    }
+    h.state[ref] = 1;
+}
+
+bool
+Checker::gcRelease(const void *heap, u32 ref)
+{
+    HeapShadow &h = heaps_[heap];
+    if (ref >= h.state.size() || h.state[ref] == 0) {
+        violation(Subsystem::Gc, "release_unknown_cell",
+                  strprintf("release of never-allocated cell %u", ref));
+        return false;
+    }
+    if (h.state[ref] == 2) {
+        violation(Subsystem::Gc, "double_release",
+                  strprintf("cell %u released twice", ref));
+        return false;
+    }
+    h.state[ref] = 2;
+    return true;
+}
+
+void
+Checker::gcHeapShutdown(const void *heap, u64 live_cells,
+                        u64 live_bytes)
+{
+    if (live_cells > 0) {
+        gc_leaked_cells_ += live_cells;
+        gc_leaked_bytes_ += live_bytes;
+        trace::bump(c_gc_leaked_, live_cells);
+        warn("check: gc.leak_report: %llu live cell(s), %llu bytes at "
+             "heap shutdown",
+             (unsigned long long)live_cells,
+             (unsigned long long)live_bytes);
+    }
+    heaps_.erase(heap);
+}
+
+} // namespace mirage::check

@@ -1,5 +1,8 @@
 #include "core/cloud.h"
 
+#include <cstdlib>
+#include <cstring>
+
 namespace mirage::core {
 
 Guest::Guest(xen::Domain &d, xen::Netback &netback, xen::MacBytes mac,
@@ -22,7 +25,26 @@ Cloud::Cloud()
     // any startGuest()/addDisk() call.
     engine_.setTracer(&tracer_);
     engine_.setMetrics(&metrics_);
+    engine_.setChecker(&checker_);
+    checker_.attachMetrics(metrics_);
+    if (const char *env = std::getenv("MIRAGE_CHECK");
+        env && env[0] && std::strcmp(env, "0") != 0) {
+        if (std::strcmp(env, "fatal") == 0)
+            checker_.setMode(check::Checker::Mode::Fatal);
+        checker_.enable();
+    }
     dom0_.setState(xen::DomainState::Running);
+}
+
+Cloud::~Cloud()
+{
+    // Guests destruct before the hypervisor (member order), but each
+    // domain's grant table holds views of guest-allocated pages whose
+    // deleters live in the guest. Shutting the domains down here runs
+    // the backend disconnect hooks and releases those entries while
+    // everything is still alive.
+    for (auto &g : guests_)
+        g->dom.shutdown(0);
 }
 
 Guest &

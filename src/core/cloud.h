@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "check/check.h"
 #include "core/linker.h"
 #include "drivers/console.h"
 #include "drivers/netif.h"
@@ -59,9 +60,21 @@ class Cloud
 
     Cloud();
 
+    /** Shuts down every guest domain before members destruct. */
+    ~Cloud();
+
     sim::Engine &engine() { return engine_; }
     trace::TraceRecorder &tracer() { return tracer_; }
     trace::MetricsRegistry &metrics() { return metrics_; }
+
+    /**
+     * The invariant checker, attached to the engine at construction but
+     * disabled by default. Call `checker().enable()` *before* the first
+     * startGuest()/addDisk() so shadow state sees every transition, or
+     * set MIRAGE_CHECK=1 (Mode::Count: count + warn) / MIRAGE_CHECK=fatal
+     * (panic on first violation) in the environment.
+     */
+    check::Checker &checker() { return checker_; }
     xen::Hypervisor &hypervisor() { return hv_; }
     xen::Bridge &bridge() { return bridge_; }
     xen::Netback &netback() { return netback_; }
@@ -99,6 +112,7 @@ class Cloud
     sim::Engine engine_;
     trace::TraceRecorder tracer_;
     trace::MetricsRegistry metrics_;
+    check::Checker checker_{check::Checker::Mode::Count};
     xen::Hypervisor hv_;
     xen::Bridge bridge_;
     xen::Domain &dom0_;

@@ -21,6 +21,7 @@ Blkif::Blkif(pvboot::PVBoot &boot, xen::Blkback &backend)
         c_completed_ = &m->counter("blk.completed");
         c_errors_ = &m->counter("blk.errors");
     }
+    ring_->attachChecker(hv.engine().checker(), "ring.blkif");
 
     xen::GrantRef ring_grant =
         dom.grantTable().grantAccess(back_dom.id(), ring_page_, false);

@@ -24,6 +24,8 @@ Netif::Netif(pvboot::PVBoot &boot, xen::Netback &backend,
         tx_ring_->attachMetrics(*m, "ring.netif.tx");
         rx_ring_->attachMetrics(*m, "ring.netif.rx");
     }
+    tx_ring_->attachChecker(hv.engine().checker(), "ring.netif.tx");
+    rx_ring_->attachChecker(hv.engine().checker(), "ring.netif.rx");
 
     xen::GrantRef tx_grant = dom.grantTable().grantAccess(
         back_dom.id(), tx_ring_page_, false);

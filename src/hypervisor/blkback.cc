@@ -1,5 +1,6 @@
 #include "hypervisor/blkback.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "base/logging.h"
@@ -137,18 +138,37 @@ Blkback::connect(Domain &frontend, GrantRef ring_grant, Port backend_port)
               frontend.name().c_str());
     frontend_ = &frontend;
     port_ = backend_port;
+    ring_grant_ = ring_grant;
     ring_ = std::make_unique<BackRing>(page.value());
     if (auto *m = hv.engine().metrics())
         ring_->attachMetrics(*m, "ring.blkback");
+    ring_->attachChecker(hv.engine().checker(), "ring.blkback");
     dom_.setPortHandler(port_, [this] {
         dom_.clearPending(port_);
         onEvent();
     });
+    frontend.addShutdownHook([this] { disconnect(); });
+}
+
+void
+Blkback::disconnect()
+{
+    if (!frontend_)
+        return;
+    Hypervisor &hv = dom_.hypervisor();
+    // In-flight data grants first, then the ring page itself.
+    for (GrantRef gref : mapped_grefs_)
+        hv.grantUnmap(dom_, *frontend_, gref);
+    mapped_grefs_.clear();
+    ring_.reset();
+    hv.grantUnmap(dom_, *frontend_, ring_grant_);
+    frontend_ = nullptr;
 }
 
 void
 Blkback::complete(u64 id, u8 status)
 {
+    CHECK(ring_);
     Cstruct rsp = ring_->startResponse().value();
     rsp.setLe64(BlkifWire::rspId, id);
     rsp.setU8(BlkifWire::rspStatus, status);
@@ -159,6 +179,8 @@ Blkback::complete(u64 id, u8 status)
 void
 Blkback::onEvent()
 {
+    if (!ring_)
+        return; // event raced with disconnect
     Hypervisor &hv = dom_.hypervisor();
     const auto &c = sim::costs();
     do {
@@ -184,7 +206,14 @@ Blkback::onEvent()
             }
             Cstruct data = page.value().sub(
                 0, std::size_t(sectors) * BlkifWire::sectorBytes);
+            mapped_grefs_.push_back(gref);
             auto finish = [this, id, gref](Status st) {
+                if (!frontend_)
+                    return; // disconnect() already unmapped everything
+                auto it = std::find(mapped_grefs_.begin(),
+                                    mapped_grefs_.end(), gref);
+                if (it != mapped_grefs_.end())
+                    mapped_grefs_.erase(it);
                 dom_.hypervisor().grantUnmap(dom_, *frontend_, gref);
                 complete(id, st.ok() ? BlkifWire::statusOk
                                      : BlkifWire::statusError);

@@ -85,8 +85,18 @@ class Blkback
   public:
     Blkback(Domain &backend_dom, VirtualDisk &disk);
 
-    /** Bind a frontend's ring (already granted) and event port. */
+    /**
+     * Bind a frontend's ring (already granted) and event port. Also
+     * registers a shutdown hook on @p frontend so the ring grant and
+     * any in-flight data grants are unmapped when it tears down.
+     */
     void connect(Domain &frontend, GrantRef ring_grant, Port backend_port);
+
+    /**
+     * Unmap everything held on the frontend and drop the ring.
+     * Idempotent; in-flight disk completions after this are discarded.
+     */
+    void disconnect();
 
     VirtualDisk &disk() { return disk_; }
     Domain &backendDomain() { return dom_; }
@@ -100,7 +110,9 @@ class Blkback
     VirtualDisk &disk_;
     Domain *frontend_ = nullptr;
     Port port_ = 0;
+    GrantRef ring_grant_ = 0;
     std::unique_ptr<BackRing> ring_;
+    std::vector<GrantRef> mapped_grefs_; //!< data grants in flight
     u64 handled_ = 0;
 };
 

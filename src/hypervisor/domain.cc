@@ -1,6 +1,7 @@
 #include "hypervisor/domain.h"
 
 #include "base/logging.h"
+#include "check/check.h"
 #include "hypervisor/xen.h"
 #include "sim/cost_model.h"
 
@@ -13,6 +14,7 @@ Domain::Domain(Hypervisor &hv, DomId id, std::string name, GuestKind kind,
 {
     if (vcpus == 0)
         fatal("domain %s: at least one vCPU required", name_.c_str());
+    grants_.bindEngine(&hv_.engine());
     for (unsigned i = 0; i < vcpus; i++) {
         vcpus_.push_back(std::make_unique<sim::Cpu>(
             hv_.engine(), strprintf("%s/vcpu%u", name_.c_str(), i)));
@@ -20,8 +22,16 @@ Domain::Domain(Hypervisor &hv, DomId id, std::string name, GuestKind kind,
 }
 
 void
+Domain::addShutdownHook(std::function<void()> hook)
+{
+    shutdown_hooks_.push_back(std::move(hook));
+}
+
+void
 Domain::shutdown(int exit_code)
 {
+    if (state_ == DomainState::Shutdown)
+        return;
     state_ = DomainState::Shutdown;
     exit_code_ = exit_code;
     if (poll_timer_) {
@@ -29,6 +39,18 @@ Domain::shutdown(int exit_code)
         poll_timer_ = 0;
     }
     poll_active_ = false;
+
+    // Backends disconnect first (LIFO) so their grant unmaps land
+    // before the leak audit below.
+    while (!shutdown_hooks_.empty()) {
+        auto hook = std::move(shutdown_hooks_.back());
+        shutdown_hooks_.pop_back();
+        hook();
+    }
+    hv_.events().closeAllFor(*this);
+    if (auto *ck = hv_.engine().checker(); ck && ck->enabled())
+        ck->domainTeardown(id_);
+    grants_.releaseAll();
 }
 
 Port

@@ -58,9 +58,23 @@ class Domain
     PageTables &pageTables() { return pt_; }
     GrantTable &grantTable() { return grants_; }
 
-    /** The VM exit code: the main thread's return value (§3.3). */
+    /**
+     * The VM exit code: the main thread's return value (§3.3).
+     *
+     * Teardown order: registered shutdown hooks run first (newest
+     * first, so backends detach in reverse attach order and unmap
+     * their grants), then every event channel the domain is bound to
+     * is closed, then an enabled checker audits the domain for leaked
+     * grant mappings. Idempotent; later calls are ignored.
+     */
     void shutdown(int exit_code);
     std::optional<int> exitCode() const { return exit_code_; }
+
+    /**
+     * Run @p hook when this domain shuts down (backends register
+     * their disconnect here). Hooks run LIFO, once.
+     */
+    void addShutdownHook(std::function<void()> hook);
 
     // ---- Event ports (guest side) ------------------------------------
     /** Allocate a local port number (used by the hub). */
@@ -107,6 +121,7 @@ class Domain
     PageTables pt_;
     GrantTable grants_;
     std::vector<PortState> ports_;
+    std::vector<std::function<void()>> shutdown_hooks_;
 
     // domainpoll bookkeeping
     bool poll_active_ = false;

@@ -1,12 +1,33 @@
 #include "hypervisor/event_channel.h"
 
 #include "base/logging.h"
+#include "check/check.h"
 #include "hypervisor/domain.h"
 #include "hypervisor/xen.h"
 #include "sim/cost_model.h"
 #include "trace/trace.h"
 
 namespace mirage::xen {
+
+check::Checker *
+EventChannelHub::checker() const
+{
+    check::Checker *ck = engine_.checker();
+    return (ck && ck->enabled()) ? ck : nullptr;
+}
+
+bool
+EventChannelHub::wasBound(Domain &dom, Port port) const
+{
+    for (const auto &ch : channels_) {
+        if (ch.open)
+            continue;
+        if ((ch.a.dom == &dom && ch.a.port == port) ||
+            (ch.b.dom == &dom && ch.b.port == port))
+            return true;
+    }
+    return false;
+}
 
 std::pair<Port, Port>
 EventChannelHub::connect(Domain &a, Domain &b)
@@ -39,8 +60,40 @@ void
 EventChannelHub::close(Domain &dom, Port port)
 {
     bool is_a = false;
-    if (Channel *ch = findChannel(dom, port, is_a))
-        ch->open = false;
+    Channel *ch = findChannel(dom, port, is_a);
+    if (!ch) {
+        if (check::Checker *ck = checker())
+            ck->violation(check::Subsystem::Event,
+                          wasBound(dom, port) ? "close_closed_port"
+                                              : "close_unbound_port",
+                          strprintf("%s closed port %u",
+                                    dom.name().c_str(), port));
+        return;
+    }
+    ch->open = false;
+}
+
+std::size_t
+EventChannelHub::closeAllFor(Domain &dom)
+{
+    std::size_t n = 0;
+    for (auto &ch : channels_) {
+        if (ch.open && (ch.a.dom == &dom || ch.b.dom == &dom)) {
+            ch.open = false;
+            n++;
+        }
+    }
+    return n;
+}
+
+std::size_t
+EventChannelHub::openChannels() const
+{
+    std::size_t n = 0;
+    for (const auto &ch : channels_)
+        if (ch.open)
+            n++;
+    return n;
 }
 
 Status
@@ -48,8 +101,15 @@ EventChannelHub::notify(Domain &dom, Port port)
 {
     bool is_a = false;
     Channel *ch = findChannel(dom, port, is_a);
-    if (!ch)
+    if (!ch) {
+        if (check::Checker *ck = checker())
+            ck->violation(check::Subsystem::Event,
+                          wasBound(dom, port) ? "notify_closed_port"
+                                              : "notify_unbound_port",
+                          strprintf("%s notified port %u",
+                                    dom.name().c_str(), port));
         return notFoundError("notify on unbound port");
+    }
     notifications_++;
     // Metrics may be attached to the engine after the hub exists
     // (Cloud wires them in its constructor body), so resolve lazily.

@@ -21,6 +21,10 @@
 #include "sim/engine.h"
 #include "trace/metrics.h"
 
+namespace mirage::check {
+class Checker;
+} // namespace mirage::check
+
 namespace mirage::xen {
 
 class Domain;
@@ -41,6 +45,17 @@ class EventChannelHub
 
     /** Close a channel from either end; the peer port becomes invalid. */
     void close(Domain &dom, Port port);
+
+    /**
+     * Close every channel @p dom is an endpoint of. Called from domain
+     * teardown so no port outlives its domain (the dangling-peer bug
+     * class the event checker reports as use of an unbound port).
+     * @return channels closed.
+     */
+    std::size_t closeAllFor(Domain &dom);
+
+    /** Channels currently open (either endpoint). */
+    std::size_t openChannels() const;
 
     /**
      * Send an event from @p dom's @p port to its peer. Charges the
@@ -66,6 +81,9 @@ class EventChannelHub
     };
 
     Channel *findChannel(Domain &dom, Port port, bool &is_a);
+    check::Checker *checker() const;
+    /** True when a now-closed channel once bound @p port in @p dom. */
+    bool wasBound(Domain &dom, Port port) const;
 
     sim::Engine &engine_;
     std::vector<Channel> channels_;

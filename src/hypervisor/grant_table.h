@@ -15,6 +15,14 @@
 #include "base/result.h"
 #include "base/types.h"
 
+namespace mirage::check {
+class Checker;
+} // namespace mirage::check
+
+namespace mirage::sim {
+class Engine;
+} // namespace mirage::sim
+
 namespace mirage::xen {
 
 using DomId = u32;
@@ -51,7 +59,24 @@ class GrantTable
     /** Grants that are currently mapped by the peer. */
     std::size_t mappedGrants() const;
 
+    /**
+     * Drop every entry, releasing the page views they hold. Called at
+     * domain teardown (after the checker's leak audit): entries keep
+     * guest pages alive, and their deleters live in the guest, so they
+     * must not outlive it.
+     */
+    void releaseAll() { entries_.clear(); }
+
+    /**
+     * Bind the engine whose checker (if any, and enabled) audits this
+     * table. Resolved lazily on every operation, so a checker attached
+     * to the engine after domain construction is still honoured.
+     */
+    void bindEngine(const sim::Engine *engine) { engine_ = engine; }
+
   private:
+    check::Checker *checker() const;
+
     struct Entry
     {
         DomId peer;
@@ -62,6 +87,7 @@ class GrantTable
 
     DomId owner_;
     GrantRef next_ref_ = 1;
+    const sim::Engine *engine_ = nullptr;
     std::unordered_map<GrantRef, Entry> entries_;
 };
 

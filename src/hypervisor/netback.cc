@@ -106,7 +106,8 @@ Netback::connect(const NetConnectInfo &info)
 
 Netback::Vif::Vif(Netback &owner, const NetConnectInfo &info)
     : owner_(owner), frontend_(*info.frontend), mac_(info.mac),
-      tx_port_(info.backendTxPort), rx_port_(info.backendRxPort)
+      tx_port_(info.backendTxPort), rx_port_(info.backendRxPort),
+      tx_ring_grant_(info.txRingGrant), rx_ring_grant_(info.rxRingGrant)
 {
     Hypervisor &hv = owner_.dom_.hypervisor();
     auto tx_page =
@@ -122,6 +123,8 @@ Netback::Vif::Vif(Netback &owner, const NetConnectInfo &info)
         tx_ring_->attachMetrics(*m, "ring.netback.tx");
         rx_ring_->attachMetrics(*m, "ring.netback.rx");
     }
+    tx_ring_->attachChecker(hv.engine().checker(), "ring.netback.tx");
+    rx_ring_->attachChecker(hv.engine().checker(), "ring.netback.rx");
 
     owner_.dom_.setPortHandler(tx_port_, [this] {
         owner_.dom_.clearPending(tx_port_);
@@ -131,11 +134,27 @@ Netback::Vif::Vif(Netback &owner, const NetConnectInfo &info)
         owner_.dom_.clearPending(rx_port_);
         onRxEvent();
     });
+    frontend_.addShutdownHook([this] { disconnect(); });
+}
+
+void
+Netback::Vif::disconnect()
+{
+    if (!tx_ring_)
+        return;
+    Hypervisor &hv = owner_.dom_.hypervisor();
+    owner_.bridge_.detach(this);
+    tx_ring_.reset();
+    rx_ring_.reset();
+    hv.grantUnmap(owner_.dom_, frontend_, tx_ring_grant_);
+    hv.grantUnmap(owner_.dom_, frontend_, rx_ring_grant_);
 }
 
 void
 Netback::Vif::onTxEvent()
 {
+    if (!tx_ring_)
+        return; // event raced with disconnect
     Hypervisor &hv = owner_.dom_.hypervisor();
     const auto &c = sim::costs();
     bool any = false;
@@ -198,6 +217,8 @@ Netback::Vif::onTxEvent()
 void
 Netback::Vif::onRxEvent()
 {
+    if (!rx_ring_)
+        return; // event raced with disconnect
     // The frontend posted fresh rx buffers; harvest them.
     do {
         while (rx_ring_->unconsumedRequests() > 0) {
@@ -211,6 +232,10 @@ Netback::Vif::onRxEvent()
 void
 Netback::Vif::frameFromBridge(const Cstruct &frame)
 {
+    if (!rx_ring_) {
+        dropped_++; // frame raced with disconnect
+        return;
+    }
     Hypervisor &hv = owner_.dom_.hypervisor();
     const auto &c = sim::costs();
 

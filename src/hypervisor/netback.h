@@ -130,6 +130,13 @@ class Netback
         MacBytes mac() const override { return mac_; }
         void frameFromBridge(const Cstruct &frame) override;
 
+        /**
+         * Detach from the bridge and unmap both ring grants. Runs
+         * automatically (shutdown hook) when the frontend tears down.
+         * Idempotent; traffic after this is dropped.
+         */
+        void disconnect();
+
         u64 framesDropped() const { return dropped_; }
         u64 framesForwarded() const { return forwarded_; }
 
@@ -142,6 +149,8 @@ class Netback
         MacBytes mac_;
         Port tx_port_;
         Port rx_port_;
+        GrantRef tx_ring_grant_;
+        GrantRef rx_ring_grant_;
         std::unique_ptr<BackRing> tx_ring_;
         std::unique_ptr<BackRing> rx_ring_;
         /** rx buffers posted by the frontend, FIFO. */

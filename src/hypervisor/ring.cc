@@ -1,14 +1,24 @@
 #include "hypervisor/ring.h"
 
 #include "base/logging.h"
+#include "check/check.h"
 
 namespace mirage::xen {
 
+namespace {
+
+/** Enabled checker for a ring end, or nullptr (one pointer test). */
+inline check::Checker *
+liveChecker(check::Checker *ck)
+{
+    return (ck && ck->enabled()) ? ck : nullptr;
+}
+
+} // namespace
+
 SharedRing::SharedRing(Cstruct page) : page_(std::move(page))
 {
-    if (page_.length() < RingLayout::pageBytes())
-        panic("SharedRing: page too small (%zu < %zu)", page_.length(),
-              RingLayout::pageBytes());
+    CHECK_GE(page_.length(), RingLayout::pageBytes());
 }
 
 void
@@ -46,6 +56,8 @@ FrontRing::startRequest()
         return exhaustedError("ring full");
     Cstruct s = ring_.slot(req_prod_pvt_);
     req_prod_pvt_++;
+    if (check::Checker *ck = liveChecker(checker_))
+        ck->ringStartRequest(check_id_, req_prod_pvt_, rsp_cons_);
     return s;
 }
 
@@ -59,6 +71,8 @@ FrontRing::pushRequests()
     // protocol's ordering point.
     ring_.setReqProd(now);
     trace::bump(c_req_pushed_, now - old);
+    if (check::Checker *ck = liveChecker(checker_))
+        ck->ringPublishRequests(check_id_, old, now);
     // Notify iff the consumer's req_event lies in (old, now].
     return (now - ring_.reqEvent()) < (now - old);
 }
@@ -74,6 +88,8 @@ FrontRing::takeResponse()
 {
     if (unconsumedResponses() == 0)
         return exhaustedError("no responses");
+    if (check::Checker *ck = liveChecker(checker_))
+        ck->ringConsumeResponse(check_id_, rsp_cons_, ring_.rspProd());
     Cstruct s = ring_.slot(rsp_cons_);
     rsp_cons_++;
     trace::bump(c_rsp_taken_);
@@ -86,6 +102,25 @@ FrontRing::attachMetrics(trace::MetricsRegistry &reg,
 {
     c_req_pushed_ = &reg.counter(prefix + ".req_pushed");
     c_rsp_taken_ = &reg.counter(prefix + ".rsp_taken");
+}
+
+void
+FrontRing::attachChecker(check::Checker *ck, const char *name)
+{
+    checker_ = ck;
+    // Register the shadow even while the checker is disabled so a later
+    // enable() still finds counters snapshot at attach time.
+    if (ck)
+        check_id_ = ck->ringAttach(ring_.page().data(), name,
+                                   RingLayout::slotCount, ring_.reqProd(),
+                                   ring_.rspProd());
+}
+
+void
+FrontRing::resume()
+{
+    req_prod_pvt_ = ring_.reqProd();
+    rsp_cons_ = ring_.rspProd();
 }
 
 bool
@@ -111,6 +146,8 @@ BackRing::takeRequest()
 {
     if (unconsumedRequests() == 0)
         return exhaustedError("no requests");
+    if (check::Checker *ck = liveChecker(checker_))
+        ck->ringConsumeRequest(check_id_, req_cons_, ring_.reqProd());
     Cstruct s = ring_.slot(req_cons_);
     req_cons_++;
     trace::bump(c_req_taken_);
@@ -124,6 +161,8 @@ BackRing::startResponse()
     // guarantees a response slot is free once its request was consumed.
     Cstruct s = ring_.slot(rsp_prod_pvt_);
     rsp_prod_pvt_++;
+    if (check::Checker *ck = liveChecker(checker_))
+        ck->ringStartResponse(check_id_, rsp_prod_pvt_, req_cons_);
     return s;
 }
 
@@ -134,6 +173,8 @@ BackRing::pushResponses()
     u32 now = rsp_prod_pvt_;
     ring_.setRspProd(now);
     trace::bump(c_rsp_pushed_, now - old);
+    if (check::Checker *ck = liveChecker(checker_))
+        ck->ringPublishResponses(check_id_, old, now);
     return (now - ring_.rspEvent()) < (now - old);
 }
 
@@ -150,6 +191,23 @@ BackRing::attachMetrics(trace::MetricsRegistry &reg,
 {
     c_req_taken_ = &reg.counter(prefix + ".req_taken");
     c_rsp_pushed_ = &reg.counter(prefix + ".rsp_pushed");
+}
+
+void
+BackRing::attachChecker(check::Checker *ck, const char *name)
+{
+    checker_ = ck;
+    if (ck)
+        check_id_ = ck->ringAttach(ring_.page().data(), name,
+                                   RingLayout::slotCount, ring_.reqProd(),
+                                   ring_.rspProd());
+}
+
+void
+BackRing::resume()
+{
+    req_cons_ = ring_.reqProd();
+    rsp_prod_pvt_ = ring_.rspProd();
 }
 
 } // namespace mirage::xen

@@ -26,6 +26,10 @@
 #include "base/types.h"
 #include "trace/metrics.h"
 
+namespace mirage::check {
+class Checker;
+} // namespace mirage::check
+
 namespace mirage::xen {
 
 /** Geometry shared by both ring ends. */
@@ -121,12 +125,28 @@ class FrontRing
     void attachMetrics(trace::MetricsRegistry &reg,
                        const std::string &prefix);
 
+    /**
+     * Audit this end against @p ck's shadow of the shared page (both
+     * ends of a ring share one shadow). Nullptr detaches; a disabled
+     * checker costs one pointer test per operation.
+     */
+    void attachChecker(check::Checker *ck, const char *name);
+
+    /**
+     * Adopt the counters already published in the header — a
+     * reconnecting frontend resumes where the previous instance
+     * stopped, with everything published considered consumed.
+     */
+    void resume();
+
   private:
     SharedRing ring_;
     u32 req_prod_pvt_ = 0;
     u32 rsp_cons_ = 0;
     trace::Counter *c_req_pushed_ = nullptr;
     trace::Counter *c_rsp_taken_ = nullptr;
+    check::Checker *checker_ = nullptr;
+    u32 check_id_ = 0;
 };
 
 /**
@@ -150,12 +170,20 @@ class BackRing
     void attachMetrics(trace::MetricsRegistry &reg,
                        const std::string &prefix);
 
+    /** See FrontRing::attachChecker. */
+    void attachChecker(check::Checker *ck, const char *name);
+
+    /** Adopt published counters (backend reconnect). */
+    void resume();
+
   private:
     SharedRing ring_;
     u32 req_cons_ = 0;
     u32 rsp_prod_pvt_ = 0;
     trace::Counter *c_req_taken_ = nullptr;
     trace::Counter *c_rsp_pushed_ = nullptr;
+    check::Checker *checker_ = nullptr;
+    u32 check_id_ = 0;
 };
 
 } // namespace mirage::xen

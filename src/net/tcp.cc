@@ -60,6 +60,15 @@ Tcp::connect(Ipv4Addr dst, u16 port,
     return conn;
 }
 
+Tcp::~Tcp()
+{
+    // Connections still open at stack teardown hold handlers that
+    // usually capture their own TcpConnPtr; break the cycles so the
+    // map erase below actually frees them.
+    for (auto &[key, conn] : conns_)
+        conn->dropHandlers();
+}
+
 void
 Tcp::input(const Ipv4Packet &pkt)
 {

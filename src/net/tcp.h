@@ -23,6 +23,9 @@ class Tcp
   public:
     explicit Tcp(NetworkStack &stack);
 
+    /** Breaks handler-capture cycles on still-open connections. */
+    ~Tcp();
+
     void input(const Ipv4Packet &pkt);
 
     /** Bind an acceptor: new established connections are handed over. */

@@ -637,7 +637,16 @@ TcpConnection::becomeClosed()
         close_signalled_ = true;
         close_handler_();
     }
+    dropHandlers();
     tcp_.remove(*this);
+}
+
+void
+TcpConnection::dropHandlers()
+{
+    data_handler_ = nullptr;
+    close_handler_ = nullptr;
+    connect_cb_ = nullptr;
 }
 
 } // namespace mirage::net

@@ -58,6 +58,14 @@ class TcpConnection : public Flow,
     void onClose(std::function<void()> handler) override;
     void close() override;
 
+    /**
+     * Drop the data/close/connect handlers. They routinely capture the
+     * connection's own TcpConnPtr, a reference cycle that would keep a
+     * closed (or abandoned) connection alive forever; called from
+     * becomeClosed() and from Tcp teardown.
+     */
+    void dropHandlers();
+
     State state() const { return state_; }
     Ipv4Addr peerAddr() const { return peer_ip_; }
     u16 peerPort() const { return peer_port_; }

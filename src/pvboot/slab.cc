@@ -68,8 +68,8 @@ SlabAllocator::free(void *ptr, std::size_t size)
 {
     if (!ptr)
         return;
-    if (size == 0 || size > maxObject)
-        panic("slab free with bad size %zu", size);
+    CHECK_GT(size, std::size_t(0));
+    CHECK_LE(size, maxObject);
     std::size_t index = classIndexFor(size);
     auto *obj = static_cast<FreeObject *>(ptr);
     obj->next = free_lists_[index];

@@ -1,7 +1,9 @@
 #include "runtime/gc_heap.h"
 
 #include "base/logging.h"
+#include "check/check.h"
 #include "sim/cost_model.h"
+#include "sim/engine.h"
 
 namespace mirage::rt {
 
@@ -20,6 +22,29 @@ GcHeap::GcHeap(sim::Cpu &cpu, pvboot::MemoryBackend backend,
     }
 }
 
+GcHeap::~GcHeap()
+{
+    if (check::Checker *ck = checker())
+        ck->gcHeapShutdown(this, liveCells(), stats_.liveBytes);
+}
+
+check::Checker *
+GcHeap::checker() const
+{
+    check::Checker *ck = cpu_.engine().checker();
+    return (ck && ck->enabled()) ? ck : nullptr;
+}
+
+std::size_t
+GcHeap::liveCells() const
+{
+    std::size_t n = 0;
+    for (const Cell &c : cells_)
+        if (c.live)
+            n++;
+    return n;
+}
+
 double
 GcHeap::scanFactor() const
 {
@@ -30,13 +55,15 @@ GcHeap::scanFactor() const
 CellRef
 GcHeap::alloc(u32 bytes)
 {
-    if (bytes == 0)
-        panic("GcHeap::alloc(0)");
+    CHECK_GT(bytes, 0u);
     if (minor_used_ + bytes > minor_bytes_)
         collectMinor();
 
+    check::Checker *ck = checker();
     CellRef ref;
-    if (!free_cells_.empty()) {
+    if (!ck && !free_cells_.empty()) {
+        // Recycling is suspended while a checker is enabled so every
+        // CellRef stays unique and stale handles are caught exactly.
         ref = free_cells_.back();
         free_cells_.pop_back();
         cells_[ref] = Cell{bytes, true, false};
@@ -44,6 +71,8 @@ GcHeap::alloc(u32 bytes)
         ref = CellRef(cells_.size());
         cells_.push_back(Cell{bytes, true, false});
     }
+    if (ck)
+        ck->gcAlloc(this, ref);
     minor_set_.push_back(ref);
     minor_used_ += bytes;
     stats_.allocations++;
@@ -60,7 +89,14 @@ GcHeap::alloc(u32 bytes)
 void
 GcHeap::release(CellRef ref)
 {
-    Cell &c = cells_.at(ref);
+    if (check::Checker *ck = checker()) {
+        // The shadow verdict comes first: in Mode::Count a bad release
+        // must not touch (or crash on) heap state.
+        if (!ck->gcRelease(this, ref))
+            return;
+    }
+    CHECK_LT(std::size_t(ref), cells_.size());
+    Cell &c = cells_[ref];
     if (!c.live)
         panic("GcHeap::release of dead cell %u", ref);
     c.live = false;

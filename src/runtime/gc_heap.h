@@ -23,6 +23,10 @@
 #include "sim/cpu.h"
 #include "trace/metrics.h"
 
+namespace mirage::check {
+class Checker;
+} // namespace mirage::check
+
 namespace mirage::rt {
 
 /** Handle to one allocated cell. */
@@ -52,19 +56,34 @@ class GcHeap
     GcHeap(sim::Cpu &cpu, pvboot::MemoryBackend backend,
            std::size_t minor_bytes = superpageSize);
 
+    /** Reports still-live cells to an enabled checker (leak report). */
+    ~GcHeap();
+
     /** Allocate @p bytes on the minor heap. May trigger collection. */
     CellRef alloc(u32 bytes);
 
-    /** Mark a cell dead; its bytes stop being scanned/promoted. */
+    /**
+     * Mark a cell dead; its bytes stop being scanned/promoted.
+     *
+     * While an enabled check::Checker is attached to the engine, a
+     * double release or a release of a never-allocated ref is reported
+     * as a violation instead of corrupting the heap; the heap also
+     * stops recycling freed cell slots (ASan-style poisoning) so a
+     * stale CellRef can never alias a newer allocation.
+     */
     void release(CellRef ref);
 
     /** Force a minor collection (tests / shutdown). */
     void collectMinor();
 
+    /** Cells currently live (exact; walks the cell table). */
+    std::size_t liveCells() const;
+
     const Stats &stats() const { return stats_; }
     const pvboot::MemoryBackend &backend() const { return backend_; }
 
   private:
+    check::Checker *checker() const;
     struct Cell
     {
         u32 bytes;

@@ -31,6 +31,10 @@ class MetricsRegistry;
 class Counter;
 } // namespace mirage::trace
 
+namespace mirage::check {
+class Checker;
+} // namespace mirage::check
+
 namespace mirage::sim {
 
 /** Handle identifying a scheduled event, usable for cancellation. */
@@ -96,6 +100,10 @@ class Engine
     void setMetrics(trace::MetricsRegistry *metrics);
     trace::MetricsRegistry *metrics() const { return metrics_; }
 
+    /** Attach (or detach with nullptr) an invariant checker. Not owned. */
+    void setChecker(check::Checker *checker) { checker_ = checker; }
+    check::Checker *checker() const { return checker_; }
+
   private:
     struct Item
     {
@@ -129,6 +137,7 @@ class Engine
     std::unordered_set<EventId> cancelled_; //!< subset of pending_
     trace::TraceRecorder *tracer_ = nullptr;
     trace::MetricsRegistry *metrics_ = nullptr;
+    check::Checker *checker_ = nullptr;
     trace::Counter *c_dispatched_ = nullptr;
     trace::Counter *c_cancelled_ = nullptr;
 };

@@ -532,18 +532,26 @@ BTree::rangeWalk(
             if (!below && !above)
                 children->push_back(node->children[i]);
         }
+        // walk_next's stored lambda captures walk_next itself, so the
+        // cycle must be broken explicitly: every terminal path copies
+        // what it still needs onto the stack, resets the function (no
+        // capture is touched afterwards) and only then completes.
         auto walk_next =
             std::make_shared<std::function<void(std::size_t)>>();
         *walk_next = [this, children, acc, lo, hi, walk_next,
                       done](std::size_t i) {
             if (i >= children->size()) {
-                done(Status::success());
+                auto d = done;
+                *walk_next = nullptr;
+                d(Status::success());
                 return;
             }
             rangeWalk((*children)[i], acc, lo, hi,
                       [walk_next, i, done](Status st) {
                           if (!st.ok()) {
-                              done(st);
+                              auto d = done;
+                              *walk_next = nullptr;
+                              d(st);
                               return;
                           }
                           (*walk_next)(i + 1);

@@ -324,11 +324,14 @@ Fat32Volume::writeFile(const std::string &name, Cstruct data,
 
     // Write data cluster by cluster, then the FAT, then the directory.
     auto write_cluster = std::make_shared<std::function<void(u32)>>();
+    // write_cluster's stored lambda captures write_cluster itself;
+    // each terminal path moves what it still needs onto the stack and
+    // resets the function to break the cycle before completing.
     *write_cluster = [this, data, chain_v, canonical, write_cluster,
                       done](u32 index) {
         if (index >= chain_v->size()) {
-            flushFat([this, data, chain_v, canonical,
-                      done](Status fst) {
+            auto fin = [this, data, chain_v, canonical,
+                        done](Status fst) {
                 if (!fst.ok()) {
                     done(fst);
                     return;
@@ -382,7 +385,10 @@ Fat32Volume::writeFile(const std::string &name, Cstruct data,
                         writeDir(d, done);
                     });
                 });
-            });
+            };
+            auto *self = this;
+            *write_cluster = nullptr;
+            self->flushFat(std::move(fin));
             return;
         }
         std::size_t off = std::size_t(index) * clusterBytes;
@@ -395,7 +401,9 @@ Fat32Volume::writeFile(const std::string &name, Cstruct data,
                    sectorsPerCluster, cluster_buf,
                    [write_cluster, index, done](Status st) {
                        if (!st.ok()) {
-                           done(st);
+                           auto d = done;
+                           *write_cluster = nullptr;
+                           d(st);
                            return;
                        }
                        (*write_cluster)(index + 1);

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Tests for the invariant checker (the "unikernel sanitizer"): each
+ * shadow-state checker must catch its injected violation, a healthy
+ * appliance must run violation-free with the checker attached, and
+ * Mode::Fatal must abort on the first violation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/check.h"
+#include "core/cloud.h"
+#include "hypervisor/blkback.h"
+#include "hypervisor/ring.h"
+#include "hypervisor/xen.h"
+#include "runtime/gc_heap.h"
+
+namespace mirage::check {
+namespace {
+
+/** Engine + hypervisor with a counting checker attached and enabled. */
+class CheckedHvTest : public ::testing::Test
+{
+  protected:
+    CheckedHvTest()
+    {
+        engine.setChecker(&ck);
+        ck.enable();
+    }
+
+    sim::Engine engine;
+    Checker ck{Checker::Mode::Count};
+    xen::Hypervisor hv{engine};
+};
+
+// ---- Grant table ------------------------------------------------------------
+
+TEST_F(CheckedHvTest, GrantUseAfterRevokeCaught)
+{
+    xen::Domain &a = hv.createDomain("a", xen::GuestKind::Unikernel, 32);
+    xen::Domain &b = hv.createDomain("b", xen::GuestKind::Unikernel, 32);
+    Cstruct page = Cstruct::create(mirage::pageSize);
+    xen::GrantRef ref = a.grantTable().grantAccess(b.id(), page, false);
+    ASSERT_TRUE(a.grantTable().endAccess(ref).ok());
+
+    EXPECT_FALSE(hv.grantMap(b, a, ref, false).ok());
+    EXPECT_EQ(ck.violations(Subsystem::Grant), 1u);
+    EXPECT_NE(ck.lastViolation().find("use_after_revoke"),
+              std::string::npos)
+        << ck.lastViolation();
+}
+
+TEST_F(CheckedHvTest, GrantUnmapWithoutMapCaught)
+{
+    xen::Domain &a = hv.createDomain("a", xen::GuestKind::Unikernel, 32);
+    xen::Domain &b = hv.createDomain("b", xen::GuestKind::Unikernel, 32);
+    Cstruct page = Cstruct::create(mirage::pageSize);
+    xen::GrantRef ref = a.grantTable().grantAccess(b.id(), page, false);
+
+    EXPECT_FALSE(hv.grantUnmap(b, a, ref).ok());
+    EXPECT_EQ(ck.violations(Subsystem::Grant), 1u);
+    EXPECT_NE(ck.lastViolation().find("unmap_without_map"),
+              std::string::npos)
+        << ck.lastViolation();
+}
+
+TEST_F(CheckedHvTest, GrantLeakAtTeardownCaught)
+{
+    xen::Domain &a = hv.createDomain("a", xen::GuestKind::Unikernel, 32);
+    xen::Domain &b = hv.createDomain("b", xen::GuestKind::Unikernel, 32);
+    Cstruct page = Cstruct::create(mirage::pageSize);
+    xen::GrantRef ref = a.grantTable().grantAccess(b.id(), page, false);
+    ASSERT_TRUE(hv.grantMap(b, a, ref, false).ok());
+    ASSERT_EQ(ck.shadowMappedGrants(), 1u);
+
+    // The granting domain dies while the peer still holds the mapping.
+    a.shutdown(0);
+    EXPECT_EQ(ck.violations(Subsystem::Grant), 1u);
+    EXPECT_NE(ck.lastViolation().find("mapping_outlives_domain"),
+              std::string::npos)
+        << ck.lastViolation();
+    EXPECT_EQ(ck.shadowMappedGrants(), 0u)
+        << "teardown must drop the domain's shadow entries";
+}
+
+// ---- Shared rings -----------------------------------------------------------
+
+TEST_F(CheckedHvTest, RingProducerScribbleCaught)
+{
+    Cstruct page = Cstruct::create(xen::RingLayout::pageBytes());
+    xen::SharedRing shared(page);
+    shared.init();
+    xen::FrontRing front(page);
+    xen::BackRing back(page);
+    front.attachChecker(&ck, "ring.test");
+    back.attachChecker(&ck, "ring.test");
+
+    ASSERT_TRUE(front.startRequest().ok());
+    front.pushRequests();
+    // A buggy (or hostile) frontend scribbles on the shared index,
+    // claiming more requests than were ever published.
+    shared.setReqProd(shared.reqProd() + xen::RingLayout::slotCount);
+    ASSERT_TRUE(back.takeRequest().ok());
+    EXPECT_GE(ck.violations(Subsystem::Ring), 1u);
+    EXPECT_NE(ck.lastViolation().find("req_prod"), std::string::npos)
+        << ck.lastViolation();
+}
+
+TEST_F(CheckedHvTest, RingOverrunCaughtByShadow)
+{
+    Cstruct page = Cstruct::create(xen::RingLayout::pageBytes());
+    xen::SharedRing(page).init();
+    xen::FrontRing front(page);
+    front.attachChecker(&ck, "ring.test");
+    u32 id = ck.ringAttach(page.data(), "ring.test",
+                           xen::RingLayout::slotCount, 0, 0);
+
+    // The implementation's flow control refuses overfill...
+    for (u32 i = 0; i < xen::RingLayout::slotCount; i++)
+        ASSERT_TRUE(front.startRequest().ok());
+    EXPECT_FALSE(front.startRequest().ok());
+    EXPECT_EQ(ck.violations(), 0u);
+    // ... so inject the overrun at the hook, as a broken ring end
+    // that ignored flow control would: one request past the slots.
+    ck.ringStartRequest(id, xen::RingLayout::slotCount + 1, 0);
+    EXPECT_EQ(ck.violations(Subsystem::Ring), 1u);
+    EXPECT_NE(ck.lastViolation().find("request_overrun"),
+              std::string::npos)
+        << ck.lastViolation();
+}
+
+TEST_F(CheckedHvTest, ResponseWithoutRequestCaught)
+{
+    Cstruct page = Cstruct::create(xen::RingLayout::pageBytes());
+    xen::SharedRing(page).init();
+    xen::BackRing back(page);
+    back.attachChecker(&ck, "ring.test");
+
+    // A response started with no request ever consumed.
+    ASSERT_TRUE(back.startResponse().ok());
+    EXPECT_EQ(ck.violations(Subsystem::Ring), 1u);
+    EXPECT_NE(ck.lastViolation().find("response_without_request"),
+              std::string::npos)
+        << ck.lastViolation();
+}
+
+// ---- GC handles -------------------------------------------------------------
+
+class CheckedGcTest : public ::testing::Test
+{
+  protected:
+    CheckedGcTest()
+    {
+        engine.setChecker(&ck);
+        ck.enable();
+    }
+
+    sim::Engine engine;
+    Checker ck{Checker::Mode::Count};
+    sim::Cpu cpu{engine, "uk"};
+};
+
+TEST_F(CheckedGcTest, DoubleReleaseCaughtAndHeapUnharmed)
+{
+    rt::GcHeap heap(cpu, pvboot::MemoryBackend::xenExtent(), 64 * 1024);
+    rt::CellRef a = heap.alloc(256);
+    rt::CellRef b = heap.alloc(256);
+    (void)b;
+    heap.release(a);
+    u64 live = heap.stats().liveBytes;
+
+    heap.release(a);
+    EXPECT_EQ(ck.violations(Subsystem::Gc), 1u);
+    EXPECT_NE(ck.lastViolation().find("double_release"),
+              std::string::npos)
+        << ck.lastViolation();
+    EXPECT_EQ(heap.stats().liveBytes, live)
+        << "a rejected release must not touch heap accounting";
+}
+
+TEST_F(CheckedGcTest, ReleaseOfNeverAllocatedCaught)
+{
+    rt::GcHeap heap(cpu, pvboot::MemoryBackend::xenExtent(), 64 * 1024);
+    heap.release(rt::CellRef(1234));
+    EXPECT_EQ(ck.violations(Subsystem::Gc), 1u);
+    EXPECT_NE(ck.lastViolation().find("release_unknown_cell"),
+              std::string::npos)
+        << ck.lastViolation();
+}
+
+TEST_F(CheckedGcTest, FreedHandlesArePoisonedNotRecycled)
+{
+    rt::GcHeap heap(cpu, pvboot::MemoryBackend::xenExtent(), 64 * 1024);
+    rt::CellRef a = heap.alloc(128);
+    heap.release(a);
+    // With the checker enabled the heap must not recycle the slot, so
+    // a stale `a` can never alias a newer allocation.
+    rt::CellRef b = heap.alloc(128);
+    EXPECT_NE(a, b);
+    heap.release(b);
+    EXPECT_EQ(ck.violations(), 0u);
+}
+
+TEST_F(CheckedGcTest, LeakReportedAtHeapShutdown)
+{
+    {
+        rt::GcHeap heap(cpu, pvboot::MemoryBackend::xenExtent(),
+                        64 * 1024);
+        heap.alloc(512);
+        heap.alloc(512); // both leaked on purpose
+    }
+    EXPECT_EQ(ck.gcLeakedCells(), 2u);
+    EXPECT_GE(ck.gcLeakedBytes(), 1024u);
+    EXPECT_EQ(ck.violations(), 0u)
+        << "a leak is a report, not a protocol violation";
+    EXPECT_NE(ck.report().find("leaked_cells"), std::string::npos);
+}
+
+// ---- Event channels ---------------------------------------------------------
+
+TEST_F(CheckedHvTest, NotifyClosedPortCaught)
+{
+    xen::Domain &a = hv.createDomain("a", xen::GuestKind::Unikernel, 32);
+    xen::Domain &b = hv.createDomain("b", xen::GuestKind::Unikernel, 32);
+    auto [pa, pb] = hv.events().connect(a, b);
+    (void)pb;
+    hv.events().close(a, pa);
+
+    EXPECT_FALSE(hv.events().notify(a, pa).ok());
+    EXPECT_EQ(ck.violations(Subsystem::Event), 1u);
+    EXPECT_NE(ck.lastViolation().find("notify_closed_port"),
+              std::string::npos)
+        << ck.lastViolation();
+}
+
+TEST_F(CheckedHvTest, NotifyUnboundPortCaught)
+{
+    xen::Domain &a = hv.createDomain("a", xen::GuestKind::Unikernel, 32);
+    EXPECT_FALSE(hv.events().notify(a, xen::Port(999)).ok());
+    EXPECT_EQ(ck.violations(Subsystem::Event), 1u);
+    EXPECT_NE(ck.lastViolation().find("notify_unbound_port"),
+              std::string::npos)
+        << ck.lastViolation();
+}
+
+// ---- Whole-appliance runs must be violation-free ----------------------------
+
+TEST(CheckedCloudTest, PingTrafficRunsViolationFree)
+{
+    core::Cloud cloud;
+    cloud.checker().enable();
+    core::Guest &a =
+        cloud.startUnikernel("a", net::Ipv4Addr(10, 0, 0, 2));
+    core::Guest &b =
+        cloud.startUnikernel("b", net::Ipv4Addr(10, 0, 0, 3));
+    (void)a;
+
+    int replies = 0;
+    for (u16 seq = 1; seq <= 4; seq++)
+        b.stack.icmp().ping(net::Ipv4Addr(10, 0, 0, 2), seq, 32,
+                            [&](Result<Duration> rtt) {
+                                if (rtt.ok())
+                                    replies++;
+                            });
+    cloud.run();
+    EXPECT_EQ(replies, 4);
+    EXPECT_EQ(cloud.checker().violations(), 0u)
+        << cloud.checker().report();
+}
+
+TEST(CheckedCloudTest, BlkbackRingTrafficRunsViolationFree)
+{
+    sim::Engine engine;
+    check::Checker ck{Checker::Mode::Count};
+    engine.setChecker(&ck);
+    ck.enable();
+    xen::Hypervisor hv{engine};
+
+    xen::Domain &dom0 =
+        hv.createDomain("dom0", xen::GuestKind::LinuxMinimal, 512);
+    xen::Domain &uk =
+        hv.createDomain("uk", xen::GuestKind::Unikernel, 64);
+    xen::VirtualDisk disk(engine, "d0", 4096);
+    xen::Blkback back(dom0, disk);
+
+    Cstruct pattern = Cstruct::create(512);
+    pattern.fill(0xcd);
+    ASSERT_TRUE(disk.writeSync(5, 1, pattern).ok());
+
+    Cstruct ring_page = Cstruct::create(xen::RingLayout::pageBytes());
+    xen::SharedRing(ring_page).init();
+    xen::FrontRing front(ring_page);
+    front.attachChecker(&ck, "ring.blkif");
+    xen::GrantRef ring_ref =
+        uk.grantTable().grantAccess(dom0.id(), ring_page, false);
+    auto [uk_port, dom0_port] = hv.events().connect(uk, dom0);
+    back.connect(uk, ring_ref, dom0_port);
+
+    Cstruct data_page = Cstruct::create(mirage::pageSize);
+    xen::GrantRef data_ref =
+        uk.grantTable().grantAccess(dom0.id(), data_page, false);
+
+    Cstruct req = front.startRequest().value();
+    req.setLe64(xen::BlkifWire::reqId, 7);
+    req.setU8(xen::BlkifWire::reqOp, xen::BlkifWire::opRead);
+    req.setU8(xen::BlkifWire::reqSectors, 1);
+    req.setLe64(xen::BlkifWire::reqSector, 5);
+    req.setLe32(xen::BlkifWire::reqGrant, data_ref);
+    if (front.pushRequests())
+        hv.events().notify(uk, uk_port);
+    engine.run();
+
+    ASSERT_EQ(front.unconsumedResponses(), 1u);
+    EXPECT_EQ(front.takeResponse().value().getU8(xen::BlkifWire::rspStatus),
+              xen::BlkifWire::statusOk);
+    EXPECT_EQ(ck.violations(), 0u) << ck.report();
+
+    // Clean teardown: disconnecting the backend unmaps everything, so
+    // the guest's shutdown audit finds no leaked mappings.
+    uk.shutdown(0);
+    EXPECT_EQ(ck.violations(), 0u) << ck.report();
+}
+
+// ---- Mode::Fatal ------------------------------------------------------------
+
+using CheckDeathTest = CheckedHvTest;
+
+TEST_F(CheckDeathTest, FatalModePanicsOnFirstViolation)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    ck.setMode(Checker::Mode::Fatal);
+    EXPECT_DEATH(ck.violation(Subsystem::Ring, "req_prod_backwards",
+                              "injected"),
+                 "check: ring.req_prod_backwards");
+}
+
+} // namespace
+} // namespace mirage::check

@@ -282,6 +282,77 @@ TEST(RingTest, SlotsRecycleAfterResponses)
     }
 }
 
+TEST(RingTest, ConsumePastProducerRefused)
+{
+    Cstruct page = Cstruct::create(RingLayout::pageBytes());
+    SharedRing(page).init();
+    FrontRing front(page);
+    BackRing back(page);
+
+    // Nothing published yet: both consumers must refuse.
+    EXPECT_FALSE(back.takeRequest().ok());
+    EXPECT_FALSE(front.takeResponse().ok());
+
+    // One request in, one out — the next take must refuse again
+    // rather than read an unpublished slot.
+    ASSERT_TRUE(front.startRequest().ok());
+    front.pushRequests();
+    ASSERT_TRUE(back.takeRequest().ok());
+    auto over = back.takeRequest();
+    ASSERT_FALSE(over.ok());
+    EXPECT_EQ(over.error().kind, Error::Kind::Exhausted);
+
+    // A response published beyond it is likewise the end of the line.
+    ASSERT_TRUE(back.startResponse().ok());
+    back.pushResponses();
+    ASSERT_TRUE(front.takeResponse().ok());
+    EXPECT_FALSE(front.takeResponse().ok());
+}
+
+TEST(RingTest, CountersWrapAt32Bits)
+{
+    Cstruct page = Cstruct::create(RingLayout::pageBytes());
+    SharedRing shared(page);
+    shared.init();
+
+    // Seed the published counters just below the 2^32 wrap, as a ring
+    // that has been running for a very long time would look, then let
+    // both ends adopt them via resume().
+    u32 start = u32(0) - 6;
+    shared.setReqProd(start);
+    shared.setRspProd(start);
+    shared.setReqEvent(start + 1);
+    shared.setRspEvent(start + 1);
+    FrontRing front(page);
+    BackRing back(page);
+    front.resume();
+    back.resume();
+
+    u32 value = 0;
+    for (int round = 0; round < 3; round++) {
+        for (u32 i = 0; i < RingLayout::slotCount; i++) {
+            auto r = front.startRequest();
+            ASSERT_TRUE(r.ok());
+            r.value().setLe32(0, value + i);
+        }
+        front.pushRequests();
+        while (back.unconsumedRequests() > 0) {
+            Cstruct q = back.takeRequest().value();
+            Cstruct s = back.startResponse().value();
+            s.setLe32(0, q.getLe32(0));
+        }
+        back.pushResponses();
+        while (front.unconsumedResponses() > 0) {
+            ASSERT_EQ(front.takeResponse().value().getLe32(0), value);
+            value++;
+        }
+    }
+    EXPECT_EQ(value, 3 * RingLayout::slotCount);
+    EXPECT_LT(shared.reqProd(), start)
+        << "the free-running counter must have wrapped through zero";
+    EXPECT_EQ(front.freeRequests(), RingLayout::slotCount);
+}
+
 TEST(RingTest, NotificationSuppression)
 {
     Cstruct page = Cstruct::create(RingLayout::pageBytes());
