@@ -11,6 +11,7 @@
 #include <string>
 
 #include "baseline/buffer_cache.h"
+#include "bench_json.h"
 #include "core/cloud.h"
 #include "loadgen/fio.h"
 
@@ -66,6 +67,7 @@ measure(std::size_t block_kib, int mode)
 int
 main(int argc, char **argv)
 {
+    bench::JsonReport json(argc, argv);
     for (int i = 1; i < argc; i++)
         if (std::strncmp(argv[i], "--trace=", 8) == 0)
             g_trace_path = argv[i] + 8;
@@ -83,6 +85,12 @@ main(int argc, char **argv)
         std::printf("%-12zu %12.0f %14.0f %16.0f\n", kib, mirage,
                     direct, buffered);
         std::fflush(stdout);
+        json.add(strprintf("block_read/mirage/%zuKiB", kib),
+                 "throughput", mirage, "MiB/s");
+        json.add(strprintf("block_read/linux_direct/%zuKiB", kib),
+                 "throughput", direct, "MiB/s");
+        json.add(strprintf("block_read/linux_buffered/%zuKiB", kib),
+                 "throughput", buffered, "MiB/s");
     }
     return 0;
 }

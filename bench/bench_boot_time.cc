@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/cloud.h"
 
 using namespace mirage;
@@ -31,8 +32,9 @@ bootSeconds(xen::GuestKind kind, std::size_t memory_mib)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonReport json(argc, argv);
     std::printf("# Figure 5: domain boot time vs memory size "
                 "(synchronous toolstack)\n");
     std::printf("# paper: Mirage matches minimal Linux PV, boots in "
@@ -52,6 +54,12 @@ main()
         double build_pct = 100.0 * build.toSecondsF() / mirage;
         std::printf("%-10zu %14.3f %14.3f %14.3f %15.1f%%\n", mem,
                     apache, linux_pv, mirage, build_pct);
+        json.add(strprintf("boot_time/linux_apache/%zuMiB", mem),
+                 "boot_time", apache, "s");
+        json.add(strprintf("boot_time/linux_pv/%zuMiB", mem),
+                 "boot_time", linux_pv, "s");
+        json.add(strprintf("boot_time/mirage/%zuMiB", mem),
+                 "boot_time", mirage, "s");
     }
     return 0;
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "baseline/dns_servers.h"
+#include "bench_json.h"
 #include "loadgen/queryperf.h"
 
 using namespace mirage;
@@ -43,8 +44,9 @@ measure(baseline::DnsAppliance::Kind kind, std::size_t zone_entries)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonReport json(argc, argv);
     using Kind = baseline::DnsAppliance::Kind;
     std::printf("# Figure 10: DNS throughput (kqueries/s) vs zone "
                 "size\n");
@@ -53,14 +55,27 @@ main()
     std::printf("%-10s %10s %10s %12s %12s %12s %12s\n", "zone",
                 "bind9", "nsd", "nsd_miniosO", "nsd_miniosO3",
                 "mirage_nomemo", "mirage_memo");
+    const struct
+    {
+        const char *name;
+        Kind kind;
+        int width;
+    } series[] = {
+        {"bind9", Kind::BindLinux, 10},
+        {"nsd", Kind::NsdLinux, 10},
+        {"nsd_miniosO1", Kind::NsdMiniOsO1, 12},
+        {"nsd_miniosO3", Kind::NsdMiniOsO3, 12},
+        {"mirage_nomemo", Kind::MirageNoMemo, 12},
+        {"mirage_memo", Kind::MirageMemo, 12},
+    };
     for (std::size_t zone : {100, 300, 1000, 3000, 10000}) {
         std::printf("%-10zu", zone);
-        std::printf(" %10.1f", measure(Kind::BindLinux, zone));
-        std::printf(" %10.1f", measure(Kind::NsdLinux, zone));
-        std::printf(" %12.1f", measure(Kind::NsdMiniOsO1, zone));
-        std::printf(" %12.1f", measure(Kind::NsdMiniOsO3, zone));
-        std::printf(" %12.1f", measure(Kind::MirageNoMemo, zone));
-        std::printf(" %12.1f", measure(Kind::MirageMemo, zone));
+        for (const auto &s : series) {
+            double kqps = measure(s.kind, zone);
+            std::printf(" %*.1f", s.width, kqps);
+            json.add(strprintf("dns/%s/zone_%zu", s.name, zone),
+                     "throughput", kqps, "kqps");
+        }
         std::printf("\n");
         std::fflush(stdout);
     }

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "baseline/web_servers.h"
+#include "bench_json.h"
 #include "core/cloud.h"
 #include "loadgen/httperf.h"
 #include "protocols/http/server.h"
@@ -95,8 +96,9 @@ measure(bool mirage, double sessions_per_second)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonReport json(argc, argv);
     std::printf("# Figure 12: dynamic web appliance — reply rate vs "
                 "offered session rate\n");
     std::printf("# (1 session = 10 requests); paper: Mirage linear to "
@@ -108,6 +110,10 @@ main()
         double l = measure(false, rate);
         std::printf("%-14.0f %14.0f %14.0f\n", rate, m, l);
         std::fflush(stdout);
+        json.add(strprintf("dyn_web/mirage/%.0f_per_s", rate),
+                 "reply_rate", m, "replies/s");
+        json.add(strprintf("dyn_web/linux/%.0f_per_s", rate),
+                 "reply_rate", l, "replies/s");
     }
     return 0;
 }

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/cloud.h"
 #include "loadgen/pingflood.h"
 
@@ -41,8 +42,9 @@ floodTarget(bool mirage_target, u64 count)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonReport json(argc, argv);
     constexpr u64 count = 100000;
     std::printf("# §4.1.3: flood ping latency, Linux client\n");
     std::printf("# paper: Mirage 4-10%% higher RTT than Linux; both "
@@ -61,6 +63,13 @@ main()
     };
     row("linux-pv", linux_r);
     row("mirage", mirage_r);
+    auto emit = [&json](const char *name,
+                        const loadgen::PingFlood::Report &r) {
+        json.add(name, "rtt_mean", r.meanRtt.toMillisF() * 1e3, "us",
+                 r.p50.toMillisF() * 1e3, r.p99.toMillisF() * 1e3);
+    };
+    emit("ping_latency/linux-pv", linux_r);
+    emit("ping_latency/mirage", mirage_r);
     double delta = 100.0 *
                    (mirage_r.meanRtt.toSecondsF() /
                         linux_r.meanRtt.toSecondsF() -

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <string>
 
+#include "bench_json.h"
 #include "core/cloud.h"
 #include "loadgen/iperf.h"
 
@@ -63,6 +64,7 @@ measure(bool tx_mirage, bool rx_mirage, u32 flows, u64 &retransmits)
 int
 main(int argc, char **argv)
 {
+    bench::JsonReport json(argc, argv);
     for (int i = 1; i < argc; i++)
         if (std::strncmp(argv[i], "--trace=", 8) == 0)
             g_trace_path = argv[i] + 8;
@@ -87,6 +89,9 @@ main(int argc, char **argv)
         double ten = measure(row.txMirage, row.rxMirage, 10, rexmit10);
         std::printf("%-18s %12.0f %12.0f\n", row.name, one, ten);
         std::fflush(stdout);
+        std::string base = std::string("tcp_throughput/") + row.name;
+        json.add(base + "/1_flow", "throughput", one, "Mbps");
+        json.add(base + "/10_flows", "throughput", ten, "Mbps");
     }
     return 0;
 }

@@ -15,6 +15,7 @@
 #include "core/cloud.h"
 #include "protocols/http/client.h"
 #include "protocols/http/server.h"
+#include "protocols/http/telemetry.h"
 #include "storage/btree.h"
 
 using namespace mirage;
@@ -77,18 +78,30 @@ main(int argc, char **argv)
 {
     std::string trace_path;
     bool dump_metrics = false;
+    bool metrics_prom = false;
     bool check = false;
     for (int i = 1; i < argc; i++) {
         if (std::strncmp(argv[i], "--trace=", 8) == 0) {
             trace_path = argv[i] + 8;
         } else if (std::strcmp(argv[i], "--metrics") == 0) {
             dump_metrics = true;
+        } else if (std::strncmp(argv[i], "--metrics-format=", 17) ==
+                   0) {
+            const char *fmt = argv[i] + 17;
+            if (std::strcmp(fmt, "prom") == 0) {
+                metrics_prom = true;
+            } else if (std::strcmp(fmt, "plain") != 0) {
+                std::fprintf(stderr,
+                             "unknown metrics format: %s\n", fmt);
+                return 2;
+            }
+            dump_metrics = true;
         } else if (std::strcmp(argv[i], "--check") == 0) {
             check = true;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--trace=FILE] [--metrics] "
-                         "[--check]\n",
+                         "[--metrics-format=prom|plain] [--check]\n",
                          argv[0]);
             return 2;
         }
@@ -130,35 +143,42 @@ main(int argc, char **argv)
     bool ready = false;
     tree.format([&](Status st) { ready = st.ok(); });
 
+    // The appliance serves its own telemetry: /metrics and /flows
+    // ride on the same listener as the application endpoints.
     http::HttpServer web(
         appliance.stack, 80,
-        [&](const http::HttpRequest &req, auto respond) {
-            if (req.method == "POST" &&
-                req.path.rfind("/tweet/", 0) == 0) {
-                store.post(req.path.substr(7), req.body,
-                           [respond](Status st) {
-                               respond(st.ok()
+        http::withTelemetry(
+            &cloud.metrics(), &cloud.flows(),
+            [&](const http::HttpRequest &req,
+                http::HttpServer::Responder respond) {
+                if (req.method == "POST" &&
+                    req.path.rfind("/tweet/", 0) == 0) {
+                    store.post(req.path.substr(7), req.body,
+                               [respond](Status st) {
+                                   respond(
+                                       st.ok()
                                            ? http::HttpResponse::text(
                                                  201, "created")
                                            : http::HttpResponse::text(
                                                  500, "store error"));
-                           });
-                return;
-            }
-            if (req.method == "GET" &&
-                req.path.rfind("/timeline/", 0) == 0) {
-                store.timeline(req.path.substr(10),
-                               [respond](std::vector<std::string> tl) {
-                                   std::string body;
-                                   for (const auto &t : tl)
-                                       body += t + "\n";
-                                   respond(http::HttpResponse::text(
-                                       200, body));
                                });
-                return;
-            }
-            respond(http::HttpResponse::notFound());
-        });
+                    return;
+                }
+                if (req.method == "GET" &&
+                    req.path.rfind("/timeline/", 0) == 0) {
+                    store.timeline(
+                        req.path.substr(10),
+                        [respond](std::vector<std::string> tl) {
+                            std::string body;
+                            for (const auto &t : tl)
+                                body += t + "\n";
+                            respond(
+                                http::HttpResponse::text(200, body));
+                        });
+                    return;
+                }
+                respond(http::HttpResponse::notFound());
+            }));
 
     if (auto st = appliance.seal(); !st.ok()) {
         std::fprintf(stderr, "seal: %s\n", st.error().message.c_str());
@@ -169,6 +189,8 @@ main(int argc, char **argv)
     core::Guest &client =
         cloud.startUnikernel("browser", net::Ipv4Addr(10, 0, 0, 9));
 
+    bool metrics_ok = false;
+    bool flows_ok = false;
     auto session_holder =
         std::make_shared<std::shared_ptr<http::HttpSession>>();
     *session_holder = http::HttpSession::open(
@@ -187,12 +209,44 @@ main(int argc, char **argv)
             http::HttpRequest get;
             get.method = "GET";
             get.path = "/timeline/alice";
-            session->request(get, [session](
+            session->request(get, [&, session](
                                       Result<http::HttpResponse> r) {
                 if (r.ok())
                     std::printf("alice's timeline:\n%s",
                                 r.value().body.c_str());
-                session->close();
+                // The appliance serves its own telemetry; fetch both
+                // endpoints over the same keep-alive connection.
+                http::HttpRequest prom;
+                prom.method = "GET";
+                prom.path = "/metrics";
+                session->request(
+                    prom, [&](Result<http::HttpResponse> m) {
+                        if (m.ok() && m.value().status == 200 &&
+                            m.value().body.find("# TYPE") !=
+                                std::string::npos) {
+                            metrics_ok = true;
+                            std::printf(
+                                "--- /metrics (in-sim) ---\n%s"
+                                "--- end /metrics ---\n",
+                                m.value().body.c_str());
+                        }
+                    });
+                http::HttpRequest fq;
+                fq.method = "GET";
+                fq.path = "/flows";
+                session->request(
+                    fq, [&, session](Result<http::HttpResponse> f) {
+                        if (f.ok() && f.value().status == 200 &&
+                            !f.value().body.empty() &&
+                            f.value().body[0] == '[') {
+                            flows_ok = true;
+                            std::printf(
+                                "--- /flows (in-sim) ---\n%s"
+                                "--- end /flows ---\n",
+                                f.value().body.c_str());
+                        }
+                        session->close();
+                    });
             });
         });
 
@@ -220,8 +274,17 @@ main(int argc, char **argv)
         std::printf("trace: %zu events -> %s\n",
                     cloud.tracer().eventCount(), trace_path.c_str());
     }
+    if (!metrics_ok || !flows_ok) {
+        std::fprintf(stderr,
+                     "telemetry self-serve failed (metrics=%d "
+                     "flows=%d)\n",
+                     metrics_ok, flows_ok);
+        return 1;
+    }
     if (dump_metrics)
-        std::fputs(cloud.metrics().dump().c_str(), stdout);
+        std::fputs(metrics_prom ? cloud.metrics().toPrometheus().c_str()
+                                : cloud.metrics().dump().c_str(),
+                   stdout);
     if (check) {
         if (u64 v = cloud.checker().violations(); v > 0) {
             std::fprintf(stderr, "check: %llu violation(s)\n%s",

@@ -10,6 +10,8 @@ namespace mirage {
 namespace {
 
 LogLevel g_min_level = LogLevel::Warn;
+std::function<void()> g_panic_hook;
+bool g_in_panic_hook = false;
 
 std::string
 vstrprintf(const char *fmt, va_list ap)
@@ -98,6 +100,12 @@ fatal(const char *fmt, ...)
 }
 
 void
+setPanicHook(std::function<void()> hook)
+{
+    g_panic_hook = std::move(hook);
+}
+
+void
 panic(const char *fmt, ...)
 {
     va_list ap;
@@ -105,6 +113,10 @@ panic(const char *fmt, ...)
     std::string msg = vstrprintf(fmt, ap);
     va_end(ap);
     std::fprintf(stderr, "[panic] %s\n", msg.c_str());
+    if (g_panic_hook && !g_in_panic_hook) {
+        g_in_panic_hook = true;
+        g_panic_hook();
+    }
     std::abort();
 }
 

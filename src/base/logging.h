@@ -9,6 +9,7 @@
 #define MIRAGE_BASE_LOGGING_H
 
 #include <cstdarg>
+#include <functional>
 #include <string>
 
 namespace mirage {
@@ -45,6 +46,15 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** printf-style formatting into a std::string. */
 std::string strprintf(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/**
+ * Install a hook that runs once, after the message prints but before
+ * abort(), on the first panic (CHECK failures funnel through panic).
+ * Used by the flight recorder to dump the trace tail on crash. Passing
+ * an empty function clears it. Reentrant panics from inside the hook
+ * skip straight to abort.
+ */
+void setPanicHook(std::function<void()> hook);
 
 } // namespace mirage
 

@@ -49,6 +49,8 @@ Checker::violation(Subsystem s, const char *rule,
                       detail.c_str());
     trace::bump(c_total_);
     trace::bump(c_per_[std::size_t(s)]);
+    if (violation_hook_)
+        violation_hook_();
     if (mode_ == Mode::Fatal)
         panic("check: %s", last_.c_str());
     warn("check: %s", last_.c_str());

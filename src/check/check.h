@@ -42,6 +42,7 @@
 #define MIRAGE_CHECK_CHECK_H
 
 #include <array>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -98,6 +99,16 @@ class Checker
      * here; instrumented code may also call it directly.
      */
     void violation(Subsystem s, const char *rule, const std::string &detail);
+
+    /**
+     * Hook run on every violation, after counting but before the
+     * panic/warn (so it fires even in Mode::Fatal). The flight
+     * recorder uses it to dump the trace tail. Empty function clears.
+     */
+    void setViolationHook(std::function<void()> hook)
+    {
+        violation_hook_ = std::move(hook);
+    }
 
     // ---- Grant-table hooks (ids are plain integers so the checker
     // ---- does not depend on the hypervisor layer) --------------------
@@ -179,6 +190,7 @@ class Checker
     u64 total_ = 0;
     std::array<u64, subsystemCount> per_{};
     std::string last_;
+    std::function<void()> violation_hook_;
 
     std::unordered_map<u64, GrantShadow> grants_;
     std::unordered_set<u64> revoked_;

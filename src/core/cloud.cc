@@ -26,6 +26,9 @@ Cloud::Cloud()
     engine_.setTracer(&tracer_);
     engine_.setMetrics(&metrics_);
     engine_.setChecker(&checker_);
+    engine_.setFlows(&flows_);
+    flows_.attach(&tracer_, &metrics_);
+    flows_.enable();
     checker_.attachMetrics(metrics_);
     if (const char *env = std::getenv("MIRAGE_CHECK");
         env && env[0] && std::strcmp(env, "0") != 0) {
@@ -33,11 +36,31 @@ Cloud::Cloud()
             checker_.setMode(check::Checker::Mode::Fatal);
         checker_.enable();
     }
+    // MIRAGE_FLIGHT=<n>: always-on flight recorder keeping the last n
+    // trace events, auto-dumped on the first panic, CHECK failure or
+    // checker violation (MIRAGE_FLIGHT_PATH overrides the output file).
+    if (const char *env = std::getenv("MIRAGE_FLIGHT");
+        env && env[0] && std::strcmp(env, "0") != 0) {
+        std::size_t n = std::size_t(std::strtoull(env, nullptr, 10));
+        tracer_.setFlightCapacity(n ? n : 4096);
+        tracer_.enable();
+        const char *path = std::getenv("MIRAGE_FLIGHT_PATH");
+        flight_path_ = path && path[0] ? path : "flight.json";
+        setPanicHook([this] { dumpFlight(); });
+        checker_.setViolationHook([this] { dumpFlight(); });
+        flight_hooked_ = true;
+    }
     dom0_.setState(xen::DomainState::Running);
 }
 
 Cloud::~Cloud()
 {
+    // The hooks capture `this`; clear them before members go away so a
+    // late panic cannot call into a destructed Cloud.
+    if (flight_hooked_) {
+        setPanicHook({});
+        checker_.setViolationHook({});
+    }
     // Guests destruct before the hypervisor (member order), but each
     // domain's grant table holds views of guest-allocated pages whose
     // deleters live in the guest. Shutting the domains down here runs
@@ -45,6 +68,22 @@ Cloud::~Cloud()
     // everything is still alive.
     for (auto &g : guests_)
         g->dom.shutdown(0);
+}
+
+void
+Cloud::dumpFlight()
+{
+    if (flight_dumped_)
+        return;
+    flight_dumped_ = true;
+    if (auto st = tracer_.writeChromeJson(flight_path_); !st.ok()) {
+        warn("flight: %s", st.error().message.c_str());
+        return;
+    }
+    warn("flight: dumped %zu events (%llu dropped) to %s",
+         tracer_.eventCount(),
+         (unsigned long long)tracer_.droppedEvents(),
+         flight_path_.c_str());
 }
 
 Guest &

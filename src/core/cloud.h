@@ -26,6 +26,7 @@
 #include "runtime/scheduler.h"
 #include "sim/cost_model.h"
 #include "sim/engine.h"
+#include "trace/flow.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
 
@@ -66,6 +67,14 @@ class Cloud
     sim::Engine &engine() { return engine_; }
     trace::TraceRecorder &tracer() { return tracer_; }
     trace::MetricsRegistry &metrics() { return metrics_; }
+
+    /**
+     * Request-flow tracker, attached to the engine and enabled by
+     * default (its histograms cost nothing until a flow begins, and
+     * flows only begin in instrumented servers). Disable with
+     * `flows().enable(false)` for microbenches.
+     */
+    trace::FlowTracker &flows() { return flows_; }
 
     /**
      * The invariant checker, attached to the engine at construction but
@@ -109,10 +118,16 @@ class Cloud
     }
 
   private:
+    void dumpFlight();
+
     sim::Engine engine_;
     trace::TraceRecorder tracer_;
     trace::MetricsRegistry metrics_;
+    trace::FlowTracker flows_;
     check::Checker checker_{check::Checker::Mode::Count};
+    std::string flight_path_;
+    bool flight_hooked_ = false;
+    bool flight_dumped_ = false;
     xen::Hypervisor hv_;
     xen::Bridge bridge_;
     xen::Domain &dom0_;

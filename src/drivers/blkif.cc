@@ -2,6 +2,8 @@
 
 #include "base/logging.h"
 #include "sim/cost_model.h"
+#include "trace/flow.h"
+#include "trace/trace.h"
 
 namespace mirage::drivers {
 
@@ -34,6 +36,17 @@ Blkif::Blkif(pvboot::PVBoot &boot, xen::Blkback &backend)
     backend.connect(dom, ring_grant, back_port);
 }
 
+u32
+Blkif::blkTrack()
+{
+    if (trace_track_ == 0) {
+        if (auto *tr = boot_.domain().hypervisor().engine().tracer();
+            tr && tr->enabled())
+            trace_track_ = tr->track(boot_.domain().name() + "/blkif");
+    }
+    return trace_track_;
+}
+
 rt::PromisePtr
 Blkif::submit(u8 op, u64 sector, u32 count, Cstruct page)
 {
@@ -48,26 +61,36 @@ Blkif::submit(u8 op, u64 sector, u32 count, Cstruct page)
         p->cancel();
         return p;
     }
+    sim::Engine &engine = dom.hypervisor().engine();
+    u64 flow = 0;
+    if (auto *fl = engine.flows();
+        fl && fl->enabled() && fl->current()) {
+        flow = fl->current();
+        fl->stageBegin(flow, "blkif", engine.now(), blkTrack());
+    }
     // Ring full (or earlier waiters): park in the driver queue, as a
     // real blkfront parks bios.
     if (!wait_queue_.empty() || ring_->freeRequests() == 0) {
         if (wait_queue_.size() >= waitQueueLimit) {
             errors_++;
             trace::bump(c_errors_);
+            if (flow)
+                engine.flows()->stageEnd(flow, "blkif", engine.now(),
+                                         blkTrack());
             p->cancel();
             return p;
         }
         wait_queue_.push_back(
-            Queued{op, sector, count, std::move(page), p});
+            Queued{op, sector, count, std::move(page), p, flow});
         return p;
     }
-    enqueueOnRing(op, sector, count, page, p);
+    enqueueOnRing(op, sector, count, page, p, flow);
     return p;
 }
 
 bool
 Blkif::enqueueOnRing(u8 op, u64 sector, u32 count, const Cstruct &page,
-                     const rt::PromisePtr &p)
+                     const rt::PromisePtr &p, u64 flow)
 {
     xen::Domain &dom = boot_.domain();
     auto slot = ring_->startRequest();
@@ -84,10 +107,11 @@ Blkif::enqueueOnRing(u8 op, u64 sector, u32 count, const Cstruct &page,
     slot.value().setU8(xen::BlkifWire::reqSectors, u8(count));
     slot.value().setLe64(xen::BlkifWire::reqSector, sector);
     slot.value().setLe32(xen::BlkifWire::reqGrant, gref);
+    slot.value().setLe32(xen::BlkifWire::reqFlow, u32(flow));
 
     pending_.emplace(
         id, Pending{p, gref, page, op, count,
-                    dom.hypervisor().engine().now()});
+                    dom.hypervisor().engine().now(), flow});
     p->addFinalizer([this, gref] {
         Status st = boot_.domain().grantTable().endAccess(gref);
         if (!st.ok())
@@ -105,7 +129,8 @@ Blkif::drainWaitQueue()
     while (!wait_queue_.empty() && ring_->freeRequests() > 0) {
         Queued q = std::move(wait_queue_.front());
         wait_queue_.pop_front();
-        enqueueOnRing(q.op, q.sector, q.count, q.page, q.promise);
+        enqueueOnRing(q.op, q.sector, q.count, q.page, q.promise,
+                      q.flow);
     }
 }
 
@@ -149,6 +174,14 @@ Blkif::onEvent()
                                        : "read",
                                    pending.count));
             }
+            if (pending.flow) {
+                if (auto *fl = eng.flows())
+                    fl->stageEnd(pending.flow, "blkif", eng.now(),
+                                 blkTrack());
+            }
+            // Completion continuations belong to the I/O's flow.
+            trace::FlowScope scope(pending.flow ? eng.flows() : nullptr,
+                                   pending.flow);
             if (status == xen::BlkifWire::statusOk) {
                 completed_++;
                 trace::bump(c_completed_);

@@ -54,6 +54,7 @@ class Blkif
         u8 op = 0;
         u32 count = 0;
         TimePoint submitted;
+        u64 flow = 0; //!< request flow this I/O belongs to
     };
 
     /** Requests parked behind a full ring (driver request queue). */
@@ -64,15 +65,17 @@ class Blkif
         u32 count;
         Cstruct page;
         rt::PromisePtr promise;
+        u64 flow = 0;
     };
 
     static constexpr std::size_t waitQueueLimit = 4096;
 
     rt::PromisePtr submit(u8 op, u64 sector, u32 count, Cstruct page);
     bool enqueueOnRing(u8 op, u64 sector, u32 count, const Cstruct &page,
-                       const rt::PromisePtr &p);
+                       const rt::PromisePtr &p, u64 flow);
     void drainWaitQueue();
     void onEvent();
+    u32 blkTrack();
 
     pvboot::PVBoot &boot_;
     xen::DomId backend_domid_;

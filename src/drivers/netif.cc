@@ -2,6 +2,8 @@
 
 #include "base/logging.h"
 #include "sim/cost_model.h"
+#include "trace/flow.h"
+#include "trace/trace.h"
 
 namespace mirage::drivers {
 
@@ -62,6 +64,17 @@ Netif::writeFrame(Cstruct frame)
     return writeFrameV({std::move(frame)});
 }
 
+u32
+Netif::flowTrack()
+{
+    if (track_ == 0) {
+        if (auto *tr = boot_.domain().hypervisor().engine().tracer();
+            tr && tr->enabled())
+            track_ = tr->track(boot_.domain().name() + "/netif");
+    }
+    return track_;
+}
+
 rt::PromisePtr
 Netif::writeFrameV(const std::vector<Cstruct> &frags)
 {
@@ -71,6 +84,13 @@ Netif::writeFrameV(const std::vector<Cstruct> &frags)
         p->cancel();
         return p;
     }
+    sim::Engine &engine = boot_.domain().hypervisor().engine();
+    u64 flow = 0;
+    if (auto *fl = engine.flows();
+        fl && fl->enabled() && fl->current()) {
+        flow = fl->current();
+        fl->stageBegin(flow, "netif_tx", engine.now(), flowTrack());
+    }
     // Preserve ordering: queue behind earlier waiters, then behind a
     // full ring. Frames stay queued in the driver exactly as real
     // netfront holds skbs when the ring is full.
@@ -78,19 +98,22 @@ Netif::writeFrameV(const std::vector<Cstruct> &frags)
         tx_ring_->freeRequests() < frags.size()) {
         if (tx_wait_queue_.size() >= txQueueLimit) {
             tx_errors_++;
+            if (flow)
+                engine.flows()->stageEnd(flow, "netif_tx",
+                                         engine.now(), flowTrack());
             p->cancel();
             return p;
         }
-        tx_wait_queue_.push_back(QueuedTx{frags, p});
+        tx_wait_queue_.push_back(QueuedTx{frags, p, flow});
         return p;
     }
-    enqueueOnRing(frags, p);
+    enqueueOnRing(frags, p, flow);
     return p;
 }
 
 bool
 Netif::enqueueOnRing(const std::vector<Cstruct> &frags,
-                     const rt::PromisePtr &p)
+                     const rt::PromisePtr &p, u64 flow)
 {
     xen::Domain &dom = boot_.domain();
     if (tx_ring_->freeRequests() < frags.size())
@@ -109,10 +132,12 @@ Netif::enqueueOnRing(const std::vector<Cstruct> &frags,
         slot.setLe16(xen::NetifWire::txreqLen, u16(frags[i].length()));
         slot.setLe16(xen::NetifWire::txreqFlags,
                      last ? 0 : xen::NetifWire::txflagMoreData);
+        slot.setLe32(xen::NetifWire::txreqFlow, u32(flow));
         // The grant is released when this fragment's ack arrives; the
         // promise rides on the final fragment.
         tx_pending_.emplace(
-            id, TxPending{last ? p : rt::PromisePtr(), gref, frags[i]});
+            id, TxPending{last ? p : rt::PromisePtr(), gref, frags[i],
+                          last ? flow : 0});
     }
 
     if (tx_ring_->pushRequests())
@@ -128,7 +153,7 @@ Netif::drainTxQueue()
         QueuedTx &head = tx_wait_queue_.front();
         if (tx_ring_->freeRequests() < head.frags.size())
             break;
-        enqueueOnRing(head.frags, head.promise);
+        enqueueOnRing(head.frags, head.promise, head.flow);
         tx_wait_queue_.pop_front();
         pushed = true;
     }
@@ -193,6 +218,17 @@ Netif::drainTxResponses()
             if (!end.ok())
                 warn("netif tx: endAccess: %s",
                      end.error().message.c_str());
+            sim::Engine &engine = boot_.domain().hypervisor().engine();
+            if (pending.flow) {
+                if (auto *fl = engine.flows())
+                    fl->stageEnd(pending.flow, "netif_tx",
+                                 engine.now(), flowTrack());
+            }
+            // Continuations of the resolve belong to the frame's flow,
+            // not to whatever flow the backend's notify carried.
+            trace::FlowScope scope(pending.flow ? engine.flows()
+                                                : nullptr,
+                                   pending.flow);
             if (status == xen::NetifWire::statusOk) {
                 if (pending.promise) {
                     tx_completed_++;

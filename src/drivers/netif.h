@@ -76,6 +76,7 @@ class Netif
         rt::PromisePtr promise;
         xen::GrantRef gref;
         Cstruct page; //!< keeps the frame page alive until acked
+        u64 flow = 0; //!< request flow (final fragment only)
     };
 
     struct RxPosted
@@ -88,6 +89,7 @@ class Netif
     {
         std::vector<Cstruct> frags;
         rt::PromisePtr promise;
+        u64 flow = 0;
     };
 
     void postRxBuffers();
@@ -96,7 +98,8 @@ class Netif
     void drainRxResponses();
     void drainTxQueue();
     bool enqueueOnRing(const std::vector<Cstruct> &frags,
-                       const rt::PromisePtr &p);
+                       const rt::PromisePtr &p, u64 flow);
+    u32 flowTrack();
 
     pvboot::PVBoot &boot_;
     xen::MacBytes mac_;
@@ -115,6 +118,7 @@ class Netif
     u64 tx_completed_ = 0;
     u64 rx_delivered_ = 0;
     u64 tx_errors_ = 0;
+    u32 track_ = 0; //!< lazily interned "<dom>/netif" trace track
 };
 
 } // namespace mirage::drivers

@@ -6,6 +6,8 @@
 #include "base/logging.h"
 #include "hypervisor/xen.h"
 #include "sim/cost_model.h"
+#include "trace/flow.h"
+#include "trace/trace.h"
 
 namespace mirage::xen {
 
@@ -176,6 +178,17 @@ Blkback::complete(u64 id, u8 status)
         dom_.hypervisor().events().notify(dom_, port_);
 }
 
+u32
+Blkback::flowTrack()
+{
+    if (track_ == 0) {
+        if (auto *tr = dom_.hypervisor().engine().tracer();
+            tr && tr->enabled())
+            track_ = tr->track(dom_.name() + "/blkback");
+    }
+    return track_;
+}
+
 void
 Blkback::onEvent()
 {
@@ -183,6 +196,9 @@ Blkback::onEvent()
         return; // event raced with disconnect
     Hypervisor &hv = dom_.hypervisor();
     const auto &c = sim::costs();
+    trace::FlowTracker *fl = hv.engine().flows();
+    if (fl && !fl->enabled())
+        fl = nullptr;
     do {
         while (ring_->unconsumedRequests() > 0) {
             Cstruct req = ring_->takeRequest().value();
@@ -191,23 +207,39 @@ Blkback::onEvent()
             u8 sectors = req.getU8(BlkifWire::reqSectors);
             u64 sector = req.getLe64(BlkifWire::reqSector);
             GrantRef gref = req.getLe32(BlkifWire::reqGrant);
+            u64 flow = fl ? req.getLe32(BlkifWire::reqFlow) : 0;
             handled_++;
             dom_.vcpu().charge(c.backendPerRequest);
+            if (flow)
+                fl->stageBegin(flow, "blkback", hv.engine().now(),
+                               flowTrack());
 
             if (sectors == 0 || sectors > BlkifWire::maxSectors) {
+                if (flow)
+                    fl->stageEnd(flow, "blkback", hv.engine().now(),
+                                 flowTrack());
                 complete(id, BlkifWire::statusError);
                 continue;
             }
             bool write = op == BlkifWire::opWrite;
             auto page = hv.grantMap(dom_, *frontend_, gref, !write);
             if (!page.ok()) {
+                if (flow)
+                    fl->stageEnd(flow, "blkback", hv.engine().now(),
+                                 flowTrack());
                 complete(id, BlkifWire::statusError);
                 continue;
             }
             Cstruct data = page.value().sub(
                 0, std::size_t(sectors) * BlkifWire::sectorBytes);
             mapped_grefs_.push_back(gref);
-            auto finish = [this, id, gref](Status st) {
+            auto finish = [this, id, gref, flow](Status st) {
+                sim::Engine &eng = dom_.hypervisor().engine();
+                if (flow) {
+                    if (auto *f = eng.flows())
+                        f->stageEnd(flow, "blkback", eng.now(),
+                                    flowTrack());
+                }
                 if (!frontend_)
                     return; // disconnect() already unmapped everything
                 auto it = std::find(mapped_grefs_.begin(),
@@ -218,6 +250,9 @@ Blkback::onEvent()
                 complete(id, st.ok() ? BlkifWire::statusOk
                                      : BlkifWire::statusError);
             };
+            // The disk service chain (and ultimately finish) runs
+            // under the request's flow via engine ambient propagation.
+            trace::FlowScope scope(fl, flow);
             if (write)
                 disk_.writeAsync(sector, sectors, data, finish);
             else

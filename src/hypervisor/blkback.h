@@ -28,6 +28,8 @@ struct BlkifWire
     static constexpr std::size_t reqSectors = 9; // u8: 1..8 (one page)
     static constexpr std::size_t reqSector = 16; // le64 start sector
     static constexpr std::size_t reqGrant = 24;  // le32 data page grant
+    /** Low 32 bits of the request-flow id (0 = untracked). */
+    static constexpr std::size_t reqFlow = 28; // le32
     // response
     static constexpr std::size_t rspId = 0;     // le64
     static constexpr std::size_t rspStatus = 8; // u8: 0 ok
@@ -105,6 +107,7 @@ class Blkback
   private:
     void onEvent();
     void complete(u64 id, u8 status);
+    u32 flowTrack();
 
     Domain &dom_;
     VirtualDisk &disk_;
@@ -114,6 +117,7 @@ class Blkback
     std::unique_ptr<BackRing> ring_;
     std::vector<GrantRef> mapped_grefs_; //!< data grants in flight
     u64 handled_ = 0;
+    u32 track_ = 0; //!< lazily interned "<dom>/blkback" track
 };
 
 } // namespace mirage::xen

@@ -5,6 +5,8 @@
 #include "base/logging.h"
 #include "hypervisor/xen.h"
 #include "sim/cost_model.h"
+#include "trace/flow.h"
+#include "trace/trace.h"
 
 namespace mirage::xen {
 
@@ -150,6 +152,17 @@ Netback::Vif::disconnect()
     hv.grantUnmap(owner_.dom_, frontend_, rx_ring_grant_);
 }
 
+u32
+Netback::Vif::flowTrack()
+{
+    if (track_ == 0) {
+        if (auto *tr = owner_.dom_.hypervisor().engine().tracer();
+            tr && tr->enabled())
+            track_ = tr->track(owner_.dom_.name() + "/netback");
+    }
+    return track_;
+}
+
 void
 Netback::Vif::onTxEvent()
 {
@@ -157,6 +170,9 @@ Netback::Vif::onTxEvent()
         return; // event raced with disconnect
     Hypervisor &hv = owner_.dom_.hypervisor();
     const auto &c = sim::costs();
+    trace::FlowTracker *fl = hv.engine().flows();
+    if (fl && !fl->enabled())
+        fl = nullptr;
     bool any = false;
     do {
         while (tx_ring_->unconsumedRequests() > 0) {
@@ -166,6 +182,21 @@ Netback::Vif::onTxEvent()
             u16 offset = req.getLe16(NetifWire::txreqOffset);
             u16 len = req.getLe16(NetifWire::txreqLen);
             u16 flags = req.getLe16(NetifWire::txreqFlags);
+
+            // First fragment of a packet: pick up the flow stamped in
+            // the slot and open the backend stage for it.
+            if (fl && pending_frags_.empty()) {
+                pending_flow_ = req.getLe32(NetifWire::txreqFlow);
+                if (pending_flow_) {
+                    fl->stageBegin(pending_flow_, "netback_tx",
+                                   hv.engine().now(), flowTrack());
+                    // Baseline of dom0's CPU backlog, so the stage
+                    // charges only this packet's own modeled work.
+                    pending_busy0_ = owner_.dom_.vcpu().freeAt();
+                    if (pending_busy0_ < hv.engine().now())
+                        pending_busy0_ = hv.engine().now();
+                }
+            }
 
             owner_.dom_.vcpu().charge(c.backendPerRequest);
             auto page = hv.grantMap(owner_.dom_, frontend_, gref, false);
@@ -182,6 +213,11 @@ Netback::Vif::onTxEvent()
                 status = NetifWire::statusError;
                 pending_frags_.clear();
                 pending_bytes_ = 0;
+                if (fl && pending_flow_) {
+                    fl->stageEnd(pending_flow_, "netback_tx",
+                                 hv.engine().now(), flowTrack());
+                    pending_flow_ = 0;
+                }
             }
             if (page.ok())
                 hv.grantUnmap(owner_.dom_, frontend_, gref);
@@ -201,7 +237,28 @@ Netback::Vif::onTxEvent()
                 pending_frags_.clear();
                 pending_bytes_ = 0;
                 forwarded_++;
-                owner_.bridge_.send(this, owned);
+                {
+                    // The switched frame continues the request flow:
+                    // the fabric hop and far-side delivery inherit it
+                    // through the engine's ambient propagation.
+                    trace::FlowScope scope(fl, pending_flow_);
+                    owner_.bridge_.send(this, owned);
+                }
+                if (fl && pending_flow_) {
+                    // The stage covers the backend's modeled CPU work
+                    // for this packet (map, copy-out, switch): the
+                    // growth of dom0's vCPU backlog since the first
+                    // fragment, not the whole shared-queue drain.
+                    TimePoint now = hv.engine().now();
+                    TimePoint busy = owner_.dom_.vcpu().freeAt();
+                    i64 work_ns = busy.ns() - pending_busy0_.ns();
+                    if (work_ns < 0)
+                        work_ns = 0;
+                    fl->stageEnd(pending_flow_, "netback_tx",
+                                 TimePoint(now.ns() + work_ns),
+                                 flowTrack());
+                    pending_flow_ = 0;
+                }
             }
 
             Cstruct rsp = tx_ring_->startResponse().value();

@@ -39,6 +39,12 @@ struct NetifWire
     static constexpr std::size_t txreqOffset = 8; // le16
     static constexpr std::size_t txreqLen = 10;   // le16
     static constexpr std::size_t txreqFlags = 12; // le16
+    /**
+     * Low 32 bits of the request-flow id this fragment belongs to
+     * (0 = untracked) — carried in the slot so the backend can
+     * attribute its copy/switch work to the originating flow.
+     */
+    static constexpr std::size_t txreqFlow = 16; // le32
     /** More fragments of the same packet follow (scatter-gather tx). */
     static constexpr u16 txflagMoreData = 0x1;
     // tx response
@@ -143,6 +149,7 @@ class Netback
       private:
         void onTxEvent();
         void onRxEvent();
+        u32 flowTrack();
 
         Netback &owner_;
         Domain &frontend_;
@@ -158,8 +165,13 @@ class Netback
         /** Fragments of a partially-received scatter-gather packet. */
         std::vector<Cstruct> pending_frags_;
         std::size_t pending_bytes_ = 0;
+        /** Flow id stamped in the packet's first fragment slot. */
+        u64 pending_flow_ = 0;
+        /** dom0 vCPU backlog when the packet's stage opened. */
+        TimePoint pending_busy0_;
         u64 dropped_ = 0;
         u64 forwarded_ = 0;
+        u32 track_ = 0; //!< lazily interned "<dom>/netback" track
     };
 
     Vif &connect(const NetConnectInfo &info);

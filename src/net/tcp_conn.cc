@@ -6,6 +6,7 @@
 #include "net/stack.h"
 #include "net/tcp.h"
 #include "sim/cost_model.h"
+#include "trace/flow.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
 
@@ -35,6 +36,17 @@ TcpConnection::TcpConnection(NetworkStack &stack, Tcp &tcp,
         c_rto_fires_ = &m->counter("tcp.rto_fires");
         c_dup_acks_ = &m->counter("tcp.dup_acks");
     }
+}
+
+u32
+TcpConnection::tcpTrack()
+{
+    if (trace_track_ == 0) {
+        if (auto *tr = stack_.scheduler().engine().tracer();
+            tr && tr->enabled())
+            trace_track_ = tr->track(stack_.domain().name() + "/tcp");
+    }
+    return trace_track_;
 }
 
 u32
@@ -110,7 +122,14 @@ TcpConnection::write(Cstruct data)
         p->cancel(); // write after close
         return p;
     }
-    tx_queue_.push_back(TxChunk{std::move(data), 0, p});
+    u64 flow = 0;
+    if (auto *fl = stack_.scheduler().engine().flows();
+        fl && fl->enabled() && fl->current()) {
+        flow = fl->current();
+        fl->stageBegin(flow, "tcp_tx",
+                       stack_.scheduler().engine().now(), tcpTrack());
+    }
+    tx_queue_.push_back(TxChunk{std::move(data), 0, p, flow});
     trySend();
     return p;
 }
@@ -245,6 +264,17 @@ TcpConnection::handleAck(const TcpSegment &seg)
                 updateRtt(stack_.scheduler().engine().now() -
                           u.firstSent);
             unacked_.pop_front();
+        }
+
+        // tcp_tx stages close when the chunk's last byte is acked.
+        while (!tx_flow_marks_.empty() &&
+               seqLe(tx_flow_marks_.front().first, snd_una_)) {
+            u64 flow = tx_flow_marks_.front().second;
+            tx_flow_marks_.pop_front();
+            if (auto *fl = stack_.scheduler().engine().flows())
+                fl->stageEnd(flow, "tcp_tx",
+                             stack_.scheduler().engine().now(),
+                             tcpTrack());
         }
 
         if (in_recovery_) {
@@ -450,6 +480,9 @@ TcpConnection::trySend()
                 // (The guard above keeps any synchronous follow-up
                 // write from re-entering this gather.)
                 auto writer_done = chunk.done;
+                if (chunk.flow)
+                    tx_flow_marks_.emplace_back(
+                        snd_nxt_ + u32(gathered), chunk.flow);
                 tx_queue_.pop_front();
                 writer_done->resolve();
             }
@@ -627,6 +660,17 @@ TcpConnection::becomeClosed()
     state_ = State::Closed;
     cancelRto();
     unacked_.clear();
+    // Close any tcp_tx stages still waiting on ACKs so their flows
+    // can finalise (the connection will never deliver them now).
+    if (!tx_flow_marks_.empty()) {
+        if (auto *fl = stack_.scheduler().engine().flows()) {
+            for (auto &[seq_end, flow] : tx_flow_marks_)
+                fl->stageEnd(flow, "tcp_tx",
+                             stack_.scheduler().engine().now(),
+                             tcpTrack());
+        }
+        tx_flow_marks_.clear();
+    }
     failConnect("connection closed");
     if (time_wait_event_)
         stack_.scheduler().engine().cancel(time_wait_event_);

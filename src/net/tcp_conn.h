@@ -125,6 +125,7 @@ class TcpConnection : public Flow,
     u32 flightSize() const { return snd_nxt_ - snd_una_; }
     u32 effectiveWindow() const;
     u16 mss() const { return mss_; }
+    u32 tcpTrack();
 
     NetworkStack &stack_;
     Tcp &tcp_;
@@ -153,8 +154,18 @@ class TcpConnection : public Flow,
         Cstruct data;
         std::size_t consumed = 0;
         rt::PromisePtr done;
+        u64 flow = 0; //!< request flow this write belongs to
     };
     std::deque<TxChunk> tx_queue_;
+
+    /**
+     * Flow marks for the tcp_tx critical-path stage: (sequence number
+     * past the chunk's last byte, flow id). The stage opened by write()
+     * closes only when snd_una_ passes the mark — i.e. at the final
+     * ACK, not at window acceptance, so flow totals cover true
+     * delivery.
+     */
+    std::deque<std::pair<u32, u64>> tx_flow_marks_;
 
     // Retransmission queue: sent, unacked segments.
     struct Unacked

@@ -1,5 +1,9 @@
 #include "protocols/dns/server.h"
 
+#include "hypervisor/xen.h"
+#include "trace/flow.h"
+#include "trace/trace.h"
+
 namespace mirage::dns {
 
 DnsServer::DnsServer(Zone zone, Config config)
@@ -78,16 +82,40 @@ DnsServer::answer(const Cstruct &query)
     return out;
 }
 
+u32
+DnsServer::flowTrack(net::NetworkStack &stack)
+{
+    if (track_ == 0) {
+        if (auto *tr = stack.scheduler().engine().tracer();
+            tr && tr->enabled())
+            track_ = tr->track(stack.domain().name() + "/dns");
+    }
+    return track_;
+}
+
 Status
 DnsServer::attachUdp(net::NetworkStack &stack)
 {
     return stack.udp().listen(
         53, [this, &stack](const net::UdpDatagram &dgram) {
+            sim::Engine &engine = stack.scheduler().engine();
+            trace::FlowTracker *fl = engine.flows();
+            if (fl && !fl->enabled())
+                fl = nullptr;
+            trace::FlowId flow = 0;
+            if (fl)
+                flow = fl->begin("dns", engine.now(),
+                                 flowTrack(stack), "udp query");
+            trace::FlowScope scope(fl, flow);
             auto rsp = answer(dgram.payload);
-            if (!rsp.ok())
-                return; // drop malformed input
-            stack.udp().sendTo(dgram.srcIp, dgram.srcPort, 53,
-                               {rsp.value()});
+            if (rsp.ok())
+                stack.udp().sendTo(dgram.srcIp, dgram.srcPort, 53,
+                                   {rsp.value()});
+            // The reply datagram is fire-and-forget: the flow ends
+            // once the answer has been handed to the stack (any
+            // netif_tx stage it opened defers the finalize).
+            if (fl)
+                fl->end(flow, engine.now(), flowTrack(stack));
         });
 }
 

@@ -1,6 +1,9 @@
 #include "protocols/http/server.h"
 
 #include "base/logging.h"
+#include "hypervisor/xen.h"
+#include "trace/flow.h"
+#include "trace/trace.h"
 
 namespace mirage::http {
 
@@ -27,6 +30,17 @@ HttpServer::onAccept(net::TcpConnPtr conn)
     });
 }
 
+u32
+HttpServer::flowTrack()
+{
+    if (track_ == 0) {
+        if (auto *tr = stack_.scheduler().engine().tracer();
+            tr && tr->enabled())
+            track_ = tr->track(stack_.domain().name() + "/http");
+    }
+    return track_;
+}
+
 void
 HttpServer::pump(std::shared_ptr<ConnState> st)
 {
@@ -42,12 +56,46 @@ HttpServer::pump(std::shared_ptr<ConnState> st)
     HttpRequest req = st->parser.take();
     bool keep = req.keepAlive();
     requests_++;
-    handler_(req, [this, st, keep](HttpResponse rsp) {
-        if (st->closed)
+
+    // One flow per request: opened when the request is fully parsed,
+    // ended when the response bytes are accepted (the TCP layer keeps
+    // its tcp_tx stage open until the final ACK, so the flow finalises
+    // at true completion). The handler runs inside the flow, so any
+    // block I/O it issues inherits the id through the engine.
+    sim::Engine &engine = stack_.scheduler().engine();
+    trace::FlowTracker *flows = engine.flows();
+    trace::FlowId flow = 0;
+    if (flows && flows->enabled()) {
+        flow = flows->begin("http", engine.now(), flowTrack(),
+                            req.method + " " + req.path);
+        flows->stageBegin(flow, "handler", engine.now(), flowTrack());
+    }
+
+    handler_(req, [this, st, keep, flow](HttpResponse rsp) {
+        if (st->closed) {
+            if (flow)
+                if (auto *fl = stack_.scheduler().engine().flows()) {
+                    sim::Engine &eng = stack_.scheduler().engine();
+                    fl->stageEnd(flow, "handler", eng.now(),
+                                 flowTrack());
+                    fl->end(flow, eng.now(), flowTrack());
+                }
             return;
+        }
         if (!keep)
             rsp.headers["Connection"] = "close";
-        st->conn->write(serialiseResponse(rsp));
+        sim::Engine &eng = stack_.scheduler().engine();
+        trace::FlowTracker *fl = flow ? eng.flows() : nullptr;
+        if (fl)
+            fl->stageEnd(flow, "handler", eng.now(), flowTrack());
+        {
+            // The response write belongs to this flow even when the
+            // handler answered from a different ambient context.
+            trace::FlowScope scope(fl, flow);
+            st->conn->write(serialiseResponse(rsp));
+        }
+        if (fl)
+            fl->end(flow, eng.now(), flowTrack());
         if (!keep) {
             st->conn->close();
             return;

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Self-served telemetry: wrap an application handler so the appliance
+ * itself answers GET /metrics (Prometheus text exposition) and
+ * GET /flows (recent completed request flows, JSON) — observability as
+ * a library, in the unikernel spirit: no sidecar process, the
+ * appliance links its own monitoring endpoint.
+ */
+
+#ifndef MIRAGE_PROTOCOLS_HTTP_TELEMETRY_H
+#define MIRAGE_PROTOCOLS_HTTP_TELEMETRY_H
+
+#include "protocols/http/server.h"
+
+namespace mirage::trace {
+class MetricsRegistry;
+class FlowTracker;
+} // namespace mirage::trace
+
+namespace mirage::http {
+
+/**
+ * Wrap @p app so GET /metrics serves @p metrics in Prometheus text
+ * exposition format (version 0.0.4) and GET /flows serves @p flows's
+ * recent completed flows as JSON. Every other request is delegated to
+ * @p app unchanged. Either source may be null — its endpoint then
+ * answers 503.
+ */
+HttpServer::Handler withTelemetry(trace::MetricsRegistry *metrics,
+                                  trace::FlowTracker *flows,
+                                  HttpServer::Handler app);
+
+} // namespace mirage::http
+
+#endif // MIRAGE_PROTOCOLS_HTTP_TELEMETRY_H

@@ -1,6 +1,7 @@
 #include "sim/engine.h"
 
 #include "base/logging.h"
+#include "trace/flow.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
 
@@ -12,7 +13,8 @@ Engine::at(TimePoint t, std::function<void()> fn)
     if (t < now_)
         t = now_; // late scheduling runs as soon as possible
     EventId id = next_id_++;
-    queue_.push(Item{t, next_seq_++, id, std::move(fn)});
+    u64 flow = flows_ ? flows_->current() : 0;
+    queue_.push(Item{t, next_seq_++, id, flow, std::move(fn)});
     pending_.insert(id);
     return id;
 }
@@ -67,7 +69,14 @@ Engine::dispatchOne(bool bounded, TimePoint limit)
             tracer_->instant(trace::Cat::Engine, "dispatch", now_, 0,
                              strprintf("\"id\":%llu",
                                        (unsigned long long)item.id));
-        item.fn();
+        if (flows_) {
+            // Restore the scheduling context's flow for the duration
+            // of the callback; anything it schedules inherits it.
+            trace::FlowScope scope(flows_, item.flow);
+            item.fn();
+        } else {
+            item.fn();
+        }
         return true;
     }
     return false;

@@ -29,6 +29,7 @@ namespace mirage::trace {
 class TraceRecorder;
 class MetricsRegistry;
 class Counter;
+class FlowTracker;
 } // namespace mirage::trace
 
 namespace mirage::check {
@@ -104,12 +105,23 @@ class Engine
     void setChecker(check::Checker *checker) { checker_ = checker; }
     check::Checker *checker() const { return checker_; }
 
+    /**
+     * Attach (or detach with nullptr) a request-flow tracker. Not
+     * owned. When attached, the ambient flow id is captured at
+     * schedule time and restored around dispatch, so flows follow
+     * their own callbacks through timers, promises and event-channel
+     * hops without per-call plumbing.
+     */
+    void setFlows(trace::FlowTracker *flows) { flows_ = flows; }
+    trace::FlowTracker *flows() const { return flows_; }
+
   private:
     struct Item
     {
         TimePoint when;
         u64 seq;
         EventId id;
+        u64 flow; //!< ambient FlowId captured at schedule time
         std::function<void()> fn;
 
         bool
@@ -138,6 +150,7 @@ class Engine
     trace::TraceRecorder *tracer_ = nullptr;
     trace::MetricsRegistry *metrics_ = nullptr;
     check::Checker *checker_ = nullptr;
+    trace::FlowTracker *flows_ = nullptr;
     trace::Counter *c_dispatched_ = nullptr;
     trace::Counter *c_cancelled_ = nullptr;
 };

@@ -1,0 +1,175 @@
+#include "trace/flow.h"
+
+#include "base/logging.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
+
+namespace mirage::trace {
+
+FlowTracker::Flow *
+FlowTracker::find(FlowId id)
+{
+    if (id == 0)
+        return nullptr;
+    auto it = live_.find(id);
+    return it == live_.end() ? nullptr : &it->second;
+}
+
+FlowId
+FlowTracker::begin(const char *kind, TimePoint ts, u32 tid,
+                   std::string detail)
+{
+    if (!enabled_)
+        return 0;
+    if (live_.size() >= live_capacity_) {
+        // A stuck flow (lost ACK, dead peer) must not pin memory
+        // forever; evict the map's first victim and count it.
+        live_.erase(live_.begin());
+        abandoned_++;
+    }
+    FlowId id = next_id_++;
+    Flow &f = live_[id];
+    f.id = id;
+    f.kind = kind;
+    f.detail = std::move(detail);
+    f.start_ns = ts.ns();
+    started_++;
+    if (tracer_)
+        tracer_->asyncBegin(Cat::Flow, kind, id, ts, tid,
+                            f.detail.empty()
+                                ? std::string()
+                                : strprintf("\"detail\":\"%s\"",
+                                            jsonEscape(f.detail).c_str()));
+    current_ = id;
+    return id;
+}
+
+void
+FlowTracker::stageBegin(FlowId id, const char *stage, TimePoint ts,
+                        u32 tid)
+{
+    Flow *f = find(id);
+    if (!f)
+        return;
+    Stage *s = nullptr;
+    for (Stage &cand : f->stages) {
+        if (cand.name == stage) {
+            s = &cand;
+            break;
+        }
+    }
+    if (!s) {
+        f->stages.push_back(Stage{stage, 0, 0, 0, 0});
+        s = &f->stages.back();
+    }
+    s->count++;
+    if (s->open++ == 0)
+        s->open_start = ts.ns();
+    f->open_total++;
+    if (tracer_)
+        tracer_->asyncBegin(Cat::Flow, stage, id, ts, tid);
+}
+
+void
+FlowTracker::stageEnd(FlowId id, const char *stage, TimePoint ts, u32 tid)
+{
+    Flow *f = find(id);
+    if (!f)
+        return;
+    Stage *s = nullptr;
+    for (Stage &cand : f->stages) {
+        if (cand.name == stage) {
+            s = &cand;
+            break;
+        }
+    }
+    if (!s || s->open == 0)
+        return; // unmatched end: stage never opened (stamp lost)
+    if (--s->open == 0)
+        s->total_ns += u64(ts.ns() - s->open_start);
+    f->open_total--;
+    if (tracer_)
+        tracer_->asyncEnd(Cat::Flow, stage, id, ts, tid);
+    if (f->end_requested && f->open_total == 0) {
+        f->end_ns = ts.ns();
+        finalize(*f, tid);
+    }
+}
+
+void
+FlowTracker::end(FlowId id, TimePoint ts, u32 tid)
+{
+    Flow *f = find(id);
+    if (!f || f->end_requested)
+        return;
+    f->end_requested = true;
+    f->end_ns = ts.ns();
+    if (f->open_total == 0)
+        finalize(*f, tid);
+}
+
+void
+FlowTracker::finalize(Flow &f, u32 tid)
+{
+    f.done = true;
+    completed_++;
+    if (tracer_)
+        tracer_->asyncEnd(Cat::Flow, f.kind, f.id, TimePoint(f.end_ns),
+                          tid);
+    if (metrics_) {
+        std::string prefix = strprintf("flow.%s.", f.kind);
+        metrics_->counter(prefix + "completed").inc();
+        metrics_->histogram(prefix + "total_ns")
+            .record(u64(f.end_ns - f.start_ns));
+        for (const Stage &s : f.stages)
+            metrics_->histogram(prefix + "stage." + s.name + "_ns")
+                .record(s.total_ns);
+    }
+    if (current_ == f.id)
+        current_ = 0;
+    recent_.push_back(std::move(f));
+    while (recent_.size() > recent_capacity_)
+        recent_.pop_front();
+    live_.erase(recent_.back().id);
+}
+
+void
+FlowTracker::setRecentCapacity(std::size_t n)
+{
+    recent_capacity_ = n;
+    while (recent_.size() > recent_capacity_)
+        recent_.pop_front();
+}
+
+std::string
+FlowTracker::recentJson() const
+{
+    std::string out = "[";
+    bool first = true;
+    // Newest first: a dashboard polling /flows wants the fresh tail.
+    for (auto it = recent_.rbegin(); it != recent_.rend(); ++it) {
+        const Flow &f = *it;
+        out += strprintf("%s\n{\"id\":%llu,\"kind\":\"%s\","
+                         "\"detail\":\"%s\",\"start_ns\":%lld,"
+                         "\"total_ns\":%lld,\"stages\":{",
+                         first ? "" : ",",
+                         (unsigned long long)f.id,
+                         jsonEscape(f.kind).c_str(),
+                         jsonEscape(f.detail).c_str(),
+                         (long long)f.start_ns,
+                         (long long)(f.end_ns - f.start_ns));
+        first = false;
+        bool first_stage = true;
+        for (const Stage &s : f.stages) {
+            out += strprintf("%s\"%s\":%llu", first_stage ? "" : ",",
+                             jsonEscape(s.name).c_str(),
+                             (unsigned long long)s.total_ns);
+            first_stage = false;
+        }
+        out += "}}";
+    }
+    out += "\n]\n";
+    return out;
+}
+
+} // namespace mirage::trace

@@ -122,4 +122,57 @@ MetricsRegistry::dump() const
     return out;
 }
 
+namespace {
+
+/** Prometheus metric names allow [a-zA-Z0-9_:]; fold the rest to '_'. */
+std::string
+promName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    if (!out.empty() && out[0] >= '0' && out[0] <= '9')
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+} // namespace
+
+std::string
+MetricsRegistry::toPrometheus() const
+{
+    std::string out;
+    for (const auto &[name, c] : counters_) {
+        std::string p = promName(name);
+        out += strprintf("# TYPE %s counter\n%s %llu\n", p.c_str(),
+                         p.c_str(), (unsigned long long)c->value());
+    }
+    for (const auto &[name, h] : histograms_) {
+        std::string p = promName(name);
+        out += strprintf("# TYPE %s histogram\n", p.c_str());
+        u64 cumulative = 0;
+        for (std::size_t i = 0; i < Histogram::bucketCount; i++) {
+            u64 in_bucket = h->bucketCountAt(i);
+            if (in_bucket == 0)
+                continue;
+            cumulative += in_bucket;
+            out += strprintf("%s_bucket{le=\"%llu\"} %llu\n", p.c_str(),
+                             (unsigned long long)
+                                 Histogram::bucketUpperBound(i),
+                             (unsigned long long)cumulative);
+        }
+        out += strprintf("%s_bucket{le=\"+Inf\"} %llu\n", p.c_str(),
+                         (unsigned long long)h->count());
+        out += strprintf("%s_sum %llu\n", p.c_str(),
+                         (unsigned long long)h->sum());
+        out += strprintf("%s_count %llu\n", p.c_str(),
+                         (unsigned long long)h->count());
+    }
+    return out;
+}
+
 } // namespace mirage::trace

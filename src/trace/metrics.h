@@ -77,6 +77,9 @@ class Histogram
     static std::size_t bucketIndex(u64 v);
     static u64 bucketUpperBound(std::size_t index);
 
+    /** Raw per-bucket counts (for exposition-format export). */
+    u64 bucketCountAt(std::size_t index) const { return buckets_[index]; }
+
   private:
     std::array<u64, bucketCount> buckets_{};
     u64 count_ = 0;
@@ -111,6 +114,15 @@ class MetricsRegistry
      * sorted by name (the hook examples and benches print).
      */
     std::string dump() const;
+
+    /**
+     * Prometheus text exposition (format 0.0.4): counters as-is,
+     * histograms as cumulative `_bucket{le="…"}` series plus `_sum` and
+     * `_count`. Metric names are sanitised to [a-zA-Z0-9_:]; only
+     * buckets that change the cumulative count are emitted (plus
+     * `le="+Inf"`), keeping 256-slot histograms compact on the wire.
+     */
+    std::string toPrometheus() const;
 
   private:
     std::map<std::string, std::unique_ptr<Counter>> counters_;

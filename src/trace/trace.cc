@@ -25,44 +25,12 @@ catName(Cat cat)
         return "storage";
       case Cat::App:
         return "app";
+      case Cat::Flow:
+        return "flow";
     }
     return "unknown";
 }
 
-u32
-TraceRecorder::track(const std::string &name)
-{
-    for (std::size_t i = 0; i < tracks_.size(); i++) {
-        if (tracks_[i] == name)
-            return u32(i);
-    }
-    tracks_.push_back(name);
-    return u32(tracks_.size() - 1);
-}
-
-void
-TraceRecorder::span(Cat cat, const char *name, TimePoint start,
-                    Duration dur, u32 tid, std::string args)
-{
-    if (!enabled_)
-        return;
-    events_.push_back(Event{name, cat, 'X', tid, start.ns(), dur.ns(),
-                            std::move(args)});
-}
-
-void
-TraceRecorder::instant(Cat cat, const char *name, TimePoint ts, u32 tid,
-                       std::string args)
-{
-    if (!enabled_)
-        return;
-    events_.push_back(Event{name, cat, 'i', tid, ts.ns(), 0,
-                            std::move(args)});
-}
-
-namespace {
-
-/** Escape for a JSON string literal (control chars, quote, backslash). */
 std::string
 jsonEscape(const std::string &s)
 {
@@ -92,7 +60,121 @@ jsonEscape(const std::string &s)
     return out;
 }
 
-} // namespace
+u32
+TraceRecorder::track(const std::string &name)
+{
+    auto it = track_index_.find(name);
+    if (it != track_index_.end())
+        return it->second;
+    u32 id = u32(tracks_.size());
+    tracks_.push_back(name);
+    track_index_.emplace(name, id);
+    return id;
+}
+
+void
+TraceRecorder::push(Event &&e)
+{
+    if (flight_cap_ == 0) {
+        events_.push_back(std::move(e));
+        return;
+    }
+    if (events_.size() < flight_cap_) {
+        events_.push_back(std::move(e));
+        head_ = events_.size() % flight_cap_;
+        return;
+    }
+    events_[head_] = std::move(e);
+    head_ = (head_ + 1) % flight_cap_;
+    dropped_++;
+}
+
+void
+TraceRecorder::span(Cat cat, const char *name, TimePoint start,
+                    Duration dur, u32 tid, std::string args)
+{
+    if (!enabled_)
+        return;
+    push(Event{name, cat, 'X', tid, start.ns(), dur.ns(), 0,
+               std::move(args)});
+}
+
+void
+TraceRecorder::instant(Cat cat, const char *name, TimePoint ts, u32 tid,
+                       std::string args)
+{
+    if (!enabled_)
+        return;
+    push(Event{name, cat, 'i', tid, ts.ns(), 0, 0, std::move(args)});
+}
+
+void
+TraceRecorder::asyncBegin(Cat cat, const char *name, u64 id, TimePoint ts,
+                          u32 tid, std::string args)
+{
+    if (!enabled_)
+        return;
+    push(Event{name, cat, 'b', tid, ts.ns(), 0, id, std::move(args)});
+}
+
+void
+TraceRecorder::asyncEnd(Cat cat, const char *name, u64 id, TimePoint ts,
+                        u32 tid, std::string args)
+{
+    if (!enabled_)
+        return;
+    push(Event{name, cat, 'e', tid, ts.ns(), 0, id, std::move(args)});
+}
+
+void
+TraceRecorder::asyncInstant(Cat cat, const char *name, u64 id,
+                            TimePoint ts, u32 tid, std::string args)
+{
+    if (!enabled_)
+        return;
+    push(Event{name, cat, 'n', tid, ts.ns(), 0, id, std::move(args)});
+}
+
+void
+TraceRecorder::setFlightCapacity(std::size_t n)
+{
+    flight_cap_ = n;
+    if (n == 0) {
+        head_ = 0;
+        return;
+    }
+    if (events_.size() > n) {
+        // Keep the most recent n, oldest-first, and count the rest as
+        // lost so accounting matches a ring that was bounded all along.
+        dropped_ += events_.size() - n;
+        events_.erase(events_.begin(),
+                      events_.end() - std::ptrdiff_t(n));
+    }
+    head_ = events_.size() % n;
+}
+
+std::vector<TraceRecorder::Event>
+TraceRecorder::events() const
+{
+    std::vector<Event> out;
+    out.reserve(events_.size());
+    if (flight_cap_ != 0 && events_.size() == flight_cap_) {
+        // Full ring: oldest event sits at head_.
+        for (std::size_t i = 0; i < events_.size(); i++)
+            out.push_back(events_[(head_ + i) % events_.size()]);
+    } else {
+        out = events_;
+    }
+    return out;
+}
+
+void
+TraceRecorder::clear()
+{
+    events_.clear();
+    head_ = 0;
+    dropped_ = 0;
+}
 
 std::string
 TraceRecorder::toChromeJson() const
@@ -100,16 +182,20 @@ TraceRecorder::toChromeJson() const
     // Spans are recorded when scheduled, which may predate events that
     // execute earlier (a Cpu books work at its future freeAt); sort by
     // virtual start time so the export reads in timeline order.
+    std::vector<Event> store = events();
     std::vector<const Event *> ordered;
-    ordered.reserve(events_.size());
-    for (const Event &e : events_)
+    ordered.reserve(store.size());
+    for (const Event &e : store)
         ordered.push_back(&e);
     std::stable_sort(ordered.begin(), ordered.end(),
                      [](const Event *a, const Event *b) {
                          return a->ts_ns < b->ts_ns;
                      });
 
-    std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    std::string out = strprintf(
+        "{\"displayTimeUnit\":\"ms\",\"droppedEvents\":%llu,"
+        "\"traceEvents\":[\n",
+        (unsigned long long)dropped_);
     out += "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
            "\"args\":{\"name\":\"mirage\"}}";
     for (std::size_t i = 0; i < tracks_.size(); i++) {
@@ -130,6 +216,9 @@ TraceRecorder::toChromeJson() const
             out += strprintf(",\"dur\":%.3f", double(e->dur_ns) / 1000.0);
         if (e->ph == 'i')
             out += ",\"s\":\"t\"";
+        if (e->ph == 'b' || e->ph == 'e' || e->ph == 'n')
+            out += strprintf(",\"id\":\"0x%llx\"",
+                             (unsigned long long)e->id);
         if (!e->args.empty())
             out += strprintf(",\"args\":{%s}", e->args.c_str());
         out += "}";

@@ -14,11 +14,26 @@
  * its own named track on first use, so one web-appliance boot shows
  * dom0, each guest vCPU, the disk server and the TCP flows side by
  * side on a shared virtual-time axis.
+ *
+ * Two recording modes:
+ *  - unbounded (default): every event is kept until clear();
+ *  - flight recorder (setFlightCapacity(n)): a bounded ring that keeps
+ *    the most recent n events and counts what it overwrote — cheap
+ *    enough to leave enabled in production runs, and dumped on the
+ *    first panic / CHECK failure / checker violation so post-mortems
+ *    arrive with the last milliseconds of virtual-time history.
+ *
+ * Besides complete spans ('X') and instants ('i'), the recorder emits
+ * Chrome *nestable async* events ('b'/'e'/'n' with an id): events that
+ * share one id form a single logical flow across tracks, which
+ * Perfetto renders with causal arrows — the substrate of the
+ * request-scoped flow layer in trace/flow.h.
  */
 
 #ifndef MIRAGE_TRACE_TRACE_H
 #define MIRAGE_TRACE_TRACE_H
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -37,9 +52,13 @@ enum class Cat : u8 {
     Net,        //!< TCP/IP stack
     Storage,    //!< block layer
     App,        //!< appliance-level marks
+    Flow,       //!< cross-layer request flows (async b/e events)
 };
 
 const char *catName(Cat cat);
+
+/** Escape @p s for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
 
 class TraceRecorder
 {
@@ -48,10 +67,11 @@ class TraceRecorder
     {
         const char *name; //!< static string (call sites pass literals)
         Cat cat;
-        char ph;    //!< 'X' complete span, 'i' instant
+        char ph;    //!< 'X' span, 'i' instant, 'b'/'e'/'n' async
         u32 tid;    //!< interned track
         i64 ts_ns;  //!< virtual-time start
         i64 dur_ns; //!< span length (0 for instants)
+        u64 id;     //!< async-flow id ('b'/'e'/'n' only; else 0)
         std::string args; //!< JSON object body, e.g. "\"seq\":7" (may be empty)
     };
 
@@ -61,7 +81,8 @@ class TraceRecorder
     /**
      * Intern a named track (Chrome tid). Returns a stable nonzero id;
      * repeated calls with the same name return the same id. Track 0 is
-     * the engine's event loop.
+     * the engine's event loop. O(log n) via a side index — hot paths
+     * intern per event.
      */
     u32 track(const std::string &name);
 
@@ -73,14 +94,44 @@ class TraceRecorder
     void instant(Cat cat, const char *name, TimePoint ts, u32 tid = 0,
                  std::string args = {});
 
+    // ---- Nestable async events (one logical flow across tracks) -----
+    /** Open an async span of flow @p id on @p tid. */
+    void asyncBegin(Cat cat, const char *name, u64 id, TimePoint ts,
+                    u32 tid = 0, std::string args = {});
+    /** Close the matching async span (same cat/name/id). */
+    void asyncEnd(Cat cat, const char *name, u64 id, TimePoint ts,
+                  u32 tid = 0, std::string args = {});
+    /** A point event attributed to flow @p id. */
+    void asyncInstant(Cat cat, const char *name, u64 id, TimePoint ts,
+                      u32 tid = 0, std::string args = {});
+
+    // ---- Flight-recorder mode ---------------------------------------
+    /**
+     * Bound the event store to the most recent @p n events (0 restores
+     * unbounded recording). Overwritten events are counted in
+     * droppedEvents(). Existing events beyond the bound are trimmed to
+     * the most recent n.
+     */
+    void setFlightCapacity(std::size_t n);
+    std::size_t flightCapacity() const { return flight_cap_; }
+
+    /** Events overwritten (lost) since the last clear(). */
+    u64 droppedEvents() const { return dropped_; }
+
     std::size_t eventCount() const { return events_.size(); }
-    const std::vector<Event> &events() const { return events_; }
-    void clear() { events_.clear(); }
+
+    /**
+     * Raw event store. In flight mode the ring is rotated so events
+     * appear oldest-first, same as unbounded mode.
+     */
+    std::vector<Event> events() const;
+
+    void clear();
 
     /**
      * Serialise as Chrome trace_event JSON ({"traceEvents": [...]}),
      * events sorted by timestamp, with thread-name metadata for every
-     * interned track.
+     * interned track and a top-level "droppedEvents" count.
      */
     std::string toChromeJson() const;
 
@@ -88,9 +139,15 @@ class TraceRecorder
     Status writeChromeJson(const std::string &path) const;
 
   private:
+    void push(Event &&e);
+
     bool enabled_ = false;
     std::vector<Event> events_;
+    std::size_t flight_cap_ = 0; //!< 0 = unbounded
+    std::size_t head_ = 0;       //!< next overwrite slot (ring mode)
+    u64 dropped_ = 0;
     std::vector<std::string> tracks_ = {"event-loop"};
+    std::map<std::string, u32> track_index_ = {{"event-loop", 0}};
 };
 
 } // namespace mirage::trace

@@ -1,16 +1,22 @@
 /**
  * @file
  * Unit tests for the tracing + metrics layer: counters, log-linear
- * histograms, registry dump, the Chrome trace_event exporter, and the
- * engine round-trip (mirrored counters match the engine's own stats).
+ * histograms, registry dump (plain and Prometheus), the Chrome
+ * trace_event exporter (sync, async and flight-recorder modes), the
+ * flow tracker, and the engine round-trip (mirrored counters match the
+ * engine's own stats; ambient flows survive event hops).
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
+#include "check/check.h"
+#include "core/cloud.h"
 #include "sim/engine.h"
+#include "trace/flow.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
 
@@ -224,6 +230,232 @@ TEST(TraceRecorderTest, EngineMirrorsCountersAndRecordsDispatch)
         if (ev.ph == 'i' && std::string(ev.name) == "dispatch")
             dispatches++;
     EXPECT_EQ(dispatches, e.eventsRun());
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControlChars)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("line\nbreak"), "line\\nbreak");
+    EXPECT_EQ(jsonEscape("tab\there"), "tab\\there");
+    EXPECT_EQ(jsonEscape(std::string("nul\x01mid")), "nul\\u0001mid");
+    EXPECT_EQ(jsonEscape("\r"), "\\u000d");
+}
+
+TEST(TraceRecorderTest, FlightRingKeepsLastNAndCountsDropped)
+{
+    TraceRecorder tr;
+    tr.enable();
+    tr.setFlightCapacity(4);
+    EXPECT_EQ(tr.flightCapacity(), 4u);
+    for (int i = 0; i < 10; i++)
+        tr.instant(Cat::App, "tick", TimePoint(i));
+    EXPECT_EQ(tr.eventCount(), 4u);
+    EXPECT_EQ(tr.droppedEvents(), 6u);
+    std::vector<TraceRecorder::Event> evs = tr.events();
+    ASSERT_EQ(evs.size(), 4u);
+    // Oldest-first: the surviving tail is ts 6..9.
+    EXPECT_EQ(evs.front().ts_ns, 6);
+    EXPECT_EQ(evs.back().ts_ns, 9);
+    std::string json = tr.toChromeJson();
+    EXPECT_NE(json.find("\"droppedEvents\":6"), std::string::npos)
+        << json;
+}
+
+TEST(TraceRecorderTest, SettingFlightCapacityTrimsExistingEvents)
+{
+    TraceRecorder tr;
+    tr.enable();
+    for (int i = 0; i < 6; i++)
+        tr.instant(Cat::App, "tick", TimePoint(i));
+    tr.setFlightCapacity(2);
+    EXPECT_EQ(tr.eventCount(), 2u);
+    EXPECT_EQ(tr.droppedEvents(), 4u);
+    std::vector<TraceRecorder::Event> evs = tr.events();
+    ASSERT_EQ(evs.size(), 2u);
+    EXPECT_EQ(evs.front().ts_ns, 4);
+    EXPECT_EQ(evs.back().ts_ns, 5);
+}
+
+TEST(TraceRecorderTest, AsyncEventsCarryMatchingIds)
+{
+    TraceRecorder tr;
+    tr.enable();
+    u32 guest = tr.track("guest/tcp");
+    u32 dom0 = tr.track("dom0/netback");
+    tr.asyncBegin(Cat::Flow, "http", 0xabc, TimePoint(10), guest);
+    tr.asyncInstant(Cat::Flow, "hop", 0xabc, TimePoint(15), dom0);
+    tr.asyncEnd(Cat::Flow, "http", 0xabc, TimePoint(20), dom0);
+    std::string json = tr.toChromeJson();
+    // All three phases reference the same async id, so viewers can
+    // stitch one flow across the two tracks.
+    std::size_t at = 0, ids = 0;
+    while ((at = json.find("\"id\":\"0xabc\"", at)) !=
+           std::string::npos) {
+        ids++;
+        at++;
+    }
+    EXPECT_EQ(ids, 3u) << json;
+    EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"ph\":\"n\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos) << json;
+}
+
+TEST(MetricsRegistryTest, PrometheusExpositionFormat)
+{
+    MetricsRegistry reg;
+    reg.counter("http.requests").inc(5);
+    Histogram &h = reg.histogram("req.latency_ns");
+    h.record(3);
+    h.record(100);
+    std::string prom = reg.toPrometheus();
+
+    EXPECT_NE(prom.find("# TYPE http_requests counter\n"
+                        "http_requests 5\n"),
+              std::string::npos)
+        << prom;
+    EXPECT_NE(prom.find("# TYPE req_latency_ns histogram"),
+              std::string::npos)
+        << prom;
+    // Buckets are cumulative and end at +Inf; sum/count close out.
+    u64 ub3 = Histogram::bucketUpperBound(Histogram::bucketIndex(3));
+    u64 ub100 =
+        Histogram::bucketUpperBound(Histogram::bucketIndex(100));
+    std::string b3 = strprintf("req_latency_ns_bucket{le=\"%llu\"} 1",
+                               (unsigned long long)ub3);
+    std::string b100 = strprintf(
+        "req_latency_ns_bucket{le=\"%llu\"} 2",
+        (unsigned long long)ub100);
+    EXPECT_NE(prom.find(b3), std::string::npos) << prom;
+    EXPECT_NE(prom.find(b100), std::string::npos) << prom;
+    EXPECT_NE(prom.find("req_latency_ns_bucket{le=\"+Inf\"} 2"),
+              std::string::npos)
+        << prom;
+    EXPECT_NE(prom.find("req_latency_ns_sum 103"), std::string::npos)
+        << prom;
+    EXPECT_NE(prom.find("req_latency_ns_count 2"), std::string::npos)
+        << prom;
+}
+
+TEST(FlowTrackerTest, StagesMergeAndFinalizeIsDeferred)
+{
+    TraceRecorder tr;
+    tr.enable();
+    MetricsRegistry reg;
+    FlowTracker fl;
+    fl.enable();
+    fl.attach(&tr, &reg);
+
+    FlowId id = fl.begin("http", TimePoint(100), 0, "GET /x");
+    ASSERT_NE(id, 0u);
+    fl.stageBegin(id, "handler", TimePoint(100));
+    fl.stageEnd(id, "handler", TimePoint(150));
+    fl.stageBegin(id, "tcp_tx", TimePoint(150));
+    // end() arrives while tcp_tx is still open: the flow must not
+    // finalize until the last stage closes (the final ACK).
+    fl.end(id, TimePoint(160));
+    EXPECT_EQ(fl.completed(), 0u);
+    EXPECT_EQ(fl.liveCount(), 1u);
+    fl.stageEnd(id, "tcp_tx", TimePoint(400));
+    EXPECT_EQ(fl.completed(), 1u);
+    EXPECT_EQ(fl.liveCount(), 0u);
+
+    ASSERT_NE(reg.findCounter("flow.http.completed"), nullptr);
+    EXPECT_EQ(reg.findCounter("flow.http.completed")->value(), 1u);
+    ASSERT_NE(reg.findHistogram("flow.http.stage.handler_ns"),
+              nullptr);
+    EXPECT_EQ(reg.findHistogram("flow.http.stage.handler_ns")->sum(),
+              50u);
+    ASSERT_NE(reg.findHistogram("flow.http.total_ns"), nullptr);
+    EXPECT_EQ(reg.findHistogram("flow.http.total_ns")->sum(), 300u);
+
+    std::string j = fl.recentJson();
+    EXPECT_NE(j.find("\"kind\":\"http\""), std::string::npos) << j;
+    EXPECT_NE(j.find("\"detail\":\"GET /x\""), std::string::npos) << j;
+    EXPECT_NE(j.find("\"handler\":50"), std::string::npos) << j;
+
+    // Stage calls for a finalized (or unknown) flow are no-ops.
+    fl.stageBegin(id, "late", TimePoint(500));
+    fl.stageEnd(9999, "late", TimePoint(500));
+    EXPECT_EQ(fl.completed(), 1u);
+}
+
+TEST(FlowTrackerTest, NestedStageOpensAreUnionMerged)
+{
+    FlowTracker fl;
+    fl.enable();
+    FlowId id = fl.begin("http", TimePoint(0));
+    fl.stageBegin(id, "netif_tx", TimePoint(0));
+    fl.stageBegin(id, "netif_tx", TimePoint(10)); // overlapping open
+    fl.stageEnd(id, "netif_tx", TimePoint(20));
+    fl.stageEnd(id, "netif_tx", TimePoint(50));
+    fl.end(id, TimePoint(50));
+    ASSERT_EQ(fl.recent().size(), 1u);
+    const FlowTracker::Flow &f = fl.recent().front();
+    ASSERT_EQ(f.stages.size(), 1u);
+    // One merged interval [0, 50), not 50 + 10 double-counted.
+    EXPECT_EQ(f.stages.front().total_ns, 50u);
+    EXPECT_EQ(f.stages.front().count, 2u);
+}
+
+TEST(FlowTrackerTest, EngineCarriesAmbientFlowAcrossEvents)
+{
+    sim::Engine e;
+    FlowTracker fl;
+    fl.enable();
+    e.setFlows(&fl);
+
+    FlowId id = fl.begin("http", TimePoint(0));
+    FlowId seen_outer = 0, seen_inner = 0;
+    {
+        FlowScope scope(&fl, id);
+        e.after(Duration::millis(1), [&] {
+            seen_outer = fl.current();
+            // Chained work inherits the flow too.
+            e.after(Duration::millis(1),
+                    [&] { seen_inner = fl.current(); });
+        });
+    }
+    fl.setCurrent(0);
+    e.after(Duration::millis(3), [&] { EXPECT_EQ(fl.current(), 0u); });
+    e.run();
+    EXPECT_EQ(seen_outer, id);
+    EXPECT_EQ(seen_inner, id);
+    fl.end(id, TimePoint(0));
+}
+
+TEST(FlightRecorderTest, CheckerViolationDumpsBoundedTrace)
+{
+    std::string path = testing::TempDir() + "flight_dump.json";
+    std::remove(path.c_str());
+    ::setenv("MIRAGE_FLIGHT", "8", 1);
+    ::setenv("MIRAGE_FLIGHT_PATH", path.c_str(), 1);
+    {
+        core::Cloud cloud;
+        EXPECT_EQ(cloud.tracer().flightCapacity(), 8u);
+        cloud.checker().setMode(check::Checker::Mode::Count);
+        cloud.checker().enable();
+        for (int i = 0; i < 32; i++)
+            cloud.tracer().instant(Cat::App, "tick", TimePoint(i));
+        EXPECT_EQ(cloud.tracer().eventCount(), 8u);
+        cloud.checker().violation(check::Subsystem::Ring,
+                                  "test.injected", "synthetic");
+    }
+    ::unsetenv("MIRAGE_FLIGHT");
+    ::unsetenv("MIRAGE_FLIGHT_PATH");
+
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr) << "violation hook must write " << path;
+    std::string content;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        content.append(buf, n);
+    std::fclose(f);
+    std::remove(path.c_str());
+    EXPECT_NE(content.find("\"droppedEvents\":"), std::string::npos);
+    EXPECT_NE(content.find("\"tick\""), std::string::npos);
 }
 
 } // namespace
