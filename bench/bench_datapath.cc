@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Datapath before/after: the persistent-grant + batched-doorbell path
+ * against the per-operation grant/notify baseline, on the two
+ * steady-state workloads the paper's evaluation leans on — iperf-style
+ * TCP between unikernels and fio-style random block reads. Reports
+ * virtual-time throughput plus the protocol-overhead rates the tuning
+ * exists to shrink: grant-table ops per packet, doorbells per packet,
+ * and the pool's grant-reuse ratio.
+ */
+
+#include <cstdio>
+
+#include "bench_json.h"
+#include "core/cloud.h"
+#include "drivers/blkif.h"
+#include "loadgen/fio.h"
+#include "loadgen/iperf.h"
+#include "sim/tuning.h"
+
+using namespace mirage;
+
+namespace {
+
+struct Rates
+{
+    double throughput = 0; //!< Mbps (net) or MiB/s (blk)
+    double grantOpsPerPkt = 0;
+    double notifiesPerPkt = 0;
+    double reuseRatio = 0;
+};
+
+void
+setTuning(bool fast)
+{
+    sim::Tuning &t = sim::tuning();
+    t.persistentGrants = fast;
+    t.doorbellBatching = fast;
+}
+
+u64
+counter(core::Cloud &cloud, const char *name)
+{
+    return cloud.metrics().counter(name).value();
+}
+
+Rates
+measureNet(bool fast)
+{
+    setTuning(fast);
+    core::Cloud cloud;
+    core::Guest &rx =
+        cloud.startUnikernel("rx", net::Ipv4Addr(10, 0, 0, 2), 64);
+    core::Guest &tx =
+        cloud.startUnikernel("tx", net::Ipv4Addr(10, 0, 0, 3), 64);
+    loadgen::IperfServer server(rx, 5001);
+    loadgen::IperfClient::Report report;
+    loadgen::IperfClient::run(tx, server, net::Ipv4Addr(10, 0, 0, 2),
+                              5001, 1, Duration::millis(150),
+                              [&](auto r) { report = r; });
+    cloud.run();
+
+    Rates out;
+    out.throughput = report.mbps;
+    double pkts = double(counter(cloud, "tcp.segments_sent"));
+    if (pkts > 0) {
+        out.grantOpsPerPkt = double(counter(cloud, "gnttab.ops")) / pkts;
+        out.notifiesPerPkt = double(counter(cloud, "notify.sent")) / pkts;
+    }
+    double issued = double(counter(cloud, "grant.issued"));
+    double reused = double(counter(cloud, "grant.reused"));
+    if (issued + reused > 0)
+        out.reuseRatio = reused / (issued + reused);
+    return out;
+}
+
+Rates
+measureBlk(bool fast)
+{
+    setTuning(fast);
+    core::Cloud cloud;
+    xen::VirtualDisk &disk = cloud.addDisk("ssd", 1u << 20); // 512 MB
+    xen::Blkback &back = cloud.blkbackFor(disk);
+    core::Guest &guest =
+        cloud.startUnikernel("io", net::Ipv4Addr(10, 0, 0, 2));
+    drivers::Blkif blkif(guest.boot, back);
+    storage::BlkifDevice dev(blkif);
+
+    loadgen::Fio::Config cfg;
+    cfg.blockKiB = 4;
+    cfg.queueDepth = 16;
+    cfg.window = Duration::millis(100);
+    loadgen::Fio fio(cloud.engine(), dev, cfg);
+    double mibs = 0;
+    fio.run([&](auto r) { mibs = r.mibPerSecond; });
+    cloud.run();
+
+    Rates out;
+    out.throughput = mibs;
+    double reqs = double(counter(cloud, "blk.completed"));
+    if (reqs > 0) {
+        out.grantOpsPerPkt = double(counter(cloud, "gnttab.ops")) / reqs;
+        out.notifiesPerPkt = double(counter(cloud, "notify.sent")) / reqs;
+    }
+    double issued = double(counter(cloud, "grant.issued"));
+    double reused = double(counter(cloud, "grant.reused"));
+    if (issued + reused > 0)
+        out.reuseRatio = reused / (issued + reused);
+    return out;
+}
+
+void
+report(bench::JsonReport &json, const char *phase, const char *unit,
+       const Rates &base, const Rates &fast)
+{
+    std::printf("%-14s %10.0f %10.0f %10.2f %10.2f %10.2f %10.2f "
+                "%8.3f\n",
+                phase, base.throughput, fast.throughput,
+                base.grantOpsPerPkt, fast.grantOpsPerPkt,
+                base.notifiesPerPkt, fast.notifiesPerPkt,
+                fast.reuseRatio);
+    std::string p = std::string("datapath/") + phase;
+    json.add(p + "/baseline", "throughput", base.throughput, unit);
+    json.add(p + "/persistent", "throughput", fast.throughput, unit);
+    json.add(p + "/baseline", "grant_ops_per_packet",
+             base.grantOpsPerPkt, "ops");
+    json.add(p + "/persistent", "grant_ops_per_packet",
+             fast.grantOpsPerPkt, "ops");
+    json.add(p + "/baseline", "notifies_per_packet",
+             base.notifiesPerPkt, "notifies");
+    json.add(p + "/persistent", "notifies_per_packet",
+             fast.notifiesPerPkt, "notifies");
+    json.add(p + "/persistent", "grant_reuse_ratio", fast.reuseRatio,
+             "ratio");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::JsonReport json(argc, argv);
+    std::printf("# Datapath: per-op grants/doorbells (base) vs "
+                "persistent grants + batched doorbells (fast)\n");
+    std::printf("%-14s %10s %10s %10s %10s %10s %10s %8s\n", "phase",
+                "base_thru", "fast_thru", "base_gops", "fast_gops",
+                "base_ntfy", "fast_ntfy", "reuse");
+
+    Rates net_base = measureNet(false);
+    Rates net_fast = measureNet(true);
+    report(json, "tcp_1flow", "Mbps", net_base, net_fast);
+
+    Rates blk_base = measureBlk(false);
+    Rates blk_fast = measureBlk(true);
+    report(json, "blk_4k_qd16", "MiB/s", blk_base, blk_fast);
+
+    setTuning(true); // restore defaults
+    return 0;
+}

@@ -12,6 +12,7 @@
 
 #include "base/checksum.h"
 #include "hypervisor/ring.h"
+#include "sim/engine.h"
 #include "net/tcp_wire.h"
 #include "protocols/dns/server.h"
 #include "storage/btree.h"
@@ -72,6 +73,34 @@ BM_SharedRingRoundTrip(benchmark::State &state)
         back.pushResponses();
         benchmark::DoNotOptimize(
             front.takeResponse().value().getLe64(0));
+    }
+}
+
+void
+BM_EngineScheduleDispatch(benchmark::State &state)
+{
+    // The event-engine hot loop: schedule + dispatch, no cancellation.
+    // Exercises the slot allocator that replaced the per-event hash
+    // sets.
+    sim::Engine engine;
+    u64 sink = 0;
+    for (auto _ : state) {
+        engine.after(Duration::nanos(1), [&sink] { sink++; });
+        engine.step();
+    }
+    benchmark::DoNotOptimize(sink);
+}
+
+void
+BM_EngineScheduleCancel(benchmark::State &state)
+{
+    // Timer-heavy workloads (TCP RTO, poll timeouts) schedule and
+    // cancel far more events than they dispatch.
+    sim::Engine engine;
+    for (auto _ : state) {
+        sim::EventId id = engine.after(Duration::millis(100), [] {});
+        engine.cancel(id);
+        engine.step(); // pops the cancelled slot
     }
 }
 
@@ -166,6 +195,8 @@ BENCHMARK(BM_CstructBe32RoundTrip);
 BENCHMARK(BM_CstructSubSlice);
 BENCHMARK(BM_InternetChecksum)->Arg(64)->Arg(1460);
 BENCHMARK(BM_SharedRingRoundTrip);
+BENCHMARK(BM_EngineScheduleDispatch);
+BENCHMARK(BM_EngineScheduleCancel);
 BENCHMARK(BM_TcpHeaderBuildParse);
 BENCHMARK(BM_DnsQueryFullPath);
 BENCHMARK(BM_DnsQueryMemoHit);

@@ -107,6 +107,13 @@ class Cstruct
     /** The underlying buffer (for page-identity checks in tests). */
     const std::shared_ptr<Buffer> &buffer() const { return buf_; }
 
+    /**
+     * This view's offset within the underlying Buffer. Wire protocols
+     * that grant a whole buffer once (persistent grants) send this so
+     * the peer can locate a sub-view inside its long-lived mapping.
+     */
+    std::size_t bufferOffset() const { return off_; }
+
   private:
     void checkRange(std::size_t off, std::size_t n) const;
 

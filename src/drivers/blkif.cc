@@ -2,6 +2,7 @@
 
 #include "base/logging.h"
 #include "sim/cost_model.h"
+#include "sim/tuning.h"
 #include "trace/flow.h"
 #include "trace/trace.h"
 
@@ -9,6 +10,10 @@ namespace mirage::drivers {
 
 Blkif::Blkif(pvboot::PVBoot &boot, xen::Blkback &backend)
     : boot_(boot), backend_domid_(backend.backendDomain().id()),
+      // The pool registers its drain hook before backend.connect()
+      // registers disconnect(): LIFO shutdown unmaps the backend's
+      // cached grants first, then the pool revokes cleanly.
+      pool_(std::make_unique<GrantPool>(boot, backend_domid_)),
       size_sectors_(backend.disk().sizeSectors())
 {
     xen::Domain &dom = boot_.domain();
@@ -33,7 +38,21 @@ Blkif::Blkif(pvboot::PVBoot &boot, xen::Blkback &backend)
         boot_.domain().clearPending(port_);
         onEvent();
     });
+    poller_ = std::make_unique<sim::Poller>(
+        hv.engine(), [this] { return drainResponses(true); },
+        [this] { return ring_->finalCheckForResponses(); });
     backend.connect(dom, ring_grant, back_port);
+}
+
+Result<Cstruct>
+Blkif::allocPage()
+{
+    if (sim::tuning().persistentGrants) {
+        auto page = pool_->acquirePage();
+        if (page.ok())
+            return page;
+    }
+    return boot_.ioPages().allocPage();
 }
 
 u32
@@ -98,13 +117,32 @@ Blkif::enqueueOnRing(u8 op, u64 sector, u32 count, const Cstruct &page,
         return false;
     u64 id = next_id_++;
     bool write = op == xen::BlkifWire::opWrite;
-    xen::GrantRef gref =
-        dom.grantTable().grantAccess(backend_domid_, page, write);
-    dom.vcpu().charge(sim::costs().grantIssue);
+    // Persistent path: name a region of a long-lived grant (pooled
+    // page or registered buffer). The le32 offset field bounds how far
+    // into a registered buffer a request can point.
+    bool persistent = false;
+    xen::GrantRef gref = 0;
+    std::size_t offset = 0;
+    if (sim::tuning().persistentGrants &&
+        page.bufferOffset() <= 0xffffffff) {
+        GrantPool::Region region = pool_->regionFor(page);
+        if (region.persistent) {
+            gref = region.gref;
+            offset = region.offset;
+            persistent = true;
+        }
+    }
+    if (!persistent) {
+        gref = dom.grantTable().grantAccess(backend_domid_, page, write);
+        dom.vcpu().charge(sim::costs().grantIssue);
+    }
 
     slot.value().setLe64(xen::BlkifWire::reqId, id);
     slot.value().setU8(xen::BlkifWire::reqOp, op);
     slot.value().setU8(xen::BlkifWire::reqSectors, u8(count));
+    slot.value().setU8(xen::BlkifWire::reqFlags,
+                       persistent ? xen::BlkifWire::flagPersistent : 0);
+    slot.value().setLe32(xen::BlkifWire::reqOffset, u32(offset));
     slot.value().setLe64(xen::BlkifWire::reqSector, sector);
     slot.value().setLe32(xen::BlkifWire::reqGrant, gref);
     slot.value().setLe32(xen::BlkifWire::reqFlow, u32(flow));
@@ -112,11 +150,13 @@ Blkif::enqueueOnRing(u8 op, u64 sector, u32 count, const Cstruct &page,
     pending_.emplace(
         id, Pending{p, gref, page, op, count,
                     dom.hypervisor().engine().now(), flow});
-    p->addFinalizer([this, gref] {
-        Status st = boot_.domain().grantTable().endAccess(gref);
-        if (!st.ok())
-            warn("blkif: endAccess: %s", st.error().message.c_str());
-    });
+    if (!persistent) {
+        p->addFinalizer([this, gref] {
+            Status st = boot_.domain().grantTable().endAccess(gref);
+            if (!st.ok())
+                warn("blkif: endAccess: %s", st.error().message.c_str());
+        });
+    }
 
     if (ring_->pushRequests())
         dom.hypervisor().events().notify(dom, port_);
@@ -150,9 +190,23 @@ Blkif::write(u64 sector, u32 count, Cstruct page)
 void
 Blkif::onEvent()
 {
+    // While I/O is in flight, park rsp_event and drain on the poller's
+    // cadence: the backend's completion pushes then stop ringing
+    // doorbells until the device goes quiet.
+    bool park = sim::tuning().doorbellBatching;
+    drainResponses(park);
+    if (park)
+        poller_->kick();
+}
+
+bool
+Blkif::drainResponses(bool park)
+{
+    bool any = false;
     do {
         while (ring_->unconsumedResponses() > 0) {
             Cstruct rsp = ring_->takeResponse().value();
+            any = true;
             u64 id = rsp.getLe64(xen::BlkifWire::rspId);
             u8 status = rsp.getU8(xen::BlkifWire::rspStatus);
             auto it = pending_.find(id);
@@ -192,8 +246,13 @@ Blkif::onEvent()
                 pending.promise->cancel();
             }
         }
+        if (park) {
+            ring_->suppressResponseEvents();
+            break;
+        }
     } while (ring_->finalCheckForResponses());
     drainWaitQueue();
+    return any;
 }
 
 } // namespace mirage::drivers

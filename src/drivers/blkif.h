@@ -14,10 +14,12 @@
 #include <memory>
 #include <unordered_map>
 
+#include "drivers/grant_pool.h"
 #include "hypervisor/blkback.h"
 #include "hypervisor/ring.h"
 #include "pvboot/pvboot.h"
 #include "runtime/promise.h"
+#include "sim/poller.h"
 
 namespace mirage::drivers {
 
@@ -39,11 +41,17 @@ class Blkif
     /** Write @p count sectors from @p page at @p sector. */
     rt::PromisePtr write(u64 sector, u32 count, Cstruct page);
 
-    /** A fresh I/O page for data transfer. */
-    Result<Cstruct> allocPage() { return boot_.ioPages().allocPage(); }
+    /**
+     * An I/O page for data transfer: a persistently-granted pooled
+     * page when the pool has one free, else a fresh I/O page.
+     */
+    Result<Cstruct> allocPage();
 
     u64 requestsCompleted() const { return completed_; }
     u64 requestErrors() const { return errors_; }
+
+    /** The device's persistent-grant pool (test visibility). */
+    GrantPool &grantPool() { return *pool_; }
 
   private:
     struct Pending
@@ -75,14 +83,19 @@ class Blkif
                        const rt::PromisePtr &p, u64 flow);
     void drainWaitQueue();
     void onEvent();
+    bool drainResponses(bool park);
     u32 blkTrack();
 
     pvboot::PVBoot &boot_;
     xen::DomId backend_domid_;
+    std::unique_ptr<GrantPool> pool_;
     u64 size_sectors_;
     xen::Port port_;
     Cstruct ring_page_;
     std::unique_ptr<xen::FrontRing> ring_;
+    /** Parks rsp_event and drains completions on a timer while I/O is
+     *  in flight, so backend pushes stop costing doorbells. */
+    std::unique_ptr<sim::Poller> poller_;
     std::unordered_map<u64, Pending> pending_;
     std::deque<Queued> wait_queue_;
     u64 next_id_ = 0;

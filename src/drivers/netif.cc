@@ -1,7 +1,10 @@
 #include "drivers/netif.h"
 
+#include <optional>
+
 #include "base/logging.h"
 #include "sim/cost_model.h"
+#include "sim/tuning.h"
 #include "trace/flow.h"
 #include "trace/trace.h"
 
@@ -47,14 +50,58 @@ Netif::Netif(pvboot::PVBoot &boot, xen::Netback &backend,
         onEvent();
     });
 
+    // The pool registers its drain hook before the backend registers
+    // disconnect(); hooks run LIFO, so the backend's cached persistent
+    // maps are gone by the time the pool revokes its grants.
+    pool_ = std::make_unique<GrantPool>(boot_, back_dom.id());
+    recycle_listener_ = boot_.ioPages().addRecycleListener([this] {
+        // Fired from a buffer destructor: defer the restock to the
+        // engine so we never re-enter the page pool mid-release.
+        if (rx_stalled_)
+            scheduleRxRepost();
+    });
+    // Pooled pages recycle inside the GrantPool (their buffers never
+    // return to the I/O page pool), so a stalled rx ring needs the
+    // pool's own recycle event too.
+    pool_recycle_listener_ = pool_->addRecycleListener([this] {
+        if (rx_stalled_)
+            scheduleRxRepost();
+    });
+
+    poller_ = std::make_unique<sim::Poller>(
+        hv.engine(),
+        [this] {
+            bool tx = drainTxResponses(true);
+            bool rx = drainRxResponses(true);
+            return tx || rx;
+        },
+        [this] {
+            bool tx = tx_ring_->finalCheckForResponses();
+            bool rx = rx_ring_->finalCheckForResponses();
+            return tx || rx;
+        });
+
     backend.connect(xen::NetConnectInfo{&dom, tx_grant, rx_grant, btx,
                                         brx, mac_});
     postRxBuffers();
 }
 
+Netif::~Netif()
+{
+    pool_->removeRecycleListener(pool_recycle_listener_);
+    boot_.ioPages().removeRecycleListener(recycle_listener_);
+    if (repost_pending_)
+        boot_.domain().hypervisor().engine().cancel(repost_event_);
+}
+
 Result<Cstruct>
 Netif::allocTxPage()
 {
+    if (sim::tuning().persistentGrants) {
+        auto page = pool_->acquirePage();
+        if (page.ok())
+            return page;
+    }
     return boot_.ioPages().allocPage();
 }
 
@@ -113,51 +160,83 @@ Netif::writeFrameV(const std::vector<Cstruct> &frags)
 
 bool
 Netif::enqueueOnRing(const std::vector<Cstruct> &frags,
-                     const rt::PromisePtr &p, u64 flow)
+                     const rt::PromisePtr &p, u64 flow,
+                     xen::DoorbellBatch *batch)
 {
     xen::Domain &dom = boot_.domain();
     if (tx_ring_->freeRequests() < frags.size())
         return false;
+    auto frame = std::make_shared<TxFrame>();
+    frame->promise = p;
+    frame->remaining = frags.size();
+    frame->flow = flow;
     for (std::size_t i = 0; i < frags.size(); i++) {
         bool last = i + 1 == frags.size();
         Cstruct slot = tx_ring_->startRequest().value();
         u16 id = next_id_++;
-        xen::GrantRef gref = dom.grantTable().grantAccess(
-            backend_domid_, frags[i], true);
-        dom.vcpu().charge(sim::costs().grantIssue);
 
+        // Persistent path: name a region of a pooled/registered grant.
+        // One-shot fallback: grant the fragment view itself (offset 0).
+        // The offset field is le16, so deep views of large buffers
+        // cannot ride a whole-buffer grant and fall back too.
+        xen::GrantRef gref = 0;
+        std::size_t offset = 0;
+        bool persistent = false;
+        if (sim::tuning().persistentGrants &&
+            frags[i].bufferOffset() <= 0xffff) {
+            GrantPool::Region region = pool_->regionFor(frags[i]);
+            if (region.persistent) {
+                gref = region.gref;
+                offset = region.offset;
+                persistent = true;
+            }
+        }
+        if (!persistent) {
+            gref = dom.grantTable().grantAccess(backend_domid_,
+                                                frags[i], true);
+            dom.vcpu().charge(sim::costs().grantIssue);
+        }
+
+        u16 flags = last ? 0 : xen::NetifWire::txflagMoreData;
+        if (persistent)
+            flags |= xen::NetifWire::txflagPersistent;
         slot.setLe16(xen::NetifWire::txreqId, id);
         slot.setLe32(xen::NetifWire::txreqGrant, gref);
-        slot.setLe16(xen::NetifWire::txreqOffset, 0);
+        slot.setLe16(xen::NetifWire::txreqOffset, u16(offset));
         slot.setLe16(xen::NetifWire::txreqLen, u16(frags[i].length()));
-        slot.setLe16(xen::NetifWire::txreqFlags,
-                     last ? 0 : xen::NetifWire::txflagMoreData);
+        slot.setLe16(xen::NetifWire::txreqFlags, flags);
         slot.setLe32(xen::NetifWire::txreqFlow, u32(flow));
-        // The grant is released when this fragment's ack arrives; the
-        // promise rides on the final fragment.
-        tx_pending_.emplace(
-            id, TxPending{last ? p : rt::PromisePtr(), gref, frags[i],
-                          last ? flow : 0});
+        tx_pending_.emplace(id,
+                            TxPending{frame, gref, frags[i], persistent});
     }
 
-    if (tx_ring_->pushRequests())
-        dom.hypervisor().events().notify(dom, tx_port_);
+    if (tx_ring_->pushRequests()) {
+        if (batch)
+            batch->ring(tx_port_);
+        else
+            dom.hypervisor().events().notify(dom, tx_port_);
+    }
     return true;
 }
 
 void
 Netif::drainTxQueue()
 {
-    bool pushed = false;
+    if (tx_wait_queue_.empty())
+        return;
+    xen::Domain &dom = boot_.domain();
+    // One doorbell for the whole burst of queued frames.
+    std::optional<xen::DoorbellBatch> batch;
+    if (sim::tuning().doorbellBatching)
+        batch.emplace(dom.hypervisor().events(), dom);
     while (!tx_wait_queue_.empty()) {
         QueuedTx &head = tx_wait_queue_.front();
         if (tx_ring_->freeRequests() < head.frags.size())
             break;
-        enqueueOnRing(head.frags, head.promise, head.flow);
+        enqueueOnRing(head.frags, head.promise, head.flow,
+                      batch ? &*batch : nullptr);
         tx_wait_queue_.pop_front();
-        pushed = true;
     }
-    (void)pushed;
 }
 
 void
@@ -167,27 +246,76 @@ Netif::onFrame(std::function<void(Cstruct)> handler)
 }
 
 void
+Netif::scheduleRxRepost()
+{
+    if (repost_pending_)
+        return;
+    repost_pending_ = true;
+    repost_event_ = boot_.domain().hypervisor().engine().after(
+        Duration::nanos(0), [this] {
+            repost_pending_ = false;
+            postRxBuffers();
+        });
+}
+
+void
 Netif::postRxBuffers()
 {
     xen::Domain &dom = boot_.domain();
     bool posted = false;
+    bool starved = false;
     for (;;) {
-        if (rx_posted_.size() >= xen::RingLayout::slotCount)
+        if (rx_posted_.size() >= xen::RingLayout::slotCount ||
+            rx_ring_->freeRequests() == 0)
             break;
-        auto slot = rx_ring_->startRequest();
-        if (!slot.ok())
-            break;
-        auto page = boot_.ioPages().allocPage();
-        if (!page.ok())
-            break; // pool exhausted; repost on next recycle
+        // Find a page before claiming the ring slot — an abandoned
+        // startRequest() would publish a garbage slot on the next push.
+        Cstruct page;
+        xen::GrantRef gref = 0;
+        bool persistent = false;
+        bool have_page = false;
+        if (sim::tuning().persistentGrants) {
+            if (auto pooled = pool_->acquirePage(); pooled.ok()) {
+                page = pooled.value();
+                GrantPool::Region region = pool_->regionFor(page);
+                gref = region.gref;
+                persistent = region.persistent;
+                have_page = true;
+            }
+        }
+        if (!have_page) {
+            auto fresh = boot_.ioPages().allocPage();
+            if (!fresh.ok()) {
+                starved = true;
+                break; // out of pages; restock on recycle
+            }
+            page = fresh.value();
+            gref = dom.grantTable().grantAccess(backend_domid_, page,
+                                                false);
+            dom.vcpu().charge(sim::costs().grantIssue);
+        }
+        Cstruct slot = rx_ring_->startRequest().value();
         u16 id = next_id_++;
-        xen::GrantRef gref = dom.grantTable().grantAccess(
-            backend_domid_, page.value(), false);
-        dom.vcpu().charge(sim::costs().grantIssue);
-        slot.value().setLe16(xen::NetifWire::rxreqId, id);
-        slot.value().setLe32(xen::NetifWire::rxreqGrant, gref);
-        rx_posted_.emplace(id, RxPosted{page.value(), gref});
+        slot.setLe16(xen::NetifWire::rxreqId, id);
+        slot.setLe32(xen::NetifWire::rxreqGrant, gref);
+        slot.setLe16(xen::NetifWire::rxreqFlags,
+                     persistent ? xen::NetifWire::rxflagPersistent : 0);
+        rx_posted_.emplace(id, RxPosted{page, gref, persistent});
         posted = true;
+    }
+    if (starved) {
+        if (!rx_stalled_) {
+            rx_stalled_ = true;
+            rx_stalls_++;
+            if (!c_rx_stalls_) {
+                if (auto *m =
+                        dom.hypervisor().engine().metrics())
+                    c_rx_stalls_ = &m->counter("netif.rx.stalls");
+            }
+            trace::bump(c_rx_stalls_);
+        }
+    } else {
+        rx_stalled_ = false;
     }
     if (posted && rx_ring_->pushRequests())
         dom.hypervisor().events().notify(dom, rx_port_);
@@ -196,16 +324,24 @@ Netif::postRxBuffers()
 void
 Netif::onEvent()
 {
-    drainTxResponses();
-    drainRxResponses();
+    // While traffic flows, park both rings' rsp_event and drain on the
+    // poller's cadence: the backend's pushes then stop ringing
+    // doorbells entirely until the device goes quiet.
+    bool park = sim::tuning().doorbellBatching;
+    drainTxResponses(park);
+    drainRxResponses(park);
+    if (park)
+        poller_->kick();
 }
 
-void
-Netif::drainTxResponses()
+bool
+Netif::drainTxResponses(bool park)
 {
+    bool any = false;
     do {
         while (tx_ring_->unconsumedResponses() > 0) {
             Cstruct rsp = tx_ring_->takeResponse().value();
+            any = true;
             u16 id = rsp.getLe16(xen::NetifWire::txrspId);
             u8 status = rsp.getU8(xen::NetifWire::txrspStatus);
             auto it = tx_pending_.find(id);
@@ -213,39 +349,52 @@ Netif::drainTxResponses()
                 continue;
             TxPending pending = std::move(it->second);
             tx_pending_.erase(it);
-            Status end =
-                boot_.domain().grantTable().endAccess(pending.gref);
-            if (!end.ok())
-                warn("netif tx: endAccess: %s",
-                     end.error().message.c_str());
+            if (!pending.persistent) {
+                Status end =
+                    boot_.domain().grantTable().endAccess(pending.gref);
+                if (!end.ok())
+                    warn("netif tx: endAccess: %s",
+                         end.error().message.c_str());
+            }
+            TxFrame &frame = *pending.frame;
+            if (status != xen::NetifWire::statusOk)
+                frame.failed = true;
+            // The frame settles only when its last fragment is acked —
+            // and settles as a failure if *any* fragment failed, even a
+            // non-final one.
+            if (--frame.remaining > 0)
+                continue;
             sim::Engine &engine = boot_.domain().hypervisor().engine();
-            if (pending.flow) {
+            if (frame.flow) {
                 if (auto *fl = engine.flows())
-                    fl->stageEnd(pending.flow, "netif_tx",
-                                 engine.now(), flowTrack());
+                    fl->stageEnd(frame.flow, "netif_tx", engine.now(),
+                                 flowTrack());
             }
             // Continuations of the resolve belong to the frame's flow,
             // not to whatever flow the backend's notify carried.
-            trace::FlowScope scope(pending.flow ? engine.flows()
-                                                : nullptr,
-                                   pending.flow);
-            if (status == xen::NetifWire::statusOk) {
-                if (pending.promise) {
-                    tx_completed_++;
-                    pending.promise->resolve();
-                }
+            trace::FlowScope scope(frame.flow ? engine.flows() : nullptr,
+                                   frame.flow);
+            if (!frame.failed) {
+                tx_completed_++;
+                if (frame.promise)
+                    frame.promise->resolve();
             } else {
                 tx_errors_++;
-                if (pending.promise)
-                    pending.promise->cancel();
+                if (frame.promise)
+                    frame.promise->cancel();
             }
+        }
+        if (park) {
+            tx_ring_->suppressResponseEvents();
+            break;
         }
     } while (tx_ring_->finalCheckForResponses());
     drainTxQueue();
+    return any;
 }
 
-void
-Netif::drainRxResponses()
+bool
+Netif::drainRxResponses(bool park)
 {
     bool delivered = false;
     do {
@@ -259,11 +408,13 @@ Netif::drainRxResponses()
                 continue;
             RxPosted posted = std::move(it->second);
             rx_posted_.erase(it);
-            Status end =
-                boot_.domain().grantTable().endAccess(posted.gref);
-            if (!end.ok())
-                warn("netif rx: endAccess: %s",
-                     end.error().message.c_str());
+            if (!posted.persistent) {
+                Status end =
+                    boot_.domain().grantTable().endAccess(posted.gref);
+                if (!end.ok())
+                    warn("netif rx: endAccess: %s",
+                         end.error().message.c_str());
+            }
             delivered = true;
             if (status == xen::NetifWire::statusOk && rx_handler_ &&
                 len <= posted.page.length()) {
@@ -273,9 +424,14 @@ Netif::drainRxResponses()
                 rx_handler_(posted.page.sub(0, len));
             }
         }
+        if (park) {
+            rx_ring_->suppressResponseEvents();
+            break;
+        }
     } while (rx_ring_->finalCheckForResponses());
     if (delivered)
         postRxBuffers();
+    return delivered;
 }
 
 } // namespace mirage::drivers

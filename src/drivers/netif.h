@@ -18,10 +18,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "drivers/grant_pool.h"
+#include "hypervisor/event_channel.h"
 #include "hypervisor/netback.h"
 #include "hypervisor/ring.h"
 #include "pvboot/pvboot.h"
 #include "runtime/promise.h"
+#include "sim/poller.h"
 
 namespace mirage::drivers {
 
@@ -34,13 +37,16 @@ class Netif
      * handshake, distilled.
      */
     Netif(pvboot::PVBoot &boot, xen::Netback &backend, xen::MacBytes mac);
+    ~Netif();
 
     xen::MacBytes mac() const { return mac_; }
     xen::Domain &domain() { return boot_.domain(); }
 
     /**
-     * Take a fresh 4 kB I/O page to build a frame in. The page returns
-     * to the pool when every view of it is dropped.
+     * Take a 4 kB I/O page to build a frame in — a recycled
+     * persistent-grant pool page when one is free, else a fresh page
+     * from the reserved pool. The page returns when every view of it
+     * is dropped.
      */
     Result<Cstruct> allocTxPage();
 
@@ -65,24 +71,38 @@ class Netif
     u64 txCompleted() const { return tx_completed_; }
     u64 rxDelivered() const { return rx_delivered_; }
     u64 txErrors() const { return tx_errors_; }
+    u64 rxStalls() const { return rx_stalls_; }
     std::size_t txQueueDepth() const { return tx_wait_queue_.size(); }
+    GrantPool &grantPool() { return *pool_; }
 
     /** Frames queued behind a full ring before being refused. */
     static constexpr std::size_t txQueueLimit = 4096;
 
   private:
-    struct TxPending
+    /** Shared state of one (possibly scatter-gather) tx frame: the
+     *  promise resolves — or, if any fragment failed, cancels — only
+     *  when every fragment has been acknowledged. */
+    struct TxFrame
     {
         rt::PromisePtr promise;
+        std::size_t remaining = 0;
+        bool failed = false;
+        u64 flow = 0;
+    };
+
+    struct TxPending
+    {
+        std::shared_ptr<TxFrame> frame;
         xen::GrantRef gref;
-        Cstruct page; //!< keeps the frame page alive until acked
-        u64 flow = 0; //!< request flow (final fragment only)
+        Cstruct page;            //!< keeps the frame page alive until acked
+        bool persistent = false; //!< gref belongs to the pool: no endAccess
     };
 
     struct RxPosted
     {
         Cstruct page;
         xen::GrantRef gref;
+        bool persistent = false;
     };
 
     struct QueuedTx
@@ -93,12 +113,14 @@ class Netif
     };
 
     void postRxBuffers();
+    void scheduleRxRepost();
     void onEvent();
-    void drainTxResponses();
-    void drainRxResponses();
+    bool drainTxResponses(bool park);
+    bool drainRxResponses(bool park);
     void drainTxQueue();
     bool enqueueOnRing(const std::vector<Cstruct> &frags,
-                       const rt::PromisePtr &p, u64 flow);
+                       const rt::PromisePtr &p, u64 flow,
+                       xen::DoorbellBatch *batch = nullptr);
     u32 flowTrack();
 
     pvboot::PVBoot &boot_;
@@ -110,6 +132,10 @@ class Netif
     Cstruct rx_ring_page_;
     std::unique_ptr<xen::FrontRing> tx_ring_;
     std::unique_ptr<xen::FrontRing> rx_ring_;
+    std::unique_ptr<GrantPool> pool_;
+    /** Parks both rings' rsp_event and drains on a timer while the
+     *  device is busy, so backend pushes stop costing doorbells. */
+    std::unique_ptr<sim::Poller> poller_;
     std::unordered_map<u16, TxPending> tx_pending_;
     std::unordered_map<u16, RxPosted> rx_posted_;
     std::deque<QueuedTx> tx_wait_queue_;
@@ -118,7 +144,16 @@ class Netif
     u64 tx_completed_ = 0;
     u64 rx_delivered_ = 0;
     u64 tx_errors_ = 0;
+    u64 rx_stalls_ = 0;
     u32 track_ = 0; //!< lazily interned "<dom>/netif" trace track
+    //! I/O page pool recycle subscription (rx restock after a stall).
+    u64 recycle_listener_ = 0;
+    //! Grant-pool recycle subscription (pooled pages bypass ioPages).
+    u64 pool_recycle_listener_ = 0;
+    bool rx_stalled_ = false;     //!< rx ring underfilled for want of pages
+    bool repost_pending_ = false; //!< a deferred restock is scheduled
+    sim::EventId repost_event_ = 0;
+    trace::Counter *c_rx_stalls_ = nullptr;
 };
 
 } // namespace mirage::drivers

@@ -6,6 +6,7 @@
 #include "base/logging.h"
 #include "hypervisor/xen.h"
 #include "sim/cost_model.h"
+#include "sim/tuning.h"
 #include "trace/flow.h"
 #include "trace/trace.h"
 
@@ -126,7 +127,7 @@ VirtualDisk::writeAsync(u64 sector, u32 count, Cstruct src,
 // ---- Blkback ---------------------------------------------------------------
 
 Blkback::Blkback(Domain &backend_dom, VirtualDisk &disk)
-    : dom_(backend_dom), disk_(disk)
+    : dom_(backend_dom), disk_(disk), pmap_(backend_dom, "blkback")
 {
 }
 
@@ -141,6 +142,8 @@ Blkback::connect(Domain &frontend, GrantRef ring_grant, Port backend_port)
     frontend_ = &frontend;
     port_ = backend_port;
     ring_grant_ = ring_grant;
+    pmap_.bind(&frontend);
+    bell_ = std::make_unique<LazyDoorbell>(hv.events(), dom_, port_);
     ring_ = std::make_unique<BackRing>(page.value());
     if (auto *m = hv.engine().metrics())
         ring_->attachMetrics(*m, "ring.blkback");
@@ -158,10 +161,13 @@ Blkback::disconnect()
     if (!frontend_)
         return;
     Hypervisor &hv = dom_.hypervisor();
+    // A pending deferred notify must not fire after the port closes.
+    bell_.reset();
     // In-flight data grants first, then the ring page itself.
     for (GrantRef gref : mapped_grefs_)
         hv.grantUnmap(dom_, *frontend_, gref);
     mapped_grefs_.clear();
+    pmap_.unmapAll();
     ring_.reset();
     hv.grantUnmap(dom_, *frontend_, ring_grant_);
     frontend_ = nullptr;
@@ -174,8 +180,12 @@ Blkback::complete(u64 id, u8 status)
     Cstruct rsp = ring_->startResponse().value();
     rsp.setLe64(BlkifWire::rspId, id);
     rsp.setU8(BlkifWire::rspStatus, status);
-    if (ring_->pushResponses())
-        dom_.hypervisor().events().notify(dom_, port_);
+    if (ring_->pushResponses()) {
+        if (sim::tuning().doorbellBatching && bell_)
+            bell_->ring();
+        else
+            dom_.hypervisor().events().notify(dom_, port_);
+    }
 }
 
 u32
@@ -205,6 +215,10 @@ Blkback::onEvent()
             u64 id = req.getLe64(BlkifWire::reqId);
             u8 op = req.getU8(BlkifWire::reqOp);
             u8 sectors = req.getU8(BlkifWire::reqSectors);
+            bool persistent =
+                (req.getU8(BlkifWire::reqFlags) &
+                 BlkifWire::flagPersistent) != 0;
+            std::size_t offset = req.getLe32(BlkifWire::reqOffset);
             u64 sector = req.getLe64(BlkifWire::reqSector);
             GrantRef gref = req.getLe32(BlkifWire::reqGrant);
             u64 flow = fl ? req.getLe32(BlkifWire::reqFlow) : 0;
@@ -222,7 +236,20 @@ Blkback::onEvent()
                 continue;
             }
             bool write = op == BlkifWire::opWrite;
-            auto page = hv.grantMap(dom_, *frontend_, gref, !write);
+            // Persistent grants are mapped through the cache and stay
+            // mapped (always readwrite — the pool issues writable
+            // grants); one-shot grants map here and unmap in finish().
+            auto page = persistent
+                            ? pmap_.map(gref)
+                            : hv.grantMap(dom_, *frontend_, gref, !write);
+            std::size_t bytes =
+                std::size_t(sectors) * BlkifWire::sectorBytes;
+            if (page.ok() && offset + bytes > page.value().length()) {
+                if (!persistent)
+                    hv.grantUnmap(dom_, *frontend_, gref);
+                page = Result<Cstruct>(
+                    boundsError("blk request outside granted region"));
+            }
             if (!page.ok()) {
                 if (flow)
                     fl->stageEnd(flow, "blkback", hv.engine().now(),
@@ -230,10 +257,12 @@ Blkback::onEvent()
                 complete(id, BlkifWire::statusError);
                 continue;
             }
-            Cstruct data = page.value().sub(
-                0, std::size_t(sectors) * BlkifWire::sectorBytes);
-            mapped_grefs_.push_back(gref);
-            auto finish = [this, id, gref, flow](Status st) {
+            Cstruct data = page.value().sub(offset, bytes);
+            if (!persistent)
+                mapped_grefs_.push_back(gref);
+            inflight_++;
+            auto finish = [this, id, gref, persistent, flow](Status st) {
+                inflight_--;
                 sim::Engine &eng = dom_.hypervisor().engine();
                 if (flow) {
                     if (auto *f = eng.flows())
@@ -242,13 +271,18 @@ Blkback::onEvent()
                 }
                 if (!frontend_)
                     return; // disconnect() already unmapped everything
-                auto it = std::find(mapped_grefs_.begin(),
-                                    mapped_grefs_.end(), gref);
-                if (it != mapped_grefs_.end())
-                    mapped_grefs_.erase(it);
-                dom_.hypervisor().grantUnmap(dom_, *frontend_, gref);
+                if (!persistent) {
+                    auto it = std::find(mapped_grefs_.begin(),
+                                        mapped_grefs_.end(), gref);
+                    if (it != mapped_grefs_.end())
+                        mapped_grefs_.erase(it);
+                    dom_.hypervisor().grantUnmap(dom_, *frontend_, gref);
+                }
                 complete(id, st.ok() ? BlkifWire::statusOk
                                      : BlkifWire::statusError);
+                // Requests pushed while req_event was parked are picked
+                // up here; the last completion re-arms the event.
+                onEvent();
             };
             // The disk service chain (and ultimately finish) runs
             // under the request's flow via engine ambient propagation.
@@ -257,6 +291,13 @@ Blkback::onEvent()
                 disk_.writeAsync(sector, sectors, data, finish);
             else
                 disk_.readAsync(sector, sectors, data, finish);
+        }
+        // While requests are in flight every completion re-enters this
+        // drain, so the ring needs no doorbells: park req_event until
+        // the queue runs dry.
+        if (sim::tuning().doorbellBatching && inflight_ > 0) {
+            ring_->suppressRequestEvents();
+            break;
         }
     } while (ring_->finalCheckForRequests());
 }

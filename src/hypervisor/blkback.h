@@ -14,6 +14,8 @@
 
 #include "base/cstruct.h"
 #include "hypervisor/domain.h"
+#include "hypervisor/event_channel.h"
+#include "hypervisor/grant_map_cache.h"
 #include "hypervisor/ring.h"
 #include "sim/cpu.h"
 
@@ -26,6 +28,8 @@ struct BlkifWire
     static constexpr std::size_t reqId = 0;      // le64
     static constexpr std::size_t reqOp = 8;      // u8: 0 read, 1 write
     static constexpr std::size_t reqSectors = 9; // u8: 1..8 (one page)
+    static constexpr std::size_t reqFlags = 10;  // u8
+    static constexpr std::size_t reqOffset = 12; // le32 offset in grant
     static constexpr std::size_t reqSector = 16; // le64 start sector
     static constexpr std::size_t reqGrant = 24;  // le32 data page grant
     /** Low 32 bits of the request-flow id (0 = untracked). */
@@ -33,6 +37,13 @@ struct BlkifWire
     // response
     static constexpr std::size_t rspId = 0;     // le64
     static constexpr std::size_t rspStatus = 8; // u8: 0 ok
+
+    /**
+     * The data grant is persistent: the backend caches the mapping
+     * instead of unmapping after this request, and reqOffset locates
+     * the data inside the (whole-buffer) grant.
+     */
+    static constexpr u8 flagPersistent = 0x1;
 
     static constexpr u8 opRead = 0;
     static constexpr u8 opWrite = 1;
@@ -104,6 +115,9 @@ class Blkback
     Domain &backendDomain() { return dom_; }
     u64 requestsHandled() const { return handled_; }
 
+    /** Persistent-grant mapping cache (test visibility). */
+    const GrantMapCache &mapCache() const { return pmap_; }
+
   private:
     void onEvent();
     void complete(u64 id, u8 status);
@@ -115,7 +129,16 @@ class Blkback
     Port port_ = 0;
     GrantRef ring_grant_ = 0;
     std::unique_ptr<BackRing> ring_;
-    std::vector<GrantRef> mapped_grefs_; //!< data grants in flight
+    std::vector<GrantRef> mapped_grefs_; //!< one-shot data grants in flight
+    /** gref → page cache for persistent data grants. */
+    GrantMapCache pmap_;
+    /** Deferred completion doorbell (interrupt mitigation). */
+    std::unique_ptr<LazyDoorbell> bell_;
+    /** Disk requests submitted but not yet finished. While nonzero the
+     *  ring's req_event stays parked: each completion re-drains the
+     *  ring, so frontend pushes need no doorbell; the last completion
+     *  re-arms it. */
+    u64 inflight_ = 0;
     u64 handled_ = 0;
     u32 track_ = 0; //!< lazily interned "<dom>/blkback" track
 };

@@ -5,6 +5,7 @@
 #include "hypervisor/domain.h"
 #include "hypervisor/xen.h"
 #include "sim/cost_model.h"
+#include "sim/tuning.h"
 #include "trace/trace.h"
 
 namespace mirage::xen {
@@ -113,9 +114,12 @@ EventChannelHub::notify(Domain &dom, Port port)
     notifications_++;
     // Metrics may be attached to the engine after the hub exists
     // (Cloud wires them in its constructor body), so resolve lazily.
-    if (!c_notifications_ && engine_.metrics())
+    if (!c_notifications_ && engine_.metrics()) {
         c_notifications_ = &engine_.metrics()->counter("evtchn.notifications");
+        c_sent_ = &engine_.metrics()->counter("notify.sent");
+    }
     trace::bump(c_notifications_);
+    trace::bump(c_sent_);
     if (auto *tr = engine_.tracer(); tr && tr->enabled())
         tr->instant(trace::Cat::Hypervisor, "evtchn.notify",
                     engine_.now(), 0,
@@ -128,6 +132,63 @@ EventChannelHub::notify(Domain &dom, Port port)
     engine_.after(sim::costs().interrupt,
                   [peer, peer_port] { peer->deliverEvent(peer_port); });
     return Status::success();
+}
+
+void
+EventChannelHub::countSuppressed(u64 n)
+{
+    suppressed_ += n;
+    if (!c_suppressed_ && engine_.metrics())
+        c_suppressed_ = &engine_.metrics()->counter("notify.suppressed");
+    trace::bump(c_suppressed_, n);
+}
+
+// ---- DoorbellBatch ---------------------------------------------------------
+
+void
+DoorbellBatch::ring(Port port)
+{
+    for (Port p : ports_) {
+        if (p == port) {
+            hub_.countSuppressed();
+            return;
+        }
+    }
+    ports_.push_back(port);
+}
+
+void
+DoorbellBatch::flush()
+{
+    for (Port p : ports_)
+        hub_.notify(dom_, p);
+    ports_.clear();
+}
+
+// ---- LazyDoorbell ----------------------------------------------------------
+
+void
+LazyDoorbell::ring()
+{
+    if (armed_) {
+        hub_.countSuppressed();
+        return;
+    }
+    armed_ = true;
+    flush_event_ =
+        hub_.engine_.after(sim::tuning().doorbellWindow, [this] {
+            armed_ = false;
+            hub_.notify(dom_, port_);
+        });
+}
+
+void
+LazyDoorbell::cancel()
+{
+    if (!armed_)
+        return;
+    hub_.engine_.cancel(flush_event_);
+    armed_ = false;
 }
 
 } // namespace mirage::xen

@@ -67,7 +67,15 @@ class EventChannelHub
     /** Count of notify() calls, for hypercall-traffic assertions. */
     u64 notifications() const { return notifications_; }
 
+    /** Doorbells coalesced away by batching helpers (see below). */
+    u64 suppressed() const { return suppressed_; }
+
+    /** Record @p n doorbells a batching helper elided. */
+    void countSuppressed(u64 n = 1);
+
   private:
+    friend class DoorbellBatch;
+    friend class LazyDoorbell;
     struct Endpoint
     {
         Domain *dom = nullptr;
@@ -88,7 +96,68 @@ class EventChannelHub
     sim::Engine &engine_;
     std::vector<Channel> channels_;
     u64 notifications_ = 0;
+    u64 suppressed_ = 0;
     trace::Counter *c_notifications_ = nullptr;
+    trace::Counter *c_sent_ = nullptr;
+    trace::Counter *c_suppressed_ = nullptr;
+};
+
+/**
+ * Scoped doorbell coalescing for a synchronous burst: ring() records
+ * that a ring push decided a notify is due; the destructor sends one
+ * notify per distinct port. Repeats within the burst count as
+ * suppressed (`notify.suppressed`).
+ */
+class DoorbellBatch
+{
+  public:
+    DoorbellBatch(EventChannelHub &hub, Domain &dom)
+        : hub_(hub), dom_(dom)
+    {
+    }
+    ~DoorbellBatch() { flush(); }
+    DoorbellBatch(const DoorbellBatch &) = delete;
+    DoorbellBatch &operator=(const DoorbellBatch &) = delete;
+
+    void ring(Port port);
+    void flush();
+
+  private:
+    EventChannelHub &hub_;
+    Domain &dom_;
+    std::vector<Port> ports_; //!< distinct ports rung this burst
+};
+
+/**
+ * Deferred doorbell with a coalescing window: the first ring()
+ * schedules the actual notify tuning().doorbellWindow later; rings that
+ * land inside the window share it — the interrupt-mitigation shape of a
+ * real NIC, applied to backend response notifies. cancel() before
+ * disconnect so a pending flush never notifies a closed port.
+ */
+class LazyDoorbell
+{
+  public:
+    LazyDoorbell(EventChannelHub &hub, Domain &dom, Port port)
+        : hub_(hub), dom_(dom), port_(port)
+    {
+    }
+    ~LazyDoorbell() { cancel(); }
+    LazyDoorbell(const LazyDoorbell &) = delete;
+    LazyDoorbell &operator=(const LazyDoorbell &) = delete;
+
+    /** Request a notify; coalesces into any pending window. */
+    void ring();
+
+    /** Drop any pending notify (idempotent). */
+    void cancel();
+
+  private:
+    EventChannelHub &hub_;
+    Domain &dom_;
+    Port port_;
+    bool armed_ = false;
+    sim::EventId flush_event_ = 0;
 };
 
 } // namespace mirage::xen

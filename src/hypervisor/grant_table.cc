@@ -3,8 +3,20 @@
 #include "base/logging.h"
 #include "check/check.h"
 #include "sim/engine.h"
+#include "trace/metrics.h"
 
 namespace mirage::xen {
+
+void
+GrantTable::countOp()
+{
+    // One tick per grant-table operation, whichever kind: the datapath
+    // benches compare this per-packet across tuning configurations.
+    ops_++;
+    if (!c_ops_ && engine_ && engine_->metrics())
+        c_ops_ = &engine_->metrics()->counter("gnttab.ops");
+    trace::bump(c_ops_);
+}
 
 check::Checker *
 GrantTable::checker() const
@@ -18,6 +30,7 @@ GrantTable::checker() const
 GrantRef
 GrantTable::grantAccess(DomId peer, Cstruct page, bool readonly)
 {
+    countOp();
     GrantRef ref = next_ref_++;
     entries_.emplace(ref, Entry{peer, std::move(page), readonly, 0});
     if (check::Checker *ck = checker())
@@ -28,6 +41,7 @@ GrantTable::grantAccess(DomId peer, Cstruct page, bool readonly)
 Status
 GrantTable::endAccess(GrantRef ref)
 {
+    countOp();
     check::Checker *ck = checker();
     auto it = entries_.find(ref);
     if (it == entries_.end()) {
@@ -49,6 +63,7 @@ GrantTable::endAccess(GrantRef ref)
 Result<Cstruct>
 GrantTable::mapFor(DomId peer, GrantRef ref, bool write)
 {
+    countOp();
     check::Checker *ck = checker();
     auto it = entries_.find(ref);
     if (it == entries_.end()) {
@@ -73,6 +88,7 @@ GrantTable::mapFor(DomId peer, GrantRef ref, bool write)
 Status
 GrantTable::unmapFor(DomId peer, GrantRef ref)
 {
+    countOp();
     check::Checker *ck = checker();
     auto it = entries_.find(ref);
     if (it == entries_.end()) {
@@ -95,6 +111,13 @@ GrantTable::unmapFor(DomId peer, GrantRef ref)
     if (ck)
         ck->grantUnmap(owner_, ref, peer, true);
     return Status::success();
+}
+
+u32
+GrantTable::mapCountOf(GrantRef ref) const
+{
+    auto it = entries_.find(ref);
+    return it == entries_.end() ? 0 : it->second.mapCount;
 }
 
 std::size_t

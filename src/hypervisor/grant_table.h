@@ -19,6 +19,10 @@ namespace mirage::check {
 class Checker;
 } // namespace mirage::check
 
+namespace mirage::trace {
+class Counter;
+} // namespace mirage::trace
+
 namespace mirage::sim {
 class Engine;
 } // namespace mirage::sim
@@ -60,6 +64,14 @@ class GrantTable
     std::size_t mappedGrants() const;
 
     /**
+     * Times @p ref is currently mapped by its peer (0 when unknown).
+     * The grant pool uses this to tell a free pooled page (only the
+     * pool, the table entry and the peer's cached map reference it)
+     * from one still borrowed by in-flight I/O.
+     */
+    u32 mapCountOf(GrantRef ref) const;
+
+    /**
      * Drop every entry, releasing the page views they hold. Called at
      * domain teardown (after the checker's leak audit): entries keep
      * guest pages alive, and their deleters live in the guest, so they
@@ -74,8 +86,12 @@ class GrantTable
      */
     void bindEngine(const sim::Engine *engine) { engine_ = engine; }
 
+    /** grantAccess + endAccess + map + unmap calls, all tables. */
+    u64 ops() const { return ops_; }
+
   private:
     check::Checker *checker() const;
+    void countOp();
 
     struct Entry
     {
@@ -89,6 +105,8 @@ class GrantTable
     GrantRef next_ref_ = 1;
     const sim::Engine *engine_ = nullptr;
     std::unordered_map<GrantRef, Entry> entries_;
+    u64 ops_ = 0;
+    trace::Counter *c_ops_ = nullptr; //!< global `gnttab.ops`
 };
 
 } // namespace mirage::xen

@@ -5,6 +5,7 @@
 #include "base/logging.h"
 #include "hypervisor/xen.h"
 #include "sim/cost_model.h"
+#include "sim/tuning.h"
 #include "trace/flow.h"
 #include "trace/trace.h"
 
@@ -62,7 +63,7 @@ Bridge::send(BridgeEndpoint *from, Cstruct frame)
 void
 Bridge::deliver(BridgeEndpoint *from, const Cstruct &frame)
 {
-    if (drop_fn_ && drop_fn_()) {
+    if (drop_fn_ && drop_fn_(frame)) {
         dropped_++;
         return;
     }
@@ -106,12 +107,31 @@ Netback::connect(const NetConnectInfo &info)
     return *vifs_.back();
 }
 
+Netback::Vif *
+Netback::vifFor(const Domain &frontend)
+{
+    for (auto &vif : vifs_)
+        if (&vif->frontendDomain() == &frontend)
+            return vif.get();
+    return nullptr;
+}
+
 Netback::Vif::Vif(Netback &owner, const NetConnectInfo &info)
     : owner_(owner), frontend_(*info.frontend), mac_(info.mac),
       tx_port_(info.backendTxPort), rx_port_(info.backendRxPort),
-      tx_ring_grant_(info.txRingGrant), rx_ring_grant_(info.rxRingGrant)
+      tx_ring_grant_(info.txRingGrant), rx_ring_grant_(info.rxRingGrant),
+      pmap_(owner.dom_, "netback")
 {
     Hypervisor &hv = owner_.dom_.hypervisor();
+    pmap_.bind(&frontend_);
+    rx_bell_ = std::make_unique<LazyDoorbell>(hv.events(), owner_.dom_,
+                                              rx_port_);
+    tx_poller_ = std::make_unique<sim::Poller>(
+        hv.engine(),
+        [this] { return tx_ring_ ? drainTx(true) : false; },
+        [this] {
+            return tx_ring_ && tx_ring_->finalCheckForRequests();
+        });
     auto tx_page =
         hv.grantMap(owner_.dom_, frontend_, info.txRingGrant, true);
     auto rx_page =
@@ -146,6 +166,9 @@ Netback::Vif::disconnect()
         return;
     Hypervisor &hv = owner_.dom_.hypervisor();
     owner_.bridge_.detach(this);
+    rx_bell_.reset(); // drop any pending doorbell: the port is closing
+    tx_poller_.reset();
+    pmap_.unmapAll();
     tx_ring_.reset();
     rx_ring_.reset();
     hv.grantUnmap(owner_.dom_, frontend_, tx_ring_grant_);
@@ -168,6 +191,17 @@ Netback::Vif::onTxEvent()
 {
     if (!tx_ring_)
         return; // event raced with disconnect
+    // While the frontend transmits, park req_event and drain on the
+    // poller's cadence instead of per-push doorbells.
+    bool park = sim::tuning().doorbellBatching;
+    drainTx(park);
+    if (park)
+        tx_poller_->kick();
+}
+
+bool
+Netback::Vif::drainTx(bool park)
+{
     Hypervisor &hv = owner_.dom_.hypervisor();
     const auto &c = sim::costs();
     trace::FlowTracker *fl = hv.engine().flows();
@@ -182,47 +216,71 @@ Netback::Vif::onTxEvent()
             u16 offset = req.getLe16(NetifWire::txreqOffset);
             u16 len = req.getLe16(NetifWire::txreqLen);
             u16 flags = req.getLe16(NetifWire::txreqFlags);
-
-            // First fragment of a packet: pick up the flow stamped in
-            // the slot and open the backend stage for it.
-            if (fl && pending_frags_.empty()) {
-                pending_flow_ = req.getLe32(NetifWire::txreqFlow);
-                if (pending_flow_) {
-                    fl->stageBegin(pending_flow_, "netback_tx",
-                                   hv.engine().now(), flowTrack());
-                    // Baseline of dom0's CPU backlog, so the stage
-                    // charges only this packet's own modeled work.
-                    pending_busy0_ = owner_.dom_.vcpu().freeAt();
-                    if (pending_busy0_ < hv.engine().now())
-                        pending_busy0_ = hv.engine().now();
-                }
-            }
-
-            owner_.dom_.vcpu().charge(c.backendPerRequest);
-            auto page = hv.grantMap(owner_.dom_, frontend_, gref, false);
-            u8 status = NetifWire::statusOk;
-            if (page.ok() &&
-                std::size_t(offset) + len <= page.value().length()) {
-                // Hold the fragment view; the grant stays mapped only
-                // within this handler, so take a reference to the
-                // shared page. The frontend keeps the page alive until
-                // it sees the response.
-                pending_frags_.push_back(page.value().sub(offset, len));
-                pending_bytes_ += len;
-            } else {
-                status = NetifWire::statusError;
-                pending_frags_.clear();
-                pending_bytes_ = 0;
-                if (fl && pending_flow_) {
-                    fl->stageEnd(pending_flow_, "netback_tx",
-                                 hv.engine().now(), flowTrack());
-                    pending_flow_ = 0;
-                }
-            }
-            if (page.ok())
-                hv.grantUnmap(owner_.dom_, frontend_, gref);
-
             bool more = (flags & NetifWire::txflagMoreData) != 0;
+            bool persistent =
+                (flags & NetifWire::txflagPersistent) != 0;
+
+            u8 status = NetifWire::statusOk;
+            if (discard_chain_) {
+                // An earlier fragment of this chain failed: the rest
+                // of the chain is garbage. Error each fragment without
+                // touching its grant.
+                status = NetifWire::statusError;
+            } else {
+                // First fragment of a packet: pick up the flow stamped
+                // in the slot and open the backend stage for it.
+                if (fl && pending_frags_.empty()) {
+                    pending_flow_ = req.getLe32(NetifWire::txreqFlow);
+                    if (pending_flow_) {
+                        fl->stageBegin(pending_flow_, "netback_tx",
+                                       hv.engine().now(), flowTrack());
+                        // Baseline of dom0's CPU backlog, so the stage
+                        // charges only this packet's own modeled work.
+                        pending_busy0_ = owner_.dom_.vcpu().freeAt();
+                        if (pending_busy0_ < hv.engine().now())
+                            pending_busy0_ = hv.engine().now();
+                    }
+                }
+
+                owner_.dom_.vcpu().charge(c.backendPerRequest);
+                bool injected = false;
+                if (inject_tx_map_failures_ > 0) {
+                    inject_tx_map_failures_--;
+                    injected = true;
+                }
+                Result<Cstruct> page =
+                    injected ? Result<Cstruct>(stateError(
+                                   "injected tx map failure"))
+                    : persistent
+                        ? pmap_.map(gref)
+                        : hv.grantMap(owner_.dom_, frontend_, gref,
+                                      false);
+                if (page.ok() &&
+                    std::size_t(offset) + len <= page.value().length()) {
+                    // Hold the fragment view; the shared page stays
+                    // alive through the cached mapping (persistent) or
+                    // the frontend's own reference (one-shot).
+                    pending_frags_.push_back(
+                        page.value().sub(offset, len));
+                    pending_bytes_ += len;
+                } else {
+                    status = NetifWire::statusError;
+                    pending_frags_.clear();
+                    pending_bytes_ = 0;
+                    if (more)
+                        discard_chain_ = true;
+                    if (fl && pending_flow_) {
+                        fl->stageEnd(pending_flow_, "netback_tx",
+                                     hv.engine().now(), flowTrack());
+                        pending_flow_ = 0;
+                    }
+                }
+                if (!persistent && page.ok())
+                    hv.grantUnmap(owner_.dom_, frontend_, gref);
+            }
+
+            if (!more)
+                discard_chain_ = false;
             if (!more && status == NetifWire::statusOk &&
                 !pending_frags_.empty()) {
                 // Last fragment: coalesce the chain into one owned
@@ -266,9 +324,17 @@ Netback::Vif::onTxEvent()
             rsp.setU8(NetifWire::txrspStatus, status);
             any = true;
         }
+        if (park) {
+            tx_ring_->suppressRequestEvents();
+            break;
+        }
     } while (tx_ring_->finalCheckForRequests());
+    // pushResponses() asks for a notify only while the frontend has its
+    // rsp_event armed — a polling frontend hears nothing and pays
+    // nothing.
     if (any && tx_ring_->pushResponses())
         hv.events().notify(owner_.dom_, tx_port_);
+    return any;
 }
 
 void
@@ -280,10 +346,25 @@ Netback::Vif::onRxEvent()
     do {
         while (rx_ring_->unconsumedRequests() > 0) {
             Cstruct req = rx_ring_->takeRequest().value();
-            posted_rx_.emplace_back(req.getLe16(NetifWire::rxreqId),
-                                    req.getLe32(NetifWire::rxreqGrant));
+            u16 rflags = req.getLe16(NetifWire::rxreqFlags);
+            posted_rx_.push_back(PostedRx{
+                req.getLe16(NetifWire::rxreqId),
+                req.getLe32(NetifWire::rxreqGrant),
+                (rflags & NetifWire::rxflagPersistent) != 0});
         }
     } while (rx_ring_->finalCheckForRequests());
+    // Deliver frames that were waiting for buffers, oldest first.
+    while (!rx_backlog_.empty() && !posted_rx_.empty()) {
+        Cstruct frame = std::move(rx_backlog_.front());
+        rx_backlog_.pop_front();
+        deliverFrame(frame);
+    }
+    // With buffers banked we poll the ring on demand from
+    // frameFromBridge(): park req_event so reposts stop ringing the
+    // doorbell. The final-check above re-arms it whenever the bank has
+    // run dry, so a starved backend still hears about the next post.
+    if (sim::tuning().doorbellBatching && !posted_rx_.empty())
+        rx_ring_->suppressRequestEvents();
 }
 
 void
@@ -293,20 +374,35 @@ Netback::Vif::frameFromBridge(const Cstruct &frame)
         dropped_++; // frame raced with disconnect
         return;
     }
-    Hypervisor &hv = owner_.dom_.hypervisor();
-    const auto &c = sim::costs();
-
-    // Late buffer harvest, as netback does on its rx path.
+    // Late buffer harvest, as netback does on its rx path (also flushes
+    // any backlog the harvest unblocked).
     onRxEvent();
-    if (posted_rx_.empty()) {
-        dropped_++;
+    if (!rx_backlog_.empty() || posted_rx_.empty()) {
+        // No buffer for this frame (or older frames are still waiting
+        // — ordering): park it until the frontend reposts.
+        if (rx_backlog_.size() >= rxBacklogLimit) {
+            dropped_++;
+            return;
+        }
+        rx_backlog_.push_back(frame);
         return;
     }
-    auto [id, gref] = posted_rx_.front();
+    deliverFrame(frame);
+}
+
+void
+Netback::Vif::deliverFrame(const Cstruct &frame)
+{
+    Hypervisor &hv = owner_.dom_.hypervisor();
+    const auto &c = sim::costs();
+    PostedRx post = posted_rx_.front();
     posted_rx_.pop_front();
 
     owner_.dom_.vcpu().charge(c.backendPerRequest);
-    auto page = hv.grantMap(owner_.dom_, frontend_, gref, true);
+    auto page = post.persistent
+                    ? pmap_.map(post.gref)
+                    : hv.grantMap(owner_.dom_, frontend_, post.gref,
+                                  true);
     u8 status = NetifWire::statusOk;
     u16 len = u16(std::min<std::size_t>(frame.length(), pageSize));
     if (page.ok() && len <= page.value().length()) {
@@ -315,15 +411,22 @@ Netback::Vif::frameFromBridge(const Cstruct &frame)
     } else {
         status = NetifWire::statusError;
     }
-    if (page.ok())
-        hv.grantUnmap(owner_.dom_, frontend_, gref);
+    if (!post.persistent && page.ok())
+        hv.grantUnmap(owner_.dom_, frontend_, post.gref);
 
     Cstruct rsp = rx_ring_->startResponse().value();
-    rsp.setLe16(NetifWire::rxrspId, id);
+    rsp.setLe16(NetifWire::rxrspId, post.id);
     rsp.setLe16(NetifWire::rxrspLen, len);
     rsp.setU8(NetifWire::rxrspStatus, status);
-    if (rx_ring_->pushResponses())
-        hv.events().notify(owner_.dom_, rx_port_);
+    if (rx_ring_->pushResponses()) {
+        // Deliveries arrive one frame per fabric slot; a lazy doorbell
+        // coalesces back-to-back fills into one upcall, like a NIC's
+        // interrupt mitigation.
+        if (sim::tuning().doorbellBatching && rx_bell_)
+            rx_bell_->ring();
+        else
+            hv.events().notify(owner_.dom_, rx_port_);
+    }
 }
 
 } // namespace mirage::xen

@@ -23,8 +23,11 @@
 
 #include "base/cstruct.h"
 #include "hypervisor/domain.h"
+#include "hypervisor/event_channel.h"
+#include "hypervisor/grant_map_cache.h"
 #include "hypervisor/ring.h"
 #include "sim/cpu.h"
+#include "sim/poller.h"
 
 namespace mirage::xen {
 
@@ -47,12 +50,21 @@ struct NetifWire
     static constexpr std::size_t txreqFlow = 16; // le32
     /** More fragments of the same packet follow (scatter-gather tx). */
     static constexpr u16 txflagMoreData = 0x1;
+    /**
+     * The grant is persistent: the backend caches the mapping instead
+     * of unmapping after this request, and txreqOffset locates the
+     * fragment inside the (whole-buffer) grant.
+     */
+    static constexpr u16 txflagPersistent = 0x2;
     // tx response
     static constexpr std::size_t txrspId = 0;     // le16
     static constexpr std::size_t txrspStatus = 2; // u8: 0 ok
     // rx request (posted empty buffer)
-    static constexpr std::size_t rxreqId = 0;    // le16
-    static constexpr std::size_t rxreqGrant = 4; // le32
+    static constexpr std::size_t rxreqId = 0;     // le16
+    static constexpr std::size_t rxreqGrant = 4;  // le32
+    static constexpr std::size_t rxreqFlags = 8;  // le16
+    /** Posted buffer rides a persistent grant (see txflagPersistent). */
+    static constexpr u16 rxflagPersistent = 0x1;
     // rx response
     static constexpr std::size_t rxrspId = 0;     // le16
     static constexpr std::size_t rxrspLen = 2;    // le16
@@ -93,9 +105,16 @@ class Bridge
 
     /**
      * Fault injection: frames for which @p fn returns true are dropped
-     * in the fabric. Used to exercise retransmission machinery.
+     * in the fabric. The frame is passed in so tests can target a
+     * specific kind of traffic (e.g. the Nth data segment) regardless
+     * of how control frames interleave. Used to exercise
+     * retransmission machinery.
      */
-    void setDropFn(std::function<bool()> fn) { drop_fn_ = std::move(fn); }
+    void
+    setDropFn(std::function<bool(const Cstruct &)> fn)
+    {
+        drop_fn_ = std::move(fn);
+    }
 
   private:
     void deliver(BridgeEndpoint *from, const Cstruct &frame);
@@ -104,7 +123,7 @@ class Bridge
     sim::Cpu fabric_;
     std::vector<BridgeEndpoint *> ports_;
     std::map<MacBytes, BridgeEndpoint *> learned_;
-    std::function<bool()> drop_fn_;
+    std::function<bool(const Cstruct &)> drop_fn_;
     u64 switched_ = 0;
     u64 flooded_ = 0;
     u64 dropped_ = 0;
@@ -146,10 +165,28 @@ class Netback
         u64 framesDropped() const { return dropped_; }
         u64 framesForwarded() const { return forwarded_; }
 
+        /** Persistent-grant mapping cache (test visibility). */
+        const GrantMapCache &mapCache() const { return pmap_; }
+
+        /** The frontend this vif serves. */
+        const Domain &frontendDomain() const { return frontend_; }
+
+        /**
+         * Fault injection: fail the next @p n tx fragment maps, as if
+         * the frontend revoked the grants mid-flight. Exercises the
+         * chain-abort path.
+         */
+        void injectTxMapFailures(u32 n) { inject_tx_map_failures_ = n; }
+
       private:
         void onTxEvent();
+        bool drainTx(bool park);
         void onRxEvent();
+        void deliverFrame(const Cstruct &frame);
         u32 flowTrack();
+
+        /** Frames parked while the frontend owes rx buffers. */
+        static constexpr std::size_t rxBacklogLimit = 256;
 
         Netback &owner_;
         Domain &frontend_;
@@ -160,11 +197,36 @@ class Netback
         GrantRef rx_ring_grant_;
         std::unique_ptr<BackRing> tx_ring_;
         std::unique_ptr<BackRing> rx_ring_;
+        /** gref → page cache for persistent grants (both directions —
+         *  the frontend pool issues writable grants, so one mapping
+         *  serves tx reads and rx fills alike). */
+        GrantMapCache pmap_;
+        /** Deferred rx-fill doorbell (interrupt mitigation). */
+        std::unique_ptr<LazyDoorbell> rx_bell_;
+        /** Parks the tx ring's req_event and drains on a timer while
+         *  the frontend is transmitting (frontend pushes then stop
+         *  ringing the doorbell). */
+        std::unique_ptr<sim::Poller> tx_poller_;
+        struct PostedRx
+        {
+            u16 id;
+            GrantRef gref;
+            bool persistent;
+        };
         /** rx buffers posted by the frontend, FIFO. */
-        std::deque<std::pair<u16, GrantRef>> posted_rx_;
+        std::deque<PostedRx> posted_rx_;
+        /** Switched frames waiting for rx buffers, FIFO (real netback's
+         *  rx queue): delivered as the frontend reposts, dropped only
+         *  past rxBacklogLimit. */
+        std::deque<Cstruct> rx_backlog_;
         /** Fragments of a partially-received scatter-gather packet. */
         std::vector<Cstruct> pending_frags_;
         std::size_t pending_bytes_ = 0;
+        /** A fragment of the current tx chain failed: error out the
+         *  rest of the chain instead of treating the remaining
+         *  fragments as the start of a new packet. */
+        bool discard_chain_ = false;
+        u32 inject_tx_map_failures_ = 0;
         /** Flow id stamped in the packet's first fragment slot. */
         u64 pending_flow_ = 0;
         /** dom0 vCPU backlog when the packet's stage opened. */
@@ -175,6 +237,9 @@ class Netback
     };
 
     Vif &connect(const NetConnectInfo &info);
+
+    /** The vif serving @p frontend, or nullptr (fault injection). */
+    Vif *vifFor(const Domain &frontend);
 
     Domain &backendDomain() { return dom_; }
     Bridge &bridge() { return bridge_; }

@@ -131,6 +131,12 @@ FrontRing::finalCheckForResponses()
     return unconsumedResponses() > 0;
 }
 
+void
+FrontRing::suppressResponseEvents()
+{
+    ring_.setRspEvent(rsp_cons_ + RingLayout::slotCount + 1);
+}
+
 // ---- BackRing ------------------------------------------------------------
 
 BackRing::BackRing(Cstruct page) : ring_(std::move(page)) {}
@@ -183,6 +189,12 @@ BackRing::finalCheckForRequests()
 {
     ring_.setReqEvent(req_cons_ + 1);
     return unconsumedRequests() > 0;
+}
+
+void
+BackRing::suppressRequestEvents()
+{
+    ring_.setReqEvent(req_cons_ + RingLayout::slotCount + 1);
 }
 
 void

@@ -118,6 +118,15 @@ class FrontRing
     bool finalCheckForResponses();
 
     /**
+     * Park rsp_event beyond any index the backend can publish (it never
+     * has more responses outstanding than the slot count), so response
+     * pushes stop notifying. A frontend polling its rings (sim::Poller)
+     * uses this until it goes idle, then re-arms with
+     * finalCheckForResponses().
+     */
+    void suppressResponseEvents();
+
+    /**
      * Mirror push/take activity into `<prefix>.req_pushed` and
      * `<prefix>.rsp_taken` counters (aggregated when several rings
      * share a prefix).
@@ -165,6 +174,15 @@ class BackRing
 
     /** Re-arm request notifications; true when requests raced in. */
     bool finalCheckForRequests();
+
+    /**
+     * Park req_event beyond any index the producer can publish (flow
+     * control caps it at cons + slotCount), so request pushes stop
+     * notifying. A backend that polls its request ring on demand —
+     * netback harvesting posted rx buffers — uses this until it is
+     * starved, then re-arms with finalCheckForRequests().
+     */
+    void suppressRequestEvents();
 
     /** Mirror into `<prefix>.req_taken` / `<prefix>.rsp_pushed`. */
     void attachMetrics(trace::MetricsRegistry &reg,

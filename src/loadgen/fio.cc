@@ -33,11 +33,18 @@ Fio::issue()
     u32 sectors = u32(bytes / storage::BlockDevice::sectorBytes);
     u64 max_start = dev_.sizeSectors() - sectors;
     u64 sector = (rng_.below(max_start / 8)) * 8; // 4 kB aligned
-    Cstruct buf = Cstruct::create(bytes);
+    Cstruct buf;
+    if (!free_bufs_.empty()) {
+        buf = free_bufs_.back();
+        free_bufs_.pop_back();
+    } else {
+        buf = Cstruct::create(bytes);
+    }
     inflight_++;
-    storage::readRange(dev_, sector, sectors, buf, [this,
-                                                    bytes](Status st) {
+    storage::readRange(dev_, sector, sectors, buf, [this, bytes,
+                                                    buf](Status st) {
         inflight_--;
+        free_bufs_.push_back(buf);
         if (st.ok()) {
             report_.reads++;
             report_.bytes += bytes;

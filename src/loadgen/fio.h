@@ -10,6 +10,7 @@
 #define MIRAGE_LOADGEN_FIO_H
 
 #include <functional>
+#include <vector>
 
 #include "base/rand.h"
 #include "core/cloud.h"
@@ -52,6 +53,12 @@ class Fio
     TimePoint started_;
     bool running_ = false;
     u32 inflight_ = 0;
+    /**
+     * Recycled read buffers, as fio reuses its iomem across requests.
+     * Stable buffer identity also lets persistent-grant frontends
+     * register each buffer once instead of granting per read.
+     */
+    std::vector<Cstruct> free_bufs_;
 };
 
 } // namespace mirage::loadgen

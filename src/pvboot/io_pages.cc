@@ -3,8 +3,14 @@
 namespace mirage::pvboot {
 
 IoPagePool::IoPagePool(std::size_t capacity_pages)
-    : capacity_(capacity_pages)
+    : capacity_(capacity_pages),
+      alive_(std::make_shared<IoPagePool *>(this))
 {
+}
+
+IoPagePool::~IoPagePool()
+{
+    *alive_ = nullptr;
 }
 
 Result<Cstruct>
@@ -18,11 +24,34 @@ IoPagePool::allocPage()
     high_water_ = std::max(high_water_, in_use_);
     allocations_++;
     auto buf = Buffer::alloc(pageSize);
-    buf->setReleaseHook([this](Buffer &) {
-        in_use_--;
-        recycled_++;
+    buf->setReleaseHook([alive = alive_](Buffer &) {
+        IoPagePool *pool = *alive;
+        if (!pool)
+            return; // page outlived the pool (held by a grant entry)
+        pool->in_use_--;
+        pool->recycled_++;
+        // Copy the list: a listener may unsubscribe others (or itself)
+        // while we iterate.
+        auto listeners = pool->listeners_;
+        for (auto &[token, fn] : listeners)
+            fn();
     });
     return Cstruct(std::move(buf));
+}
+
+u64
+IoPagePool::addRecycleListener(std::function<void()> fn)
+{
+    u64 token = next_listener_++;
+    listeners_.emplace_back(token, std::move(fn));
+    return token;
+}
+
+void
+IoPagePool::removeRecycleListener(u64 token)
+{
+    std::erase_if(listeners_,
+                  [token](const auto &p) { return p.first == token; });
 }
 
 } // namespace mirage::pvboot

@@ -85,6 +85,11 @@ struct CostModel
     Duration grantIssue = Duration::nanos(120);
     /** Mapping a granted page in the peer (hypercall + PT update). */
     Duration grantMap = Duration::nanos(1100);
+    /** Reusing a pooled persistent grant on the issuing side (pool /
+     *  registry lookup — no table update, no endAccess later). */
+    Duration grantReuse = Duration::nanos(25);
+    /** Backend cache hit on a persistent mapping (no hypercall). */
+    Duration grantMapHit = Duration::nanos(40);
     /** Backend processing one ring request (netback/blkback switch). */
     Duration backendPerRequest = Duration::nanos(1800);
 

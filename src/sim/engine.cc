@@ -7,15 +7,46 @@
 
 namespace mirage::sim {
 
+Engine::Slot *
+Engine::slotFor(EventId id)
+{
+    u32 idx = u32(id & 0xffffffffu);
+    if (idx == 0 || idx > slots_.size())
+        return nullptr;
+    Slot &s = slots_[idx - 1];
+    if (s.gen != u32(id >> 32))
+        return nullptr; // slot recycled since this id was minted
+    return &s;
+}
+
+void
+Engine::releaseSlot(u32 idx)
+{
+    Slot &s = slots_[idx];
+    s.gen++; // invalidate outstanding ids naming this slot
+    s.state = SlotState::Free;
+    free_slots_.push_back(idx);
+}
+
 EventId
 Engine::at(TimePoint t, std::function<void()> fn)
 {
     if (t < now_)
         t = now_; // late scheduling runs as soon as possible
-    EventId id = next_id_++;
+    u32 idx;
+    if (!free_slots_.empty()) {
+        idx = free_slots_.back();
+        free_slots_.pop_back();
+    } else {
+        idx = u32(slots_.size());
+        slots_.push_back(Slot{});
+    }
+    Slot &s = slots_[idx];
+    s.state = SlotState::Pending;
+    EventId id = (u64(s.gen) << 32) | (idx + 1);
+    live_++;
     u64 flow = flows_ ? flows_->current() : 0;
     queue_.push(Item{t, next_seq_++, id, flow, std::move(fn)});
-    pending_.insert(id);
     return id;
 }
 
@@ -28,11 +59,14 @@ Engine::after(Duration d, std::function<void()> fn)
 void
 Engine::cancel(EventId id)
 {
-    // Only ids still awaiting dispatch are worth remembering; marking
-    // an already-fired (or invented) id would leave it in cancelled_
-    // forever, growing the set unboundedly over long simulations.
-    if (pending_.count(id))
-        cancelled_.insert(id);
+    // The generation check makes cancel safe against fired, recycled
+    // or invented ids: only an id still naming its live slot can flip
+    // it to Cancelled.
+    Slot *s = slotFor(id);
+    if (!s || s->state != SlotState::Pending)
+        return;
+    s->state = SlotState::Cancelled;
+    cancelled_count_++;
 }
 
 void
@@ -49,10 +83,12 @@ Engine::dispatchOne(bool bounded, TimePoint limit)
 {
     while (!queue_.empty()) {
         const Item &top = queue_.top();
-        if (cancelled_.count(top.id)) {
+        u32 idx = u32(top.id & 0xffffffffu) - 1;
+        if (slots_[idx].state == SlotState::Cancelled) {
             // Reached the cancelled slot: drop all bookkeeping for it.
-            pending_.erase(top.id);
-            cancelled_.erase(top.id);
+            releaseSlot(idx);
+            cancelled_count_--;
+            live_--;
             queue_.pop();
             trace::bump(c_cancelled_);
             continue;
@@ -61,7 +97,8 @@ Engine::dispatchOne(bool bounded, TimePoint limit)
             return false;
         Item item = queue_.top();
         queue_.pop();
-        pending_.erase(item.id);
+        releaseSlot(idx);
+        live_--;
         now_ = item.when;
         events_run_++;
         trace::bump(c_dispatched_);

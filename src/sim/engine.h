@@ -19,7 +19,6 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "base/time.h"
@@ -38,7 +37,12 @@ class Checker;
 
 namespace mirage::sim {
 
-/** Handle identifying a scheduled event, usable for cancellation. */
+/**
+ * Handle identifying a scheduled event, usable for cancellation.
+ * Encodes (generation << 32 | slot + 1): the slot indexes a reusable
+ * entry in the engine's slot table, the generation invalidates stale
+ * handles after the slot is recycled. 0 is never a valid id.
+ */
 using EventId = u64;
 
 class Engine
@@ -59,7 +63,7 @@ class Engine
     void cancel(EventId id);
 
     /** True when no events remain. */
-    bool empty() const { return queue_.size() == cancelled_.size(); }
+    bool empty() const { return queue_.size() == cancelled_count_; }
 
     /**
      * Run the next pending event, advancing the clock to it.
@@ -83,14 +87,14 @@ class Engine
     u64 eventsRun() const { return events_run_; }
 
     /** Events scheduled and not yet dispatched (cancelled or not). */
-    std::size_t pendingEvents() const { return pending_.size(); }
+    std::size_t pendingEvents() const { return live_; }
 
     /**
      * Cancelled ids whose queue slot has not been reached yet. Bounded
      * by pendingEvents(): ids are dropped when their slot is popped,
      * so long simulations cannot accumulate cancellation garbage.
      */
-    std::size_t cancelledBacklog() const { return cancelled_.size(); }
+    std::size_t cancelledBacklog() const { return cancelled_count_; }
 
     // ---- Observability ----------------------------------------------
     /** Attach (or detach with nullptr) a trace recorder. Not owned. */
@@ -134,19 +138,43 @@ class Engine
     };
 
     /**
+     * Scheduling bookkeeping: one slot per live event, recycled through
+     * a free list. Replaces the previous pending_/cancelled_ hash sets —
+     * scheduling, cancelling and dispatching are now O(1) array
+     * operations instead of two hash lookups per event.
+     */
+    enum class SlotState : u8
+    {
+        Free,
+        Pending,
+        Cancelled
+    };
+
+    struct Slot
+    {
+        u32 gen = 0;
+        SlotState state = SlotState::Free;
+    };
+
+    /**
      * The one dispatch path: drop cancelled slots, then run the next
      * event — unless @p bounded and it lies beyond @p limit.
      * @return true when an event ran.
      */
     bool dispatchOne(bool bounded, TimePoint limit);
 
+    /** The slot an id names, or null for stale/invalid ids. */
+    Slot *slotFor(EventId id);
+    void releaseSlot(u32 idx);
+
     TimePoint now_;
     u64 next_seq_ = 0;
-    u64 next_id_ = 1;
     u64 events_run_ = 0;
     std::priority_queue<Item, std::vector<Item>, std::greater<Item>> queue_;
-    std::unordered_set<EventId> pending_;   //!< scheduled, not dispatched
-    std::unordered_set<EventId> cancelled_; //!< subset of pending_
+    std::vector<Slot> slots_;
+    std::vector<u32> free_slots_;
+    std::size_t live_ = 0;            //!< scheduled, not dispatched
+    std::size_t cancelled_count_ = 0; //!< subset of live_
     trace::TraceRecorder *tracer_ = nullptr;
     trace::MetricsRegistry *metrics_ = nullptr;
     check::Checker *checker_ = nullptr;

@@ -334,7 +334,8 @@ TEST_F(NetTest, TcpRecoversFromLoss)
     // Drop ~4% of frames: the transfer must still complete exactly,
     // via fast retransmit and/or RTO.
     Rng drop_rng(42);
-    bridge.setDropFn([&] { return drop_rng.uniform() < 0.04; });
+    bridge.setDropFn(
+        [&](const Cstruct &) { return drop_rng.uniform() < 0.04; });
 
     constexpr std::size_t total = 256 * 1024;
     Cstruct data = Cstruct::create(total);
@@ -381,9 +382,13 @@ TEST_F(NetTest, TcpRecoversFromLoss)
 TEST_F(NetTest, TcpFastRetransmitOnIsolatedLoss)
 {
     // Drop exactly one data frame mid-stream: recovery should come
-    // from dup-ACKs (fast retransmit), not only RTO.
-    int frame_count = 0;
-    bridge.setDropFn([&] { return ++frame_count == 40; });
+    // from dup-ACKs (fast retransmit), not only RTO. Count only
+    // full-size segments so control-frame interleaving (which shifts
+    // with doorbell coalescing) cannot land the drop on an ACK.
+    int data_count = 0;
+    bridge.setDropFn([&](const Cstruct &frame) {
+        return frame.length() > 1000 && ++data_count == 20;
+    });
 
     constexpr std::size_t total = 512 * 1024;
     Cstruct data = Cstruct::create(total);
