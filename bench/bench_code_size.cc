@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/linker.h"
 
 using namespace mirage;
@@ -83,8 +84,9 @@ constexpr LinuxComparator linuxOf = {"Linux + NOX", 2400000,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonReport json(argc, argv);
     Linker linker;
     struct Row
     {
@@ -125,6 +127,12 @@ main()
         std::printf("%-22s %12.3f %12.3f\n", row.spec.name.c_str(),
                     double(standard.imageBytes()) / 1e6,
                     double(dce.imageBytes()) / 1e6);
+        json.add("code_size/" + row.spec.name, "loc",
+                 double(standard.totalLoc), "lines");
+        json.add("code_size/" + row.spec.name, "image_standard",
+                 double(standard.imageBytes()) / 1e6, "MB");
+        json.add("code_size/" + row.spec.name, "image_dce",
+                 double(dce.imageBytes()) / 1e6, "MB");
     }
 
     std::printf("\n# §1 / §4.5: appliance image size, Mirage DNS vs "

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "baseline/of_controllers.h"
+#include "bench_json.h"
 #include "loadgen/cbench.h"
 
 using namespace mirage;
@@ -42,8 +43,9 @@ measure(baseline::OfControllerAppliance::Kind kind, bool batch)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonReport json(argc, argv);
     using Kind = baseline::OfControllerAppliance::Kind;
     std::printf("# Figure 11: OpenFlow controller throughput "
                 "(kresponses/s), 16 switches x 100 MACs\n");
@@ -59,6 +61,11 @@ main()
                     batch.responsesPerSecond / 1e3,
                     single.responsesPerSecond / 1e3,
                     batch.unfairness);
+        const char *name = baseline::OfControllerAppliance::name(kind);
+        json.add(strprintf("openflow/%s/batch", name), "throughput",
+                 batch.responsesPerSecond / 1e3, "krps");
+        json.add(strprintf("openflow/%s/single", name), "throughput",
+                 single.responsesPerSecond / 1e3, "krps");
         std::fflush(stdout);
     }
     return 0;

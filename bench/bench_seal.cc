@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/cloud.h"
 #include "core/linker.h"
 #include "loadgen/pingflood.h"
@@ -15,8 +16,9 @@
 using namespace mirage;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonReport json(argc, argv);
     std::printf("# §2.3.3: seal hypercall — W^X freeze of a unikernel "
                 "address space\n");
 
@@ -79,6 +81,11 @@ main()
                 (unsigned long long)report.received,
                 (unsigned long long)report.sent,
                 report.meanRtt.toMillisF() * 1e3);
+    json.add("seal/hypercall", "seal_cost", double(seal_cost), "ns");
+    json.add("seal/flood_ping", "rtt_mean",
+             report.meanRtt.toMillisF() * 1e3, "us",
+             report.p50.toMillisF() * 1e3,
+             report.p99.toMillisF() * 1e3);
 
     // The hypervisor patch footprint claim (<50 lines): our seal
     // implementation is PageTables::seal() + the hypercall plumbing.

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "baseline/web_servers.h"
+#include "bench_json.h"
 #include "core/cloud.h"
 #include "loadgen/httperf.h"
 #include "protocols/http/client.h"
@@ -109,8 +110,9 @@ measure(bool mirage, unsigned hosts, unsigned vcpus_each)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonReport json(argc, argv);
     std::printf("# Figure 13: static page serving throughput "
                 "(connections/s)\n");
     std::printf("# paper: 6 Mirage unikernels > Apache in every "
@@ -130,6 +132,8 @@ main()
     for (const Row &row : rows) {
         double rate = measure(row.mirage, row.hosts, row.vcpus);
         std::printf("%-28s %14.0f\n", row.name, rate);
+        json.add(std::string("static_web/") + row.name, "throughput",
+                 rate, "conns_per_s");
         std::fflush(stdout);
     }
     return 0;

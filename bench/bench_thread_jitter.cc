@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "base/rand.h"
+#include "bench_json.h"
 #include "runtime/scheduler.h"
 #include "sim/cost_model.h"
 
@@ -60,8 +61,9 @@ runTest(const Config &config, u64 threads, u64 seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonReport json(argc, argv);
     const auto &c = sim::costs();
     // Wakeup dispatch + scheduling noise per environment.
     Config configs[] = {
@@ -90,6 +92,9 @@ main()
         std::printf("%-14s %10.2f %10.2f %10.2f %10.2f %10.2f\n",
                     config.name, pct(0.10), pct(0.50), pct(0.90),
                     pct(0.99), double(jitter.back()) / 1e3);
+        json.add(std::string("thread_jitter/") + config.name,
+                 "wakeup_jitter", pct(0.50), "us", pct(0.50),
+                 pct(0.99));
         std::fflush(stdout);
     }
     return 0;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "base/rand.h"
+#include "bench_json.h"
 #include "pvboot/extent.h"
 #include "runtime/gc_heap.h"
 #include "runtime/scheduler.h"
@@ -56,8 +57,9 @@ runTest(const Config &config, u64 threads, u64 seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonReport json(argc, argv);
     std::printf("# Figure 7a: thread construction / GC cost for "
                 "millions of sleeping threads\n");
     std::printf("# paper ordering: linux-pv slowest, then "
@@ -73,9 +75,12 @@ main()
     for (double millions : {1.0, 2.0, 5.0, 10.0}) {
         u64 n = u64(millions * 1e6);
         std::printf("%-12.0f", millions);
-        for (const Config &c : configs)
-            std::printf(" %14.3f",
-                        runTest(c, n, 42));
+        for (const Config &c : configs) {
+            double secs = runTest(c, n, 42);
+            std::printf(" %14.3f", secs);
+            json.add(strprintf("threads/%s/%.0fM", c.name, millions),
+                     "cpu_time", secs, "s");
+        }
         std::printf("\n");
         std::fflush(stdout);
     }

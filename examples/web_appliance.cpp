@@ -77,12 +77,18 @@ int
 main(int argc, char **argv)
 {
     std::string trace_path;
+    std::string profile_path;
     bool dump_metrics = false;
     bool metrics_prom = false;
     bool check = false;
+    bool show_top = false;
     for (int i = 1; i < argc; i++) {
         if (std::strncmp(argv[i], "--trace=", 8) == 0) {
             trace_path = argv[i] + 8;
+        } else if (std::strncmp(argv[i], "--profile=", 10) == 0) {
+            profile_path = argv[i] + 10;
+        } else if (std::strcmp(argv[i], "--top") == 0) {
+            show_top = true;
         } else if (std::strcmp(argv[i], "--metrics") == 0) {
             dump_metrics = true;
         } else if (std::strncmp(argv[i], "--metrics-format=", 17) ==
@@ -100,7 +106,8 @@ main(int argc, char **argv)
             check = true;
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--trace=FILE] [--metrics] "
+                         "usage: %s [--trace=FILE] [--profile=FILE] "
+                         "[--top] [--metrics] "
                          "[--metrics-format=prom|plain] [--check]\n",
                          argv[0]);
             return 2;
@@ -110,6 +117,8 @@ main(int argc, char **argv)
     core::Cloud cloud;
     if (!trace_path.empty())
         cloud.tracer().enable();
+    if (!profile_path.empty())
+        cloud.profiler().enable();
     if (check)
         cloud.checker().enable();
 
@@ -143,12 +152,12 @@ main(int argc, char **argv)
     bool ready = false;
     tree.format([&](Status st) { ready = st.ok(); });
 
-    // The appliance serves its own telemetry: /metrics and /flows
-    // ride on the same listener as the application endpoints.
+    // The appliance serves its own telemetry: /metrics, /flows and
+    // /top ride on the same listener as the application endpoints.
     http::HttpServer web(
         appliance.stack, 80,
         http::withTelemetry(
-            &cloud.metrics(), &cloud.flows(),
+            &cloud.metrics(), &cloud.flows(), &cloud.profiler(),
             [&](const http::HttpRequest &req,
                 http::HttpServer::Responder respond) {
                 if (req.method == "POST" &&
@@ -191,6 +200,7 @@ main(int argc, char **argv)
 
     bool metrics_ok = false;
     bool flows_ok = false;
+    bool top_ok = false;
     auto session_holder =
         std::make_shared<std::shared_ptr<http::HttpSession>>();
     *session_holder = http::HttpSession::open(
@@ -235,7 +245,7 @@ main(int argc, char **argv)
                 fq.method = "GET";
                 fq.path = "/flows";
                 session->request(
-                    fq, [&, session](Result<http::HttpResponse> f) {
+                    fq, [&](Result<http::HttpResponse> f) {
                         if (f.ok() && f.value().status == 200 &&
                             !f.value().body.empty() &&
                             f.value().body[0] == '[') {
@@ -244,6 +254,20 @@ main(int argc, char **argv)
                                 "--- /flows (in-sim) ---\n%s"
                                 "--- end /flows ---\n",
                                 f.value().body.c_str());
+                        }
+                    });
+                http::HttpRequest tq;
+                tq.method = "GET";
+                tq.path = "/top";
+                session->request(
+                    tq, [&, session](Result<http::HttpResponse> t) {
+                        if (t.ok() && t.value().status == 200 &&
+                            t.value().body.find("\"domains\"") !=
+                                std::string::npos) {
+                            top_ok = true;
+                            std::printf("--- /top (in-sim) ---\n%s\n"
+                                        "--- end /top ---\n",
+                                        t.value().body.c_str());
                         }
                         session->close();
                     });
@@ -274,11 +298,26 @@ main(int argc, char **argv)
         std::printf("trace: %zu events -> %s\n",
                     cloud.tracer().eventCount(), trace_path.c_str());
     }
-    if (!metrics_ok || !flows_ok) {
+    if (!profile_path.empty()) {
+        if (auto st = cloud.profiler().writeFolded(profile_path);
+            !st.ok()) {
+            std::fprintf(stderr, "profile: %s\n",
+                         st.error().message.c_str());
+            return 1;
+        }
+        std::printf("profile: %llu ns charged, %.1f%% attributed -> "
+                    "%s\n",
+                    (unsigned long long)cloud.profiler().totalNs(),
+                    100.0 * cloud.profiler().attributedFraction(),
+                    profile_path.c_str());
+    }
+    if (show_top)
+        std::fputs(cloud.profiler().topText().c_str(), stdout);
+    if (!metrics_ok || !flows_ok || !top_ok) {
         std::fprintf(stderr,
                      "telemetry self-serve failed (metrics=%d "
-                     "flows=%d)\n",
-                     metrics_ok, flows_ok);
+                     "flows=%d top=%d)\n",
+                     metrics_ok, flows_ok, top_ok);
         return 1;
     }
     if (dump_metrics)

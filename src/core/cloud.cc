@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "base/logging.h"
+
 namespace mirage::core {
 
 Guest::Guest(xen::Domain &d, xen::Netback &netback, xen::MacBytes mac,
@@ -29,6 +31,21 @@ Cloud::Cloud()
     engine_.setFlows(&flows_);
     flows_.attach(&tracer_, &metrics_);
     flows_.enable();
+    profiler_.attach(&tracer_, &metrics_);
+    engine_.setProfiler(&profiler_);
+    // dom0 was constructed in the member-init list, before the
+    // profiler attached to the engine — bind it (and any other early
+    // domain) now so its accounting record exists from the start.
+    for (auto &d : hv_.domains())
+        d->bindProfiler(profiler_);
+    // Watchdog alerts (stall, gc_pause, ring_full) are worth a
+    // post-mortem: route them to the flight recorder when it is armed.
+    profiler_.setAlertHook([this](const char *kind,
+                                  const std::string &detail) {
+        warn("profiler alert [%s]: %s", kind, detail.c_str());
+        if (flight_hooked_)
+            dumpFlight();
+    });
     checker_.attachMetrics(metrics_);
     if (const char *env = std::getenv("MIRAGE_CHECK");
         env && env[0] && std::strcmp(env, "0") != 0) {
@@ -84,6 +101,61 @@ Cloud::dumpFlight()
          tracer_.eventCount(),
          (unsigned long long)tracer_.droppedEvents(),
          flight_path_.c_str());
+}
+
+void
+Cloud::enableStallWatchdog(Duration threshold)
+{
+    stall_enabled_ = true;
+    stall_threshold_ = threshold;
+    // Re-arm whenever new work arrives; the check self-cancels once no
+    // flow is live, so an idle cloud schedules nothing.
+    flows_.setActivityHook([this] {
+        if (stall_enabled_ && !stall_armed_)
+            armStallCheck();
+    });
+    if (flows_.liveCount() > 0)
+        armStallCheck();
+}
+
+void
+Cloud::armStallCheck()
+{
+    stall_armed_ = true;
+    stall_last_completed_ = flows_.completed();
+    stall_progress_at_ = engine_.now();
+    engine_.after(Duration::nanos(stall_threshold_.ns() / 4),
+                  [this] { stallCheck(); });
+}
+
+void
+Cloud::stallCheck()
+{
+    if (!stall_enabled_ || flows_.liveCount() == 0) {
+        // Nothing in flight: stand down until the next flow begins.
+        stall_armed_ = false;
+        return;
+    }
+    u64 completed = flows_.completed();
+    if (completed != stall_last_completed_) {
+        stall_last_completed_ = completed;
+        stall_progress_at_ = engine_.now();
+    } else if ((engine_.now() - stall_progress_at_).ns() >=
+               stall_threshold_.ns()) {
+        profiler_.alert(
+            "stall",
+            strprintf("no flow completed for %lld ms (%zu live)",
+                      (long long)(engine_.now() - stall_progress_at_)
+                          .ns() /
+                          1'000'000,
+                      flows_.liveCount()));
+        // One-shot: stay quiet until new work re-arms us, so a wedged
+        // run produces one dump instead of one per check interval.
+        stall_armed_ = false;
+        return;
+    }
+    engine_.after(Duration::nanos(stall_threshold_.ns() / 4),
+                  [this] { stallCheck(); });
 }
 
 Guest &

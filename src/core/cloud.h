@@ -28,6 +28,7 @@
 #include "sim/engine.h"
 #include "trace/flow.h"
 #include "trace/metrics.h"
+#include "trace/profile.h"
 #include "trace/trace.h"
 
 namespace mirage::core {
@@ -84,6 +85,24 @@ class Cloud
      * (panic on first violation) in the environment.
      */
     check::Checker &checker() { return checker_; }
+
+    /**
+     * The CPU/heap profiler, attached to the engine at construction.
+     * Per-domain accounting (run/steal, GC pauses, ring HWMs — the
+     * `GET /top` snapshot) is always on; call `profiler().enable()` to
+     * also record scope-tree attribution for flamegraph export.
+     */
+    trace::Profiler &profiler() { return profiler_; }
+
+    /**
+     * Arm the stall watchdog: if no request flow completes for
+     * @p threshold of virtual time while flows are live, raise a
+     * `stall` alert (which auto-dumps the flight recorder when
+     * MIRAGE_FLIGHT is set). One-shot per stall: the alert re-arms on
+     * the next flow begin.
+     */
+    void enableStallWatchdog(Duration threshold = Duration::millis(500));
+
     xen::Hypervisor &hypervisor() { return hv_; }
     xen::Bridge &bridge() { return bridge_; }
     xen::Netback &netback() { return netback_; }
@@ -119,11 +138,14 @@ class Cloud
 
   private:
     void dumpFlight();
+    void armStallCheck();
+    void stallCheck();
 
     sim::Engine engine_;
     trace::TraceRecorder tracer_;
     trace::MetricsRegistry metrics_;
     trace::FlowTracker flows_;
+    trace::Profiler profiler_;
     check::Checker checker_{check::Checker::Mode::Count};
     std::string flight_path_;
     bool flight_hooked_ = false;
@@ -137,6 +159,13 @@ class Cloud
     std::vector<std::unique_ptr<xen::VirtualDisk>> disks_;
     std::vector<std::unique_ptr<xen::Blkback>> blkbacks_;
     u32 next_mac_ = 1;
+
+    // Stall-watchdog bookkeeping
+    bool stall_enabled_ = false;
+    bool stall_armed_ = false;
+    Duration stall_threshold_;
+    u64 stall_last_completed_ = 0;
+    TimePoint stall_progress_at_;
 };
 
 } // namespace mirage::core

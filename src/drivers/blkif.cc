@@ -134,7 +134,8 @@ Blkif::enqueueOnRing(u8 op, u64 sector, u32 count, const Cstruct &page,
     }
     if (!persistent) {
         gref = dom.grantTable().grantAccess(backend_domid_, page, write);
-        dom.vcpu().charge(sim::costs().grantIssue);
+        dom.vcpu().charge(sim::costs().grantIssue, "grant.issue",
+                          trace::Cat::Hypervisor);
     }
 
     slot.value().setLe64(xen::BlkifWire::reqId, id);

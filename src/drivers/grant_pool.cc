@@ -42,7 +42,8 @@ GrantPool::chargeReuse()
 {
     reused_++;
     trace::bump(c_reused_);
-    boot_.domain().vcpu().charge(sim::costs().grantReuse);
+    boot_.domain().vcpu().charge(sim::costs().grantReuse, "grant.reuse",
+                                 trace::Cat::Hypervisor);
 }
 
 /**
@@ -121,7 +122,8 @@ GrantPool::acquirePage()
                 scan_hint_ = (at + 1) % pages_.size();
                 // The grant-op saving is counted at regionFor(), once
                 // per wire operation; here we only pay the pool scan.
-                boot_.domain().vcpu().charge(sim::costs().grantReuse);
+                boot_.domain().vcpu().charge(sim::costs().grantReuse, "grant.reuse",
+                                 trace::Cat::Hypervisor);
                 return leased(pages_[at].page);
             }
         }
@@ -135,7 +137,8 @@ GrantPool::acquirePage()
     // and an rx fill or block read later.
     xen::GrantRef gref = boot_.domain().grantTable().grantAccess(
         backend_, page.value(), false);
-    boot_.domain().vcpu().charge(sim::costs().grantIssue);
+    boot_.domain().vcpu().charge(sim::costs().grantIssue, "grant.issue",
+                                 trace::Cat::Hypervisor);
     issued_++;
     trace::bump(c_issued_);
     page_index_.emplace(page.value().buffer().get(), pages_.size());
@@ -174,7 +177,8 @@ GrantPool::regionFor(const Cstruct &view)
     Cstruct whole(view.buffer());
     xen::GrantRef gref =
         boot_.domain().grantTable().grantAccess(backend_, whole, false);
-    boot_.domain().vcpu().charge(sim::costs().grantIssue);
+    boot_.domain().vcpu().charge(sim::costs().grantIssue, "grant.issue",
+                                 trace::Cat::Hypervisor);
     issued_++;
     trace::bump(c_issued_);
     lru_.push_front(buf);

@@ -6,6 +6,7 @@
 #include "sim/cost_model.h"
 #include "sim/tuning.h"
 #include "trace/flow.h"
+#include "trace/profile.h"
 #include "trace/trace.h"
 
 namespace mirage::drivers {
@@ -194,7 +195,8 @@ Netif::enqueueOnRing(const std::vector<Cstruct> &frags,
         if (!persistent) {
             gref = dom.grantTable().grantAccess(backend_domid_,
                                                 frags[i], true);
-            dom.vcpu().charge(sim::costs().grantIssue);
+            dom.vcpu().charge(sim::costs().grantIssue, "grant.issue",
+                              trace::Cat::Hypervisor);
         }
 
         u16 flags = last ? 0 : xen::NetifWire::txflagMoreData;
@@ -292,7 +294,8 @@ Netif::postRxBuffers()
             page = fresh.value();
             gref = dom.grantTable().grantAccess(backend_domid_, page,
                                                 false);
-            dom.vcpu().charge(sim::costs().grantIssue);
+            dom.vcpu().charge(sim::costs().grantIssue, "grant.issue",
+                              trace::Cat::Hypervisor);
         }
         Cstruct slot = rx_ring_->startRequest().value();
         u16 id = next_id_++;
@@ -337,6 +340,8 @@ Netif::onEvent()
 bool
 Netif::drainTxResponses(bool park)
 {
+    trace::ProfScope pscope(
+        boot_.domain().hypervisor().engine().profiler(), "net/netif");
     bool any = false;
     do {
         while (tx_ring_->unconsumedResponses() > 0) {
@@ -396,6 +401,8 @@ Netif::drainTxResponses(bool park)
 bool
 Netif::drainRxResponses(bool park)
 {
+    trace::ProfScope pscope(
+        boot_.domain().hypervisor().engine().profiler(), "net/netif");
     bool delivered = false;
     do {
         while (rx_ring_->unconsumedResponses() > 0) {
@@ -419,6 +426,15 @@ Netif::drainRxResponses(bool park)
             if (status == xen::NetifWire::statusOk && rx_handler_ &&
                 len <= posted.page.length()) {
                 rx_delivered_++;
+                // Restore the flow the backend stamped into the slot:
+                // this drain may run off the poll timer, which carries
+                // no flow of its own, so the stamp is the only tie
+                // between the frame and its request.
+                sim::Engine &engine =
+                    boot_.domain().hypervisor().engine();
+                u64 flow = rsp.getLe32(xen::NetifWire::rxrspFlow);
+                trace::FlowScope scope(flow ? engine.flows() : nullptr,
+                                       flow);
                 // Zero-copy delivery: the stack gets a view of the
                 // pool page; the page recycles when all views drop.
                 rx_handler_(posted.page.sub(0, len));

@@ -7,7 +7,9 @@
 #include "hypervisor/xen.h"
 #include "sim/cost_model.h"
 #include "sim/tuning.h"
+#include "hypervisor/ring.h"
 #include "trace/flow.h"
+#include "trace/profile.h"
 #include "trace/trace.h"
 
 namespace mirage::xen {
@@ -206,6 +208,12 @@ Blkback::onEvent()
         return; // event raced with disconnect
     Hypervisor &hv = dom_.hypervisor();
     const auto &c = sim::costs();
+    trace::ProfScope pscope(hv.engine().profiler(), "hyp/blkback");
+    if (frontend_) {
+        if (auto *s = frontend_->stats())
+            s->noteRing("blkback", ring_->unconsumedRequests(),
+                        RingLayout::slotCount);
+    }
     trace::FlowTracker *fl = hv.engine().flows();
     if (fl && !fl->enabled())
         fl = nullptr;
@@ -223,7 +231,8 @@ Blkback::onEvent()
             GrantRef gref = req.getLe32(BlkifWire::reqGrant);
             u64 flow = fl ? req.getLe32(BlkifWire::reqFlow) : 0;
             handled_++;
-            dom_.vcpu().charge(c.backendPerRequest);
+            dom_.vcpu().charge(c.backendPerRequest, "blkback.request",
+                               trace::Cat::Hypervisor);
             if (flow)
                 fl->stageBegin(flow, "blkback", hv.engine().now(),
                                flowTrack());

@@ -4,6 +4,7 @@
 #include "check/check.h"
 #include "hypervisor/xen.h"
 #include "sim/cost_model.h"
+#include "trace/profile.h"
 
 namespace mirage::xen {
 
@@ -19,6 +20,16 @@ Domain::Domain(Hypervisor &hv, DomId id, std::string name, GuestKind kind,
         vcpus_.push_back(std::make_unique<sim::Cpu>(
             hv_.engine(), strprintf("%s/vcpu%u", name_.c_str(), i)));
     }
+    if (auto *p = hv_.engine().profiler())
+        bindProfiler(*p);
+}
+
+void
+Domain::bindProfiler(trace::Profiler &profiler)
+{
+    stats_ = &profiler.domain(name_);
+    for (auto &cpu : vcpus_)
+        cpu->setStats(stats_);
 }
 
 void
@@ -135,6 +146,11 @@ Domain::finishPoll(WakeReason reason)
     if (poll_timer_) {
         hv_.engine().cancel(poll_timer_);
         poll_timer_ = 0;
+    }
+    if (stats_) {
+        stats_->blocked_ns +=
+            u64((hv_.engine().now() - poll_started_).ns());
+        stats_->polls++;
     }
     if (auto *tr = hv_.engine().tracer(); tr && tr->enabled()) {
         if (trace_track_ == 0)

@@ -21,6 +21,11 @@
 #include "hypervisor/paging.h"
 #include "sim/cpu.h"
 
+namespace mirage::trace {
+class Profiler;
+struct DomainStats;
+} // namespace mirage::trace
+
 namespace mirage::xen {
 
 class Hypervisor;
@@ -102,6 +107,18 @@ class Domain
     /** True when the domain sits in a domainpoll. */
     bool blocked() const { return poll_active_; }
 
+    // ---- Per-domain accounting ---------------------------------------
+    /**
+     * Point this domain (and its vcpus) at @p profiler's DomainStats
+     * record for it. Called from the ctor when the engine already has
+     * a profiler, and again by the composition root for domains built
+     * before the profiler attached.
+     */
+    void bindProfiler(trace::Profiler &profiler);
+
+    /** The bound accounting record, or null. */
+    trace::DomainStats *stats() const { return stats_; }
+
   private:
     struct PortState
     {
@@ -122,6 +139,7 @@ class Domain
     GrantTable grants_;
     std::vector<PortState> ports_;
     std::vector<std::function<void()>> shutdown_hooks_;
+    trace::DomainStats *stats_ = nullptr;
 
     // domainpoll bookkeeping
     bool poll_active_ = false;

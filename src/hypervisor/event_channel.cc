@@ -6,6 +6,7 @@
 #include "hypervisor/xen.h"
 #include "sim/cost_model.h"
 #include "sim/tuning.h"
+#include "trace/profile.h"
 #include "trace/trace.h"
 
 namespace mirage::xen {
@@ -125,10 +126,16 @@ EventChannelHub::notify(Domain &dom, Port port)
                     engine_.now(), 0,
                     strprintf("\"from\":\"%s\",\"port\":%u",
                               dom.name().c_str(), port));
+    trace::ProfScope pscope(engine_.profiler(), "hyp/evtchn");
     dom.hypervisor().chargeHypercall(dom, Hypercall::EventNotify);
-    dom.vcpu().charge(sim::costs().eventNotify);
+    dom.vcpu().charge(sim::costs().eventNotify, "evtchn.send",
+                      trace::Cat::Hypervisor);
     Domain *peer = is_a ? ch->b.dom : ch->a.dom;
     Port peer_port = is_a ? ch->b.port : ch->a.port;
+    if (auto *s = dom.stats())
+        s->notifies_sent++;
+    if (auto *s = peer->stats())
+        s->notifies_received++;
     engine_.after(sim::costs().interrupt,
                   [peer, peer_port] { peer->deliverEvent(peer_port); });
     return Status::success();

@@ -34,7 +34,8 @@ GrantMapCache::map(GrantRef gref)
         lru_.splice(lru_.begin(), lru_, it->second.lru_it);
         hits_++;
         trace::bump(c_hits_);
-        dom_.vcpu().charge(sim::costs().grantMapHit);
+        dom_.vcpu().charge(sim::costs().grantMapHit, "grant.map_hit",
+                           trace::Cat::Hypervisor);
         return it->second.page;
     }
     auto page =

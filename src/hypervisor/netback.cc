@@ -4,9 +4,11 @@
 
 #include "base/logging.h"
 #include "hypervisor/xen.h"
+#include "hypervisor/ring.h"
 #include "sim/cost_model.h"
 #include "sim/tuning.h"
 #include "trace/flow.h"
+#include "trace/profile.h"
 #include "trace/trace.h"
 
 namespace mirage::xen {
@@ -51,13 +53,16 @@ Bridge::send(BridgeEndpoint *from, Cstruct frame)
     // is a pipelined delay, so the bridge does not become the
     // bottleneck of host-CPU-bound comparisons (Fig 8).
     Duration transfer(i64(c.bridgeNsPerByte * double(frame.length())));
-    fabric_.submit(transfer, [this, from,
-                              frame = std::move(frame)]() mutable {
-        engine_.after(sim::costs().bridgeLatency,
-                      [this, from, frame = std::move(frame)]() mutable {
-                          deliver(from, frame);
-                      });
-    });
+    fabric_.submit(
+        transfer,
+        [this, from, frame = std::move(frame)]() mutable {
+            engine_.after(sim::costs().bridgeLatency,
+                          [this, from,
+                           frame = std::move(frame)]() mutable {
+                              deliver(from, frame);
+                          });
+        },
+        "bridge.xfer", trace::Cat::Hypervisor);
 }
 
 void
@@ -204,6 +209,10 @@ Netback::Vif::drainTx(bool park)
 {
     Hypervisor &hv = owner_.dom_.hypervisor();
     const auto &c = sim::costs();
+    trace::ProfScope pscope(hv.engine().profiler(), "hyp/netback/tx");
+    if (auto *s = frontend_.stats())
+        s->noteRing("netback.tx", tx_ring_->unconsumedRequests(),
+                    RingLayout::slotCount);
     trace::FlowTracker *fl = hv.engine().flows();
     if (fl && !fl->enabled())
         fl = nullptr;
@@ -242,7 +251,9 @@ Netback::Vif::drainTx(bool park)
                     }
                 }
 
-                owner_.dom_.vcpu().charge(c.backendPerRequest);
+                owner_.dom_.vcpu().charge(c.backendPerRequest,
+                                          "netback.request",
+                                          trace::Cat::Hypervisor);
                 bool injected = false;
                 if (inject_tx_map_failures_ > 0) {
                     inject_tx_map_failures_--;
@@ -291,7 +302,9 @@ Netback::Vif::drainTx(bool park)
                     owned.blitFrom(frag, 0, at, frag.length());
                     at += frag.length();
                 }
-                owner_.dom_.vcpu().charge(c.copy(pending_bytes_));
+                owner_.dom_.vcpu().charge(c.copy(pending_bytes_),
+                                          "netback.copy",
+                                          trace::Cat::Hypervisor);
                 pending_frags_.clear();
                 pending_bytes_ = 0;
                 forwarded_++;
@@ -342,6 +355,11 @@ Netback::Vif::onRxEvent()
 {
     if (!rx_ring_)
         return; // event raced with disconnect
+    // rx requests are *posted buffers*: a full ring means spare
+    // capacity, so the HWM is informational only (no full alert).
+    if (auto *s = frontend_.stats())
+        s->noteRing("netback.rx", rx_ring_->unconsumedRequests(),
+                    RingLayout::slotCount, false);
     // The frontend posted fresh rx buffers; harvest them.
     do {
         while (rx_ring_->unconsumedRequests() > 0) {
@@ -395,10 +413,12 @@ Netback::Vif::deliverFrame(const Cstruct &frame)
 {
     Hypervisor &hv = owner_.dom_.hypervisor();
     const auto &c = sim::costs();
+    trace::ProfScope pscope(hv.engine().profiler(), "hyp/netback/rx");
     PostedRx post = posted_rx_.front();
     posted_rx_.pop_front();
 
-    owner_.dom_.vcpu().charge(c.backendPerRequest);
+    owner_.dom_.vcpu().charge(c.backendPerRequest, "netback.request",
+                              trace::Cat::Hypervisor);
     auto page = post.persistent
                     ? pmap_.map(post.gref)
                     : hv.grantMap(owner_.dom_, frontend_, post.gref,
@@ -407,17 +427,25 @@ Netback::Vif::deliverFrame(const Cstruct &frame)
     u16 len = u16(std::min<std::size_t>(frame.length(), pageSize));
     if (page.ok() && len <= page.value().length()) {
         page.value().blitFrom(frame, 0, 0, len);
-        owner_.dom_.vcpu().charge(c.copy(len));
+        owner_.dom_.vcpu().charge(c.copy(len), "netback.copy",
+                                  trace::Cat::Hypervisor);
     } else {
         status = NetifWire::statusError;
     }
     if (!post.persistent && page.ok())
         hv.grantUnmap(owner_.dom_, frontend_, post.gref);
 
+    // Stamp the delivery's ambient flow (carried here through the
+    // bridge hop) so the frontend can restore it per drained slot —
+    // its rx ring may be drained by a flow-less poll timer.
+    trace::FlowTracker *fl = hv.engine().flows();
+    u64 flow = (fl && fl->enabled()) ? fl->current() : 0;
+
     Cstruct rsp = rx_ring_->startResponse().value();
     rsp.setLe16(NetifWire::rxrspId, post.id);
     rsp.setLe16(NetifWire::rxrspLen, len);
     rsp.setU8(NetifWire::rxrspStatus, status);
+    rsp.setLe32(NetifWire::rxrspFlow, u32(flow));
     if (rx_ring_->pushResponses()) {
         // Deliveries arrive one frame per fabric slot; a lazy doorbell
         // coalesces back-to-back fills into one upcall, like a NIC's

@@ -69,6 +69,14 @@ struct NetifWire
     static constexpr std::size_t rxrspId = 0;     // le16
     static constexpr std::size_t rxrspLen = 2;    // le16
     static constexpr std::size_t rxrspStatus = 4; // u8: 0 ok
+    /**
+     * Low 32 bits of the request-flow id this frame belongs to (0 =
+     * untracked), the rx mirror of txreqFlow: the backend stamps the
+     * ambient flow of the delivery so the frontend can restore it per
+     * drained slot — the poll timer that drains the ring runs under no
+     * flow of its own.
+     */
+    static constexpr std::size_t rxrspFlow = 8; // le32
 
     static constexpr u8 statusOk = 0;
     static constexpr u8 statusError = 1;

@@ -74,7 +74,8 @@ VchanEndpoint::write(const Cstruct &data)
     ring.prod += n;
     copyStats().copies++;
     copyStats().bytesCopied += n;
-    dom_.vcpu().charge(sim::costs().copy(n));
+    dom_.vcpu().charge(sim::costs().copy(n), "vchan.copy",
+                       trace::Cat::Hypervisor);
     // Suppression: streaming peers poll the counters; only an
     // empty->nonempty transition needs an event (paper footnote 4).
     if (was_empty)
@@ -96,7 +97,8 @@ VchanEndpoint::read(std::size_t max)
     ring.cons += n;
     copyStats().copies++;
     copyStats().bytesCopied += n;
-    dom_.vcpu().charge(sim::costs().copy(n));
+    dom_.vcpu().charge(sim::costs().copy(n), "vchan.copy",
+                       trace::Cat::Hypervisor);
     if (was_full && n > 0)
         owner_.notifyPeer(is_a_, false);
     return out;

@@ -36,7 +36,8 @@ Hypervisor::grantMap(Domain &mapper, Domain &granter, GrantRef ref,
                      bool write)
 {
     chargeHypercall(mapper, Hypercall::GrantMap);
-    mapper.vcpu().charge(sim::costs().grantMap);
+    mapper.vcpu().charge(sim::costs().grantMap, "grant.map",
+                         trace::Cat::Hypervisor);
     return granter.grantTable().mapFor(mapper.id(), ref, write);
 }
 
@@ -58,7 +59,8 @@ void
 Hypervisor::chargeHypercall(Domain &dom, Hypercall call)
 {
     counts_[std::size_t(call)]++;
-    dom.vcpu().charge(sim::costs().hypercall);
+    dom.vcpu().charge(sim::costs().hypercall, "hypercall",
+                      trace::Cat::Hypervisor);
 }
 
 u64

@@ -3,6 +3,7 @@
 #include "base/logging.h"
 #include "hypervisor/xen.h"
 #include "trace/flow.h"
+#include "trace/profile.h"
 #include "trace/trace.h"
 
 namespace mirage::http {
@@ -71,6 +72,9 @@ HttpServer::pump(std::shared_ptr<ConnState> st)
         flows->stageBegin(flow, "handler", engine.now(), flowTrack());
     }
 
+    // The handler (and everything it schedules) is the application's
+    // CPU time; the stack's own tx/rx leaves land under net/*.
+    trace::ProfScope pscope(engine.profiler(), "app/http");
     handler_(req, [this, st, keep, flow](HttpResponse rsp) {
         if (st->closed) {
             if (flow)

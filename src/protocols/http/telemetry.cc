@@ -4,6 +4,7 @@
 
 #include "trace/flow.h"
 #include "trace/metrics.h"
+#include "trace/profile.h"
 
 namespace mirage::http {
 
@@ -11,7 +12,14 @@ HttpServer::Handler
 withTelemetry(trace::MetricsRegistry *metrics,
               trace::FlowTracker *flows, HttpServer::Handler app)
 {
-    return [metrics, flows, app = std::move(app)](
+    return withTelemetry(metrics, flows, nullptr, std::move(app));
+}
+
+HttpServer::Handler
+withTelemetry(trace::MetricsRegistry *metrics, trace::FlowTracker *flows,
+              trace::Profiler *profiler, HttpServer::Handler app)
+{
+    return [metrics, flows, profiler, app = std::move(app)](
                const HttpRequest &req, HttpServer::Responder respond) {
         if (req.method == "GET" && req.path == "/metrics") {
             if (!metrics) {
@@ -33,6 +41,17 @@ withTelemetry(trace::MetricsRegistry *metrics,
             HttpResponse rsp;
             rsp.headers["Content-Type"] = "application/json";
             rsp.body = flows->recentJson();
+            respond(std::move(rsp));
+            return;
+        }
+        if (req.method == "GET" && req.path == "/top") {
+            if (!profiler) {
+                respond(HttpResponse::text(503, "no profiler\n"));
+                return;
+            }
+            HttpResponse rsp;
+            rsp.headers["Content-Type"] = "application/json";
+            rsp.body = profiler->topJson();
             respond(std::move(rsp));
             return;
         }

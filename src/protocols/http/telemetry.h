@@ -15,6 +15,7 @@
 namespace mirage::trace {
 class MetricsRegistry;
 class FlowTracker;
+class Profiler;
 } // namespace mirage::trace
 
 namespace mirage::http {
@@ -28,6 +29,16 @@ namespace mirage::http {
  */
 HttpServer::Handler withTelemetry(trace::MetricsRegistry *metrics,
                                   trace::FlowTracker *flows,
+                                  HttpServer::Handler app);
+
+/**
+ * As above, and GET /top additionally serves @p profiler's xentop-style
+ * per-domain snapshot (run/steal/blocked time, notify rates, ring
+ * high-water marks, GC pause quantiles) as JSON.
+ */
+HttpServer::Handler withTelemetry(trace::MetricsRegistry *metrics,
+                                  trace::FlowTracker *flows,
+                                  trace::Profiler *profiler,
                                   HttpServer::Handler app);
 
 } // namespace mirage::http

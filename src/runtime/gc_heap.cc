@@ -4,6 +4,7 @@
 #include "check/check.h"
 #include "sim/cost_model.h"
 #include "sim/engine.h"
+#include "trace/profile.h"
 
 namespace mirage::rt {
 
@@ -19,6 +20,7 @@ GcHeap::GcHeap(sim::Cpu &cpu, pvboot::MemoryBackend backend,
         c_promoted_bytes_ = &m->counter("gc.promoted_bytes");
         c_grow_events_ = &m->counter("gc.grow_events");
         h_minor_pause_ns_ = &m->histogram("gc.minor_pause_ns");
+        h_major_pause_ns_ = &m->histogram("gc.major_pause_ns");
     }
 }
 
@@ -82,7 +84,7 @@ GcHeap::alloc(u32 bytes)
                                     stats_.liveBytes);
     trace::bump(c_allocations_);
     trace::bump(c_bytes_allocated_, bytes);
-    cpu_.charge(sim::costs().gcAlloc);
+    cpu_.charge(sim::costs().gcAlloc, "gc.alloc", trace::Cat::Runtime);
     return ref;
 }
 
@@ -132,6 +134,9 @@ void
 GcHeap::collectMinor()
 {
     const auto &c = sim::costs();
+    trace::Profiler *prof = cpu_.engine().profiler();
+    trace::DomainStats *dstats = cpu_.domainStats();
+    trace::ProfScope pscope(prof, "rt/gc");
     stats_.minorCollections++;
 
     // Walk the minor set: survivors promote, garbage is reclaimed.
@@ -156,6 +161,13 @@ GcHeap::collectMinor()
     cpu_.charge(pause, "gc.minor", trace::Cat::Runtime);
     trace::bump(c_minor_collections_);
     trace::observe(h_minor_pause_ns_, u64(pause.ns()));
+    if (dstats) {
+        dstats->gc_minor++;
+        dstats->gc_minor_pause_ns.record(u64(pause.ns()));
+        dstats->gc_promoted_bytes += promoted;
+    }
+    if (prof)
+        prof->checkGcPause(u64(pause.ns()), "minor", cpu_.name());
 
     growMajor(promoted);
     major_used_ += promoted;
@@ -174,6 +186,14 @@ GcHeap::collectMinor()
                          double(live_major_bytes_) * scanFactor();
         cpu_.charge(Duration(i64(mark_ns)), "gc.major_mark",
                     trace::Cat::Runtime);
+        trace::observe(h_major_pause_ns_, u64(mark_ns));
+        if (dstats) {
+            dstats->gc_major++;
+            dstats->gc_major_pause_ns.record(u64(mark_ns));
+            dstats->gc_live_after_major_bytes = live_major_bytes_;
+        }
+        if (prof)
+            prof->checkGcPause(u64(mark_ns), "major", cpu_.name());
         // Sweeping compacts dead major space for reuse.
         major_used_ = live_major_bytes_;
     }

@@ -116,6 +116,7 @@ class GcHeap
     trace::Counter *c_promoted_bytes_ = nullptr;
     trace::Counter *c_grow_events_ = nullptr;
     trace::Histogram *h_minor_pause_ns_ = nullptr;
+    trace::Histogram *h_major_pause_ns_ = nullptr;
 };
 
 } // namespace mirage::rt

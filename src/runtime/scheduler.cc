@@ -25,7 +25,8 @@ Scheduler::sleep(Duration d)
     threads_created_++;
     trace::bump(c_threads_created_);
     if (cpu_)
-        cpu_->charge(sim::costs().threadCreate);
+        cpu_->charge(sim::costs().threadCreate, "thread.create",
+                     trace::Cat::Runtime);
 
     auto p = Promise::make();
     CellRef cell = 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/profile.h"
+
 namespace mirage::sim {
 
 Cpu::Cpu(Engine &engine, std::string name)
@@ -16,6 +18,12 @@ Cpu::submit(Duration cost, std::function<void()> done, const char *what,
     TimePoint start = std::max(engine_.now(), free_at_);
     free_at_ = start + cost;
     busy_ += cost;
+    if (stats_) {
+        stats_->run_ns += u64(cost.ns());
+        stats_->steal_ns += u64((start - engine_.now()).ns());
+    }
+    if (auto *p = engine_.profiler(); p && p->enabled())
+        p->charge(what, u64(cost.ns()), start.ns());
     if (auto *tr = engine_.tracer(); tr && tr->enabled()) {
         if (trace_track_ == 0)
             trace_track_ = tr->track(name_);

@@ -19,6 +19,10 @@
 #include "sim/engine.h"
 #include "trace/trace.h"
 
+namespace mirage::trace {
+struct DomainStats;
+} // namespace mirage::trace
+
 namespace mirage::sim {
 
 class Cpu
@@ -56,12 +60,21 @@ class Cpu
 
     Engine &engine() { return engine_; }
 
+    /**
+     * Point this vCPU's run/steal accounting at a domain's stats
+     * record (not owned); charged cost adds to run_ns and the queueing
+     * delay behind earlier work adds to steal_ns.
+     */
+    void setStats(trace::DomainStats *stats) { stats_ = stats; }
+    trace::DomainStats *domainStats() const { return stats_; }
+
   private:
     Engine &engine_;
     std::string name_;
     TimePoint free_at_;
     Duration busy_;
     u32 trace_track_ = 0; //!< interned lazily on first traced span
+    trace::DomainStats *stats_ = nullptr;
 };
 
 } // namespace mirage::sim

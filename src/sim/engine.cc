@@ -3,6 +3,7 @@
 #include "base/logging.h"
 #include "trace/flow.h"
 #include "trace/metrics.h"
+#include "trace/profile.h"
 #include "trace/trace.h"
 
 namespace mirage::sim {
@@ -46,7 +47,8 @@ Engine::at(TimePoint t, std::function<void()> fn)
     EventId id = (u64(s.gen) << 32) | (idx + 1);
     live_++;
     u64 flow = flows_ ? flows_->current() : 0;
-    queue_.push(Item{t, next_seq_++, id, flow, std::move(fn)});
+    u32 pscope = profiler_ ? profiler_->current() : 0;
+    queue_.push(Item{t, next_seq_++, id, flow, pscope, std::move(fn)});
     return id;
 }
 
@@ -106,12 +108,12 @@ Engine::dispatchOne(bool bounded, TimePoint limit)
             tracer_->instant(trace::Cat::Engine, "dispatch", now_, 0,
                              strprintf("\"id\":%llu",
                                        (unsigned long long)item.id));
-        if (flows_) {
-            // Restore the scheduling context's flow for the duration
-            // of the callback; anything it schedules inherits it.
+        {
+            // Restore the scheduling context's flow and profiler scope
+            // for the duration of the callback; anything it schedules
+            // inherits them. Both scopes are null-safe.
             trace::FlowScope scope(flows_, item.flow);
-            item.fn();
-        } else {
+            trace::ProfRestore pscope(profiler_, item.pscope);
             item.fn();
         }
         return true;

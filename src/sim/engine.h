@@ -29,6 +29,7 @@ class TraceRecorder;
 class MetricsRegistry;
 class Counter;
 class FlowTracker;
+class Profiler;
 } // namespace mirage::trace
 
 namespace mirage::check {
@@ -119,13 +120,22 @@ class Engine
     void setFlows(trace::FlowTracker *flows) { flows_ = flows; }
     trace::FlowTracker *flows() const { return flows_; }
 
+    /**
+     * Attach (or detach with nullptr) a CPU profiler. Not owned. Like
+     * flows, the ambient profiler scope is captured at schedule time
+     * and restored around dispatch, so attribution follows callbacks.
+     */
+    void setProfiler(trace::Profiler *profiler) { profiler_ = profiler; }
+    trace::Profiler *profiler() const { return profiler_; }
+
   private:
     struct Item
     {
         TimePoint when;
         u64 seq;
         EventId id;
-        u64 flow; //!< ambient FlowId captured at schedule time
+        u64 flow;   //!< ambient FlowId captured at schedule time
+        u32 pscope; //!< ambient profiler scope captured alongside
         std::function<void()> fn;
 
         bool
@@ -179,6 +189,7 @@ class Engine
     trace::MetricsRegistry *metrics_ = nullptr;
     check::Checker *checker_ = nullptr;
     trace::FlowTracker *flows_ = nullptr;
+    trace::Profiler *profiler_ = nullptr;
     trace::Counter *c_dispatched_ = nullptr;
     trace::Counter *c_cancelled_ = nullptr;
 };

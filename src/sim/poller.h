@@ -26,6 +26,8 @@
 
 #include "sim/engine.h"
 #include "sim/tuning.h"
+#include "trace/flow.h"
+#include "trace/profile.h"
 
 namespace mirage::sim {
 
@@ -71,6 +73,12 @@ class Poller
     schedule()
     {
         scheduled_ = true;
+        // The poll timer serves whatever sits in the ring when it
+        // fires, not the request that happened to be ambient when it
+        // was armed — schedule under no flow / root scope so drained
+        // slots carry their own stamped ids instead of a stale one.
+        trace::FlowScope neutral(engine_.flows(), 0);
+        trace::ProfRestore pneutral(engine_.profiler(), 0);
         event_ = engine_.after(tuning().pollInterval, [this] { fire(); });
     }
 

@@ -41,6 +41,8 @@ FlowTracker::begin(const char *kind, TimePoint ts, u32 tid,
                                 : strprintf("\"detail\":\"%s\"",
                                             jsonEscape(f.detail).c_str()));
     current_ = id;
+    if (activity_hook_)
+        activity_hook_();
     return id;
 }
 

@@ -37,6 +37,7 @@
 #define MIRAGE_TRACE_FLOW_H
 
 #include <deque>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -131,6 +132,12 @@ class FlowTracker
      */
     std::string recentJson() const;
 
+    /** Runs on every begin(); the stall watchdog re-arms off it. */
+    void setActivityHook(std::function<void()> hook)
+    {
+        activity_hook_ = std::move(hook);
+    }
+
   private:
     Flow *find(FlowId id);
     void finalize(Flow &f, u32 tid);
@@ -147,6 +154,7 @@ class FlowTracker
     std::size_t live_capacity_ = 1024;
     std::deque<Flow> recent_;
     std::size_t recent_capacity_ = 128;
+    std::function<void()> activity_hook_;
 };
 
 /**

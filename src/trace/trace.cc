@@ -136,6 +136,15 @@ TraceRecorder::asyncInstant(Cat cat, const char *name, u64 id,
 }
 
 void
+TraceRecorder::counter(Cat cat, const char *name, TimePoint ts,
+                       std::string args, u32 tid)
+{
+    if (!enabled_)
+        return;
+    push(Event{name, cat, 'C', tid, ts.ns(), 0, 0, std::move(args)});
+}
+
+void
 TraceRecorder::setFlightCapacity(std::size_t n)
 {
     flight_cap_ = n;

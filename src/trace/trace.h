@@ -105,6 +105,14 @@ class TraceRecorder
     void asyncInstant(Cat cat, const char *name, u64 id, TimePoint ts,
                       u32 tid = 0, std::string args = {});
 
+    /**
+     * A counter sample ('C'): @p args carries the series values, e.g.
+     * "\"net\":120,\"gc\":30" — Perfetto renders each key as a stacked
+     * series on one counter track named @p name.
+     */
+    void counter(Cat cat, const char *name, TimePoint ts,
+                 std::string args, u32 tid = 0);
+
     // ---- Flight-recorder mode ---------------------------------------
     /**
      * Bound the event store to the most recent @p n events (0 restores
