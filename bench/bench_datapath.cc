@@ -36,6 +36,11 @@ setTuning(bool fast)
     sim::Tuning &t = sim::tuning();
     t.persistentGrants = fast;
     t.doorbellBatching = fast;
+    // This bench isolates the per-segment grant/doorbell datapath, so
+    // segmentation offload stays off: with TSO on, tcp.segments_sent
+    // counts multi-MSS chains and the per-packet rates lose meaning.
+    t.tcpSegOffload = false;
+    t.csumOffload = false;
 }
 
 u64
@@ -155,5 +160,7 @@ main(int argc, char **argv)
     report(json, "blk_4k_qd16", "MiB/s", blk_base, blk_fast);
 
     setTuning(true); // restore defaults
+    sim::tuning().tcpSegOffload = true;
+    sim::tuning().csumOffload = true;
     return 0;
 }

@@ -45,7 +45,14 @@ struct Tweets
     }
 };
 
-double
+struct Measured
+{
+    double replyRate = 0;
+    double p50us = 0;
+    double p99us = 0;
+};
+
+Measured
 measure(bool mirage, double sessions_per_second)
 {
     core::Cloud cloud;
@@ -87,10 +94,14 @@ measure(bool mirage, double sessions_per_second)
     cfg.sessionsPerSecond = sessions_per_second;
     cfg.window = Duration::seconds(1);
     loadgen::HttPerf hp(client, cfg);
-    double reply_rate = 0;
-    hp.run([&](auto r) { reply_rate = r.replyRate; });
+    Measured out;
+    hp.run([&](auto r) {
+        out.replyRate = r.replyRate;
+        out.p50us = r.p50.toMillisF() * 1e3;
+        out.p99us = r.p99.toMillisF() * 1e3;
+    });
     cloud.run();
-    return reply_rate;
+    return out;
 }
 
 } // namespace
@@ -106,14 +117,17 @@ main(int argc, char **argv)
     std::printf("%-14s %14s %14s\n", "sessions_per_s",
                 "mirage_replies", "linux_replies");
     for (double rate : {10, 20, 30, 40, 60, 80, 100, 120, 140, 160}) {
-        double m = measure(true, rate);
-        double l = measure(false, rate);
-        std::printf("%-14.0f %14.0f %14.0f\n", rate, m, l);
+        Measured m = measure(true, rate);
+        Measured l = measure(false, rate);
+        std::printf("%-14.0f %14.0f %14.0f\n", rate, m.replyRate,
+                    l.replyRate);
         std::fflush(stdout);
         json.add(strprintf("dyn_web/mirage/%.0f_per_s", rate),
-                 "reply_rate", m, "replies/s");
+                 "reply_rate", m.replyRate, "replies/s", m.p50us,
+                 m.p99us);
         json.add(strprintf("dyn_web/linux/%.0f_per_s", rate),
-                 "reply_rate", l, "replies/s");
+                 "reply_rate", l.replyRate, "replies/s", l.p50us,
+                 l.p99us);
     }
     return 0;
 }

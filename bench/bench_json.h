@@ -42,7 +42,9 @@ class JsonReport
     /**
      * One measurement: @p name is the benchmark/configuration label,
      * @p metric what was measured, @p value its magnitude in
-     * @p unit. Percentiles are optional (0 = not reported).
+     * @p unit. Percentiles are optional (0 = not reported); rows
+     * without a latency distribution omit the fields entirely rather
+     * than emitting misleading "p50":0,"p99":0 pairs.
      */
     void
     add(const std::string &name, const std::string &metric,
@@ -51,12 +53,16 @@ class JsonReport
     {
         if (!enabled())
             return;
-        rows_.push_back(strprintf(
+        std::string row = strprintf(
             "{\"name\":\"%s\",\"metric\":\"%s\",\"value\":%.6g,"
-            "\"unit\":\"%s\",\"p50\":%.6g,\"p99\":%.6g}",
+            "\"unit\":\"%s\"",
             trace::jsonEscape(name).c_str(),
             trace::jsonEscape(metric).c_str(), value,
-            trace::jsonEscape(unit).c_str(), p50, p99));
+            trace::jsonEscape(unit).c_str());
+        if (p50 > 0 || p99 > 0)
+            row += strprintf(",\"p50\":%.6g,\"p99\":%.6g", p50, p99);
+        row += "}";
+        rows_.push_back(std::move(row));
     }
 
     /** Write all pending rows (one JSON object per line). */

@@ -19,7 +19,10 @@ using namespace mirage;
 
 namespace {
 
-/** Read a whole file via the sector iterator, then respond. */
+/** Read a whole file via the sector iterator, then respond. The
+ *  sector views are gathered as the response body unchanged — the
+ *  sendfile path: file pages go from the buffer cache straight into
+ *  tx slots with no intermediate string. */
 void
 serveFile(storage::Fat32Volume &vol, const std::string &name,
           http::HttpServer::Responder respond)
@@ -30,23 +33,21 @@ serveFile(storage::Fat32Volume &vol, const std::string &name,
             return;
         }
         auto reader = opened.value();
-        auto body = std::make_shared<std::string>();
+        auto frags = std::make_shared<std::vector<Cstruct>>();
         auto step = std::make_shared<std::function<void()>>();
-        *step = [reader, body, step, respond] {
-            reader->next([reader, body, step,
+        *step = [reader, frags, step, respond] {
+            reader->next([reader, frags, step,
                           respond](Result<Cstruct> r) {
                 if (!r.ok()) {
                     respond(http::HttpResponse::text(500, "io error"));
                     return;
                 }
                 if (r.value().empty()) {
-                    http::HttpResponse rsp;
-                    rsp.headers["Content-Type"] = "text/html";
-                    rsp.body = *body;
-                    respond(rsp);
+                    respond(http::HttpResponse::view(
+                        std::move(*frags), "text/html"));
                     return;
                 }
-                *body += r.value().toString();
+                frags->push_back(r.value());
                 (*step)();
             });
         };

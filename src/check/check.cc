@@ -24,6 +24,7 @@ subsystemName(Subsystem s)
       case Subsystem::Ring: return "ring";
       case Subsystem::Gc: return "gc";
       case Subsystem::Event: return "event";
+      case Subsystem::Net: return "net";
     }
     return "?";
 }

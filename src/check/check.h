@@ -1,7 +1,7 @@
 /**
  * @file
  * Checker — deterministic invariant checking for the simulated OS (a
- * "TSan for the unikernel"): shadow-state checkers for the four
+ * "TSan for the unikernel"): shadow-state checkers for the
  * protocol-bearing subsystems, attached to sim::Engine exactly like
  * trace::TraceRecorder.
  *
@@ -23,7 +23,11 @@
  *    CellRefs (the heap poisons freed handles while a checker is
  *    enabled so stale refs cannot alias recycled cells), plus a
  *    live-cell leak report at heap shutdown;
- *  - event channels: notify/close on unbound or already-closed ports.
+ *  - event channels: notify/close on unbound or already-closed ports;
+ *  - network offload: a csum-blank tx frame must leave netback with a
+ *    valid TCP checksum, and an aborted tx chain must return its
+ *    grant-pool leases (reported by the instrumented datapath via
+ *    violation() directly).
  *
  * Cost model: a detached or disabled checker costs the instrumented
  * code one pointer test and a predictable branch, the same contract as
@@ -58,9 +62,9 @@ class Counter;
 namespace mirage::check {
 
 /** Protocol family a violation belongs to. */
-enum class Subsystem : u8 { Grant, Ring, Gc, Event };
+enum class Subsystem : u8 { Grant, Ring, Gc, Event, Net };
 
-constexpr std::size_t subsystemCount = 4;
+constexpr std::size_t subsystemCount = 5;
 
 const char *subsystemName(Subsystem s);
 

@@ -186,6 +186,10 @@ Cloud::startGuest(const std::string &name, xen::GuestKind kind,
     // Architecture-specific per-packet extras (see the cost model).
     if (kind == xen::GuestKind::Unikernel) {
         cfg.txOverheadPerPacket = sim::costs().mirageTxPerPacket;
+        // The clean-slate stack drives the netif offloads: multi-MSS
+        // TSO chains and backend checksum fill (gated by tuning).
+        cfg.tcpSegOffload = true;
+        cfg.csumOffload = true;
     } else {
         cfg.txOverheadPerPacket = sim::costs().linuxTxPerPacket;
         cfg.rxOverheadPerPacket = sim::costs().socketRxPerPacket;

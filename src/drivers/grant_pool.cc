@@ -221,6 +221,15 @@ GrantPool::evictRegistryIfNeeded()
     }
 }
 
+bool
+GrantPool::bufferIsFree(const Buffer *buf) const
+{
+    auto it = page_index_.find(buf);
+    if (it == page_index_.end())
+        return true;
+    return pageFree(pages_[it->second]);
+}
+
 std::size_t
 GrantPool::freePages() const
 {

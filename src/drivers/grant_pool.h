@@ -112,6 +112,13 @@ class GrantPool
     /** Free tier-A pages right now (lazy refcount scan). */
     std::size_t freePages() const;
 
+    /**
+     * Whether the pooled page backed by @p buf is currently free (no
+     * borrower views). True for buffers the pool does not own — they
+     * carry no lease to leak. Used by the tx chain-abort invariant.
+     */
+    bool bufferIsFree(const Buffer *buf) const;
+
   private:
     struct PooledPage
     {

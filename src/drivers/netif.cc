@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "base/logging.h"
+#include "check/check.h"
 #include "sim/cost_model.h"
 #include "sim/tuning.h"
 #include "trace/flow.h"
@@ -83,7 +84,9 @@ Netif::Netif(pvboot::PVBoot &boot, xen::Netback &backend,
         });
 
     backend.connect(xen::NetConnectInfo{&dom, tx_grant, rx_grant, btx,
-                                        brx, mac_});
+                                        brx, mac_,
+                                        sim::tuning().tcpSegOffload,
+                                        sim::tuning().csumOffload});
     postRxBuffers();
 }
 
@@ -124,7 +127,7 @@ Netif::flowTrack()
 }
 
 rt::PromisePtr
-Netif::writeFrameV(const std::vector<Cstruct> &frags)
+Netif::writeFrameV(const std::vector<Cstruct> &frags, TxOffload offload)
 {
     auto p = rt::Promise::make();
     if (frags.empty()) {
@@ -139,30 +142,70 @@ Netif::writeFrameV(const std::vector<Cstruct> &frags)
         flow = fl->current();
         fl->stageBegin(flow, "netif_tx", engine.now(), flowTrack());
     }
+    // A chain longer than the whole ring can never be enqueued: fail
+    // it now instead of parking it at the head of the wait queue,
+    // where it would wedge every later frame forever.
+    if (frags.size() > xen::RingLayout::slotCount) {
+        abortTx(frags, p, flow);
+        return p;
+    }
     // Preserve ordering: queue behind earlier waiters, then behind a
     // full ring. Frames stay queued in the driver exactly as real
     // netfront holds skbs when the ring is full.
     if (!tx_wait_queue_.empty() ||
         tx_ring_->freeRequests() < frags.size()) {
         if (tx_wait_queue_.size() >= txQueueLimit) {
-            tx_errors_++;
-            if (flow)
-                engine.flows()->stageEnd(flow, "netif_tx",
-                                         engine.now(), flowTrack());
-            p->cancel();
+            abortTx(frags, p, flow);
             return p;
         }
-        tx_wait_queue_.push_back(QueuedTx{frags, p, flow});
+        tx_wait_queue_.push_back(QueuedTx{frags, p, flow, offload});
         return p;
     }
-    enqueueOnRing(frags, p, flow);
+    enqueueOnRing(frags, p, flow, offload);
     return p;
+}
+
+void
+Netif::abortTx(const std::vector<Cstruct> &frags, const rt::PromisePtr &p,
+               u64 flow)
+{
+    tx_errors_++;
+    sim::Engine &engine = boot_.domain().hypervisor().engine();
+    if (flow) {
+        if (auto *fl = engine.flows())
+            fl->stageEnd(flow, "netif_tx", engine.now(), flowTrack());
+    }
+    // Chain-abort invariant: dropping the chain must return every
+    // grant-pool lease its fragments held. The caller's frags vector
+    // is still alive during this call, so the check runs after the
+    // current event — by then only a leaked lease keeps a page busy.
+    if (auto *ck = engine.checker(); ck && ck->enabled()) {
+        std::vector<const Buffer *> bufs;
+        bufs.reserve(frags.size());
+        for (const Cstruct &f : frags)
+            bufs.push_back(f.buffer().get());
+        engine.after(Duration::nanos(0),
+                     [this, bufs = std::move(bufs)] {
+                         auto *c = boot_.domain()
+                                       .hypervisor()
+                                       .engine()
+                                       .checker();
+                         for (const Buffer *b : bufs)
+                             if (!pool_->bufferIsFree(b))
+                                 c->violation(
+                                     check::Subsystem::Net,
+                                     "tx.abort_leaked_lease",
+                                     "aborted tx chain still holds a "
+                                     "grant-pool page lease");
+                     });
+    }
+    p->cancel();
 }
 
 bool
 Netif::enqueueOnRing(const std::vector<Cstruct> &frags,
                      const rt::PromisePtr &p, u64 flow,
-                     xen::DoorbellBatch *batch)
+                     TxOffload offload, xen::DoorbellBatch *batch)
 {
     xen::Domain &dom = boot_.domain();
     if (tx_ring_->freeRequests() < frags.size())
@@ -202,12 +245,18 @@ Netif::enqueueOnRing(const std::vector<Cstruct> &frags,
         u16 flags = last ? 0 : xen::NetifWire::txflagMoreData;
         if (persistent)
             flags |= xen::NetifWire::txflagPersistent;
+        // Offload metadata rides the chain's first slot only, like the
+        // real protocol's leading extra-info slot.
+        if (i == 0 && offload.csumBlank)
+            flags |= xen::NetifWire::txflagCsumBlank;
         slot.setLe16(xen::NetifWire::txreqId, id);
         slot.setLe32(xen::NetifWire::txreqGrant, gref);
         slot.setLe16(xen::NetifWire::txreqOffset, u16(offset));
         slot.setLe16(xen::NetifWire::txreqLen, u16(frags[i].length()));
         slot.setLe16(xen::NetifWire::txreqFlags, flags);
         slot.setLe32(xen::NetifWire::txreqFlow, u32(flow));
+        slot.setLe16(xen::NetifWire::txreqGsoSize,
+                     i == 0 ? offload.gsoSize : 0);
         tx_pending_.emplace(id,
                             TxPending{frame, gref, frags[i], persistent});
     }
@@ -233,9 +282,17 @@ Netif::drainTxQueue()
         batch.emplace(dom.hypervisor().events(), dom);
     while (!tx_wait_queue_.empty()) {
         QueuedTx &head = tx_wait_queue_.front();
+        // Defensive: a chain the ring can never hold must not wedge
+        // the queue head (writeFrameV refuses these up front).
+        if (head.frags.size() > xen::RingLayout::slotCount) {
+            QueuedTx dead = std::move(head);
+            tx_wait_queue_.pop_front();
+            abortTx(dead.frags, dead.promise, dead.flow);
+            continue;
+        }
         if (tx_ring_->freeRequests() < head.frags.size())
             break;
-        enqueueOnRing(head.frags, head.promise, head.flow,
+        enqueueOnRing(head.frags, head.promise, head.flow, head.offload,
                       batch ? &*batch : nullptr);
         tx_wait_queue_.pop_front();
     }

@@ -28,6 +28,17 @@
 
 namespace mirage::drivers {
 
+/**
+ * Offload requests riding a tx chain's first slot (the distilled
+ * netif extra-info slot): segment the chain at gsoSize in the backend
+ * and/or fill the blank TCP checksum there.
+ */
+struct TxOffload
+{
+    u16 gsoSize = 0;
+    bool csumBlank = false;
+};
+
 class Netif
 {
   public:
@@ -61,9 +72,12 @@ class Netif
      * Scatter-gather transmit (§3.5.1, Fig 4): the fragments — header
      * page first, then payload sub-views — are pushed onto the ring as
      * one chained packet, so the stack never copies payload bytes.
+     * @p offload is stamped into the chain's first slot (TSO segment
+     * size / blank checksum) when the backend advertised the features.
      * Resolves when the final fragment is acknowledged.
      */
-    rt::PromisePtr writeFrameV(const std::vector<Cstruct> &frags);
+    rt::PromisePtr writeFrameV(const std::vector<Cstruct> &frags,
+                               TxOffload offload = {});
 
     /** Handler for received frames (views of pool pages). */
     void onFrame(std::function<void(Cstruct)> handler);
@@ -110,6 +124,7 @@ class Netif
         std::vector<Cstruct> frags;
         rt::PromisePtr promise;
         u64 flow = 0;
+        TxOffload offload;
     };
 
     void postRxBuffers();
@@ -120,7 +135,10 @@ class Netif
     void drainTxQueue();
     bool enqueueOnRing(const std::vector<Cstruct> &frags,
                        const rt::PromisePtr &p, u64 flow,
+                       TxOffload offload,
                        xen::DoorbellBatch *batch = nullptr);
+    void abortTx(const std::vector<Cstruct> &frags,
+                 const rt::PromisePtr &p, u64 flow);
     u32 flowTrack();
 
     pvboot::PVBoot &boot_;

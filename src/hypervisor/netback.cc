@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "base/checksum.h"
 #include "base/logging.h"
+#include "check/check.h"
 #include "hypervisor/xen.h"
 #include "hypervisor/ring.h"
 #include "sim/cost_model.h"
@@ -12,6 +14,68 @@
 #include "trace/trace.h"
 
 namespace mirage::xen {
+
+namespace {
+
+/** Copy bytes [offset, offset+len) of a fragment chain into @p dst at
+ *  @p dst_off (the backend's copy-out, possibly a slice of it). */
+void
+copyFromChain(Cstruct &dst, std::size_t dst_off,
+              const std::vector<Cstruct> &frags, std::size_t offset,
+              std::size_t len)
+{
+    std::size_t skipped = 0;
+    for (const Cstruct &f : frags) {
+        if (len == 0)
+            break;
+        if (skipped + f.length() <= offset) {
+            skipped += f.length();
+            continue;
+        }
+        std::size_t start = offset > skipped ? offset - skipped : 0;
+        std::size_t take = std::min(f.length() - start, len);
+        dst.blitFrom(f, start, dst_off, take);
+        dst_off += take;
+        len -= take;
+        skipped += f.length();
+        offset = skipped; // later fragments contribute from their head
+    }
+}
+
+/**
+ * TCP checksum over an assembled Ethernet/IPv4/TCP frame, pseudo-
+ * header included. Local to netback: dom0 parses wire bytes, it does
+ * not link the guests' net library.
+ */
+u16
+tcpWireChecksum(const Cstruct &frame, std::size_t eth_hdr,
+                std::size_t ihl)
+{
+    std::size_t tcp_off = eth_hdr + ihl;
+    std::size_t tcp_len = frame.length() - tcp_off;
+    ChecksumAccumulator acc;
+    u32 src = frame.getBe32(eth_hdr + 12);
+    u32 dst = frame.getBe32(eth_hdr + 16);
+    acc.addWord(u16(src >> 16));
+    acc.addWord(u16(src & 0xffff));
+    acc.addWord(u16(dst >> 16));
+    acc.addWord(u16(dst & 0xffff));
+    acc.addWord(6); // IPPROTO_TCP
+    acc.addWord(u16(tcp_len));
+    acc.add(frame.sub(tcp_off, tcp_len));
+    return acc.finish();
+}
+
+void
+fillTcpWireChecksum(Cstruct &frame, std::size_t eth_hdr,
+                    std::size_t ihl)
+{
+    frame.setBe16(eth_hdr + ihl + 16, 0);
+    frame.setBe16(eth_hdr + ihl + 16,
+                  tcpWireChecksum(frame, eth_hdr, ihl));
+}
+
+} // namespace
 
 // ---- Bridge ---------------------------------------------------------------
 
@@ -125,7 +189,8 @@ Netback::Vif::Vif(Netback &owner, const NetConnectInfo &info)
     : owner_(owner), frontend_(*info.frontend), mac_(info.mac),
       tx_port_(info.backendTxPort), rx_port_(info.backendRxPort),
       tx_ring_grant_(info.txRingGrant), rx_ring_grant_(info.rxRingGrant),
-      pmap_(owner.dom_, "netback")
+      pmap_(owner.dom_, "netback"), feature_gso_(info.featureGso),
+      feature_csum_(info.featureCsumOffload)
 {
     Hypervisor &hv = owner_.dom_.hypervisor();
     pmap_.bind(&frontend_);
@@ -236,101 +301,95 @@ Netback::Vif::drainTx(bool park)
                 // touching its grant.
                 status = NetifWire::statusError;
             } else {
-                // First fragment of a packet: pick up the flow stamped
-                // in the slot and open the backend stage for it.
-                if (fl && pending_frags_.empty()) {
-                    pending_flow_ = req.getLe32(NetifWire::txreqFlow);
-                    if (pending_flow_) {
-                        fl->stageBegin(pending_flow_, "netback_tx",
-                                       hv.engine().now(), flowTrack());
-                        // Baseline of dom0's CPU backlog, so the stage
-                        // charges only this packet's own modeled work.
-                        pending_busy0_ = owner_.dom_.vcpu().freeAt();
-                        if (pending_busy0_ < hv.engine().now())
-                            pending_busy0_ = hv.engine().now();
+                // First fragment of a packet: pick up the flow and the
+                // offload metadata stamped in the slot and open the
+                // backend stage for the packet.
+                if (pending_frags_.empty()) {
+                    pending_gso_ = req.getLe16(NetifWire::txreqGsoSize);
+                    pending_csum_blank_ =
+                        (flags & NetifWire::txflagCsumBlank) != 0;
+                    if (fl) {
+                        pending_flow_ =
+                            req.getLe32(NetifWire::txreqFlow);
+                        if (pending_flow_) {
+                            fl->stageBegin(pending_flow_, "netback_tx",
+                                           hv.engine().now(),
+                                           flowTrack());
+                            // Baseline of dom0's CPU backlog, so the
+                            // stage charges only this packet's own
+                            // modeled work.
+                            pending_busy0_ =
+                                owner_.dom_.vcpu().freeAt();
+                            if (pending_busy0_ < hv.engine().now())
+                                pending_busy0_ = hv.engine().now();
+                        }
+                    }
+                    // A frontend must not use offloads it never
+                    // advertised (it has no way to know we honour
+                    // them).
+                    if ((pending_gso_ != 0 && !feature_gso_) ||
+                        (pending_csum_blank_ && !feature_csum_)) {
+                        status = NetifWire::statusError;
+                        if (more)
+                            discard_chain_ = true;
+                        if (fl && pending_flow_) {
+                            fl->stageEnd(pending_flow_, "netback_tx",
+                                         hv.engine().now(),
+                                         flowTrack());
+                            pending_flow_ = 0;
+                        }
                     }
                 }
 
-                owner_.dom_.vcpu().charge(c.backendPerRequest,
-                                          "netback.request",
-                                          trace::Cat::Hypervisor);
-                bool injected = false;
-                if (inject_tx_map_failures_ > 0) {
-                    inject_tx_map_failures_--;
-                    injected = true;
-                }
-                Result<Cstruct> page =
-                    injected ? Result<Cstruct>(stateError(
-                                   "injected tx map failure"))
-                    : persistent
-                        ? pmap_.map(gref)
-                        : hv.grantMap(owner_.dom_, frontend_, gref,
-                                      false);
-                if (page.ok() &&
-                    std::size_t(offset) + len <= page.value().length()) {
-                    // Hold the fragment view; the shared page stays
-                    // alive through the cached mapping (persistent) or
-                    // the frontend's own reference (one-shot).
-                    pending_frags_.push_back(
-                        page.value().sub(offset, len));
-                    pending_bytes_ += len;
-                } else {
-                    status = NetifWire::statusError;
-                    pending_frags_.clear();
-                    pending_bytes_ = 0;
-                    if (more)
-                        discard_chain_ = true;
-                    if (fl && pending_flow_) {
-                        fl->stageEnd(pending_flow_, "netback_tx",
-                                     hv.engine().now(), flowTrack());
-                        pending_flow_ = 0;
+                if (status == NetifWire::statusOk) {
+                    owner_.dom_.vcpu().charge(c.backendPerRequest,
+                                              "netback.request",
+                                              trace::Cat::Hypervisor);
+                    bool injected = false;
+                    if (inject_tx_map_failures_ > 0) {
+                        inject_tx_map_failures_--;
+                        injected = true;
                     }
+                    Result<Cstruct> page =
+                        injected ? Result<Cstruct>(stateError(
+                                       "injected tx map failure"))
+                        : persistent
+                            ? pmap_.map(gref)
+                            : hv.grantMap(owner_.dom_, frontend_, gref,
+                                          false);
+                    if (page.ok() &&
+                        std::size_t(offset) + len <=
+                            page.value().length()) {
+                        // Hold the fragment view; the shared page
+                        // stays alive through the cached mapping
+                        // (persistent) or the frontend's own
+                        // reference (one-shot).
+                        pending_frags_.push_back(
+                            page.value().sub(offset, len));
+                        pending_bytes_ += len;
+                    } else {
+                        status = NetifWire::statusError;
+                        pending_frags_.clear();
+                        pending_bytes_ = 0;
+                        if (more)
+                            discard_chain_ = true;
+                        if (fl && pending_flow_) {
+                            fl->stageEnd(pending_flow_, "netback_tx",
+                                         hv.engine().now(),
+                                         flowTrack());
+                            pending_flow_ = 0;
+                        }
+                    }
+                    if (!persistent && page.ok())
+                        hv.grantUnmap(owner_.dom_, frontend_, gref);
                 }
-                if (!persistent && page.ok())
-                    hv.grantUnmap(owner_.dom_, frontend_, gref);
             }
 
             if (!more)
                 discard_chain_ = false;
             if (!more && status == NetifWire::statusOk &&
-                !pending_frags_.empty()) {
-                // Last fragment: coalesce the chain into one owned
-                // frame (the backend's copy-out) and switch it.
-                Cstruct owned = Cstruct::create(pending_bytes_);
-                std::size_t at = 0;
-                for (const Cstruct &frag : pending_frags_) {
-                    owned.blitFrom(frag, 0, at, frag.length());
-                    at += frag.length();
-                }
-                owner_.dom_.vcpu().charge(c.copy(pending_bytes_),
-                                          "netback.copy",
-                                          trace::Cat::Hypervisor);
-                pending_frags_.clear();
-                pending_bytes_ = 0;
-                forwarded_++;
-                {
-                    // The switched frame continues the request flow:
-                    // the fabric hop and far-side delivery inherit it
-                    // through the engine's ambient propagation.
-                    trace::FlowScope scope(fl, pending_flow_);
-                    owner_.bridge_.send(this, owned);
-                }
-                if (fl && pending_flow_) {
-                    // The stage covers the backend's modeled CPU work
-                    // for this packet (map, copy-out, switch): the
-                    // growth of dom0's vCPU backlog since the first
-                    // fragment, not the whole shared-queue drain.
-                    TimePoint now = hv.engine().now();
-                    TimePoint busy = owner_.dom_.vcpu().freeAt();
-                    i64 work_ns = busy.ns() - pending_busy0_.ns();
-                    if (work_ns < 0)
-                        work_ns = 0;
-                    fl->stageEnd(pending_flow_, "netback_tx",
-                                 TimePoint(now.ns() + work_ns),
-                                 flowTrack());
-                    pending_flow_ = 0;
-                }
-            }
+                !pending_frags_.empty())
+                forwardChain(fl);
 
             Cstruct rsp = tx_ring_->startResponse().value();
             rsp.setLe16(NetifWire::txrspId, id);
@@ -348,6 +407,169 @@ Netback::Vif::drainTx(bool park)
     if (any && tx_ring_->pushResponses())
         hv.events().notify(owner_.dom_, tx_port_);
     return any;
+}
+
+void
+Netback::Vif::forwardChain(trace::FlowTracker *fl)
+{
+    Hypervisor &hv = owner_.dom_.hypervisor();
+    const auto &c = sim::costs();
+    std::vector<Cstruct> frags = std::move(pending_frags_);
+    std::size_t total = pending_bytes_;
+    u16 gso = pending_gso_;
+    bool csum_blank = pending_csum_blank_;
+    pending_frags_.clear();
+    pending_bytes_ = 0;
+    pending_gso_ = 0;
+    pending_csum_blank_ = false;
+
+    // When the backend must rewrite headers (TSO) or fill the blank
+    // checksum, parse the frame geometry. The frontend may split the
+    // headers across fragments (the stack sends eth+IP and TCP as
+    // separate views of its header page), so parse from a chain-aware
+    // copy of the leading bytes, never from frags[0] alone.
+    constexpr std::size_t eth_hdr = 14;
+    std::size_t ihl = 0;
+    std::size_t hdr_len = 0;
+    bool parsed = false;
+    if (gso != 0 || csum_blank) {
+        // Enough for eth + maximal IP (60) + maximal TCP (60) headers.
+        std::size_t probe_len =
+            std::min<std::size_t>(total, eth_hdr + 60 + 60);
+        Cstruct head = Cstruct::create(probe_len);
+        copyFromChain(head, 0, frags, 0, probe_len);
+        if (probe_len >= eth_hdr + 20 && head.getBe16(12) == 0x0800 &&
+            (head.getU8(eth_hdr) >> 4) == 4) {
+            ihl = std::size_t(head.getU8(eth_hdr) & 0xf) * 4;
+            if (head.getU8(eth_hdr + 9) == 6 &&
+                probe_len >= eth_hdr + ihl + 20) {
+                std::size_t tcp_hdr =
+                    std::size_t(head.getU8(eth_hdr + ihl + 12) >> 4) *
+                    4;
+                hdr_len = eth_hdr + ihl + tcp_hdr;
+                parsed = total >= hdr_len;
+            }
+        }
+    }
+    check::Checker *ck = hv.engine().checker();
+    if (ck && !ck->enabled())
+        ck = nullptr;
+    if ((gso != 0 || csum_blank) && !parsed) {
+        // Offload asked for on a frame we cannot parse: nothing valid
+        // can reach the wire. Drop it, as real netback errors such
+        // packets.
+        dropped_++;
+    } else if (gso == 0) {
+        // Plain (possibly csum-blank) frame: coalesce the chain into
+        // one owned frame — the backend's copy-out — filling the
+        // checksum during the pass when asked.
+        Cstruct owned = Cstruct::create(total);
+        copyFromChain(owned, 0, frags, 0, total);
+        owner_.dom_.vcpu().charge(c.copy(total), "netback.copy",
+                                  trace::Cat::Hypervisor);
+        if (csum_blank) {
+            fillTcpWireChecksum(owned, eth_hdr, ihl);
+            owner_.dom_.vcpu().charge(
+                Duration(i64(c.netbackCsumNsPerByte * double(total))),
+                "netback.csum", trace::Cat::Hypervisor);
+            if (ck && tcpWireChecksum(owned, eth_hdr, ihl) != 0)
+                ck->violation(check::Subsystem::Net,
+                              "csum_blank_on_wire",
+                              "csum-offloaded frame left netback "
+                              "with an invalid TCP checksum");
+        }
+        forwarded_++;
+        // The switched frame continues the request flow: the fabric
+        // hop and far-side delivery inherit it through the engine's
+        // ambient propagation.
+        trace::FlowScope scope(fl, pending_flow_);
+        owner_.bridge_.send(this, owned);
+    } else {
+        // TSO chain: segment at the backend boundary. Derived frames
+        // carry whole multiples of the MSS up to the receiver's
+        // posted-page capacity — backend segmentation composes with
+        // receive-side GRO merging, as in Xen's netback, so neither
+        // end pays per-MSS per-packet costs.
+        std::size_t mss = gso;
+        std::size_t payload_total = total - hdr_len;
+        std::size_t per_frame =
+            pageSize > hdr_len + mss
+                ? ((pageSize - hdr_len) / mss) * mss
+                : mss;
+        // The template header may itself span fragments: flatten it
+        // once and stamp every derived segment from the copy.
+        Cstruct base_hdr = Cstruct::create(hdr_len);
+        copyFromChain(base_hdr, 0, frags, 0, hdr_len);
+        u16 base_ident = base_hdr.getBe16(eth_hdr + 4);
+        u32 base_seq = base_hdr.getBe32(eth_hdr + ihl + 4);
+        u8 base_tcp_flags = base_hdr.getU8(eth_hdr + ihl + 13);
+        std::size_t done = 0;
+        u16 seg_ix = 0;
+        while (done < payload_total) {
+            std::size_t piece =
+                std::min(per_frame, payload_total - done);
+            bool last_seg = done + piece == payload_total;
+            Cstruct seg = Cstruct::create(hdr_len + piece);
+            copyFromChain(seg, 0, {base_hdr}, 0, hdr_len);
+            copyFromChain(seg, hdr_len, frags, hdr_len + done, piece);
+            // IP: fresh total length and ident, recomputed header
+            // checksum.
+            seg.setBe16(eth_hdr + 2, u16(hdr_len - eth_hdr + piece));
+            seg.setBe16(eth_hdr + 4, u16(base_ident + seg_ix));
+            seg.setBe16(eth_hdr + 10, 0);
+            seg.setBe16(eth_hdr + 10,
+                        internetChecksum(seg.sub(eth_hdr, ihl)));
+            // TCP: advance the sequence, clear FIN|PSH on all but the
+            // final segment, fill the checksum.
+            seg.setBe32(eth_hdr + ihl + 4, base_seq + u32(done));
+            u8 tcp_flags = base_tcp_flags;
+            if (!last_seg)
+                tcp_flags &= u8(~0x09);
+            seg.setU8(eth_hdr + ihl + 13, tcp_flags);
+            fillTcpWireChecksum(seg, eth_hdr, ihl);
+            // Charge the copy-out, the fused checksum pass and the
+            // per-MSS header fixup — dom0's share of segmentation,
+            // where the paper's cost model puts it.
+            std::size_t n_mss = (piece + mss - 1) / mss;
+            owner_.dom_.vcpu().charge(c.copy(hdr_len + piece),
+                                      "netback.copy",
+                                      trace::Cat::Hypervisor);
+            owner_.dom_.vcpu().charge(
+                Duration(i64(c.netbackCsumNsPerByte *
+                             double(hdr_len + piece))),
+                "netback.csum", trace::Cat::Hypervisor);
+            owner_.dom_.vcpu().charge(
+                Duration(c.netbackSegmentFixup.ns() * i64(n_mss)),
+                "netback.segment", trace::Cat::Hypervisor);
+            if (ck && tcpWireChecksum(seg, eth_hdr, ihl) != 0)
+                ck->violation(check::Subsystem::Net,
+                              "csum_blank_on_wire",
+                              "derived TSO segment left netback "
+                              "with an invalid TCP checksum");
+            forwarded_++;
+            // Every derived segment rides the chain's flow across the
+            // bridge, so far-side deliveries stamp it per frame.
+            trace::FlowScope scope(fl, pending_flow_);
+            owner_.bridge_.send(this, seg);
+            done += piece;
+            seg_ix++;
+        }
+    }
+
+    if (fl && pending_flow_) {
+        // The stage covers the backend's modeled CPU work for this
+        // packet (map, copy-out/segment, switch): the growth of dom0's
+        // vCPU backlog since the first fragment, not the whole
+        // shared-queue drain.
+        TimePoint now = hv.engine().now();
+        TimePoint busy = owner_.dom_.vcpu().freeAt();
+        i64 work_ns = busy.ns() - pending_busy0_.ns();
+        if (work_ns < 0)
+            work_ns = 0;
+        fl->stageEnd(pending_flow_, "netback_tx",
+                     TimePoint(now.ns() + work_ns), flowTrack());
+    }
+    pending_flow_ = 0;
 }
 
 void

@@ -48,6 +48,13 @@ struct NetifWire
      * attribute its copy/switch work to the originating flow.
      */
     static constexpr std::size_t txreqFlow = 16; // le32
+    /**
+     * TSO: the MSS the backend must segment this chain against
+     * (0 = no segmentation). Carried in the chain's *first* slot —
+     * the distilled equivalent of netif's XEN_NETIF_EXTRA_TYPE_GSO
+     * extra-info slot.
+     */
+    static constexpr std::size_t txreqGsoSize = 20; // le16
     /** More fragments of the same packet follow (scatter-gather tx). */
     static constexpr u16 txflagMoreData = 0x1;
     /**
@@ -56,6 +63,12 @@ struct NetifWire
      * fragment inside the (whole-buffer) grant.
      */
     static constexpr u16 txflagPersistent = 0x2;
+    /**
+     * The TCP checksum field is blank (checksum offload): the backend
+     * must fill it before the frame touches the wire. Set on the
+     * chain's first slot, like NETTXF_csum_blank.
+     */
+    static constexpr u16 txflagCsumBlank = 0x4;
     // tx response
     static constexpr std::size_t txrspId = 0;     // le16
     static constexpr std::size_t txrspStatus = 2; // u8: 0 ok
@@ -146,6 +159,10 @@ struct NetConnectInfo
     Port backendTxPort = 0; //!< backend-side ports of the two channels
     Port backendRxPort = 0;
     MacBytes mac{};
+    /** Frontend advertises TSO chains (feature-gso in xenstore). */
+    bool featureGso = false;
+    /** Frontend advertises blank-checksum tx (feature-csum-offload). */
+    bool featureCsumOffload = false;
 };
 
 class Netback
@@ -191,6 +208,9 @@ class Netback
         bool drainTx(bool park);
         void onRxEvent();
         void deliverFrame(const Cstruct &frame);
+        /** Coalesce/segment the completed pending chain and switch the
+         *  resulting frame(s) onto the bridge. */
+        void forwardChain(trace::FlowTracker *fl);
         u32 flowTrack();
 
         /** Frames parked while the frontend owes rx buffers. */
@@ -235,6 +255,13 @@ class Netback
          *  fragments as the start of a new packet. */
         bool discard_chain_ = false;
         u32 inject_tx_map_failures_ = 0;
+        /** TSO segment size from the chain's first slot (0 = none). */
+        u16 pending_gso_ = 0;
+        /** Chain's first slot asked for a backend checksum fill. */
+        bool pending_csum_blank_ = false;
+        /** Features the frontend advertised at connect. */
+        bool feature_gso_ = false;
+        bool feature_csum_ = false;
         /** Flow id stamped in the packet's first fragment slot. */
         u64 pending_flow_ = 0;
         /** dom0 vCPU backlog when the packet's stage opened. */

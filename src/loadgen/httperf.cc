@@ -70,13 +70,16 @@ HttPerf::issueRequest(std::shared_ptr<http::HttpSession> session,
         req.method = "GET";
         req.path = "/timeline/" + who;
     }
-    session->request(req, [this, session, remaining,
-                           user](Result<http::HttpResponse> r) {
+    TimePoint sent = client_.sched.engine().now();
+    session->request(req, [this, session, remaining, user,
+                           sent](Result<http::HttpResponse> r) {
         if (!r.ok()) {
             report_.errors++;
             return;
         }
         report_.repliesReceived++;
+        latency_.record(
+            u64((client_.sched.engine().now() - sent).ns()));
         issueRequest(session, remaining - 1, user);
     });
 }
@@ -90,6 +93,10 @@ HttPerf::finish()
     Duration elapsed = client_.sched.engine().now() - started_;
     report_.replyRate =
         double(report_.repliesReceived) / elapsed.toSecondsF();
+    if (latency_.count()) {
+        report_.p50 = Duration(i64(latency_.quantile(0.5)));
+        report_.p99 = Duration(i64(latency_.quantile(0.99)));
+    }
     done_(report_);
 }
 

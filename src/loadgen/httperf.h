@@ -15,6 +15,7 @@
 #include "base/rand.h"
 #include "core/cloud.h"
 #include "protocols/http/client.h"
+#include "trace/metrics.h"
 
 namespace mirage::loadgen {
 
@@ -39,6 +40,9 @@ class HttPerf
         u64 repliesReceived = 0;
         u64 errors = 0;
         double replyRate = 0; //!< replies per second
+        //! Per-reply latency distribution (zero when no replies).
+        Duration p50 = Duration(0);
+        Duration p99 = Duration(0);
     };
 
     HttPerf(core::Guest &client, Config config);
@@ -56,6 +60,7 @@ class HttPerf
     Rng rng_;
     std::function<void(Report)> done_;
     Report report_;
+    trace::Histogram latency_; //!< per-reply request→response ns
     TimePoint started_;
     bool running_ = false;
 };

@@ -70,35 +70,43 @@ Ipv4::nextHopFor(Ipv4Addr dst) const
 }
 
 void
-Ipv4::send(Ipv4Addr dst, u8 proto, std::vector<Cstruct> payload_frags)
+Ipv4::send(Ipv4Addr dst, u8 proto, std::vector<Cstruct> payload_frags,
+           drivers::TxOffload offload)
 {
     if (dst.isBroadcast()) {
         emitOne(MacAddr::broadcast(), dst, proto, payload_frags,
-                next_ident_++, 0, false);
+                next_ident_++, 0, false, offload);
         return;
     }
     Ipv4Addr hop = nextHopFor(dst);
     stack_.arp().resolve(
-        hop, [this, dst, proto, frags = std::move(payload_frags)](
-                 Result<MacAddr> mac) {
+        hop, [this, dst, proto, offload,
+              frags = std::move(payload_frags)](Result<MacAddr> mac) {
             if (!mac.ok()) {
                 warn("ipv4: cannot resolve next hop for %s",
                      dst.toString().c_str());
                 return;
             }
-            transmitResolved(mac.value(), dst, proto, frags);
+            transmitResolved(mac.value(), dst, proto, frags, offload);
         });
 }
 
 void
 Ipv4::transmitResolved(const MacAddr &next_hop, Ipv4Addr dst, u8 proto,
-                       const std::vector<Cstruct> &frags)
+                       const std::vector<Cstruct> &frags,
+                       drivers::TxOffload offload)
 {
     std::size_t total = fragsLength(frags);
     std::size_t max_payload = (mtu - headerBytes) & ~std::size_t(7);
     u16 ident = next_ident_++;
+    if (offload.gsoSize > 0) {
+        // TSO chain: the backend segments it against gsoSize, so it
+        // bypasses software fragmentation regardless of length.
+        emitOne(next_hop, dst, proto, frags, ident, 0, false, offload);
+        return;
+    }
     if (total <= mtu - headerBytes) {
-        emitOne(next_hop, dst, proto, frags, ident, 0, false);
+        emitOne(next_hop, dst, proto, frags, ident, 0, false, offload);
         return;
     }
     std::size_t offset = 0;
@@ -114,7 +122,8 @@ Ipv4::transmitResolved(const MacAddr &next_hop, Ipv4Addr dst, u8 proto,
 void
 Ipv4::emitOne(const MacAddr &next_hop, Ipv4Addr dst, u8 proto,
               const std::vector<Cstruct> &frags, u16 ident,
-              u16 frag_offset_words, bool more_fragments)
+              u16 frag_offset_words, bool more_fragments,
+              drivers::TxOffload offload)
 {
     auto hdr_page = stack_.allocHeader(headerBytes);
     if (!hdr_page.ok())
@@ -143,7 +152,7 @@ Ipv4::emitOne(const MacAddr &next_hop, Ipv4Addr dst, u8 proto,
     sent_++;
     if (more_fragments || frag_offset_words > 0)
         fragments_sent_++;
-    stack_.transmit(next_hop, EtherType::Ipv4, std::move(out));
+    stack_.transmit(next_hop, EtherType::Ipv4, std::move(out), offload);
 }
 
 void

@@ -15,6 +15,7 @@
 
 #include "base/cstruct.h"
 #include "base/time.h"
+#include "drivers/netif.h"
 #include "net/addresses.h"
 
 namespace mirage::net {
@@ -55,9 +56,13 @@ class Ipv4
     /**
      * Send @p payload_frags to @p dst with protocol @p proto,
      * fragmenting when the total exceeds the MTU. Resolution, header
-     * page allocation and transmission are asynchronous.
+     * page allocation and transmission are asynchronous. A non-zero
+     * @p offload.gsoSize marks the datagram as a TSO chain: it rides
+     * the ring whole and the *backend* segments it, so software
+     * fragmentation is bypassed.
      */
-    void send(Ipv4Addr dst, u8 proto, std::vector<Cstruct> payload_frags);
+    void send(Ipv4Addr dst, u8 proto, std::vector<Cstruct> payload_frags,
+              drivers::TxOffload offload = {});
 
     u64 packetsSent() const { return sent_; }
     u64 packetsReceived() const { return received_; }
@@ -88,10 +93,12 @@ class Ipv4
     };
 
     void transmitResolved(const MacAddr &next_hop, Ipv4Addr dst, u8 proto,
-                          const std::vector<Cstruct> &frags);
+                          const std::vector<Cstruct> &frags,
+                          drivers::TxOffload offload);
     void emitOne(const MacAddr &next_hop, Ipv4Addr dst, u8 proto,
                  const std::vector<Cstruct> &frags, u16 ident,
-                 u16 frag_offset_words, bool more_fragments);
+                 u16 frag_offset_words, bool more_fragments,
+                 drivers::TxOffload offload = {});
     void handleFragment(const Ipv4Packet &pkt, u16 ident, u16 offset,
                         bool more);
     Ipv4Addr nextHopFor(Ipv4Addr dst) const;

@@ -1,6 +1,7 @@
 #include "net/stack.h"
 
 #include "sim/cost_model.h"
+#include "trace/metrics.h"
 
 namespace mirage::net {
 
@@ -37,10 +38,15 @@ NetworkStack::allocHeader(std::size_t bytes_after_eth)
 
 void
 NetworkStack::transmit(const MacAddr &dst, EtherType type,
-                       std::vector<Cstruct> frags)
+                       std::vector<Cstruct> frags,
+                       drivers::TxOffload offload)
 {
     writeEthHeader(frags[0], dst, mac(), type);
     frames_out_++;
+    std::size_t len = fragsLength(frags);
+    tx_bytes_ += len;
+    wireTxMetrics();
+    trace::bump(c_tx_bytes_, len);
     // The vCPU paces transmission: the frame reaches the driver only
     // once the per-packet stack work has had its turn on the CPU —
     // this is what makes throughput saturate with CPU (Figs 8, 12).
@@ -49,8 +55,32 @@ NetworkStack::transmit(const MacAddr &dst, EtherType type,
         cost += config_.txOverheadPerPacket;
     domain().vcpu().submit(
         cost,
-        [this, frags = std::move(frags)] { netif_.writeFrameV(frags); },
+        [this, offload, frags = std::move(frags)] {
+        netif_.writeFrameV(frags, offload);
+        },
         "net.tx", trace::Cat::Net);
+}
+
+void
+NetworkStack::wireTxMetrics()
+{
+    if (c_tx_bytes_)
+        return;
+    if (auto *m = domain().hypervisor().engine().metrics()) {
+        c_tx_bytes_ = &m->counter("net.tx.bytes");
+        c_tx_copy_bytes_ = &m->counter("net.tx.copy_bytes");
+    }
+}
+
+void
+NetworkStack::noteTxCopy(std::size_t bytes)
+{
+    tx_copy_bytes_ += bytes;
+    wireTxMetrics();
+    trace::bump(c_tx_copy_bytes_, bytes);
+    // The copy itself costs CPU — same rate the backend pays.
+    domain().vcpu().charge(sim::costs().copy(bytes), "net.tx.copy",
+                           trace::Cat::Net);
 }
 
 Duration

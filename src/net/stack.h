@@ -43,6 +43,13 @@ class NetworkStack
          *  page + grant bookkeeping for the unikernel tx path). */
         Duration txOverheadPerPacket = Duration(0);
         Duration rxOverheadPerPacket = Duration(0);
+        /** TCP hands multi-MSS chains to the driver for backend
+         *  segmentation (TSO). Effective only while the matching
+         *  sim::tuning() switch is also on. */
+        bool tcpSegOffload = false;
+        /** TCP leaves its checksum blank for the backend to fill
+         *  (checksum offload); same tuning gate. */
+        bool csumOffload = false;
     };
 
     NetworkStack(drivers::Netif &netif, rt::Scheduler &sched,
@@ -65,6 +72,13 @@ class NetworkStack
     rt::Scheduler &scheduler() { return sched_; }
     drivers::Netif &netif() { return netif_; }
     xen::Domain &domain() { return netif_.domain(); }
+    const Config &config() const { return config_; }
+    /** Enable/disable tx offloads after construction (tests). */
+    void setTxOffload(bool seg, bool csum)
+    {
+        config_.tcpSegOffload = seg;
+        config_.csumOffload = csum;
+    }
 
     // ---- Transmission helpers (used by sub-protocols) --------------------
     /** A header page view of @p bytes (14-byte Ethernet header space
@@ -73,10 +87,11 @@ class NetworkStack
 
     /**
      * Fill the Ethernet header of frags[0] and hand the scatter list
-     * to the driver.
+     * to the driver. @p offload rides through to the tx slot.
      */
     void transmit(const MacAddr &dst, EtherType type,
-                  std::vector<Cstruct> frags);
+                  std::vector<Cstruct> frags,
+                  drivers::TxOffload offload = {});
 
     // ---- Cost charging ----------------------------------------------------
     Duration packetCost() const;
@@ -86,8 +101,20 @@ class NetworkStack
     u64 framesIn() const { return frames_in_; }
     u64 framesOut() const { return frames_out_; }
 
+    // ---- Copy accounting (net.tx.copies_per_byte) ------------------------
+    /**
+     * Report @p bytes the application layer had to copy to assemble
+     * an outgoing message (e.g. header serialisation). A copy-free
+     * serve path reports only its few header bytes, so
+     * txCopyBytes()/txBytes() ≈ 0.
+     */
+    void noteTxCopy(std::size_t bytes);
+    u64 txBytes() const { return tx_bytes_; }
+    u64 txCopyBytes() const { return tx_copy_bytes_; }
+
   private:
     void frameInput(Cstruct frame);
+    void wireTxMetrics();
 
     drivers::Netif &netif_;
     rt::Scheduler &sched_;
@@ -99,6 +126,10 @@ class NetworkStack
     Tcp tcp_;
     u64 frames_in_ = 0;
     u64 frames_out_ = 0;
+    u64 tx_bytes_ = 0;
+    u64 tx_copy_bytes_ = 0;
+    trace::Counter *c_tx_bytes_ = nullptr;
+    trace::Counter *c_tx_copy_bytes_ = nullptr;
 };
 
 } // namespace mirage::net

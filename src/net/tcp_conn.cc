@@ -6,6 +6,7 @@
 #include "net/stack.h"
 #include "net/tcp.h"
 #include "sim/cost_model.h"
+#include "sim/tuning.h"
 #include "trace/flow.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
@@ -286,9 +287,7 @@ TcpConnection::handleAck(const TcpSegment &seg)
             } else {
                 // Partial ACK: retransmit the next hole, deflate.
                 if (!unacked_.empty()) {
-                    Unacked &u = unacked_.front();
-                    sendSegment(u.flags, u.seq, u.payload);
-                    u.retransmitted = true;
+                    retransmitFront();
                     stats_.retransmits++;
                     trace::bump(c_retransmits_);
                 }
@@ -334,9 +333,7 @@ TcpConnection::handleAck(const TcpSegment &seg)
                 u32 flight = flightSize();
                 ssthresh_ =
                     std::max(flight / 2, u32(mss_) * 2);
-                Unacked &u = unacked_.front();
-                sendSegment(u.flags, u.seq, u.payload);
-                u.retransmitted = true;
+                retransmitFront();
                 stats_.retransmits++;
                 stats_.fastRetransmits++;
                 trace::bump(c_retransmits_);
@@ -447,6 +444,18 @@ TcpConnection::effectiveWindow() const
     return wnd > flight ? u32(wnd - flight) : 0;
 }
 
+bool
+TcpConnection::segOffloadActive() const
+{
+    return stack_.config().tcpSegOffload && sim::tuning().tcpSegOffload;
+}
+
+bool
+TcpConnection::csumOffloadActive() const
+{
+    return stack_.config().csumOffload && sim::tuning().csumOffload;
+}
+
 void
 TcpConnection::trySend()
 {
@@ -462,13 +471,19 @@ TcpConnection::trySend()
         u32 window = effectiveWindow();
         if (window == 0)
             break;
-        std::size_t budget = std::min<std::size_t>(mss_, window);
+        // With segmentation offload the send unit is a TSO chain of up
+        // to tsoMaxBytes; the backend cuts it into MSS-sized frames.
+        std::size_t unit = segOffloadActive()
+                               ? sim::tuning().tsoMaxBytes
+                               : std::size_t(mss_);
+        std::size_t budget = std::min<std::size_t>(unit, window);
 
         // Gather up to `budget` bytes as zero-copy sub-views across
         // queued chunks (Fig 4's payload rearrangement).
         std::vector<Cstruct> payload;
         std::size_t gathered = 0;
-        while (gathered < budget && !tx_queue_.empty()) {
+        while (gathered < budget && payload.size() < maxTxFrags &&
+               !tx_queue_.empty()) {
             TxChunk &chunk = tx_queue_.front();
             std::size_t left = chunk.data.length() - chunk.consumed;
             std::size_t take = std::min(left, budget - gathered);
@@ -491,7 +506,7 @@ TcpConnection::trySend()
             break;
 
         u8 flags = TcpFlags::ack | TcpFlags::psh;
-        sendSegment(flags, snd_nxt_, payload);
+        sendSegment(flags, snd_nxt_, payload, /*allow_offload=*/true);
         unacked_.push_back(Unacked{snd_nxt_, payload, flags,
                                    stack_.scheduler().engine().now(),
                                    false});
@@ -520,7 +535,8 @@ TcpConnection::trySend()
 
 void
 TcpConnection::sendSegment(u8 flags, u32 seq,
-                           const std::vector<Cstruct> &payload)
+                           const std::vector<Cstruct> &payload,
+                           bool allow_offload)
 {
     // Header page allocated per write; payload rides as sub-views.
     auto hdr_page = stack_.allocHeader(Ipv4::headerBytes + 60);
@@ -540,11 +556,19 @@ TcpConnection::sendSegment(u8 flags, u32 seq,
         tcp_hdr, local_port_, peer_port_, seq, rcv_nxt_, flags, wnd,
         with_opts, defaultMss, with_opts ? windowScaleShift : -1);
     Cstruct hdr = tcp_hdr.sub(0, hdr_len);
-    fillTcpChecksum(stack_.ip(), peer_ip_, hdr, hdr_len, payload);
-    std::size_t total = hdr_len;
-    for (const auto &p : payload)
-        total += p.length();
-    stack_.chargeChecksum(total);
+    std::size_t payload_len = fragsLength(payload);
+    drivers::TxOffload offload;
+    if (allow_offload && payload_len > 0) {
+        if (segOffloadActive() && payload_len > mss_)
+            offload.gsoSize = mss_;
+        if (csumOffloadActive())
+            offload.csumBlank = true;
+    }
+    if (!offload.csumBlank) {
+        fillTcpChecksum(stack_.ip(), peer_ip_, hdr, hdr_len, payload);
+        stack_.chargeChecksum(hdr_len + payload_len);
+    }
+    std::size_t total = hdr_len + payload_len;
     stats_.segmentsSent++;
     trace::bump(c_segments_sent_);
     if (auto *tr = stack_.scheduler().engine().tracer();
@@ -564,7 +588,30 @@ TcpConnection::sendSegment(u8 flags, u32 seq,
     frags.push_back(hdr);
     for (const auto &p : payload)
         frags.push_back(p);
-    stack_.ipv4().send(peer_ip_, IpProto::tcp, std::move(frags));
+    stack_.ipv4().send(peer_ip_, IpProto::tcp, std::move(frags),
+                       offload);
+}
+
+void
+TcpConnection::retransmitFront()
+{
+    if (unacked_.empty())
+        return;
+    Unacked &u = unacked_.front();
+    u.retransmitted = true;
+    std::size_t len = fragsLength(u.payload);
+    if (len == 0) {
+        sendSegment(u.flags, u.seq, u.payload);
+        return;
+    }
+    // One MSS from the hole, against the *current* MSS — a stale wire
+    // replay would resend the whole (possibly multi-MSS TSO) chain and
+    // could exceed a renegotiated MSS.
+    u32 off = seqLt(u.seq, snd_una_) ? snd_una_ - u.seq : 0;
+    if (off >= len)
+        off = 0;
+    std::size_t take = std::min<std::size_t>(mss_, len - off);
+    sendSegment(u.flags, u.seq + off, sliceFrags(u.payload, off, take));
 }
 
 void
@@ -618,9 +665,7 @@ TcpConnection::onRtoFire()
     in_recovery_ = false;
     dup_acks_ = 0;
     rto_ = std::min(rto_ * 2, maxRto);
-    Unacked &u = unacked_.front();
-    u.retransmitted = true;
-    sendSegment(u.flags, u.seq, u.payload);
+    retransmitFront();
     armRto();
 }
 

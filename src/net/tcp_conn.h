@@ -45,6 +45,9 @@ class TcpConnection : public Flow,
     };
 
     static constexpr u16 defaultMss = 1460;
+    /** Payload fragments per tx chain: with the header page the chain
+     *  stays comfortably inside the 32-slot ring. */
+    static constexpr std::size_t maxTxFrags = 24;
     static constexpr int windowScaleShift = 7; //!< advertise 2^7
     static constexpr u32 receiveWindowBytes = 256 * 1024;
     /** TIME_WAIT duration (2*MSL, shortened for the simulation). */
@@ -107,8 +110,26 @@ class TcpConnection : public Flow,
     void deliverInOrder();
 
     void trySend();
+    /** Both the per-stack config and the global tuning switch agree
+     *  that tx segmentation may be offloaded to the backend. */
+    bool segOffloadActive() const;
+    bool csumOffloadActive() const;
+    /**
+     * Build and emit one segment. @p allow_offload marks fresh data
+     * segments from trySend: those may ride as a multi-MSS TSO chain
+     * and/or leave the checksum blank for the backend. Control
+     * segments and retransmissions always go the software path.
+     */
     void sendSegment(u8 flags, u32 seq,
-                     const std::vector<Cstruct> &payload);
+                     const std::vector<Cstruct> &payload,
+                     bool allow_offload = false);
+    /**
+     * Retransmit from the front of the retransmission queue: one MSS
+     * starting at the hole (snd_una_), re-sliced against the current
+     * MSS and software-checksummed — never a replay of the original
+     * (possibly offloaded multi-MSS) wire image.
+     */
+    void retransmitFront();
     void sendAck();
     void sendRst();
 

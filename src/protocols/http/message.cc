@@ -45,6 +45,27 @@ HttpResponse::text(int status, const std::string &body)
 }
 
 HttpResponse
+HttpResponse::view(std::vector<Cstruct> frags,
+                   const std::string &content_type)
+{
+    HttpResponse r;
+    r.headers["Content-Type"] = content_type;
+    r.bodyFrags = std::move(frags);
+    return r;
+}
+
+std::size_t
+HttpResponse::bodyLength() const
+{
+    if (bodyFrags.empty())
+        return body.size();
+    std::size_t n = 0;
+    for (const auto &f : bodyFrags)
+        n += f.length();
+    return n;
+}
+
+HttpResponse
 HttpResponse::notFound()
 {
     HttpResponse r;
@@ -70,19 +91,40 @@ serialiseRequest(const HttpRequest &req)
     return Cstruct::ofString(out);
 }
 
-Cstruct
-serialiseResponse(const HttpResponse &rsp)
+namespace {
+
+std::string
+responseHeadString(const HttpResponse &rsp)
 {
     std::string out = "HTTP/1.1 " + std::to_string(rsp.status) + " " +
                       rsp.reason + "\r\n";
     for (const auto &[k, v] : rsp.headers)
         out += k + ": " + v + "\r\n";
     if (rsp.headers.find("Content-Length") == rsp.headers.end())
-        out += "Content-Length: " + std::to_string(rsp.body.size()) +
+        out += "Content-Length: " + std::to_string(rsp.bodyLength()) +
                "\r\n";
     out += "\r\n";
-    out += rsp.body;
+    return out;
+}
+
+} // namespace
+
+Cstruct
+serialiseResponse(const HttpResponse &rsp)
+{
+    std::string out = responseHeadString(rsp);
+    if (rsp.bodyFrags.empty())
+        out += rsp.body;
+    else
+        for (const auto &f : rsp.bodyFrags)
+            out += f.toString();
     return Cstruct::ofString(out);
+}
+
+Cstruct
+serialiseResponseHead(const HttpResponse &rsp)
+{
+    return Cstruct::ofString(responseHeadString(rsp));
 }
 
 namespace {

@@ -11,6 +11,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "base/cstruct.h"
 #include "base/result.h"
@@ -42,14 +43,29 @@ struct HttpResponse
     std::string reason = "OK";
     Headers headers;
     std::string body;
+    /**
+     * Zero-copy body: when non-empty these views *are* the body and
+     * `body` is ignored. The server writes them to the flow unchanged
+     * — the sendfile path from a buffer cache or static page straight
+     * into tx slots, no intermediate string assembly.
+     */
+    std::vector<Cstruct> bodyFrags;
+
+    std::size_t bodyLength() const;
 
     static HttpResponse text(int status, const std::string &body);
+    /** A 200 response whose body is served as views (zero-copy). */
+    static HttpResponse view(std::vector<Cstruct> frags,
+                             const std::string &content_type = "text/plain");
     static HttpResponse notFound();
 };
 
 /** Serialise (Content-Length added automatically). */
 Cstruct serialiseRequest(const HttpRequest &req);
 Cstruct serialiseResponse(const HttpResponse &rsp);
+/** Status line + headers + blank line only — the body (string or
+ *  views) is written separately on the zero-copy path. */
+Cstruct serialiseResponseHead(const HttpResponse &rsp);
 
 /**
  * Incremental parser for a stream of requests (server side) or

@@ -96,7 +96,21 @@ HttpServer::pump(std::shared_ptr<ConnState> st)
             // The response write belongs to this flow even when the
             // handler answered from a different ambient context.
             trace::FlowScope scope(fl, flow);
-            st->conn->write(serialiseResponse(rsp));
+            // Head and body go down separately so a view body never
+            // touches an intermediate string: only the serialised head
+            // (and a string body, when that's all the handler gave us)
+            // count as application copies.
+            Cstruct head = serialiseResponseHead(rsp);
+            stack_.noteTxCopy(head.length());
+            st->conn->write(head);
+            if (!rsp.bodyFrags.empty()) {
+                for (auto &f : rsp.bodyFrags)
+                    st->conn->write(std::move(f));
+            } else if (!rsp.body.empty()) {
+                Cstruct b = Cstruct::ofString(rsp.body);
+                stack_.noteTxCopy(b.length());
+                st->conn->write(b);
+            }
         }
         if (fl)
             fl->end(flow, eng.now(), flowTrack());

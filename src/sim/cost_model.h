@@ -124,6 +124,15 @@ struct CostModel
     /** Frames below this size (bare ACKs, ARP) skip the per-data-
      *  packet overheads above. */
     std::size_t dataPacketThreshold = 256;
+    /** Netback fixing up one derived segment of a TSO chain (header
+     *  clone, length/ident/seq rewrite). Much cheaper than
+     *  backendPerRequest: the chain amortises the ring-protocol work,
+     *  leaving only per-segment header edits. */
+    Duration netbackSegmentFixup = Duration::nanos(400);
+    /** Netback checksum fill per byte: the fold rides the copy-out
+     *  pass (one load per word serves both), so it costs a fraction
+     *  of the standalone checksumNsPerByte. */
+    double netbackCsumNsPerByte = 0.2;
 
     // ---- Block device ----------------------------------------------------
     /** Fixed per-request service time of the PCIe SSD model. */

@@ -33,6 +33,24 @@ struct Tuning
      */
     bool doorbellBatching = true;
 
+    /**
+     * TCP hands multi-MSS chains to the driver and the backend
+     * segments them at the vif boundary (TSO through the netif ring):
+     * the frontend pays its per-packet costs once per chain, dom0
+     * pays the per-MSS fixup where the paper's cost model puts it.
+     */
+    bool tcpSegOffload = true;
+
+    /**
+     * Frontends leave the TCP checksum blank (csum_blank slot flag)
+     * and the backend fills it during its copy-out, folding the fold
+     * into the memory-bound segmentation pass.
+     */
+    bool csumOffload = true;
+
+    /** Largest TCP payload one offloaded chain may carry. */
+    std::size_t tsoMaxBytes = 61440;
+
     /** Pooled whole pages per frontend device (tier-A pool). */
     std::size_t frontendPoolPages = 64;
 

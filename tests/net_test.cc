@@ -414,6 +414,106 @@ TEST_F(NetTest, TcpFastRetransmitOnIsolatedLoss)
     EXPECT_GE(client_conn->stats().fastRetransmits, 1u);
 }
 
+TEST_F(NetTest, TcpSegOffloadBulkTransferIsByteExact)
+{
+    // With TSO + checksum offload, TCP hands multi-MSS chains to the
+    // ring and leaves the checksum to netback. The receiver (offload
+    // off) must still see an in-order, byte-exact, checksum-clean
+    // stream — and the sender must have sent far fewer segments than
+    // total/MSS, or the offload never engaged.
+    stack_a.setTxOffload(true, true);
+
+    constexpr std::size_t total = 512 * 1024;
+    Cstruct data = Cstruct::create(total);
+    for (std::size_t i = 0; i < total; i++)
+        data.setU8(i, u8(i % 251));
+
+    std::size_t received = 0;
+    bool mismatch = false;
+    ASSERT_TRUE(stack_b.tcp()
+                    .listen(9005,
+                            [&](TcpConnPtr c) {
+                                c->onData([&](Cstruct d) {
+                                    for (std::size_t i = 0;
+                                         i < d.length(); i++)
+                                        if (d.getU8(i) !=
+                                            u8((received + i) % 251))
+                                            mismatch = true;
+                                    received += d.length();
+                                });
+                            })
+                    .ok());
+    TcpConnPtr client_conn;
+    stack_a.tcp().connect(Ipv4Addr(10, 0, 0, 2), 9005,
+                          [&](Result<TcpConnPtr> r) {
+                              ASSERT_TRUE(r.ok());
+                              client_conn = r.value();
+                              client_conn->write(data);
+                          });
+    engine.run();
+    EXPECT_EQ(received, total);
+    EXPECT_FALSE(mismatch);
+    EXPECT_EQ(stack_b.tcp().checksumErrors(), 0u)
+        << "netback must fill the offloaded checksum before the wire";
+    ASSERT_TRUE(client_conn != nullptr);
+    // 512 KiB / 1460 B/MSS is ~359 packets; multi-MSS chains (ACK
+    // clocking keeps them ~2-3 MSS here) must at least halve that.
+    EXPECT_LT(client_conn->stats().segmentsSent, total / 1460 / 2)
+        << "segment count says TSO chains never formed";
+}
+
+TEST_F(NetTest, TcpRetransmitUnderOffloadResegments)
+{
+    // Drop one *backend-segmented* frame mid-stream (only GRO-merged
+    // derived frames exceed 2000 bytes on this MTU-1500 bridge). The
+    // retransmission is cut from the byte stream against the current
+    // MSS with a software checksum — not a replay of the lost
+    // multi-MSS chain — so the receiver must end byte-exact with zero
+    // checksum errors.
+    stack_a.setTxOffload(true, true);
+    int big_count = 0;
+    bridge.setDropFn([&](const Cstruct &frame) {
+        return frame.length() > 2000 && ++big_count == 8;
+    });
+
+    constexpr std::size_t total = 512 * 1024;
+    Cstruct data = Cstruct::create(total);
+    for (std::size_t i = 0; i < total; i++)
+        data.setU8(i, u8(i % 249));
+
+    std::size_t received = 0;
+    bool mismatch = false;
+    ASSERT_TRUE(stack_b.tcp()
+                    .listen(9006,
+                            [&](TcpConnPtr c) {
+                                c->onData([&](Cstruct d) {
+                                    for (std::size_t i = 0;
+                                         i < d.length(); i++)
+                                        if (d.getU8(i) !=
+                                            u8((received + i) % 249))
+                                            mismatch = true;
+                                    received += d.length();
+                                });
+                            })
+                    .ok());
+    TcpConnPtr client_conn;
+    stack_a.tcp().connect(Ipv4Addr(10, 0, 0, 2), 9006,
+                          [&](Result<TcpConnPtr> r) {
+                              ASSERT_TRUE(r.ok());
+                              client_conn = r.value();
+                              client_conn->write(data);
+                          });
+    engine.run();
+    EXPECT_EQ(received, total);
+    EXPECT_FALSE(mismatch);
+    EXPECT_GT(bridge.framesDropped(), 0u)
+        << "the drop filter never fired: no segmented frame appeared";
+    ASSERT_TRUE(client_conn != nullptr);
+    EXPECT_GE(client_conn->stats().retransmits, 1u);
+    EXPECT_EQ(stack_b.tcp().checksumErrors(), 0u)
+        << "retransmits must carry a software checksum";
+}
+
 TEST_F(NetTest, TcpCloseHandshake)
 {
     TcpConnPtr server_conn;
