@@ -13,6 +13,7 @@
 #include "core/cloud.h"
 #include "protocols/http/client.h"
 #include "protocols/http/server.h"
+#include "runtime/loop.h"
 #include "storage/fat32.h"
 
 using namespace mirage;
@@ -34,10 +35,13 @@ serveFile(storage::Fat32Volume &vol, const std::string &name,
         }
         auto reader = opened.value();
         auto frags = std::make_shared<std::vector<Cstruct>>();
-        auto step = std::make_shared<std::function<void()>>();
-        *step = [reader, frags, step, respond] {
-            reader->next([reader, frags, step,
-                          respond](Result<Cstruct> r) {
+        // asyncLoop keeps the read loop cycle-free: the pending read
+        // owns the next step (which owns the reader through the loop
+        // body), so an abandoned I/O frees everything.
+        auto step = rt::asyncLoop([reader, frags, respond](
+                                      std::function<void()> next) {
+            reader->next([frags, respond,
+                          next = std::move(next)](Result<Cstruct> r) {
                 if (!r.ok()) {
                     respond(http::HttpResponse::text(500, "io error"));
                     return;
@@ -48,10 +52,10 @@ serveFile(storage::Fat32Volume &vol, const std::string &name,
                     return;
                 }
                 frags->push_back(r.value());
-                (*step)();
+                next();
             });
-        };
-        (*step)();
+        });
+        step();
     });
 }
 

@@ -16,6 +16,7 @@
 #include "protocols/http/client.h"
 #include "protocols/http/server.h"
 #include "protocols/http/telemetry.h"
+#include "runtime/loop.h"
 #include "storage/btree.h"
 
 using namespace mirage;
@@ -137,17 +138,19 @@ main(int argc, char **argv)
                     pvboot::MemoryBackend::xenExtent(), 64 * 1024);
     TweetStore store(tree, heap);
 
-    auto gc_tick = std::make_shared<std::function<void(int)>>();
-    *gc_tick = [&appliance, &heap, gc_tick](int remaining) {
-        if (remaining == 0)
-            return;
-        appliance.sched.sleep(Duration::millis(5))
-            ->onComplete([&heap, gc_tick, remaining](rt::Promise &) {
-                heap.collectMinor();
-                (*gc_tick)(remaining - 1);
-            });
-    };
-    (*gc_tick)(5);
+    auto gc_tick = rt::asyncLoop<int>(
+        [&appliance, &heap](int remaining,
+                            std::function<void(int)> next) {
+            if (remaining == 0)
+                return;
+            appliance.sched.sleep(Duration::millis(5))
+                ->onComplete([&heap, next = std::move(next),
+                              remaining](rt::Promise &) {
+                    heap.collectMinor();
+                    next(remaining - 1);
+                });
+        });
+    gc_tick(5);
 
     bool ready = false;
     tree.format([&](Status st) { ready = st.ok(); });
@@ -219,8 +222,15 @@ main(int argc, char **argv)
             http::HttpRequest get;
             get.method = "GET";
             get.path = "/timeline/alice";
-            session->request(get, [&, session](
+            // The response callbacks are queued on the session itself,
+            // so they hold it weakly; the connection's handlers keep
+            // the session alive while it is open.
+            std::weak_ptr<http::HttpSession> weak = session;
+            session->request(get, [&, weak](
                                       Result<http::HttpResponse> r) {
+                auto session = weak.lock();
+                if (!session)
+                    return;
                 if (r.ok())
                     std::printf("alice's timeline:\n%s",
                                 r.value().body.c_str());
@@ -260,7 +270,10 @@ main(int argc, char **argv)
                 tq.method = "GET";
                 tq.path = "/top";
                 session->request(
-                    tq, [&, session](Result<http::HttpResponse> t) {
+                    tq, [&, weak](Result<http::HttpResponse> t) {
+                        auto session = weak.lock();
+                        if (!session)
+                            return;
                         if (t.ok() && t.value().status == 200 &&
                             t.value().body.find("\"domains\"") !=
                                 std::string::npos) {

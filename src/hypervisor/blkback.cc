@@ -179,6 +179,10 @@ void
 Blkback::complete(u64 id, u8 status)
 {
     CHECK(ring_);
+    // The blkif response slot has no flow field on the wire; the
+    // frontend restores attribution from its Pending map keyed by the
+    // echoed request id, so this hop does not lose the flow.
+    // mirage-lint: allow(flow-scope-hop) flow restored via rsp id
     Cstruct rsp = ring_->startResponse().value();
     rsp.setLe64(BlkifWire::rspId, id);
     rsp.setU8(BlkifWire::rspStatus, status);

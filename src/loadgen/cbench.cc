@@ -100,8 +100,15 @@ CBench::run(std::function<void(Report)> done)
                     fatal("cbench connect: %s",
                           r.error().message.c_str());
                 sw->conn = r.value();
-                sw->conn->onData(
-                    [sw](Cstruct data) { sw->onData(data); });
+                // switches_ owns every switch for the whole run; the
+                // connection's handler takes only a weak reference,
+                // since sw->conn already owns the connection and a
+                // strong capture would tie the pair into a cycle.
+                std::weak_ptr<EmulatedSwitch> weak = sw;
+                sw->conn->onData([weak](Cstruct data) {
+                    if (auto locked = weak.lock())
+                        locked->onData(data);
+                });
                 sw->conn->write(openflow::buildHello(sw->next_xid++));
             });
     }

@@ -71,9 +71,14 @@ HttPerf::issueRequest(std::shared_ptr<http::HttpSession> session,
         req.path = "/timeline/" + who;
     }
     TimePoint sent = client_.sched.engine().now();
-    session->request(req, [this, session, remaining, user,
+    // The callback is queued on the session itself (waiting_), so a
+    // strong capture would make the session own itself; the session is
+    // kept alive by its connection's handlers while open.
+    std::weak_ptr<http::HttpSession> weak = session;
+    session->request(req, [this, weak, remaining, user,
                            sent](Result<http::HttpResponse> r) {
-        if (!r.ok()) {
+        auto session = weak.lock();
+        if (!r.ok() || !session) {
             report_.errors++;
             return;
         }

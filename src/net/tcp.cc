@@ -51,10 +51,16 @@ Tcp::connect(Ipv4Addr dst, u16 port,
     auto conn = TcpConnPtr(
         new TcpConnection(stack_, *this, local, dst, port));
     conns_[Key{dst.raw(), port, local}] = conn;
-    conn->startConnect([conn, done = std::move(done)](Result<bool> r) {
-        if (r.ok())
-            done(conn);
-        else
+    // conns_ owns the connection until close or stack teardown. The
+    // startConnect continuation is stored on the connection itself, so
+    // it may only reach its owner weakly; the lock below always
+    // succeeds while the continuation can still run.
+    std::weak_ptr<TcpConnection> weak = conn;
+    conn->startConnect([weak, done = std::move(done)](Result<bool> r) {
+        auto locked = weak.lock();
+        if (r.ok() && locked)
+            done(locked);
+        else if (!r.ok())
             done(r.error());
     });
     return conn;

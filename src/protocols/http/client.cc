@@ -15,12 +15,13 @@ HttpSession::open(net::NetworkStack &stack, net::Ipv4Addr host,
                 ready(r.error());
                 return;
             }
-            session->conn_ = r.value();
-            session->conn_->onClose([session] {
+            net::TcpConnPtr conn = r.value();
+            session->conn_ = conn;
+            conn->onClose([session] {
                 session->closed_ = true;
                 session->failAll("connection closed");
             });
-            session->conn_->onData([session](Cstruct data) {
+            conn->onData([session](Cstruct data) {
                 session->onData(data);
             });
             ready(Status::success());
@@ -57,20 +58,23 @@ HttpSession::failAll(const std::string &why)
 void
 HttpSession::request(HttpRequest req, ResponseCb done)
 {
-    if (!connected()) {
+    net::TcpConnPtr conn = closed_ ? nullptr : conn_.lock();
+    if (!conn) {
         done(stateError("session not connected"));
         return;
     }
     waiting_.push_back(std::move(done));
-    conn_->write(serialiseRequest(req));
+    conn->write(serialiseRequest(req));
 }
 
 void
 HttpSession::close()
 {
-    if (conn_ && !closed_) {
+    if (closed_)
+        return;
+    if (auto conn = conn_.lock()) {
         closed_ = true;
-        conn_->close();
+        conn->close();
     }
 }
 
@@ -86,6 +90,10 @@ httpGet(net::NetworkStack &stack, net::Ipv4Addr host, u16 port,
         stack, host, port,
         [session_holder, path, done_ptr](Status st) {
             auto session = *session_holder;
+            // Past this point the connection's handlers own the
+            // session; the queued response callback below may only
+            // hold it weakly or it would pin its own owner.
+            session_holder->reset();
             if (!st.ok()) {
                 (*done_ptr)(st.error());
                 return;
@@ -94,10 +102,12 @@ httpGet(net::NetworkStack &stack, net::Ipv4Addr host, u16 port,
             req.method = "GET";
             req.path = path;
             req.headers["Connection"] = "close";
+            std::weak_ptr<HttpSession> weak = session;
             session->request(std::move(req),
-                             [session, done_ptr](
+                             [weak, done_ptr](
                                  Result<HttpResponse> r) {
-                                 session->close();
+                                 if (auto session = weak.lock())
+                                     session->close();
                                  (*done_ptr)(std::move(r));
                              });
         });

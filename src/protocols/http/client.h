@@ -31,7 +31,7 @@ class HttpSession : public std::enable_shared_from_this<HttpSession>
 
     void close();
 
-    bool connected() const { return conn_ != nullptr && !closed_; }
+    bool connected() const { return !closed_ && !conn_.expired(); }
     u64 requestsCompleted() const { return completed_; }
 
   private:
@@ -40,7 +40,11 @@ class HttpSession : public std::enable_shared_from_this<HttpSession>
     void onData(Cstruct data);
     void failAll(const std::string &why);
 
-    net::TcpConnPtr conn_;
+    // Ownership points from the connection to the session: the conn's
+    // onData/onClose handlers hold the session strongly, so it lives
+    // exactly as long as the connection keeps its handlers. The back
+    // reference is weak, so there is no cycle to collect.
+    std::weak_ptr<net::TcpConnection> conn_;
     ResponseParser parser_;
     std::deque<ResponseCb> waiting_;
     bool closed_ = false;

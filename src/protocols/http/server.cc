@@ -23,9 +23,17 @@ HttpServer::onAccept(net::TcpConnPtr conn)
 {
     connections_++;
     auto st = std::make_shared<ConnState>();
-    st->conn = std::move(conn);
-    st->conn->onClose([st] { st->closed = true; });
-    st->conn->onData([this, st](Cstruct data) {
+    st->conn = conn;
+    conn->onClose([st] {
+        st->closed = true;
+        // Passive close: once the peer half-closes no further request
+        // can arrive, so finish the handshake.  Leaving the connection
+        // in CloseWait would pin the peer in FinWait2 (and our handlers
+        // with it) forever.
+        if (auto c = st->conn.lock())
+            c->close();
+    });
+    conn->onData([this, st](Cstruct data) {
         st->parser.feed(data);
         pump(st);
     });
@@ -47,9 +55,12 @@ HttpServer::pump(std::shared_ptr<ConnState> st)
 {
     if (st->closed)
         return;
+    net::TcpConnPtr pump_conn = st->conn.lock();
+    if (!pump_conn)
+        return;
     if (st->parser.state() == RequestParser::State::Broken) {
         parse_failures_++;
-        st->conn->close();
+        pump_conn->close();
         return;
     }
     if (st->parser.state() != RequestParser::State::Ready)
@@ -76,7 +87,8 @@ HttpServer::pump(std::shared_ptr<ConnState> st)
     // CPU time; the stack's own tx/rx leaves land under net/*.
     trace::ProfScope pscope(engine.profiler(), "app/http");
     handler_(req, [this, st, keep, flow](HttpResponse rsp) {
-        if (st->closed) {
+        net::TcpConnPtr conn = st->conn.lock();
+        if (st->closed || !conn) {
             if (flow)
                 if (auto *fl = stack_.scheduler().engine().flows()) {
                     sim::Engine &eng = stack_.scheduler().engine();
@@ -102,20 +114,20 @@ HttpServer::pump(std::shared_ptr<ConnState> st)
             // count as application copies.
             Cstruct head = serialiseResponseHead(rsp);
             stack_.noteTxCopy(head.length());
-            st->conn->write(head);
+            conn->write(head);
             if (!rsp.bodyFrags.empty()) {
                 for (auto &f : rsp.bodyFrags)
-                    st->conn->write(std::move(f));
+                    conn->write(std::move(f));
             } else if (!rsp.body.empty()) {
                 Cstruct b = Cstruct::ofString(rsp.body);
                 stack_.noteTxCopy(b.length());
-                st->conn->write(b);
+                conn->write(b);
             }
         }
         if (fl)
             fl->end(flow, eng.now(), flowTrack());
         if (!keep) {
-            st->conn->close();
+            conn->close();
             return;
         }
         // Serve any pipelined request already buffered.

@@ -34,7 +34,11 @@ class HttpServer
   private:
     struct ConnState : std::enable_shared_from_this<ConnState>
     {
-        net::TcpConnPtr conn;
+        // The connection owns this state (its onData/onClose handlers
+        // capture the shared_ptr); the back reference is weak so the
+        // pair tears down without a collectable cycle. Writers lock()
+        // and treat expiry like a closed connection.
+        std::weak_ptr<net::TcpConnection> conn;
         RequestParser parser;
         bool closed = false;
     };

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * asyncLoop: a self-continuing asynchronous loop without the stored
+ * std::function self-capture.
+ *
+ * The classic idiom
+ *
+ *     auto step = std::make_shared<std::function<void(u32)>>();
+ *     *step = [step, ...](u32 i) { io(..., [step]{ (*step)(i+1); }); };
+ *
+ * is a reference cycle: the heap closure owns itself, and stays alive
+ * forever unless every terminal path remembers to reset `*step` —
+ * fragile, and provably leaky when a device abandons an in-flight
+ * callback (no terminal path ever runs). mirage-lint flags the idiom
+ * as continuation-self-capture.
+ *
+ * asyncLoop inverts the ownership: the body lives in a shared State,
+ * and every `next` continuation holds the State strongly while the
+ * State holds no continuation back. The reference graph is a straight
+ * line (pending callback -> next -> State -> body), so dropping the
+ * pending callback — completion, failure, or silent abandonment —
+ * frees the whole loop with no manual resets.
+ *
+ * Usage:
+ *
+ *     auto step = rt::asyncLoop<u32>(
+ *         [captures...](u32 i, std::function<void(u32)> next) {
+ *             if (isDone(i)) { done(Status::success()); return; }
+ *             io(i, [next = std::move(next), i](Status st) {
+ *                 if (!st.ok()) { done(st); return; }
+ *                 next(i + 1);
+ *             });
+ *         });
+ *     step(0);
+ */
+
+#ifndef MIRAGE_RUNTIME_LOOP_H
+#define MIRAGE_RUNTIME_LOOP_H
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+namespace mirage::rt {
+
+template <typename Arg>
+std::function<void(Arg)>
+asyncLoop(std::function<void(Arg, std::function<void(Arg)>)> body)
+{
+    struct State
+    {
+        std::function<void(Arg, std::function<void(Arg)>)> body;
+    };
+    struct Step
+    {
+        std::shared_ptr<State> state;
+        void
+        operator()(Arg a) const
+        {
+            state->body(std::move(a), Step{state});
+        }
+    };
+    auto state = std::make_shared<State>(State{std::move(body)});
+    return Step{std::move(state)};
+}
+
+/** Argument-free variant for loops whose state lives in captures. */
+inline std::function<void()>
+asyncLoop(std::function<void(std::function<void()>)> body)
+{
+    struct State
+    {
+        std::function<void(std::function<void()>)> body;
+    };
+    struct Step
+    {
+        std::shared_ptr<State> state;
+        void
+        operator()() const
+        {
+            state->body(Step{state});
+        }
+    };
+    auto state = std::make_shared<State>(State{std::move(body)});
+    return Step{std::move(state)};
+}
+
+} // namespace mirage::rt
+
+#endif // MIRAGE_RUNTIME_LOOP_H

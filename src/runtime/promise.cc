@@ -95,19 +95,28 @@ PromisePtr
 pick(PromisePtr a, PromisePtr b)
 {
     auto winner = Promise::make();
-    a->onComplete([winner, b](Promise &p) {
+    // Each continuation lives in the other promise's handler list, so
+    // strong cross-captures would tie the pair into a reference cycle
+    // that outlives an unsettled race. The loser is reached weakly; if
+    // it is already gone there is nothing left to cancel.
+    std::weak_ptr<Promise> wa = a, wb = b;
+    a->onComplete([winner, wb](Promise &p) {
+        auto b = wb.lock();
         if (p.resolvedOk()) {
-            b->cancel();
+            if (b)
+                b->cancel();
             winner->resolve();
-        } else if (b->cancelled()) {
+        } else if (b && b->cancelled()) {
             winner->cancel();
         }
     });
-    b->onComplete([winner, a](Promise &p) {
+    b->onComplete([winner, wa](Promise &p) {
+        auto a = wa.lock();
         if (p.resolvedOk()) {
-            a->cancel();
+            if (a)
+                a->cancel();
             winner->resolve();
-        } else if (a->cancelled()) {
+        } else if (a && a->cancelled()) {
             winner->cancel();
         }
     });

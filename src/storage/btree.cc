@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.h"
+#include "runtime/loop.h"
 
 namespace mirage::storage {
 
@@ -532,32 +533,30 @@ BTree::rangeWalk(
             if (!below && !above)
                 children->push_back(node->children[i]);
         }
-        // walk_next's stored lambda captures walk_next itself, so the
-        // cycle must be broken explicitly: every terminal path copies
-        // what it still needs onto the stack, resets the function (no
-        // capture is touched afterwards) and only then completes.
-        auto walk_next =
-            std::make_shared<std::function<void(std::size_t)>>();
-        *walk_next = [this, children, acc, lo, hi, walk_next,
-                      done](std::size_t i) {
-            if (i >= children->size()) {
-                auto d = done;
-                *walk_next = nullptr;
-                d(Status::success());
-                return;
-            }
-            rangeWalk((*children)[i], acc, lo, hi,
-                      [walk_next, i, done](Status st) {
-                          if (!st.ok()) {
-                              auto d = done;
-                              *walk_next = nullptr;
-                              d(st);
-                              return;
-                          }
-                          (*walk_next)(i + 1);
-                      });
-        };
-        (*walk_next)(0);
+        // The per-child descent is an asyncLoop: each pending child
+        // walk owns the next step, never the other way round, so an
+        // abandoned I/O (or any terminal path) frees the whole loop
+        // without the manual *fn = nullptr resets the stored-function
+        // idiom needed.
+        auto walk_next = rt::asyncLoop<std::size_t>(
+            [this, children, acc, lo, hi, done](
+                std::size_t i,
+                std::function<void(std::size_t)> next) {
+                if (i >= children->size()) {
+                    done(Status::success());
+                    return;
+                }
+                rangeWalk((*children)[i], acc, lo, hi,
+                          [next = std::move(next), i,
+                           done](Status st) {
+                              if (!st.ok()) {
+                                  done(st);
+                                  return;
+                              }
+                              next(i + 1);
+                          });
+            });
+        walk_next(0);
     });
 }
 

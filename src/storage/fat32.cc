@@ -4,6 +4,7 @@
 #include <cctype>
 
 #include "base/logging.h"
+#include "runtime/loop.h"
 
 namespace mirage::storage {
 
@@ -323,12 +324,14 @@ Fat32Volume::writeFile(const std::string &name, Cstruct data,
         std::make_shared<std::vector<u32>>(std::move(chain.value()));
 
     // Write data cluster by cluster, then the FAT, then the directory.
-    auto write_cluster = std::make_shared<std::function<void(u32)>>();
-    // write_cluster's stored lambda captures write_cluster itself;
-    // each terminal path moves what it still needs onto the stack and
-    // resets the function to break the cycle before completing.
-    *write_cluster = [this, data, chain_v, canonical, write_cluster,
-                      done](u32 index) {
+    // asyncLoop keeps the per-cluster continuation cycle-free: the
+    // pending device write owns the next step, so abandonment at any
+    // depth frees the loop without explicit resets.
+    auto write_cluster = rt::asyncLoop<u32>([this, data, chain_v,
+                                             canonical, done](
+                                                u32 index,
+                                                std::function<void(u32)>
+                                                    next) {
         if (index >= chain_v->size()) {
             auto fin = [this, data, chain_v, canonical,
                         done](Status fst) {
@@ -386,9 +389,7 @@ Fat32Volume::writeFile(const std::string &name, Cstruct data,
                     });
                 });
             };
-            auto *self = this;
-            *write_cluster = nullptr;
-            self->flushFat(std::move(fin));
+            flushFat(std::move(fin));
             return;
         }
         std::size_t off = std::size_t(index) * clusterBytes;
@@ -399,17 +400,15 @@ Fat32Volume::writeFile(const std::string &name, Cstruct data,
             cluster_buf.blitFrom(data, off, 0, take);
         writeRange(dev_, clusterToSector((*chain_v)[index]),
                    sectorsPerCluster, cluster_buf,
-                   [write_cluster, index, done](Status st) {
+                   [next = std::move(next), index, done](Status st) {
                        if (!st.ok()) {
-                           auto d = done;
-                           *write_cluster = nullptr;
-                           d(st);
+                           done(st);
                            return;
                        }
-                       (*write_cluster)(index + 1);
+                       next(index + 1);
                    });
-    };
-    (*write_cluster)(0);
+    });
+    write_cluster(0);
 }
 
 void

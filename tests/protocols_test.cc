@@ -395,6 +395,47 @@ TEST_F(ApplianceTest, HttpKeepAliveSessionServesMany)
     EXPECT_EQ(server.requestsServed(), 10u);
 }
 
+TEST_F(ApplianceTest, HttpSessionLifetimeIsCycleFree)
+{
+    http::HttpServer server(
+        stack_b, 80, [](const http::HttpRequest &, auto respond) {
+            respond(http::HttpResponse::text(200, "ok"));
+        });
+
+    std::weak_ptr<http::HttpSession> weak;
+    {
+        auto session = http::HttpSession::open(
+            stack_a, net::Ipv4Addr(10, 0, 0, 2), 80,
+            [](Status st) { ASSERT_TRUE(st.ok()); });
+        weak = session;
+        engine.run();
+        ASSERT_TRUE(session->connected());
+    }
+    // The caller dropped its reference, but the connection's handlers
+    // own the session while the connection stays open.
+    ASSERT_FALSE(weak.expired());
+
+    {
+        auto session = weak.lock();
+        bool answered = false;
+        http::HttpRequest req;
+        req.method = "GET";
+        req.path = "/x";
+        session->request(req, [&](Result<http::HttpResponse> r) {
+            ASSERT_TRUE(r.ok());
+            answered = true;
+        });
+        engine.run();
+        EXPECT_TRUE(answered);
+        session->close();
+    }
+    // Closing drops the connection's handlers — the session's last
+    // owners — so no cycle may pin the pair after teardown.
+    engine.run();
+    EXPECT_TRUE(weak.expired())
+        << "closed session must be freed once the caller lets go";
+}
+
 // ---- OpenFlow -------------------------------------------------------------------
 
 TEST(OpenflowWireTest, HeaderAndFramer)

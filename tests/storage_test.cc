@@ -34,6 +34,53 @@ must(std::function<void(std::function<void(Status)>)> op)
     return out;
 }
 
+/** Forwards to an inner device until told to swallow: from then on
+ *  every request drops its completion callback, modelling abandoned
+ *  in-flight I/O (a detached backend). Continuation chains must unwind
+ *  and free their captures when that happens — the lint's
+ *  continuation-self-capture cycles are exactly what would leak. */
+class SwallowDevice : public BlockDevice
+{
+  public:
+    explicit SwallowDevice(BlockDevice &inner) : inner_(inner) {}
+
+    u64 sizeSectors() const override { return inner_.sizeSectors(); }
+
+    void
+    read(u64 sector, u32 count, Cstruct buf,
+         BlockCallback done) override
+    {
+        if (remaining_ == 0) {
+            swallowed_++;
+            return; // callback dropped, never completes
+        }
+        remaining_--;
+        inner_.read(sector, count, buf, std::move(done));
+    }
+
+    void
+    write(u64 sector, u32 count, Cstruct buf,
+          BlockCallback done) override
+    {
+        if (remaining_ == 0) {
+            swallowed_++;
+            return;
+        }
+        remaining_--;
+        inner_.write(sector, count, buf, std::move(done));
+    }
+
+    /** Allow @p n more operations, then start swallowing. */
+    void swallowAfter(u64 n) { remaining_ = n; }
+
+    u64 swallowed() const { return swallowed_; }
+
+  private:
+    BlockDevice &inner_;
+    u64 remaining_ = ~0ULL;
+    u64 swallowed_ = 0;
+};
+
 // ---- Block layer ----------------------------------------------------------------
 
 TEST(BlockTest, RangeSplitsIntoPageRequests)
@@ -231,6 +278,27 @@ TEST_F(Fat32Test, MultiClusterFileReadsSectorBySector)
     // sector (plus directory/metadata reads).
 }
 
+TEST(Fat32Lifetime, AbandonedWriteFreesContinuation)
+{
+    MemDevice mem(65536);
+    SwallowDevice dev(mem);
+    Fat32Volume vol(dev);
+    ASSERT_TRUE(must([&](auto cb) { vol.format(cb); }).ok());
+
+    auto sentinel = std::make_shared<int>(1);
+    std::weak_ptr<int> weak = sentinel;
+    dev.swallowAfter(1); // first cluster lands, then the device dies
+    std::string big(9000, 'x'); // spans multiple clusters
+    vol.writeFile("big.bin", Cstruct::ofString(big),
+                  [sentinel](Status) {
+                      FAIL() << "abandoned write must never complete";
+                  });
+    sentinel.reset();
+    EXPECT_GT(dev.swallowed(), 0u);
+    EXPECT_TRUE(weak.expired())
+        << "dropped I/O must free the write-cluster loop";
+}
+
 TEST_F(Fat32Test, OverwriteReplacesChain)
 {
     u32 free_before = vol.freeClusters();
@@ -351,6 +419,39 @@ TEST_F(BTreeTest, RangeQueryOrdered)
     EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
     EXPECT_EQ(out.front().first, "k020");
     EXPECT_EQ(out.back().first, "k029");
+}
+
+TEST(BTreeLifetime, AbandonedRangeWalkFreesContinuation)
+{
+    // Seed a multi-level tree through the raw device, then walk it
+    // through a device that drops an in-flight read. The range
+    // continuation chain must unwind and free its captures; the
+    // stored-function self-capture idiom rangeWalk used to carry
+    // would leak the whole closure graph here.
+    MemDevice mem(1u << 16);
+    {
+        BTree seed(mem);
+        ASSERT_TRUE(must([&](auto cb) { seed.format(cb); }).ok());
+        for (int i = 0; i < 200; i++)
+            ASSERT_TRUE(
+                must([&](auto cb) {
+                    seed.set(strprintf("k%03d", i), "v", cb);
+                }).ok());
+    }
+    SwallowDevice dev(mem);
+    BTree tree(dev);
+    ASSERT_TRUE(must([&](auto cb) { tree.mount(cb); }).ok());
+
+    auto sentinel = std::make_shared<int>(1);
+    std::weak_ptr<int> weak = sentinel;
+    dev.swallowAfter(1); // the walk's next node read never completes
+    tree.range("k000", "k199", [sentinel](auto) {
+        FAIL() << "abandoned walk must never complete";
+    });
+    sentinel.reset();
+    EXPECT_GT(dev.swallowed(), 0u);
+    EXPECT_TRUE(weak.expired())
+        << "dropped I/O must free the whole continuation chain";
 }
 
 TEST_F(BTreeTest, RemoveHidesKey)

@@ -1,0 +1,56 @@
+// Fixture: flow-scope-hop negatives — the three sanctioned shapes:
+// stamping a per-slot flow id, opening a FlowScope, and an audited
+// flow-less hop carrying a suppression.
+
+struct View
+{
+    void setLe16(unsigned off, unsigned short v);
+    void setLe32(unsigned off, unsigned v);
+};
+
+struct Ring
+{
+    View startRequest();
+    View startResponse();
+    bool pushRequests();
+    bool pushResponses();
+};
+
+struct FlowTracker
+{
+};
+
+struct FlowScope
+{
+    FlowScope(FlowTracker *t, unsigned id);
+};
+
+namespace wire {
+constexpr unsigned txreqFlow = 8;
+}
+
+void
+enqueue_with_stamp(Ring *ring, unsigned flow_id)
+{
+    View slot = ring->startRequest();
+    slot.setLe32(wire::txreqFlow, flow_id);
+    ring->pushRequests();
+}
+
+void
+enqueue_with_scope(Ring *ring, FlowTracker *flows, unsigned flow_id)
+{
+    FlowScope scope(flows, flow_id);
+    View slot = ring->startRequest();
+    ring->pushRequests();
+}
+
+void
+audited_flowless_hop(Ring *ring, unsigned short id)
+{
+    // The peer restores attribution from the echoed id.
+    // mirage-lint: allow(flow-scope-hop) peer restores from rsp id
+    View slot = ring->startResponse();
+    slot.setLe16(0, id);
+    ring->pushResponses();
+}

@@ -1,0 +1,24 @@
+// Fixture: flow-scope-hop positive. A cross-domain enqueue with no
+// flow stamp, no FlowScope and no restored bookkeeping loses causal
+// attribution at the hop.
+
+struct View
+{
+    void setLe16(unsigned off, unsigned short v);
+};
+
+struct Ring
+{
+    View startRequest();
+    View startResponse();
+    bool pushRequests();
+};
+
+void
+enqueue_without_attribution(Ring *ring, unsigned short id)
+{
+    // expect: flow-scope-hop
+    View slot = ring->startRequest();
+    slot.setLe16(0, id);
+    ring->pushRequests();
+}

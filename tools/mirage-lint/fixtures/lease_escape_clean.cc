@@ -1,0 +1,62 @@
+// Fixture: lease-escape negatives.
+#include <vector>
+
+struct View
+{
+    int length();
+};
+
+struct Pool
+{
+    View acquirePage();
+};
+
+struct Dev
+{
+    void write(View v);
+};
+
+struct Driver
+{
+    std::vector<View> audited_;
+    Pool *pool_;
+    Dev *dev_;
+
+    View allocTxPage();
+    void useScoped();
+    void auditedHolder();
+    void storeParameter(View page);
+};
+
+View
+Driver::allocTxPage()
+{
+    // Transfer functions (alloc*/acquire*/lease*/take*) hand the lease
+    // to the caller by contract; the return is the transfer.
+    View page = pool_->acquirePage();
+    return page;
+}
+
+void
+Driver::useScoped()
+{
+    // Used and dropped within the I/O operation: in scope.
+    View page = pool_->acquirePage();
+    dev_->write(page);
+}
+
+void
+Driver::auditedHolder()
+{
+    View page = pool_->acquirePage();
+    // mirage-lint: allow(lease-escape) audited holder, recycled on completion
+    audited_.push_back(page);
+}
+
+void
+Driver::storeParameter(View page)
+{
+    // The stored view arrived as a parameter: the lease transfer
+    // happened at the caller, which is the audit point.
+    audited_.push_back(page);
+}

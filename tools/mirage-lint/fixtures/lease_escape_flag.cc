@@ -1,0 +1,58 @@
+// Fixture: lease-escape positives.
+#include <functional>
+#include <vector>
+
+struct View
+{
+};
+
+struct Pool
+{
+    View acquirePage();
+};
+
+struct Driver
+{
+    std::vector<View> stash_;
+    View saved_;
+    Pool *pool_;
+
+    View grab();
+    void stashIt();
+    void keepIt();
+    void captureIt(std::function<void()> &out);
+};
+
+View
+Driver::grab()
+{
+    View page = pool_->acquirePage();
+    // Returning a lease from a function not named alloc*/acquire*
+    // hands it to a caller that never sees the lease contract.
+    // expect: lease-escape
+    return page;
+}
+
+void
+Driver::stashIt()
+{
+    View page = pool_->acquirePage();
+    // expect: lease-escape
+    stash_.push_back(page);
+}
+
+void
+Driver::keepIt()
+{
+    View page = pool_->acquirePage();
+    // expect: lease-escape
+    saved_ = page;
+}
+
+void
+Driver::captureIt(std::function<void()> &out)
+{
+    View page = pool_->acquirePage();
+    // expect: lease-escape
+    out = [page] { (void)page; };
+}

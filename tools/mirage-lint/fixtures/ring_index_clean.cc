@@ -1,0 +1,41 @@
+// Fixture: ring-index-unmasked negatives — every sanctioned way to
+// turn a free-running counter into a slot address.
+
+struct View
+{
+    View sub(unsigned off, unsigned len);
+};
+
+struct Ring
+{
+    int slots[32];
+    View page;
+    unsigned req_prod_pvt_;
+    unsigned rsp_cons_;
+    View slot(unsigned index); //!< masks internally
+};
+
+int
+masked_subscript(Ring &r)
+{
+    return r.slots[r.req_prod_pvt_ & 31];
+}
+
+int
+modulo_subscript(Ring &r)
+{
+    return r.slots[r.rsp_cons_ % 32];
+}
+
+View
+accessor(Ring &r)
+{
+    // The masked accessor is the blessed path.
+    return r.slot(r.req_prod_pvt_);
+}
+
+View
+masked_byte_offset(Ring &r, unsigned slot_bytes)
+{
+    return r.page.sub((r.rsp_cons_ & 31) * slot_bytes, slot_bytes);
+}

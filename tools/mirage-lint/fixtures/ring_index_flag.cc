@@ -1,0 +1,29 @@
+// Fixture: ring-index-unmasked positives. Free-running counters wrap
+// at 2^32; using one raw as a slot address reads past the ring.
+
+struct View
+{
+    View sub(unsigned off, unsigned len);
+};
+
+struct Ring
+{
+    int slots[32];
+    View page;
+    unsigned req_prod_pvt_;
+    unsigned rsp_cons_;
+};
+
+int
+raw_subscript(Ring &r)
+{
+    // expect: ring-index-unmasked
+    return r.slots[r.req_prod_pvt_];
+}
+
+View
+raw_byte_offset(Ring &r, unsigned slot_bytes)
+{
+    // expect: ring-index-unmasked
+    return r.page.sub(r.rsp_cons_ * slot_bytes, slot_bytes);
+}

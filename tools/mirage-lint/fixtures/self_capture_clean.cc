@@ -1,0 +1,72 @@
+// Fixture: continuation-self-capture negatives. None of these may be
+// flagged (zero false positives on the clean set).
+#include <functional>
+#include <memory>
+
+struct Conn
+{
+    void onData(std::function<void(int)> cb);
+    void onComplete(std::function<void()> cb);
+    std::function<void()> on_close;
+};
+
+struct Timer
+{
+    void after(int ms, std::function<void()> cb);
+};
+
+using ConnPtr = std::shared_ptr<Conn>;
+
+void
+weak_backref()
+{
+    auto conn = std::make_shared<Conn>();
+    // Weak self-reference: the handler does not own its owner.
+    std::weak_ptr<Conn> weak = conn;
+    conn->onData([weak](int) { (void)weak.lock(); });
+}
+
+void
+foreign_receiver(Timer &timer)
+{
+    // Capturing a shared_ptr into a slot owned by someone else is the
+    // normal keep-alive idiom, not a cycle.
+    auto conn = std::make_shared<Conn>();
+    timer.after(10, [conn] { (void)conn; });
+}
+
+void
+reference_capture()
+{
+    auto conn = std::make_shared<Conn>();
+    // By-reference capture adds no ownership edge.
+    conn->onData([&conn](int) { (void)conn; });
+}
+
+void
+member_slot_weak()
+{
+    auto conn = std::make_shared<Conn>();
+    // Slot assignment with a weak self-reference: no ownership edge.
+    std::weak_ptr<Conn> weak = conn;
+    conn->on_close = [weak] { (void)weak.lock(); };
+}
+
+void
+member_slot_foreign(Conn &sink)
+{
+    // Storing a shared_ptr into someone else's slot is keep-alive,
+    // not a cycle.
+    auto conn = std::make_shared<Conn>();
+    sink.on_close = [conn] { (void)conn; };
+}
+
+void
+one_way_pair()
+{
+    auto a = std::make_shared<Conn>();
+    auto b = std::make_shared<Conn>();
+    // One direction only: a DAG, not a cycle.
+    a->onComplete([b] { (void)b; });
+    b->onComplete([] {});
+}

@@ -1,0 +1,56 @@
+// Fixture: continuation-self-capture positives. Each expectation
+// comment names the check that must fire on the next code line; the
+// ctest target runs the lint in fixture mode and fails on any
+// difference in either direction.
+#include <functional>
+#include <memory>
+
+struct Conn
+{
+    void onData(std::function<void(int)> cb);
+    void onComplete(std::function<void()> cb);
+    std::function<void()> on_close;
+};
+
+using ConnPtr = std::shared_ptr<Conn>;
+
+void
+direct_cycle()
+{
+    auto conn = std::make_shared<Conn>();
+    // The stored handler keeps its own owner alive.
+    // expect: continuation-self-capture
+    conn->onData([conn](int) { (void)conn; });
+}
+
+void
+mutual_cycle()
+{
+    auto a = std::make_shared<Conn>();
+    auto b = std::make_shared<Conn>();
+    a->onComplete([b] { (void)b; });
+    // expect: continuation-self-capture
+    b->onComplete([a] { (void)a; });
+}
+
+void
+member_slot_cycle()
+{
+    auto conn = std::make_shared<Conn>();
+    // Assigning into the object's own handler slot, not through a
+    // registration call — the slot still lives inside *conn.
+    // expect: continuation-self-capture
+    conn->on_close = [conn] { (void)conn; };
+}
+
+void
+stored_function_cycle()
+{
+    auto step = std::make_shared<std::function<void(int)>>();
+    // expect: continuation-self-capture
+    *step = [step](int i) {
+        if (i > 0)
+            (*step)(i - 1);
+    };
+    (*step)(3);
+}

@@ -1,0 +1,28 @@
+// Fixture: wall-clock-in-sim negatives — the virtual-time idioms the
+// simulator actually uses, plus member functions that merely share a
+// banned name.
+#include <cstdint>
+#include <string>
+
+struct Engine
+{
+    std::uint64_t now();
+};
+
+struct Rng
+{
+    std::uint64_t below(std::uint64_t bound);
+};
+
+struct Sample
+{
+    std::uint64_t time(); //!< a member named time is not ::time()
+    std::uint64_t rand(); //!< likewise
+};
+
+std::uint64_t
+virtual_time(Engine &engine, Rng &rng, Sample &s)
+{
+    std::uint64_t deadline = engine.now() + rng.below(100);
+    return deadline + s.time() + s.rand();
+}

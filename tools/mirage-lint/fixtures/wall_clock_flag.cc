@@ -1,0 +1,33 @@
+// Fixture: wall-clock-in-sim positives. Host time, host randomness and
+// host threads are all banned in simulation code.
+// expect: wall-clock-in-sim
+#include <chrono>
+// expect: wall-clock-in-sim
+#include <thread>
+// expect: wall-clock-in-sim
+#include <random>
+
+long
+host_time()
+{
+    // expect: wall-clock-in-sim
+    auto t = std::chrono::system_clock::now();
+    (void)t;
+    // expect: wall-clock-in-sim
+    return time(nullptr);
+}
+
+int
+host_random()
+{
+    // expect: wall-clock-in-sim
+    return std::rand();
+}
+
+void
+host_thread()
+{
+    // expect: wall-clock-in-sim
+    std::thread worker([] {});
+    worker.join();
+}

@@ -1,0 +1,209 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace mlint {
+
+std::string
+readFile(const std::string &path, bool &ok)
+{
+    ok = false;
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return {};
+    std::string out;
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    ok = true;
+    return out;
+}
+
+namespace {
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identCont(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Multi-char punctuators we must not split (longest match first). */
+const char *const kPuncts[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "<<", ">>", "<=", ">=",
+    "==", "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=",
+    "%=",  "&=", "|=", "^=", ".*",
+};
+
+} // namespace
+
+LexedFile
+lex(const std::string &path, const std::string &text)
+{
+    LexedFile out;
+    out.path = path;
+    int line = 1;
+    std::size_t i = 0;
+    const std::size_t n = text.size();
+    int last_tok_line = 0; // to mark comments that own their line
+
+    auto atLineStartCode = [&](int ln) {
+        return last_tok_line != ln;
+    };
+
+    while (i < n) {
+        char c = text[i];
+        if (c == '\n') {
+            line++;
+            i++;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            i++;
+            continue;
+        }
+        // Line comment.
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+            std::size_t j = i + 2;
+            while (j < n && text[j] != '\n')
+                j++;
+            out.comments.push_back(Comment{
+                line, atLineStartCode(line),
+                text.substr(i + 2, j - (i + 2))});
+            i = j;
+            continue;
+        }
+        // Block comment.
+        if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+            std::size_t j = i + 2;
+            int start_line = line;
+            bool own = atLineStartCode(line);
+            while (j + 1 < n && !(text[j] == '*' && text[j + 1] == '/')) {
+                if (text[j] == '\n')
+                    line++;
+                j++;
+            }
+            out.comments.push_back(Comment{
+                start_line, own, text.substr(i + 2, j - (i + 2))});
+            i = (j + 1 < n) ? j + 2 : n;
+            continue;
+        }
+        // Preprocessor directive: record includes, skip the rest
+        // (honouring backslash continuations).
+        if (c == '#' && atLineStartCode(line)) {
+            std::size_t j = i + 1;
+            while (j < n && (text[j] == ' ' || text[j] == '\t'))
+                j++;
+            if (text.compare(j, 7, "include") == 0) {
+                j += 7;
+                while (j < n && (text[j] == ' ' || text[j] == '\t'))
+                    j++;
+                if (j < n && (text[j] == '<' || text[j] == '"')) {
+                    char close = text[j] == '<' ? '>' : '"';
+                    std::size_t k = j + 1;
+                    while (k < n && text[k] != close && text[k] != '\n')
+                        k++;
+                    if (k < n && text[k] == close)
+                        out.includes.emplace_back(
+                            line, text.substr(j, k - j + 1));
+                }
+            }
+            while (j < n && text[j] != '\n') {
+                if (text[j] == '\\' && j + 1 < n && text[j + 1] == '\n') {
+                    line++;
+                    j += 2;
+                    continue;
+                }
+                j++;
+            }
+            i = j;
+            continue;
+        }
+        // Raw string literal.
+        if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+            std::size_t j = i + 2;
+            std::string delim;
+            while (j < n && text[j] != '(')
+                delim += text[j++];
+            std::string close = ")" + delim + "\"";
+            std::size_t end = text.find(close, j);
+            if (end == std::string::npos)
+                end = n;
+            else
+                end += close.size();
+            for (std::size_t k = i; k < end && k < n; k++)
+                if (text[k] == '\n')
+                    line++;
+            out.toks.push_back(Token{TokKind::String, "\"\"", line});
+            last_tok_line = line;
+            i = end;
+            continue;
+        }
+        // String / char literals.
+        if (c == '"' || c == '\'') {
+            char quote = c;
+            std::size_t j = i + 1;
+            while (j < n && text[j] != quote) {
+                if (text[j] == '\\' && j + 1 < n)
+                    j++;
+                else if (text[j] == '\n')
+                    line++; // unterminated; tolerate
+                j++;
+            }
+            out.toks.push_back(Token{
+                quote == '"' ? TokKind::String : TokKind::Char,
+                text.substr(i, j - i + 1), line});
+            last_tok_line = line;
+            i = (j < n) ? j + 1 : n;
+            continue;
+        }
+        // Identifier / keyword.
+        if (identStart(c)) {
+            std::size_t j = i + 1;
+            while (j < n && identCont(text[j]))
+                j++;
+            out.toks.push_back(
+                Token{TokKind::Ident, text.substr(i, j - i), line});
+            last_tok_line = line;
+            i = j;
+            continue;
+        }
+        // Number (incl. 0x..., digit separators, suffixes).
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i + 1;
+            while (j < n && (identCont(text[j]) || text[j] == '\'' ||
+                             ((text[j] == '+' || text[j] == '-') &&
+                              (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                               text[j - 1] == 'p' || text[j - 1] == 'P'))))
+                j++;
+            out.toks.push_back(
+                Token{TokKind::Number, text.substr(i, j - i), line});
+            last_tok_line = line;
+            i = j;
+            continue;
+        }
+        // Punctuation, longest match.
+        std::string p(1, c);
+        for (const char *mp : kPuncts) {
+            std::size_t len = std::string(mp).size();
+            if (text.compare(i, len, mp) == 0) {
+                p = mp;
+                break;
+            }
+        }
+        out.toks.push_back(Token{TokKind::Punct, p, line});
+        last_tok_line = line;
+        i += p.size();
+    }
+    return out;
+}
+
+} // namespace mlint

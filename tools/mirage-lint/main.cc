@@ -1,0 +1,381 @@
+/**
+ * @file
+ * mirage-lint command-line driver.
+ *
+ * Usage:
+ *   mirage-lint [options] [file-or-dir ...]
+ *
+ * Options:
+ *   --compdb=FILE          take translation units from a CMake-exported
+ *                          compile_commands.json (the "file" entries)
+ *   --root=DIR             path prefix stripped from reported findings;
+ *                          headers under DIR named by positional dirs
+ *   --baseline=FILE        suppress findings listed in FILE
+ *   --write-baseline=FILE  write current findings as the new baseline
+ *   --json=FILE            dump findings as JSON (written on any run)
+ *   --allow-wallclock=SUB  skip wall-clock-in-sim for paths containing
+ *                          SUB (repeatable; host-side shims)
+ *   --expect               fixture mode: compare findings against
+ *                          "// expect: <check>" comments in the inputs
+ *                          and fail on any difference either way
+ *   --list-checks          print the check names and exit
+ *
+ * Exit status: 0 no findings outside the baseline (or fixture
+ * expectations met), 1 findings (or expectation mismatch), 2 usage or
+ * I/O error.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyzer.h"
+#include "lexer.h"
+
+namespace fs = std::filesystem;
+using namespace mlint;
+
+namespace {
+
+bool
+hasSourceExt(const fs::path &p)
+{
+    const std::string e = p.extension().string();
+    return e == ".cc" || e == ".cpp" || e == ".cxx" || e == ".h" ||
+           e == ".hpp";
+}
+
+/** Minimal extraction of "file" values from compile_commands.json.
+ *  The format is CMake-machine-written, so a targeted scan beats a
+ *  JSON dependency. */
+std::vector<std::string>
+compdbFiles(const std::string &path, bool &ok)
+{
+    std::string text = readFile(path, ok);
+    std::vector<std::string> out;
+    if (!ok)
+        return out;
+    const std::string key = "\"file\"";
+    std::size_t at = 0;
+    while ((at = text.find(key, at)) != std::string::npos) {
+        at += key.size();
+        std::size_t colon = text.find(':', at);
+        if (colon == std::string::npos)
+            break;
+        std::size_t open = text.find('"', colon);
+        if (open == std::string::npos)
+            break;
+        std::string val;
+        std::size_t i = open + 1;
+        while (i < text.size() && text[i] != '"') {
+            if (text[i] == '\\' && i + 1 < text.size())
+                i++;
+            val += text[i++];
+        }
+        out.push_back(val);
+        at = i;
+    }
+    return out;
+}
+
+std::string
+stripRoot(const std::string &path, const std::string &root)
+{
+    if (!root.empty() && path.rfind(root, 0) == 0) {
+        std::size_t cut = root.size();
+        while (cut < path.size() && path[cut] == '/')
+            cut++;
+        return path.substr(cut);
+    }
+    return path;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out += c;
+        }
+    }
+    return out;
+}
+
+struct BaselineEntry
+{
+    std::string check, file, symbol;
+    bool operator<(const BaselineEntry &o) const
+    {
+        if (check != o.check)
+            return check < o.check;
+        if (file != o.file)
+            return file < o.file;
+        return symbol < o.symbol;
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> inputs;
+    std::string compdb, root, baseline_path, write_baseline, json_path;
+    std::vector<std::string> wallclock_allow;
+    bool expect_mode = false;
+
+    for (int a = 1; a < argc; a++) {
+        std::string arg = argv[a];
+        auto val = [&](const char *pfx) -> const char * {
+            std::size_t n = std::strlen(pfx);
+            return arg.compare(0, n, pfx) == 0 ? arg.c_str() + n
+                                               : nullptr;
+        };
+        if (const char *v = val("--compdb="))
+            compdb = v;
+        else if (const char *v = val("--root="))
+            root = v;
+        else if (const char *v = val("--baseline="))
+            baseline_path = v;
+        else if (const char *v = val("--write-baseline="))
+            write_baseline = v;
+        else if (const char *v = val("--json="))
+            json_path = v;
+        else if (const char *v = val("--allow-wallclock="))
+            wallclock_allow.push_back(v);
+        else if (arg == "--expect")
+            expect_mode = true;
+        else if (arg == "--list-checks") {
+            for (const std::string &c : checkNames())
+                std::printf("%s\n", c.c_str());
+            return 0;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "mirage-lint: unknown option %s\n",
+                         arg.c_str());
+            return 2;
+        } else
+            inputs.push_back(arg);
+    }
+
+    // Resolve the work list: positional files, recursive dirs, compdb.
+    std::set<std::string> files;
+    for (const std::string &in : inputs) {
+        std::error_code ec;
+        if (fs::is_directory(in, ec)) {
+            for (auto it = fs::recursive_directory_iterator(in, ec);
+                 !ec && it != fs::recursive_directory_iterator();
+                 ++it) {
+                if (it->is_regular_file() && hasSourceExt(it->path()))
+                    files.insert(fs::absolute(it->path()).string());
+            }
+        } else if (fs::is_regular_file(in, ec))
+            files.insert(fs::absolute(in).string());
+        else {
+            std::fprintf(stderr, "mirage-lint: no such input: %s\n",
+                         in.c_str());
+            return 2;
+        }
+    }
+    if (!compdb.empty()) {
+        bool ok = false;
+        for (const std::string &f : compdbFiles(compdb, ok)) {
+            std::error_code ec;
+            // Keep only files under --root (skips gtest etc.).
+            std::string abs = fs::absolute(f, ec).string();
+            if (root.empty() || abs.rfind(root, 0) == 0)
+                files.insert(abs);
+        }
+        if (!ok) {
+            std::fprintf(stderr, "mirage-lint: cannot read %s\n",
+                         compdb.c_str());
+            return 2;
+        }
+    }
+    if (files.empty()) {
+        std::fprintf(stderr,
+                     "usage: mirage-lint [--compdb=FILE] [--root=DIR] "
+                     "[--baseline=FILE] [--expect] file-or-dir...\n");
+        return 2;
+    }
+
+    // Lex everything once; pass 1 then pass 2.
+    std::vector<LexedFile> lexed;
+    Analyzer an;
+    for (const std::string &path : files) {
+        bool ok = false;
+        std::string text = readFile(path, ok);
+        if (!ok) {
+            std::fprintf(stderr, "mirage-lint: cannot read %s\n",
+                         path.c_str());
+            return 2;
+        }
+        lexed.push_back(lex(path, text));
+        an.collectSymbols(lexed.back());
+    }
+    std::vector<Finding> findings;
+    for (const LexedFile &f : lexed) {
+        bool wc_allowed = false;
+        for (const std::string &sub : wallclock_allow)
+            if (f.path.find(sub) != std::string::npos)
+                wc_allowed = true;
+        for (Finding fi : an.check(f, wc_allowed)) {
+            fi.file = stripRoot(fi.file, root);
+            findings.push_back(std::move(fi));
+        }
+    }
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.check < b.check;
+              });
+
+    // Fixture mode: exact agreement with // expect: comments.
+    if (expect_mode) {
+        int bad = 0;
+        for (const LexedFile &f : lexed) {
+            std::vector<std::pair<int, std::string>> expects;
+            commentDirectives(f, "expect:", expects);
+            std::string rel = stripRoot(f.path, root);
+            std::vector<const Finding *> here;
+            for (const Finding &fi : findings)
+                if (fi.file == rel)
+                    here.push_back(&fi);
+            std::vector<bool> used(here.size(), false);
+            for (const auto &[line, check] : expects) {
+                bool hit = false;
+                for (std::size_t i = 0; i < here.size(); i++) {
+                    if (!used[i] && here[i]->line == line &&
+                        here[i]->check == check) {
+                        used[i] = true;
+                        hit = true;
+                        break;
+                    }
+                }
+                if (!hit) {
+                    std::fprintf(stderr,
+                                 "MISSING %s:%d expected %s, no "
+                                 "finding\n",
+                                 rel.c_str(), line, check.c_str());
+                    bad++;
+                }
+            }
+            for (std::size_t i = 0; i < here.size(); i++) {
+                if (!used[i]) {
+                    std::fprintf(stderr,
+                                 "UNEXPECTED %s:%d %s (%s) not "
+                                 "covered by an expect comment\n",
+                                 rel.c_str(), here[i]->line,
+                                 here[i]->check.c_str(),
+                                 here[i]->message.c_str());
+                    bad++;
+                }
+            }
+        }
+        if (bad == 0)
+            std::printf("mirage-lint: fixtures OK (%zu findings "
+                        "matched their expect comments)\n",
+                        findings.size());
+        return bad == 0 ? 0 : 1;
+    }
+
+    // Baseline filtering (check<TAB>file<TAB>symbol per line).
+    std::set<BaselineEntry> baseline;
+    if (!baseline_path.empty()) {
+        bool ok = false;
+        std::string text = readFile(baseline_path, ok);
+        if (ok) {
+            std::size_t pos = 0;
+            while (pos < text.size()) {
+                std::size_t eol = text.find('\n', pos);
+                if (eol == std::string::npos)
+                    eol = text.size();
+                std::string ln = text.substr(pos, eol - pos);
+                pos = eol + 1;
+                if (ln.empty() || ln[0] == '#')
+                    continue;
+                std::size_t t1 = ln.find('\t');
+                std::size_t t2 = t1 == std::string::npos
+                                     ? std::string::npos
+                                     : ln.find('\t', t1 + 1);
+                if (t2 == std::string::npos)
+                    continue;
+                baseline.insert(BaselineEntry{
+                    ln.substr(0, t1),
+                    ln.substr(t1 + 1, t2 - t1 - 1),
+                    ln.substr(t2 + 1)});
+            }
+        }
+    }
+    std::vector<Finding> fresh;
+    for (const Finding &fi : findings) {
+        if (!baseline.count(BaselineEntry{fi.check, fi.file, fi.symbol}))
+            fresh.push_back(fi);
+    }
+
+    if (!write_baseline.empty()) {
+        FILE *out = std::fopen(write_baseline.c_str(), "w");
+        if (!out) {
+            std::fprintf(stderr, "mirage-lint: cannot write %s\n",
+                         write_baseline.c_str());
+            return 2;
+        }
+        std::fprintf(out, "# mirage-lint baseline: "
+                          "check<TAB>file<TAB>symbol\n");
+        std::set<BaselineEntry> uniq;
+        for (const Finding &fi : findings)
+            uniq.insert(BaselineEntry{fi.check, fi.file, fi.symbol});
+        for (const BaselineEntry &b : uniq)
+            std::fprintf(out, "%s\t%s\t%s\n", b.check.c_str(),
+                         b.file.c_str(), b.symbol.c_str());
+        std::fclose(out);
+    }
+
+    if (!json_path.empty()) {
+        FILE *out = std::fopen(json_path.c_str(), "w");
+        if (out) {
+            std::fprintf(out, "[\n");
+            for (std::size_t i = 0; i < fresh.size(); i++) {
+                const Finding &fi = fresh[i];
+                std::fprintf(
+                    out,
+                    "  {\"check\": \"%s\", \"file\": \"%s\", "
+                    "\"line\": %d, \"symbol\": \"%s\", "
+                    "\"message\": \"%s\"}%s\n",
+                    jsonEscape(fi.check).c_str(),
+                    jsonEscape(fi.file).c_str(), fi.line,
+                    jsonEscape(fi.symbol).c_str(),
+                    jsonEscape(fi.message).c_str(),
+                    i + 1 < fresh.size() ? "," : "");
+            }
+            std::fprintf(out, "]\n");
+            std::fclose(out);
+        }
+    }
+
+    for (const Finding &fi : fresh)
+        std::printf("%s:%d: [%s] %s (in %s)\n", fi.file.c_str(),
+                    fi.line, fi.check.c_str(), fi.message.c_str(),
+                    fi.symbol.c_str());
+    if (fresh.empty())
+        std::printf("mirage-lint: %zu files, no findings outside the "
+                    "baseline\n",
+                    lexed.size());
+    else
+        std::printf("mirage-lint: %zu finding(s) outside the "
+                    "baseline\n",
+                    fresh.size());
+    return fresh.empty() ? 0 : 1;
+}
