@@ -3,6 +3,11 @@
  * Figure 5 — domain boot time vs memory size, synchronous toolstack.
  * Series: Linux PV + Apache, Linux PV (minimal), Mirage. Time is from
  * boot request to first UDP packet (service ready).
+ *
+ * Also gates the boot-phase attribution invariant: the named phases of
+ * every breakdown must sum to >= 95 % of the total boot time (they sum
+ * exactly, by construction — the gate catches a phase being dropped),
+ * and the per-phase durations land in the --json output for bench-diff.
  */
 
 #include <cstdio>
@@ -14,19 +19,51 @@ using namespace mirage;
 
 namespace {
 
-double
-bootSeconds(xen::GuestKind kind, std::size_t memory_mib)
+int attribution_failures = 0;
+
+xen::BootBreakdown
+bootOnce(xen::GuestKind kind, std::size_t memory_mib)
 {
     sim::Engine engine;
     xen::Hypervisor hv(engine);
     xen::Toolstack ts(hv, xen::Toolstack::Mode::Synchronous);
-    Duration total;
+    xen::BootBreakdown breakdown;
     ts.boot({"guest", kind, memory_mib, 1, nullptr},
             [&](xen::Domain &, xen::BootBreakdown b) {
-                total = b.total();
+                breakdown = std::move(b);
             });
     engine.run();
-    return total.toSecondsF();
+    if (breakdown.phaseSum().ns() * 100 < breakdown.total().ns() * 95) {
+        std::fprintf(stderr,
+                     "!! phase attribution below 95%%: %lld of %lld ns "
+                     "(kind %d, %zu MiB)\n",
+                     (long long)breakdown.phaseSum().ns(),
+                     (long long)breakdown.total().ns(), int(kind),
+                     memory_mib);
+        attribution_failures++;
+    }
+    return breakdown;
+}
+
+const char *
+kindLabel(xen::GuestKind kind)
+{
+    switch (kind) {
+      case xen::GuestKind::Unikernel: return "mirage";
+      case xen::GuestKind::LinuxMinimal: return "linux_pv";
+      case xen::GuestKind::LinuxDebianApache: return "linux_apache";
+    }
+    return "?";
+}
+
+void
+reportPhases(bench::JsonReport &json, xen::GuestKind kind,
+             std::size_t mem, const xen::BootBreakdown &b)
+{
+    for (const auto &[phase, dur] : b.phases)
+        json.add(strprintf("boot_phase/%s/%zuMiB/%s", kindLabel(kind),
+                           mem, phase),
+                 "boot_phase", dur.toSecondsF() * 1e3, "ms");
 }
 
 } // namespace
@@ -46,10 +83,14 @@ main(int argc, char **argv)
                 "mirage_build_pct");
     for (std::size_t mem :
          {8, 16, 32, 64, 128, 256, 512, 1024, 2048, 3072}) {
-        double apache =
-            bootSeconds(xen::GuestKind::LinuxDebianApache, mem);
-        double linux_pv = bootSeconds(xen::GuestKind::LinuxMinimal, mem);
-        double mirage = bootSeconds(xen::GuestKind::Unikernel, mem);
+        xen::BootBreakdown ba =
+            bootOnce(xen::GuestKind::LinuxDebianApache, mem);
+        xen::BootBreakdown bl =
+            bootOnce(xen::GuestKind::LinuxMinimal, mem);
+        xen::BootBreakdown bm = bootOnce(xen::GuestKind::Unikernel, mem);
+        double apache = ba.total().toSecondsF();
+        double linux_pv = bl.total().toSecondsF();
+        double mirage = bm.total().toSecondsF();
         Duration build = xen::Toolstack::buildCost(mem);
         double build_pct = 100.0 * build.toSecondsF() / mirage;
         std::printf("%-10zu %14.3f %14.3f %14.3f %15.1f%%\n", mem,
@@ -60,6 +101,21 @@ main(int argc, char **argv)
                  "boot_time", linux_pv, "s");
         json.add(strprintf("boot_time/mirage/%zuMiB", mem),
                  "boot_time", mirage, "s");
+        // Phase rows at one representative size per kind keep the
+        // bench-diff baseline compact.
+        if (mem == 128) {
+            reportPhases(json, xen::GuestKind::LinuxDebianApache, mem,
+                         ba);
+            reportPhases(json, xen::GuestKind::LinuxMinimal, mem, bl);
+            reportPhases(json, xen::GuestKind::Unikernel, mem, bm);
+        }
     }
+    if (attribution_failures) {
+        std::fprintf(stderr,
+                     "boot_time: %d boots under 95%% attribution\n",
+                     attribution_failures);
+        return 1;
+    }
+    std::printf("\nall boots: phases sum to >= 95%% of total\n");
     return 0;
 }

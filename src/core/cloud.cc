@@ -33,6 +33,25 @@ Cloud::Cloud()
     flows_.enable();
     profiler_.attach(&tracer_, &metrics_);
     engine_.setProfiler(&profiler_);
+    boots_.attach(&tracer_, &metrics_);
+    boots_.enable();
+    engine_.setBoots(&boots_);
+    // Completed flows fan out from one finalize hook: the SLO tracker
+    // scores each against its kind's objective, the hub folds it into
+    // the serving domain's fleet aggregate.
+    flows_.setFinalizeHook([this](const trace::FlowTracker::Flow &f) {
+        slo_.record(f.kind, u64(f.end_ns - f.start_ns), f.failed,
+                    TimePoint(f.end_ns));
+        hub_.onFlowDone(f);
+    });
+    // A burn-rate breach is a watchdog event like a stall: route it
+    // through the same alert path so MIRAGE_FLIGHT leaves a post-mortem.
+    slo_.setAlertHook(
+        [this](const std::string &kind, const std::string &detail) {
+            (void)kind;
+            profiler_.alert("slo_burn", detail);
+        });
+    hub_.attach(&profiler_, &flows_, &boots_, &slo_, &metrics_);
     // dom0 was constructed in the member-init list, before the
     // profiler attached to the engine — bind it (and any other early
     // domain) now so its accounting record exists from the start.
@@ -168,16 +187,10 @@ Cloud::startUnikernel(const std::string &name, net::Ipv4Addr ip,
                       1, cpu_factor);
 }
 
-Guest &
-Cloud::startGuest(const std::string &name, xen::GuestKind kind,
-                  net::Ipv4Addr ip, std::size_t memory_mib,
-                  unsigned vcpus, double cpu_factor)
+net::NetworkStack::Config
+Cloud::netConfigFor(xen::GuestKind kind, net::Ipv4Addr ip,
+                    double cpu_factor) const
 {
-    xen::Domain &dom = hv_.createDomain(name, kind, memory_mib, vcpus);
-    dom.setState(xen::DomainState::Running);
-    xen::MacBytes mac = {0x02, 0x16, 0x3e, u8(next_mac_ >> 16),
-                         u8(next_mac_ >> 8), u8(next_mac_)};
-    next_mac_++;
     net::NetworkStack::Config cfg;
     cfg.ip = ip;
     cfg.netmask = net::Ipv4Addr(255, 255, 255, 0);
@@ -194,9 +207,61 @@ Cloud::startGuest(const std::string &name, xen::GuestKind kind,
         cfg.txOverheadPerPacket = sim::costs().linuxTxPerPacket;
         cfg.rxOverheadPerPacket = sim::costs().socketRxPerPacket;
     }
-    guests_.push_back(
-        std::make_unique<Guest>(dom, netback_, mac, cfg));
+    return cfg;
+}
+
+xen::MacBytes
+Cloud::nextMac()
+{
+    xen::MacBytes mac = {0x02, 0x16, 0x3e, u8(next_mac_ >> 16),
+                         u8(next_mac_ >> 8), u8(next_mac_)};
+    next_mac_++;
+    return mac;
+}
+
+Guest &
+Cloud::startGuest(const std::string &name, xen::GuestKind kind,
+                  net::Ipv4Addr ip, std::size_t memory_mib,
+                  unsigned vcpus, double cpu_factor)
+{
+    xen::Domain &dom = hv_.createDomain(name, kind, memory_mib, vcpus);
+    dom.setState(xen::DomainState::Running);
+    guests_.push_back(std::make_unique<Guest>(
+        dom, netback_, nextMac(), netConfigFor(kind, ip, cpu_factor)));
     return *guests_.back();
+}
+
+void
+Cloud::bootUnikernel(
+    const std::string &name, net::Ipv4Addr ip, std::size_t memory_mib,
+    std::function<void(Guest &, xen::BootBreakdown)> on_ready,
+    double cpu_factor)
+{
+    if (cpu_factor < 0)
+        cpu_factor = unikernelCpuFactor();
+    xen::BootSpec spec;
+    spec.name = name;
+    spec.kind = xen::GuestKind::Unikernel;
+    spec.memoryMib = memory_mib;
+    spec.vcpus = 1;
+    // The entry runs at the service-ready instant, under the boot's
+    // ambient id, so PVBoot and the driver connects annotate the
+    // layout/device_connect phases with their op counts.
+    spec.entry = [this, mac = nextMac(),
+                  cfg = netConfigFor(xen::GuestKind::Unikernel, ip,
+                                     cpu_factor)](xen::Domain &dom) {
+        guests_.push_back(
+            std::make_unique<Guest>(dom, netback_, mac, cfg));
+    };
+    toolstack_.boot(
+        std::move(spec),
+        [this, cb = std::move(on_ready)](xen::Domain &,
+                                         xen::BootBreakdown bd) {
+            // entry just pushed this boot's guest; the toolstack calls
+            // entry and this callback back-to-back in one event.
+            if (cb)
+                cb(*guests_.back(), std::move(bd));
+        });
 }
 
 xen::VirtualDisk &

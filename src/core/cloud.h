@@ -26,9 +26,12 @@
 #include "runtime/scheduler.h"
 #include "sim/cost_model.h"
 #include "sim/engine.h"
+#include "trace/boot.h"
 #include "trace/flow.h"
+#include "trace/hub.h"
 #include "trace/metrics.h"
 #include "trace/profile.h"
+#include "trace/slo.h"
 #include "trace/trace.h"
 
 namespace mirage::core {
@@ -95,6 +98,30 @@ class Cloud
     trace::Profiler &profiler() { return profiler_; }
 
     /**
+     * The boot-phase tracker, attached to the engine and enabled by
+     * default: every toolstack boot decomposes into named phase spans
+     * and `boot.<phase>_ns` histograms, and the serving stack closes
+     * the loop with the first-request phase.
+     */
+    trace::BootTracker &boots() { return boots_; }
+
+    /**
+     * The SLO tracker. Declare targets with
+     * `slo().setTarget("http", {...})`; every completed flow is scored
+     * automatically, and burn-rate alerts route through the profiler's
+     * alert hook (so MIRAGE_FLIGHT auto-dumps a post-mortem).
+     */
+    trace::SloTracker &slo() { return slo_; }
+
+    /**
+     * The dom0 telemetry hub: per-domain and fleet-wide rollups
+     * (request counts, histogram-merged latency quantiles, CPU, boot
+     * phases, SLO state). Serve it with the 5-argument withTelemetry()
+     * overload to expose `GET /fleet`.
+     */
+    trace::TelemetryHub &hub() { return hub_; }
+
+    /**
      * Arm the stall watchdog: if no request flow completes for
      * @p threshold of virtual time while flows are live, raise a
      * `stall` alert (which auto-dumps the flight recorder when
@@ -123,6 +150,20 @@ class Cloud
                       net::Ipv4Addr ip, std::size_t memory_mib,
                       unsigned vcpus, double cpu_factor);
 
+    /**
+     * Cold-boot a unikernel appliance through the toolstack: the boot
+     * cost model applies (Figs 5/6), the boot tracker records the
+     * phase breakdown, and @p on_ready fires at the service-ready
+     * instant with the provisioned guest. Contrast startUnikernel(),
+     * which provisions instantly for experiments where boot latency is
+     * out of scope.
+     */
+    void bootUnikernel(
+        const std::string &name, net::Ipv4Addr ip,
+        std::size_t memory_mib = 64,
+        std::function<void(Guest &, xen::BootBreakdown)> on_ready = {},
+        double cpu_factor = -1);
+
     /** Attach a virtual disk served by a blkback in dom0. */
     xen::VirtualDisk &addDisk(const std::string &name, u64 sectors);
     xen::Blkback &blkbackFor(xen::VirtualDisk &disk);
@@ -140,12 +181,19 @@ class Cloud
     void dumpFlight();
     void armStallCheck();
     void stallCheck();
+    net::NetworkStack::Config netConfigFor(xen::GuestKind kind,
+                                           net::Ipv4Addr ip,
+                                           double cpu_factor) const;
+    xen::MacBytes nextMac();
 
     sim::Engine engine_;
     trace::TraceRecorder tracer_;
     trace::MetricsRegistry metrics_;
     trace::FlowTracker flows_;
     trace::Profiler profiler_;
+    trace::BootTracker boots_;
+    trace::SloTracker slo_;
+    trace::TelemetryHub hub_;
     check::Checker checker_{check::Checker::Mode::Count};
     std::string flight_path_;
     bool flight_hooked_ = false;

@@ -3,6 +3,7 @@
 #include "base/logging.h"
 #include "sim/cost_model.h"
 #include "sim/tuning.h"
+#include "trace/boot.h"
 #include "trace/flow.h"
 #include "trace/trace.h"
 
@@ -42,6 +43,11 @@ Blkif::Blkif(pvboot::PVBoot &boot, xen::Blkback &backend)
         hv.engine(), [this] { return drainResponses(true); },
         [this] { return ring_->finalCheckForResponses(); });
     backend.connect(dom, ring_grant, back_port);
+
+    // Structural connect work for the boot-phase breakdown: one shared
+    // ring initialised + granted, one event-channel pair wired.
+    if (trace::BootTracker *boots = hv.engine().boots())
+        boots->notePhaseOps(boots->current(), "device_connect", 3);
 }
 
 Result<Cstruct>

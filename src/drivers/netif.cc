@@ -6,6 +6,7 @@
 #include "check/check.h"
 #include "sim/cost_model.h"
 #include "sim/tuning.h"
+#include "trace/boot.h"
 #include "trace/flow.h"
 #include "trace/profile.h"
 #include "trace/trace.h"
@@ -88,6 +89,12 @@ Netif::Netif(pvboot::PVBoot &boot, xen::Netback &backend,
                                         sim::tuning().tcpSegOffload,
                                         sim::tuning().csumOffload});
     postRxBuffers();
+
+    // Structural connect work for the boot-phase breakdown: two shared
+    // rings initialised, two ring pages granted, two event-channel
+    // pairs wired.
+    if (trace::BootTracker *boots = hv.engine().boots())
+        boots->notePhaseOps(boots->current(), "device_connect", 6);
 }
 
 Netif::~Netif()

@@ -16,6 +16,8 @@
 
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "base/time.h"
 #include "hypervisor/xen.h"
@@ -42,10 +44,30 @@ struct BootBreakdown
     Duration build;     //!< hypervisor domain construction
     Duration guestInit; //!< kernel entry to service-ready
 
+    /**
+     * guestInit (and the coarse fields above) decomposed into named,
+     * consecutive boot phases — toolstack/build plus the kind-specific
+     * subdivision of guest init (layout, page_setup, device_connect,
+     * stack_up for unikernels; kernel_boot/services/app_start for the
+     * Linux flavours). Invariant: the durations sum exactly to total(),
+     * so per-phase bench output attributes the whole boot.
+     */
+    std::vector<std::pair<const char *, Duration>> phases;
+
     Duration
     total() const
     {
         return toolstack + build + guestInit;
+    }
+
+    /** Sum of the named phases (== total() by construction). */
+    Duration
+    phaseSum() const
+    {
+        Duration d(0);
+        for (const auto &[name, dur] : phases)
+            d = d + dur;
+        return d;
     }
 };
 

@@ -105,7 +105,8 @@ DnsServer::attachUdp(net::NetworkStack &stack)
             trace::FlowId flow = 0;
             if (fl)
                 flow = fl->begin("dns", engine.now(),
-                                 flowTrack(stack), "udp query");
+                                 flowTrack(stack), "udp query",
+                                 stack.domain().name());
             trace::FlowScope scope(fl, flow);
             auto rsp = answer(dgram.payload);
             if (rsp.ok())

@@ -2,6 +2,7 @@
 
 #include "base/logging.h"
 #include "hypervisor/xen.h"
+#include "trace/boot.h"
 #include "trace/flow.h"
 #include "trace/profile.h"
 #include "trace/trace.h"
@@ -79,7 +80,8 @@ HttpServer::pump(std::shared_ptr<ConnState> st)
     trace::FlowId flow = 0;
     if (flows && flows->enabled()) {
         flow = flows->begin("http", engine.now(), flowTrack(),
-                            req.method + " " + req.path);
+                            req.method + " " + req.path,
+                            stack_.domain().name());
         flows->stageBegin(flow, "handler", engine.now(), flowTrack());
     }
 
@@ -102,8 +104,13 @@ HttpServer::pump(std::shared_ptr<ConnState> st)
             rsp.headers["Connection"] = "close";
         sim::Engine &eng = stack_.scheduler().engine();
         trace::FlowTracker *fl = flow ? eng.flows() : nullptr;
-        if (fl)
+        if (fl) {
             fl->stageEnd(flow, "handler", eng.now(), flowTrack());
+            // Server errors count against the availability SLO; the
+            // flow still completes and records its latency.
+            if (rsp.status >= 500)
+                fl->markFailed(flow);
+        }
         {
             // The response write belongs to this flow even when the
             // handler answered from a different ambient context.
@@ -126,6 +133,11 @@ HttpServer::pump(std::shared_ptr<ConnState> st)
         }
         if (fl)
             fl->end(flow, eng.now(), flowTrack());
+        // Close the cold-boot loop: the first response this domain
+        // serves ends its boot record (no-op for instantly-provisioned
+        // guests, which never open one).
+        if (auto *boots = eng.boots())
+            boots->firstRequest(stack_.domain().name(), eng.now());
         if (!keep) {
             conn->close();
             return;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "trace/flow.h"
+#include "trace/hub.h"
 #include "trace/metrics.h"
 #include "trace/profile.h"
 
@@ -19,7 +20,16 @@ HttpServer::Handler
 withTelemetry(trace::MetricsRegistry *metrics, trace::FlowTracker *flows,
               trace::Profiler *profiler, HttpServer::Handler app)
 {
-    return [metrics, flows, profiler, app = std::move(app)](
+    return withTelemetry(metrics, flows, profiler, nullptr,
+                         std::move(app));
+}
+
+HttpServer::Handler
+withTelemetry(trace::MetricsRegistry *metrics, trace::FlowTracker *flows,
+              trace::Profiler *profiler, trace::TelemetryHub *hub,
+              HttpServer::Handler app)
+{
+    return [metrics, flows, profiler, hub, app = std::move(app)](
                const HttpRequest &req, HttpServer::Responder respond) {
         if (req.method == "GET" && req.path == "/metrics") {
             if (!metrics) {
@@ -30,6 +40,19 @@ withTelemetry(trace::MetricsRegistry *metrics, trace::FlowTracker *flows,
             rsp.headers["Content-Type"] =
                 "text/plain; version=0.0.4; charset=utf-8";
             rsp.body = metrics->toPrometheus();
+            if (hub)
+                rsp.body += hub->toPrometheus();
+            respond(std::move(rsp));
+            return;
+        }
+        if (req.method == "GET" && req.path == "/fleet") {
+            if (!hub) {
+                respond(HttpResponse::text(503, "no telemetry hub\n"));
+                return;
+            }
+            HttpResponse rsp;
+            rsp.headers["Content-Type"] = "application/json";
+            rsp.body = hub->fleetJson();
             respond(std::move(rsp));
             return;
         }

@@ -16,6 +16,7 @@ namespace mirage::trace {
 class MetricsRegistry;
 class FlowTracker;
 class Profiler;
+class TelemetryHub;
 } // namespace mirage::trace
 
 namespace mirage::http {
@@ -39,6 +40,20 @@ HttpServer::Handler withTelemetry(trace::MetricsRegistry *metrics,
 HttpServer::Handler withTelemetry(trace::MetricsRegistry *metrics,
                                   trace::FlowTracker *flows,
                                   trace::Profiler *profiler,
+                                  HttpServer::Handler app);
+
+/**
+ * As above, and GET /fleet additionally serves @p hub's fleet rollup
+ * (per-domain request counts and latency quantiles, the
+ * histogram-merged fleet-wide distribution, boot-phase breakdown and
+ * SLO burn-rate state) as JSON; /metrics also appends the hub's
+ * per-domain `fleet_*` series with `domain` labels. This is the dom0
+ * monitor-appliance wrapper.
+ */
+HttpServer::Handler withTelemetry(trace::MetricsRegistry *metrics,
+                                  trace::FlowTracker *flows,
+                                  trace::Profiler *profiler,
+                                  trace::TelemetryHub *hub,
                                   HttpServer::Handler app);
 
 } // namespace mirage::http

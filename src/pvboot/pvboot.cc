@@ -2,6 +2,8 @@
 
 #include "base/logging.h"
 #include "sim/cost_model.h"
+#include "sim/engine.h"
+#include "trace/boot.h"
 
 namespace mirage::pvboot {
 
@@ -18,6 +20,8 @@ PVBoot::PVBoot(xen::Domain &dom, LayoutSpec spec)
     // Note: the CPU time of start-of-day PT construction is part of
     // the toolstack's guest-init cost model (Figs 5-6); charging it
     // again here would double count, so only the update count is kept.
+    if (trace::BootTracker *boots = engine().boots())
+        boots->notePhaseOps(boots->current(), "layout", layout_updates_);
 }
 
 } // namespace mirage::pvboot

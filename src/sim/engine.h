@@ -30,6 +30,7 @@ class MetricsRegistry;
 class Counter;
 class FlowTracker;
 class Profiler;
+class BootTracker;
 } // namespace mirage::trace
 
 namespace mirage::check {
@@ -128,6 +129,14 @@ class Engine
     void setProfiler(trace::Profiler *profiler) { profiler_ = profiler; }
     trace::Profiler *profiler() const { return profiler_; }
 
+    /**
+     * Attach (or detach with nullptr) a boot-phase tracker. Not owned.
+     * Bring-up code (toolstack, PVBoot, driver connects) reports phase
+     * spans and structural op counts against the ambient boot id.
+     */
+    void setBoots(trace::BootTracker *boots) { boots_ = boots; }
+    trace::BootTracker *boots() const { return boots_; }
+
   private:
     struct Item
     {
@@ -190,6 +199,7 @@ class Engine
     check::Checker *checker_ = nullptr;
     trace::FlowTracker *flows_ = nullptr;
     trace::Profiler *profiler_ = nullptr;
+    trace::BootTracker *boots_ = nullptr;
     trace::Counter *c_dispatched_ = nullptr;
     trace::Counter *c_cancelled_ = nullptr;
 };

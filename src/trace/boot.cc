@@ -1,0 +1,191 @@
+#include "trace/boot.h"
+
+#include "base/logging.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
+
+namespace mirage::trace {
+
+BootTracker::Record *
+BootTracker::findMutable(BootId id)
+{
+    if (id == 0)
+        return nullptr;
+    for (Record &r : records_)
+        if (r.id == id)
+            return &r;
+    return nullptr;
+}
+
+const BootTracker::Record *
+BootTracker::find(BootId id) const
+{
+    return const_cast<BootTracker *>(this)->findMutable(id);
+}
+
+const BootTracker::Record *
+BootTracker::findOpen(const std::string &domain) const
+{
+    auto it = open_by_domain_.find(domain);
+    if (it == open_by_domain_.end())
+        return nullptr;
+    return find(it->second);
+}
+
+u32
+BootTracker::bootTrack(const std::string &domain)
+{
+    if (tracer_ && tracer_->enabled())
+        return tracer_->track(domain + "/boot");
+    return 0;
+}
+
+BootId
+BootTracker::begin(const std::string &domain, TimePoint ts)
+{
+    if (!enabled_)
+        return 0;
+    while (records_.size() >= capacity_) {
+        open_by_domain_.erase(records_.front().domain);
+        records_.pop_front();
+    }
+    BootId id = next_id_++;
+    Record r;
+    r.id = id;
+    r.domain = domain;
+    r.submit_ns = ts.ns();
+    records_.push_back(std::move(r));
+    // A respawned domain replaces its earlier open record: the fleet
+    // cares about the boot currently in flight.
+    open_by_domain_[domain] = id;
+    started_++;
+    if (tracer_)
+        tracer_->asyncBegin(Cat::Boot, "boot", id, ts, bootTrack(domain),
+                            strprintf("\"domain\":\"%s\"",
+                                      jsonEscape(domain).c_str()));
+    current_ = id;
+    return id;
+}
+
+void
+BootTracker::phase(BootId id, const char *name, TimePoint start,
+                   TimePoint end, u64 ops)
+{
+    Record *r = findMutable(id);
+    if (!r)
+        return;
+    Phase p;
+    p.name = name;
+    p.start_ns = start.ns();
+    p.dur_ns = end.ns() - start.ns();
+    p.ops = ops;
+    r->phases.push_back(std::move(p));
+    if (tracer_) {
+        u32 tid = bootTrack(r->domain);
+        tracer_->asyncBegin(Cat::Boot, name, id, start, tid);
+        tracer_->asyncEnd(Cat::Boot, name, id, end, tid);
+    }
+    if (metrics_)
+        metrics_->histogram(std::string("boot.") + name + "_ns")
+            .record(u64(end.ns() - start.ns()));
+    phase_hist_[name].record(u64(end.ns() - start.ns()));
+}
+
+void
+BootTracker::notePhaseOps(BootId id, const char *name, u64 ops)
+{
+    Record *r = findMutable(id);
+    if (!r)
+        return;
+    for (Phase &p : r->phases) {
+        if (p.name == name) {
+            p.ops += ops;
+            return;
+        }
+    }
+    Phase p;
+    p.name = name;
+    p.ops = ops;
+    r->phases.push_back(std::move(p));
+}
+
+void
+BootTracker::ready(BootId id, TimePoint ts)
+{
+    Record *r = findMutable(id);
+    if (!r || r->ready_ns >= 0)
+        return;
+    r->ready_ns = ts.ns();
+    completed_++;
+    if (tracer_)
+        tracer_->asyncEnd(Cat::Boot, "boot", id, ts,
+                          bootTrack(r->domain));
+    if (metrics_) {
+        metrics_->counter("boot.completed").inc();
+        metrics_->histogram("boot.total_ns")
+            .record(u64(r->ready_ns - r->submit_ns));
+    }
+    total_hist_.record(u64(r->ready_ns - r->submit_ns));
+}
+
+void
+BootTracker::firstRequest(const std::string &domain, TimePoint ts)
+{
+    auto it = open_by_domain_.find(domain);
+    if (it == open_by_domain_.end())
+        return;
+    Record *r = findMutable(it->second);
+    open_by_domain_.erase(it);
+    if (!r || r->ready_ns < 0)
+        return;
+    r->first_request_ns = ts.ns();
+    r->done = true;
+    Phase p;
+    p.name = "first_request";
+    p.start_ns = r->ready_ns;
+    p.dur_ns = ts.ns() - r->ready_ns;
+    r->phases.push_back(p);
+    if (tracer_) {
+        u32 tid = bootTrack(r->domain);
+        tracer_->asyncBegin(Cat::Boot, "first_request", r->id,
+                            TimePoint(r->ready_ns), tid);
+        tracer_->asyncEnd(Cat::Boot, "first_request", r->id, ts, tid);
+    }
+    if (metrics_)
+        metrics_->histogram("boot.first_request_ns")
+            .record(u64(ts.ns() - r->submit_ns));
+    first_request_hist_.record(u64(ts.ns() - r->submit_ns));
+}
+
+std::string
+BootTracker::json() const
+{
+    std::string out = "[";
+    bool first = true;
+    for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+        const Record &r = *it;
+        out += strprintf(
+            "%s\n{\"domain\":\"%s\",\"submit_ns\":%lld,"
+            "\"total_ns\":%lld,\"first_request_ns\":%lld,\"phases\":{",
+            first ? "" : ",", jsonEscape(r.domain).c_str(),
+            (long long)r.submit_ns, (long long)r.totalNs(),
+            (long long)(r.first_request_ns >= 0
+                            ? r.first_request_ns - r.submit_ns
+                            : -1));
+        first = false;
+        bool first_phase = true;
+        for (const Phase &p : r.phases) {
+            out += strprintf("%s\"%s\":{\"dur_ns\":%lld,\"ops\":%llu}",
+                             first_phase ? "" : ",",
+                             jsonEscape(p.name).c_str(),
+                             (long long)p.dur_ns,
+                             (unsigned long long)p.ops);
+            first_phase = false;
+        }
+        out += "}}";
+    }
+    out += "\n]";
+    return out;
+}
+
+} // namespace mirage::trace

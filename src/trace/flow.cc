@@ -17,7 +17,7 @@ FlowTracker::find(FlowId id)
 
 FlowId
 FlowTracker::begin(const char *kind, TimePoint ts, u32 tid,
-                   std::string detail)
+                   std::string detail, std::string domain)
 {
     if (!enabled_)
         return 0;
@@ -32,6 +32,7 @@ FlowTracker::begin(const char *kind, TimePoint ts, u32 tid,
     f.id = id;
     f.kind = kind;
     f.detail = std::move(detail);
+    f.domain = std::move(domain);
     f.start_ns = ts.ns();
     started_++;
     if (tracer_)
@@ -99,6 +100,13 @@ FlowTracker::stageEnd(FlowId id, const char *stage, TimePoint ts, u32 tid)
 }
 
 void
+FlowTracker::markFailed(FlowId id)
+{
+    if (Flow *f = find(id))
+        f->failed = true;
+}
+
+void
 FlowTracker::end(FlowId id, TimePoint ts, u32 tid)
 {
     Flow *f = find(id);
@@ -127,6 +135,8 @@ FlowTracker::finalize(Flow &f, u32 tid)
             metrics_->histogram(prefix + "stage." + s.name + "_ns")
                 .record(s.total_ns);
     }
+    if (finalize_hook_)
+        finalize_hook_(f);
     if (current_ == f.id)
         current_ = 0;
     recent_.push_back(std::move(f));

@@ -70,9 +70,11 @@ class FlowTracker
         FlowId id = 0;
         const char *kind = "";   //!< "http", "dns", … (static string)
         std::string detail;      //!< e.g. "GET /timeline/alice"
+        std::string domain;      //!< serving domain ("" when untagged)
         i64 start_ns = 0;
         i64 end_ns = 0;
         bool end_requested = false;
+        bool failed = false; //!< server-reported error (5xx, SERVFAIL)
         bool done = false;
         u32 open_total = 0; //!< open stage-begins across all stages
         std::vector<Stage> stages;
@@ -94,7 +96,14 @@ class FlowTracker
      * disabled (all other entry points ignore id 0).
      */
     FlowId begin(const char *kind, TimePoint ts, u32 tid = 0,
-                 std::string detail = {});
+                 std::string detail = {}, std::string domain = {});
+
+    /**
+     * Mark the flow as failed (the server answered with an error). The
+     * flow still completes and records latency; the SLO layer counts it
+     * against the availability budget.
+     */
+    void markFailed(FlowId id);
 
     /**
      * Request completion. Finalises immediately when no stage is open;
@@ -138,6 +147,16 @@ class FlowTracker
         activity_hook_ = std::move(hook);
     }
 
+    /**
+     * Runs on every flow finalize, before the flow is archived into
+     * recent(). The SLO tracker and the telemetry hub consume completed
+     * flows through this (latency, serving domain, failure flag).
+     */
+    void setFinalizeHook(std::function<void(const Flow &)> hook)
+    {
+        finalize_hook_ = std::move(hook);
+    }
+
   private:
     Flow *find(FlowId id);
     void finalize(Flow &f, u32 tid);
@@ -155,6 +174,7 @@ class FlowTracker
     std::deque<Flow> recent_;
     std::size_t recent_capacity_ = 128;
     std::function<void()> activity_hook_;
+    std::function<void(const Flow &)> finalize_hook_;
 };
 
 /**

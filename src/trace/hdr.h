@@ -1,0 +1,164 @@
+/**
+ * @file
+ * HdrHistogram — the log-bucketed latency histogram shared by the whole
+ * observability layer (metrics registry, flow tracker, per-domain GC
+ * accounting, the fleet telemetry hub).
+ *
+ * Shape: power-of-two octaves split into 32 linear sub-buckets each, so
+ * relative error is bounded by ~3.1 % over the full u64 range in 1920
+ * fixed slots. Values below 32 are exact. This is the classical
+ * HdrHistogram layout; the key property over an ad-hoc percentile
+ * estimator is that the bucket boundaries are *value-determined*, not
+ * population-determined, which makes merge exact:
+ *
+ *   merge(shard_a, shard_b).quantile(q) ==
+ *       record(shard_a ∪ shard_b).quantile(q)
+ *
+ * for every q — a fleet-wide p99 computed dom0-side from per-appliance
+ * histograms equals the p99 of the pooled population. That is what lets
+ * the TelemetryHub aggregate thousands of domains without shipping raw
+ * samples across the control plane.
+ *
+ * Header-only: every method is a few lines, and the type is on the hot
+ * path of flow finalisation.
+ */
+
+#ifndef MIRAGE_TRACE_HDR_H
+#define MIRAGE_TRACE_HDR_H
+
+#include <array>
+#include <bit>
+#include <string>
+
+#include "base/logging.h"
+#include "base/types.h"
+
+namespace mirage::trace {
+
+class HdrHistogram
+{
+  public:
+    static constexpr u32 subBuckets = 32;
+    static constexpr u32 subBucketShift = 5; //!< log2(subBuckets)
+    // Exact slots [0, subBuckets) plus one 32-way group per octave
+    // subBucketShift..63 inclusive: 32 * 60 = 1920 slots.
+    static constexpr std::size_t bucketCount =
+        std::size_t(subBuckets) * (64 - subBucketShift + 1);
+
+    void
+    record(u64 v)
+    {
+        buckets_[bucketIndex(v)]++;
+        count_++;
+        sum_ += v;
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+
+    /**
+     * Fold @p other into this histogram. Exact: buckets are aligned by
+     * construction, so the merged quantiles equal the quantiles of the
+     * pooled population (up to the shared bucket resolution).
+     */
+    void
+    merge(const HdrHistogram &other)
+    {
+        for (std::size_t i = 0; i < bucketCount; i++)
+            buckets_[i] += other.buckets_[i];
+        count_ += other.count_;
+        sum_ += other.sum_;
+        if (other.count_ && other.min_ < min_)
+            min_ = other.min_;
+        if (other.max_ > max_)
+            max_ = other.max_;
+    }
+
+    u64 count() const { return count_; }
+    u64 sum() const { return sum_; }
+    u64 min() const { return count_ ? min_ : 0; }
+    u64 max() const { return max_; }
+    double mean() const { return count_ ? double(sum_) / double(count_) : 0; }
+
+    /**
+     * Upper bound of the bucket containing quantile @p q in (0, 1] —
+     * an over-estimate by at most one sub-bucket width (~3.1 %),
+     * clamped to the observed max.
+     */
+    u64
+    quantile(double q) const
+    {
+        if (count_ == 0)
+            return 0;
+        if (q < 0)
+            q = 0;
+        if (q > 1)
+            q = 1;
+        u64 rank = u64(q * double(count_));
+        if (rank >= count_)
+            rank = count_ - 1;
+        u64 seen = 0;
+        for (std::size_t i = 0; i < bucketCount; i++) {
+            seen += buckets_[i];
+            if (seen > rank)
+                return bucketUpperBound(i) < max_ ? bucketUpperBound(i)
+                                                  : max_;
+        }
+        return max_;
+    }
+
+    /** One-line "count=… mean=… p50=… p99=… p999=… max=…" summary. */
+    std::string
+    summary() const
+    {
+        return strprintf(
+            "count=%llu mean=%.1f p50=%llu p99=%llu p999=%llu max=%llu",
+            (unsigned long long)count_, mean(),
+            (unsigned long long)quantile(0.50),
+            (unsigned long long)quantile(0.99),
+            (unsigned long long)quantile(0.999),
+            (unsigned long long)max_);
+    }
+
+    static std::size_t
+    bucketIndex(u64 v)
+    {
+        if (v < subBuckets)
+            return std::size_t(v); // exact for tiny values
+        u32 octave = 63u - u32(std::countl_zero(v));
+        u64 base = u64(1) << octave;
+        u64 sub = (v - base) >> (octave - subBucketShift);
+        std::size_t index =
+            subBuckets +
+            std::size_t(octave - subBucketShift) * subBuckets +
+            std::size_t(sub);
+        return index < bucketCount ? index : bucketCount - 1;
+    }
+
+    static u64
+    bucketUpperBound(std::size_t index)
+    {
+        if (index < subBuckets)
+            return u64(index);
+        std::size_t rel = index - subBuckets;
+        u32 octave = u32(rel / subBuckets) + subBucketShift;
+        u64 base = u64(1) << octave;
+        u64 sub = u64(rel % subBuckets);
+        return base + ((sub + 1) << (octave - subBucketShift)) - 1;
+    }
+
+    /** Raw per-bucket counts (for exposition-format export). */
+    u64 bucketCountAt(std::size_t index) const { return buckets_[index]; }
+
+  private:
+    std::array<u64, bucketCount> buckets_{};
+    u64 count_ = 0;
+    u64 sum_ = 0;
+    u64 min_ = ~u64(0);
+    u64 max_ = 0;
+};
+
+} // namespace mirage::trace
+
+#endif // MIRAGE_TRACE_HDR_H

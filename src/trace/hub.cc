@@ -1,0 +1,219 @@
+#include "trace/hub.h"
+
+#include "base/logging.h"
+#include "trace/boot.h"
+#include "trace/profile.h"
+#include "trace/slo.h"
+#include "trace/trace.h"
+
+namespace mirage::trace {
+
+void
+TelemetryHub::onFlowDone(const FlowTracker::Flow &f)
+{
+    const std::string &name =
+        f.domain.empty() ? std::string("(untagged)") : f.domain;
+    DomainAgg &agg = domains_[name];
+    agg.requests++;
+    if (f.failed)
+        agg.errors++;
+    agg.latency.record(u64(f.end_ns - f.start_ns));
+}
+
+HdrHistogram
+TelemetryHub::fleetLatency() const
+{
+    HdrHistogram merged;
+    for (const auto &[name, agg] : domains_)
+        merged.merge(agg.latency);
+    return merged;
+}
+
+u64
+TelemetryHub::fleetRequests() const
+{
+    u64 n = 0;
+    for (const auto &[name, agg] : domains_)
+        n += agg.requests;
+    return n;
+}
+
+u64
+TelemetryHub::fleetErrors() const
+{
+    u64 n = 0;
+    for (const auto &[name, agg] : domains_)
+        n += agg.errors;
+    return n;
+}
+
+namespace {
+
+std::string
+latencyJson(const HdrHistogram &h)
+{
+    return strprintf(
+        "{\"count\":%llu,\"mean_ns\":%.0f,\"p50_ns\":%llu,"
+        "\"p99_ns\":%llu,\"p999_ns\":%llu,\"max_ns\":%llu}",
+        (unsigned long long)h.count(), h.mean(),
+        (unsigned long long)h.quantile(0.50),
+        (unsigned long long)h.quantile(0.99),
+        (unsigned long long)h.quantile(0.999),
+        (unsigned long long)h.max());
+}
+
+} // namespace
+
+std::string
+TelemetryHub::fleetJson() const
+{
+    std::string out = "{\n\"domains\":[";
+    bool first = true;
+    u64 run_sum = 0, steal_sum = 0, blocked_sum = 0;
+    u64 run_max = 0, steal_max = 0;
+    for (const auto &[name, agg] : domains_) {
+        out += strprintf(
+            "%s\n{\"name\":\"%s\",\"requests\":%llu,\"errors\":%llu,"
+            "\"latency\":%s",
+            first ? "" : ",", jsonEscape(name).c_str(),
+            (unsigned long long)agg.requests,
+            (unsigned long long)agg.errors,
+            latencyJson(agg.latency).c_str());
+        first = false;
+        const DomainStats *ds =
+            profiler_ ? profiler_->findDomain(name) : nullptr;
+        if (ds) {
+            run_sum += ds->run_ns;
+            steal_sum += ds->steal_ns;
+            blocked_sum += ds->blocked_ns;
+            if (ds->run_ns > run_max)
+                run_max = ds->run_ns;
+            if (ds->steal_ns > steal_max)
+                steal_max = ds->steal_ns;
+            out += strprintf(
+                ",\"cpu\":{\"run_ns\":%llu,\"steal_ns\":%llu,"
+                "\"blocked_ns\":%llu},"
+                "\"gc\":{\"minor\":%llu,\"major\":%llu}",
+                (unsigned long long)ds->run_ns,
+                (unsigned long long)ds->steal_ns,
+                (unsigned long long)ds->blocked_ns,
+                (unsigned long long)ds->gc_minor,
+                (unsigned long long)ds->gc_major);
+        }
+        out += "}";
+    }
+    out += "],\n\"fleet\":{";
+    out += strprintf(
+        "\"domains\":%zu,\"requests\":%llu,\"errors\":%llu,"
+        "\"latency\":%s,"
+        "\"cpu\":{\"run_ns_sum\":%llu,\"run_ns_max\":%llu,"
+        "\"steal_ns_sum\":%llu,\"steal_ns_max\":%llu,"
+        "\"blocked_ns_sum\":%llu}",
+        domains_.size(), (unsigned long long)fleetRequests(),
+        (unsigned long long)fleetErrors(),
+        latencyJson(fleetLatency()).c_str(),
+        (unsigned long long)run_sum, (unsigned long long)run_max,
+        (unsigned long long)steal_sum, (unsigned long long)steal_max,
+        (unsigned long long)blocked_sum);
+    if (profiler_) {
+        out += strprintf(",\"alerts\":%llu,\"alert_log\":[",
+                         (unsigned long long)profiler_->alerts());
+        bool fa = true;
+        for (const std::string &a : profiler_->alertLog()) {
+            out += strprintf("%s\"%s\"", fa ? "" : ",",
+                             jsonEscape(a).c_str());
+            fa = false;
+        }
+        out += "]";
+    }
+    out += "}";
+    if (boots_) {
+        out += strprintf(
+            ",\n\"boot\":{\"started\":%llu,\"completed\":%llu,"
+            "\"total\":%s,\"first_request\":%s,\"phases\":{",
+            (unsigned long long)boots_->started(),
+            (unsigned long long)boots_->completedBoots(),
+            latencyJson(boots_->totalHistogram()).c_str(),
+            latencyJson(boots_->firstRequestHistogram()).c_str());
+        bool fp = true;
+        for (const auto &[phase, h] : boots_->phaseHistograms()) {
+            out += strprintf("%s\"%s\":%s", fp ? "" : ",",
+                             jsonEscape(phase).c_str(),
+                             latencyJson(h).c_str());
+            fp = false;
+        }
+        out += "},\"recent\":" + boots_->json() + "}";
+    }
+    if (slo_)
+        out += ",\n\"slo\":" + slo_->json();
+    out += "\n}\n";
+    return out;
+}
+
+namespace {
+
+std::string
+promLabel(const std::string &s)
+{
+    // Label values allow anything except backslash, quote, newline.
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '\\' || c == '"')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+TelemetryHub::toPrometheus() const
+{
+    std::string out;
+    out += "# TYPE fleet_requests_total counter\n";
+    for (const auto &[name, agg] : domains_)
+        out += strprintf("fleet_requests_total{domain=\"%s\"} %llu\n",
+                         promLabel(name).c_str(),
+                         (unsigned long long)agg.requests);
+    out += "# TYPE fleet_errors_total counter\n";
+    for (const auto &[name, agg] : domains_)
+        out += strprintf("fleet_errors_total{domain=\"%s\"} %llu\n",
+                         promLabel(name).c_str(),
+                         (unsigned long long)agg.errors);
+    out += "# TYPE fleet_request_latency_ns histogram\n";
+    for (const auto &[name, agg] : domains_) {
+        std::string label = promLabel(name);
+        const HdrHistogram &h = agg.latency;
+        u64 cumulative = 0;
+        for (std::size_t i = 0; i < HdrHistogram::bucketCount; i++) {
+            u64 in_bucket = h.bucketCountAt(i);
+            if (in_bucket == 0)
+                continue;
+            cumulative += in_bucket;
+            out += strprintf(
+                "fleet_request_latency_ns_bucket"
+                "{domain=\"%s\",le=\"%llu\"} %llu\n",
+                label.c_str(),
+                (unsigned long long)HdrHistogram::bucketUpperBound(i),
+                (unsigned long long)cumulative);
+        }
+        out += strprintf("fleet_request_latency_ns_bucket"
+                         "{domain=\"%s\",le=\"+Inf\"} %llu\n",
+                         label.c_str(), (unsigned long long)h.count());
+        out += strprintf("fleet_request_latency_ns_sum{domain=\"%s\"}"
+                         " %llu\n",
+                         label.c_str(), (unsigned long long)h.sum());
+        out += strprintf("fleet_request_latency_ns_count{domain=\"%s\"}"
+                         " %llu\n",
+                         label.c_str(), (unsigned long long)h.count());
+    }
+    return out;
+}
+
+} // namespace mirage::trace

@@ -1,80 +1,8 @@
 #include "trace/metrics.h"
 
-#include <bit>
-
 #include "base/logging.h"
 
 namespace mirage::trace {
-
-// ---- Histogram -------------------------------------------------------------
-
-std::size_t
-Histogram::bucketIndex(u64 v)
-{
-    if (v < subBuckets)
-        return std::size_t(v); // exact for tiny values
-    u32 octave = 63u - u32(std::countl_zero(v));
-    u64 base = u64(1) << octave;
-    u64 sub = (v - base) * subBuckets / base;
-    std::size_t index =
-        subBuckets + std::size_t(octave - 2) * subBuckets + std::size_t(sub);
-    return index < bucketCount ? index : bucketCount - 1;
-}
-
-u64
-Histogram::bucketUpperBound(std::size_t index)
-{
-    if (index < subBuckets)
-        return u64(index);
-    std::size_t rel = index - subBuckets;
-    u32 octave = u32(rel / subBuckets) + 2;
-    u64 base = u64(1) << octave;
-    u64 sub = u64(rel % subBuckets);
-    return base + (sub + 1) * (base / subBuckets) - 1;
-}
-
-void
-Histogram::record(u64 v)
-{
-    buckets_[bucketIndex(v)]++;
-    count_++;
-    sum_ += v;
-    if (v < min_)
-        min_ = v;
-    if (v > max_)
-        max_ = v;
-}
-
-u64
-Histogram::quantile(double q) const
-{
-    if (count_ == 0)
-        return 0;
-    if (q < 0)
-        q = 0;
-    if (q > 1)
-        q = 1;
-    u64 rank = u64(q * double(count_));
-    if (rank >= count_)
-        rank = count_ - 1;
-    u64 seen = 0;
-    for (std::size_t i = 0; i < bucketCount; i++) {
-        seen += buckets_[i];
-        if (seen > rank)
-            return bucketUpperBound(i) < max_ ? bucketUpperBound(i) : max_;
-    }
-    return max_;
-}
-
-std::string
-Histogram::summary() const
-{
-    return strprintf("count=%llu mean=%.1f p50=%llu p99=%llu max=%llu",
-                     (unsigned long long)count_, mean(),
-                     (unsigned long long)quantile(0.50),
-                     (unsigned long long)quantile(0.99),
-                     (unsigned long long)max_);
-}
 
 // ---- MetricsRegistry -------------------------------------------------------
 

@@ -18,12 +18,12 @@
 #ifndef MIRAGE_TRACE_METRICS_H
 #define MIRAGE_TRACE_METRICS_H
 
-#include <array>
 #include <map>
 #include <memory>
 #include <string>
 
 #include "base/types.h"
+#include "trace/hdr.h"
 
 namespace mirage::trace {
 
@@ -47,46 +47,14 @@ bump(Counter *c, u64 n = 1)
 }
 
 /**
- * Log-linear histogram: power-of-two octaves, each split into four
- * linear sub-buckets — constant relative error (~12.5%) over the full
- * u64 range in 256 fixed slots, the classical HDR shape.
+ * Every registered histogram is an HdrHistogram (trace/hdr.h):
+ * log-bucketed with 32 linear sub-buckets per octave, exact merge, and
+ * p999 tail resolution. Kept under the `Histogram` name because this is
+ * the one histogram type the codebase uses — the previous 4-sub-bucket
+ * local type lost tail resolution above p99 and could not be merged
+ * across shards.
  */
-class Histogram
-{
-  public:
-    static constexpr u32 subBuckets = 4;
-    static constexpr std::size_t bucketCount = 256;
-
-    void record(u64 v);
-
-    u64 count() const { return count_; }
-    u64 sum() const { return sum_; }
-    u64 min() const { return count_ ? min_ : 0; }
-    u64 max() const { return max_; }
-    double mean() const { return count_ ? double(sum_) / double(count_) : 0; }
-
-    /**
-     * Upper bound of the bucket containing quantile @p q in (0, 1] —
-     * an over-estimate by at most one sub-bucket width.
-     */
-    u64 quantile(double q) const;
-
-    /** One-line "count=… mean=… p50=… p99=… max=…" summary. */
-    std::string summary() const;
-
-    static std::size_t bucketIndex(u64 v);
-    static u64 bucketUpperBound(std::size_t index);
-
-    /** Raw per-bucket counts (for exposition-format export). */
-    u64 bucketCountAt(std::size_t index) const { return buckets_[index]; }
-
-  private:
-    std::array<u64, bucketCount> buckets_{};
-    u64 count_ = 0;
-    u64 sum_ = 0;
-    u64 min_ = ~u64(0);
-    u64 max_ = 0;
-};
+using Histogram = HdrHistogram;
 
 /** Null-safe record for optionally-wired histogram pointers. */
 inline void

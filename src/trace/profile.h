@@ -173,6 +173,13 @@ class Profiler
     DomainStats &domain(const std::string &name);
     const DomainStats *findDomain(const std::string &name) const;
 
+    /** All per-domain records, keyed by name (TelemetryHub rollups). */
+    const std::map<std::string, std::unique_ptr<DomainStats>> &
+    domainStats() const
+    {
+        return domains_;
+    }
+
     /**
      * The xentop snapshot: one JSON object per domain with "cpu"
      * (run/steal/blocked ns), "evtchn" (notify rates), "rings"

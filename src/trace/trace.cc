@@ -27,6 +27,8 @@ catName(Cat cat)
         return "app";
       case Cat::Flow:
         return "flow";
+      case Cat::Boot:
+        return "boot";
     }
     return "unknown";
 }

@@ -53,6 +53,7 @@ enum class Cat : u8 {
     Storage,    //!< block layer
     App,        //!< appliance-level marks
     Flow,       //!< cross-layer request flows (async b/e events)
+    Boot,       //!< domain bring-up phase spans (async b/e events)
 };
 
 const char *catName(Cat cat);

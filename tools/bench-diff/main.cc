@@ -1,0 +1,278 @@
+/**
+ * @file
+ * bench-diff: compare two benchmark --json outputs and fail on
+ * regression. Every bench binary appends one JSON object per metric
+ * (see bench/bench_json.h); this tool joins baseline and current rows
+ * on (name, metric), decides per row whether larger or smaller is
+ * better, and exits nonzero when any row moved past its threshold in
+ * the bad direction. CI runs it against a committed baseline so a perf
+ * regression fails the build with the offending rows named.
+ *
+ * Usage:
+ *   bench-diff [options] <baseline.json> <current.json>
+ *
+ * Options:
+ *   --threshold-pct=N      default allowed relative change (default 10)
+ *   --override=SUBSTR=N    rows whose "name/metric" contains SUBSTR use
+ *                          threshold N instead (last match wins)
+ *   --require-all          baseline rows missing from current are
+ *                          regressions, not warnings
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Row {
+    std::string name;
+    std::string metric;
+    std::string unit;
+    double value = 0;
+};
+
+struct Override {
+    std::string substr;
+    double pct;
+};
+
+/** Extract "key":"..." from one JSON-lines row (bench_json.h output
+ *  escapes with backslashes, so stop at the first unescaped quote). */
+bool
+extractString(const std::string &line, const char *key, std::string *out)
+{
+    std::string needle = std::string("\"") + key + "\":\"";
+    std::size_t at = line.find(needle);
+    if (at == std::string::npos)
+        return false;
+    at += needle.size();
+    out->clear();
+    while (at < line.size() && line[at] != '"') {
+        if (line[at] == '\\' && at + 1 < line.size())
+            at++;
+        out->push_back(line[at++]);
+    }
+    return at < line.size();
+}
+
+/** Extract "key":<number> from one JSON-lines row. */
+bool
+extractNumber(const std::string &line, const char *key, double *out)
+{
+    std::string needle = std::string("\"") + key + "\":";
+    std::size_t at = line.find(needle);
+    if (at == std::string::npos)
+        return false;
+    at += needle.size();
+    char *end = nullptr;
+    *out = std::strtod(line.c_str() + at, &end);
+    return end != line.c_str() + at;
+}
+
+bool
+loadRows(const std::string &path, std::map<std::string, Row> *rows)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "bench-diff: cannot open %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        lineno++;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        Row row;
+        if (!extractString(line, "name", &row.name) ||
+            !extractString(line, "metric", &row.metric) ||
+            !extractNumber(line, "value", &row.value)) {
+            std::fprintf(stderr,
+                         "bench-diff: %s:%zu: not a bench row, "
+                         "skipping\n",
+                         path.c_str(), lineno);
+            continue;
+        }
+        extractString(line, "unit", &row.unit);
+        // Later rows win: benches append, so a rerun into the same
+        // file supersedes earlier results.
+        (*rows)[row.name + "\x1f" + row.metric] = row;
+    }
+    return true;
+}
+
+bool
+containsToken(const std::string &haystack, const char *token)
+{
+    return haystack.find(token) != std::string::npos;
+}
+
+/**
+ * Decide the good direction for a row from its metric and name. Checked
+ * lower-is-better first so compound names like grant_ops_per_packet
+ * (ops per packet: overhead, smaller is better) classify by their cost
+ * suffix rather than the "ops" substring.
+ */
+bool
+lowerIsBetter(const Row &row, bool *known)
+{
+    static const char *const kLower[] = {
+        "latency", "per_packet", "pause",  "jitter", "boot",
+        "init",    "rtt",        "cost",   "time",   "_ns",
+        "copies",  "loc",        "image",  "size",   "bytes",
+    };
+    static const char *const kHigher[] = {
+        "throughput", "rate", "ratio", "reuse", "qps", "ops", "hits",
+    };
+    std::string key = row.metric + "/" + row.name;
+    std::transform(key.begin(), key.end(), key.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    *known = true;
+    for (const char *t : kLower)
+        if (containsToken(key, t))
+            return true;
+    for (const char *t : kHigher)
+        if (containsToken(key, t))
+            return false;
+    *known = false;
+    return true; // conservative: treat unknown metrics as costs
+}
+
+double
+thresholdFor(const std::string &key, double default_pct,
+             const std::vector<Override> &overrides)
+{
+    double pct = default_pct;
+    for (const Override &o : overrides)
+        if (key.find(o.substr) != std::string::npos)
+            pct = o.pct;
+    return pct;
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--threshold-pct=N] [--override=SUBSTR=N] "
+                 "[--require-all] <baseline.json> <current.json>\n",
+                 argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double default_pct = 10.0;
+    bool require_all = false;
+    std::vector<Override> overrides;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; i++) {
+        if (std::strncmp(argv[i], "--threshold-pct=", 16) == 0) {
+            default_pct = std::atof(argv[i] + 16);
+        } else if (std::strncmp(argv[i], "--override=", 11) == 0) {
+            const char *spec = argv[i] + 11;
+            const char *eq = std::strrchr(spec, '=');
+            if (!eq || eq == spec) {
+                std::fprintf(stderr,
+                             "bench-diff: bad --override '%s' "
+                             "(want SUBSTR=N)\n",
+                             spec);
+                return 2;
+            }
+            overrides.push_back(
+                {std::string(spec, std::size_t(eq - spec)),
+                 std::atof(eq + 1)});
+        } else if (std::strcmp(argv[i], "--require-all") == 0) {
+            require_all = true;
+        } else if (argv[i][0] == '-') {
+            usage(argv[0]);
+            return 2;
+        } else {
+            paths.push_back(argv[i]);
+        }
+    }
+    if (paths.size() != 2) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    std::map<std::string, Row> base, cur;
+    if (!loadRows(paths[0], &base) || !loadRows(paths[1], &cur))
+        return 2;
+    if (base.empty()) {
+        std::fprintf(stderr, "bench-diff: no rows in baseline %s\n",
+                     paths[0].c_str());
+        return 2;
+    }
+
+    int regressions = 0, improvements = 0, stable = 0, missing = 0;
+    for (const auto &[key, b] : base) {
+        std::string label = b.name + " " + b.metric;
+        auto it = cur.find(key);
+        if (it == cur.end()) {
+            std::fprintf(stderr, "%-52s MISSING from current\n",
+                         label.c_str());
+            missing++;
+            continue;
+        }
+        const Row &c = it->second;
+        bool known = false;
+        bool lower = lowerIsBetter(b, &known);
+        double pct = thresholdFor(label, default_pct, overrides);
+        if (b.value == 0) {
+            // Relative change is undefined; only flag a zero cost
+            // becoming nonzero.
+            if (lower && c.value != 0) {
+                std::printf("%-52s REGRESSED  0 -> %g %s\n",
+                            label.c_str(), c.value, c.unit.c_str());
+                regressions++;
+            } else {
+                stable++;
+            }
+            continue;
+        }
+        double delta_pct = (c.value - b.value) / b.value * 100.0;
+        bool worse = lower ? delta_pct > pct : delta_pct < -pct;
+        bool better = lower ? delta_pct < -pct : delta_pct > pct;
+        if (worse) {
+            std::printf("%-52s REGRESSED  %+.1f%% (%g -> %g %s, "
+                        "threshold %.0f%%%s)\n",
+                        label.c_str(), delta_pct, b.value, c.value,
+                        c.unit.c_str(), pct,
+                        known ? "" : ", direction assumed");
+            regressions++;
+        } else if (better) {
+            std::printf("%-52s improved   %+.1f%% (%g -> %g %s)\n",
+                        label.c_str(), delta_pct, b.value, c.value,
+                        c.unit.c_str());
+            improvements++;
+        } else {
+            stable++;
+        }
+    }
+    int new_rows = 0;
+    for (const auto &[key, c] : cur)
+        if (!base.count(key))
+            new_rows++;
+
+    std::printf("bench-diff: %zu baseline rows: %d regressed, "
+                "%d improved, %d stable, %d missing, %d new\n",
+                base.size(), regressions, improvements, stable, missing,
+                new_rows);
+    if (regressions || (require_all && missing)) {
+        std::fprintf(stderr, "bench-diff: FAIL\n");
+        return 1;
+    }
+    return 0;
+}
