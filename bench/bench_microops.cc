@@ -10,9 +10,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
 #include "base/checksum.h"
+#include "bench_json.h"
 #include "hypervisor/ring.h"
 #include "sim/engine.h"
+#include "sim/shard.h"
 #include "net/tcp_wire.h"
 #include "protocols/dns/server.h"
 #include "storage/btree.h"
@@ -189,6 +196,105 @@ BM_BTreeLookup(benchmark::State &state)
     }
 }
 
+// ---- Sharded engine scaling storm -----------------------------------
+//
+// A fixed 192-actor event storm: every actor runs a 400-event chain on
+// its home shard, crossing to the next shard's actor every 16th hop
+// through the mailbox API. Total work is independent of the shard
+// count, so wall_events_per_sec over shards {1,2,4,8} measures the
+// ShardSet's parallel scaling directly; CI gates the 4-shard speedup
+// against BENCH_engine.json. The per-event mixKey loop stands in for
+// the guest work (netfront/TCP bookkeeping) a real domain does per
+// dispatch — without it the storm would measure only barrier overhead.
+
+volatile u64 g_storm_sink;
+
+u64
+runShardStorm(unsigned shards)
+{
+    sim::Engine primary;
+    sim::ShardSet set(primary, shards);
+    constexpr unsigned kActors = 192;
+    constexpr int kChain = 400;
+    // `hop` stays alive through set.run() via this strong local ref;
+    // the closures hold it weakly so the recursion isn't a self-cycle.
+    auto hop = std::make_shared<std::function<void(unsigned, int)>>();
+    std::weak_ptr<std::function<void(unsigned, int)>> weak_hop = hop;
+    *hop = [&set, weak_hop](unsigned actor, int n) {
+        u64 acc = actor;
+        for (int k = 0; k < 96; k++)
+            acc = sim::mixKey(acc, u64(n) + u64(k));
+        g_storm_sink = acc;
+        if (n <= 0)
+            return;
+        auto recur = [weak_hop, actor, n](unsigned next_actor) {
+            return [weak_hop, next_actor, n] {
+                if (auto h = weak_hop.lock())
+                    (*h)(next_actor, n - 1);
+            };
+        };
+        if (n % 16 == 0)
+            sim::crossPost(set.engineFor(actor + 1), Duration::micros(2),
+                           recur(actor + 1));
+        else
+            sim::Engine::current()->after(Duration::nanos(700),
+                                          recur(actor));
+    };
+    for (unsigned a = 0; a < kActors; a++)
+        set.postAt(set.engineFor(a),
+                   TimePoint(Duration::micros(1 + a % 7).ns()),
+                   [weak_hop, a] {
+                       if (auto h = weak_hop.lock())
+                           (*h)(a, kChain);
+                   });
+    set.run();
+    return set.eventsRun();
+}
+
+void
+BM_ShardStormEvents(benchmark::State &state)
+{
+    u64 events = 0;
+    for (auto _ : state)
+        events += runShardStorm(unsigned(state.range(0)));
+    state.SetItemsProcessed(i64(events));
+}
+
+/**
+ * The --json sweep: best-of-5 wall_events_per_sec at each shard count
+ * plus the 4-shard speedup row the CI scaling gate compares against
+ * BENCH_engine.json.
+ */
+int
+runShardSweep(mirage::bench::JsonReport &json)
+{
+    double base = 0;
+    for (unsigned s : {1u, 2u, 4u, 8u}) {
+        double best = 0;
+        u64 events = 0;
+        for (int rep = 0; rep < 5; rep++) {
+            auto t0 = std::chrono::steady_clock::now();
+            events = runShardStorm(s);
+            double secs =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            if (secs > 0)
+                best = std::max(best, double(events) / secs);
+        }
+        std::string name = strprintf("engine/storm/shards=%u", s);
+        json.add(name, "wall_events_per_sec", best, "events/s");
+        json.add(name, "events_run", double(events), "events");
+        if (s == 1)
+            base = best;
+        if (s == 4 && base > 0)
+            json.add(name, "speedup_vs_1shard", best / base, "x");
+        std::printf("%-24s %14.0f events/s   (%llu events)\n",
+                    name.c_str(), best, (unsigned long long)events);
+    }
+    return 0;
+}
+
 } // namespace
 
 BENCHMARK(BM_CstructBe32RoundTrip);
@@ -202,5 +308,22 @@ BENCHMARK(BM_DnsQueryFullPath);
 BENCHMARK(BM_DnsQueryMemoHit);
 BENCHMARK(BM_BTreeInsert);
 BENCHMARK(BM_BTreeLookup);
+BENCHMARK(BM_ShardStormEvents)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// With --json=<path> the binary runs the sharded-engine scaling sweep
+// and emits machine-readable rows for the CI gate; without it the full
+// google-benchmark suite runs interactively.
+int
+main(int argc, char **argv)
+{
+    mirage::bench::JsonReport json(argc, argv);
+    if (json.enabled())
+        return runShardSweep(json);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

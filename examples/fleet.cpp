@@ -35,12 +35,15 @@ int
 main(int argc, char **argv)
 {
     int domains = 8;
+    unsigned shards = 1;
     bool stall = false;
     double slo_ms = 5.0;
     std::string trace_path;
     for (int i = 1; i < argc; i++) {
         if (std::strncmp(argv[i], "--domains=", 10) == 0) {
             domains = std::atoi(argv[i] + 10);
+        } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+            shards = unsigned(std::atoi(argv[i] + 9));
         } else if (std::strcmp(argv[i], "--stall") == 0) {
             stall = true;
         } else if (std::strncmp(argv[i], "--slo-ms=", 9) == 0) {
@@ -49,18 +52,25 @@ main(int argc, char **argv)
             trace_path = argv[i] + 8;
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--domains=N] [--stall] "
-                         "[--slo-ms=D] [--trace=FILE]\n",
+                         "usage: %s [--domains=N] [--shards=K] "
+                         "[--stall] [--slo-ms=D] [--trace=FILE]\n",
                          argv[0]);
             return 2;
         }
     }
-    if (domains < 1 || domains > 64) {
-        std::fprintf(stderr, "--domains must be in [1, 64]\n");
+    if (domains < 1 || domains > 1000 || shards < 1 || shards > 64) {
+        std::fprintf(stderr,
+                     "--domains in [1, 1000], --shards in [1, 64]\n");
         return 2;
     }
 
-    core::Cloud cloud;
+    // A /16 guest subnet holds the full 1000-appliance fleet; with
+    // --shards=K the host's event processing runs on K worker-driven
+    // engine shards (virtual results are bit-identical at any K).
+    core::Cloud::Config cloud_cfg;
+    cloud_cfg.shards = shards;
+    cloud_cfg.netmask = net::Ipv4Addr(255, 255, 0, 0);
+    core::Cloud cloud(cloud_cfg);
     if (!trace_path.empty())
         cloud.tracer().enable();
 
@@ -93,16 +103,23 @@ main(int argc, char **argv)
         cloud.startUnikernel("client", net::Ipv4Addr(10, 0, 0, 9));
 
     // ---- Cold-boot the appliance fleet through the toolstack --------
+    // Ready callbacks and request handlers run on each appliance's
+    // home shard: per-domain slots are indexed (no two shards share
+    // one), shared tallies are atomics, and the traffic starter hops
+    // to the client's home engine through the cross-shard mailbox.
     std::vector<std::unique_ptr<http::HttpServer>> servers;
+    servers.resize(std::size_t(domains));
     std::vector<core::Guest *> appliances(std::size_t(domains), nullptr);
-    int ready = 0;
+    std::atomic<int> ready{0};
     bool fleet_ok = false, metrics_ok = false;
-    u64 served = 0;
+    std::atomic<u64> served{0};
     std::function<void()> start_traffic; // defined below
 
     for (int i = 0; i < domains; i++) {
         std::string name = strprintf("web%d", i);
-        net::Ipv4Addr ip(10, 0, 0, u8(10 + i));
+        // 10.0.(1+i/250).(1+i%250): clear of the monitor (10.0.0.100),
+        // the client (10.0.0.9) and the gateway (10.0.0.254).
+        net::Ipv4Addr ip(10, 0, u8(1 + i / 250), u8(1 + i % 250));
         bool stalled = stall && i == 0;
         cloud.bootUnikernel(
             name, ip, 32,
@@ -115,7 +132,8 @@ main(int argc, char **argv)
                             b.build.toSecondsF() * 1e3,
                             b.guestInit.toSecondsF() * 1e3);
                 core::Guest *gp = &g;
-                servers.push_back(std::make_unique<http::HttpServer>(
+                servers[std::size_t(i)] =
+                    std::make_unique<http::HttpServer>(
                     g.stack, 80,
                     [&served, gp, stalled, slo_ms, name](
                         const http::HttpRequest &,
@@ -137,9 +155,11 @@ main(int argc, char **argv)
                                 respond(
                                     http::HttpResponse::text(200, body));
                             });
-                    }));
+                    });
                 if (++ready == domains)
-                    start_traffic();
+                    sim::crossPost(client.dom.engine(),
+                                   Duration::micros(2),
+                                   [&] { start_traffic(); });
             });
     }
 
@@ -225,7 +245,9 @@ main(int argc, char **argv)
             auto holder =
                 std::make_shared<std::shared_ptr<http::HttpSession>>();
             *holder = http::HttpSession::open(
-                client.stack, net::Ipv4Addr(10, 0, 0, u8(10 + i)), 80,
+                client.stack,
+                net::Ipv4Addr(10, 0, u8(1 + i / 250), u8(1 + i % 250)),
+                80,
                 [&, holder, opened, sessions](Status st) {
                     if (!st.ok()) {
                         std::fprintf(stderr, "session open failed\n");
@@ -247,7 +269,7 @@ main(int argc, char **argv)
                 "%llu requests served\n",
                 domains,
                 (unsigned long long)cloud.boots().completedBoots(),
-                (unsigned long long)served);
+                (unsigned long long)served.load());
     std::printf("fleet p99 latency: %llu ns over %llu requests\n",
                 (unsigned long long)cloud.hub().fleetLatency().quantile(
                     0.99),
@@ -273,10 +295,11 @@ main(int argc, char **argv)
                      fleet_ok, metrics_ok);
         ok = false;
     }
-    if (cloud.boots().completedBoots() != u64(domains)) {
-        std::fprintf(stderr, "expected %d completed boots, got %llu\n",
-                     domains,
-                     (unsigned long long)cloud.boots().completedBoots());
+    // completedBoots() counts the tracker's retained history (bounded
+    // at 256 records); the ready tally is exact at any fleet size.
+    if (ready.load() != domains) {
+        std::fprintf(stderr, "expected %d ready appliances, got %d\n",
+                     domains, ready.load());
         ok = false;
     }
     if (stall && slo_alerts == 0) {

@@ -9,12 +9,11 @@ copyStats()
     return stats;
 }
 
-CopyStats
+void
 resetCopyStats()
 {
-    CopyStats prev = copyStats();
-    copyStats() = CopyStats{};
-    return prev;
+    copyStats().copies = 0;
+    copyStats().bytesCopied = 0;
 }
 
 std::shared_ptr<Buffer>

@@ -12,6 +12,7 @@
 #ifndef MIRAGE_BASE_BYTES_H
 #define MIRAGE_BASE_BYTES_H
 
+#include <atomic>
 #include <cstring>
 #include <functional>
 #include <memory>
@@ -21,18 +22,22 @@
 
 namespace mirage {
 
-/** Global copy accounting, used by zero-copy tests and benches. */
+/**
+ * Global copy accounting, used by zero-copy tests and benches. The
+ * counters are atomics because blits run on every simulation shard
+ * concurrently; totals stay exact, no ordering is implied.
+ */
 struct CopyStats
 {
-    u64 copies = 0;      //!< number of blit operations
-    u64 bytesCopied = 0; //!< total bytes moved by blits
+    std::atomic<u64> copies{0};      //!< number of blit operations
+    std::atomic<u64> bytesCopied{0}; //!< total bytes moved by blits
 };
 
-/** The process-wide copy counters (the simulator is single-threaded). */
+/** The process-wide copy counters. */
 CopyStats &copyStats();
 
-/** Reset the copy counters; returns the previous values. */
-CopyStats resetCopyStats();
+/** Reset the copy counters. */
+void resetCopyStats();
 
 /** A contiguous, fixed-size byte array. Always heap-allocated & shared. */
 class Buffer

@@ -44,17 +44,21 @@ void
 Checker::violation(Subsystem s, const char *rule,
                    const std::string &detail)
 {
-    total_++;
-    per_[std::size_t(s)]++;
-    last_ = strprintf("%s.%s: %s", subsystemName(s), rule,
-                      detail.c_str());
+    total_.fetch_add(1, std::memory_order_relaxed);
+    per_[std::size_t(s)].fetch_add(1, std::memory_order_relaxed);
+    std::string line = strprintf("%s.%s: %s", subsystemName(s), rule,
+                                 detail.c_str());
+    {
+        std::lock_guard<std::mutex> lk(last_mu_);
+        last_ = line;
+    }
     trace::bump(c_total_);
     trace::bump(c_per_[std::size_t(s)]);
     if (violation_hook_)
         violation_hook_();
     if (mode_ == Mode::Fatal)
-        panic("check: %s", last_.c_str());
-    warn("check: %s", last_.c_str());
+        panic("check: %s", line.c_str());
+    warn("check: %s", line.c_str());
 }
 
 std::string
@@ -62,15 +66,16 @@ Checker::report() const
 {
     std::string out;
     for (std::size_t i = 0; i < subsystemCount; i++) {
-        if (per_[i] == 0)
+        u64 n = per_[i].load(std::memory_order_relaxed);
+        if (n == 0)
             continue;
         out += strprintf("check.%s.violations %llu\n",
                          subsystemName(Subsystem(i)),
-                         (unsigned long long)per_[i]);
+                         (unsigned long long)n);
     }
-    if (gc_leaked_cells_ > 0)
+    if (gcLeakedCells() > 0)
         out += strprintf("check.gc.leaked_cells %llu\n",
-                         (unsigned long long)gc_leaked_cells_);
+                         (unsigned long long)gcLeakedCells());
     return out;
 }
 
@@ -79,6 +84,7 @@ Checker::report() const
 void
 Checker::grantCreated(u32 owner, u32 ref, u32 peer)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     u64 key = grantKey(owner, ref);
     if (grants_.count(key)) {
         violation(Subsystem::Grant, "ref_reused",
@@ -91,6 +97,7 @@ Checker::grantCreated(u32 owner, u32 ref, u32 peer)
 void
 Checker::grantEndAccess(u32 owner, u32 ref, bool table_ok)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     u64 key = grantKey(owner, ref);
     auto it = grants_.find(key);
     if (it == grants_.end()) {
@@ -118,6 +125,7 @@ Checker::grantEndAccess(u32 owner, u32 ref, bool table_ok)
 void
 Checker::grantMap(u32 owner, u32 ref, u32 peer, bool table_ok)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     u64 key = grantKey(owner, ref);
     auto it = grants_.find(key);
     if (it == grants_.end()) {
@@ -141,6 +149,7 @@ Checker::grantMap(u32 owner, u32 ref, u32 peer, bool table_ok)
 void
 Checker::grantUnmap(u32 owner, u32 ref, u32 peer, bool table_ok)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     u64 key = grantKey(owner, ref);
     auto it = grants_.find(key);
     if (it == grants_.end()) {
@@ -172,6 +181,7 @@ Checker::grantUnmap(u32 owner, u32 ref, u32 peer, bool table_ok)
 void
 Checker::domainTeardown(u32 dom)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     std::vector<u64> dead;
     for (auto &[key, g] : grants_) {
         if (g.owner == dom) {
@@ -203,6 +213,7 @@ Checker::domainTeardown(u32 dom)
 std::size_t
 Checker::shadowMappedGrants() const
 {
+    std::lock_guard<std::mutex> lk(mu_);
     std::size_t n = 0;
     for (const auto &[key, g] : grants_)
         if (g.mapCount > 0)
@@ -216,6 +227,7 @@ u32
 Checker::ringAttach(const void *page, const char *name, u32 slots,
                     u32 req_prod, u32 rsp_prod)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     auto it = ring_ids_.find(page);
     if (it != ring_ids_.end())
         return it->second;
@@ -231,6 +243,7 @@ Checker::ringAttach(const void *page, const char *name, u32 slots,
 void
 Checker::ringStartRequest(u32 ring, u32 new_prod_pvt, u32 rsp_cons)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     RingShadow &s = rings_.at(ring);
     if (u32(new_prod_pvt - rsp_cons) > s.slots)
         violation(Subsystem::Ring, "request_overrun",
@@ -242,6 +255,7 @@ Checker::ringStartRequest(u32 ring, u32 new_prod_pvt, u32 rsp_cons)
 void
 Checker::ringPublishRequests(u32 ring, u32 old_prod, u32 new_prod)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     RingShadow &s = rings_.at(ring);
     if (old_prod != s.reqProd)
         violation(Subsystem::Ring, "req_prod_tampered",
@@ -263,6 +277,7 @@ Checker::ringPublishRequests(u32 ring, u32 old_prod, u32 new_prod)
 void
 Checker::ringConsumeRequest(u32 ring, u32 cons, u32 prod)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     RingShadow &s = rings_.at(ring);
     if (prod != s.reqProd) {
         violation(Subsystem::Ring, "req_prod_tampered",
@@ -286,6 +301,7 @@ Checker::ringConsumeRequest(u32 ring, u32 cons, u32 prod)
 void
 Checker::ringStartResponse(u32 ring, u32 new_rsp_pvt, u32 req_cons)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     RingShadow &s = rings_.at(ring);
     if (counterDelta(new_rsp_pvt, req_cons) > 0)
         violation(Subsystem::Ring, "response_without_request",
@@ -297,6 +313,7 @@ Checker::ringStartResponse(u32 ring, u32 new_rsp_pvt, u32 req_cons)
 void
 Checker::ringPublishResponses(u32 ring, u32 old_prod, u32 new_prod)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     RingShadow &s = rings_.at(ring);
     if (old_prod != s.rspProd)
         violation(Subsystem::Ring, "rsp_prod_tampered",
@@ -323,6 +340,7 @@ Checker::ringPublishResponses(u32 ring, u32 old_prod, u32 new_prod)
 void
 Checker::ringConsumeResponse(u32 ring, u32 cons, u32 prod)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     RingShadow &s = rings_.at(ring);
     if (prod != s.rspProd) {
         violation(Subsystem::Ring, "consume_unpublished_response",
@@ -348,6 +366,7 @@ Checker::ringConsumeResponse(u32 ring, u32 cons, u32 prod)
 void
 Checker::gcAlloc(const void *heap, u32 ref)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     HeapShadow &h = heaps_[heap];
     if (ref >= h.state.size())
         h.state.resize(std::size_t(ref) + 1, 0);
@@ -362,6 +381,7 @@ Checker::gcAlloc(const void *heap, u32 ref)
 bool
 Checker::gcRelease(const void *heap, u32 ref)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     HeapShadow &h = heaps_[heap];
     if (ref >= h.state.size() || h.state[ref] == 0) {
         violation(Subsystem::Gc, "release_unknown_cell",
@@ -381,6 +401,7 @@ void
 Checker::gcHeapShutdown(const void *heap, u64 live_cells,
                         u64 live_bytes)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     if (live_cells > 0) {
         gc_leaked_cells_ += live_cells;
         gc_leaked_bytes_ += live_bytes;

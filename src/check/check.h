@@ -46,7 +46,10 @@
 #define MIRAGE_CHECK_CHECK_H
 
 #include <array>
+#include <atomic>
 #include <functional>
+// mirage-lint: allow(wall-clock-in-sim)
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -90,9 +93,19 @@ class Checker
      */
     void attachMetrics(trace::MetricsRegistry &reg);
 
-    u64 violations() const { return total_; }
-    u64 violations(Subsystem s) const { return per_[std::size_t(s)]; }
-    const std::string &lastViolation() const { return last_; }
+    u64 violations() const
+    {
+        return total_.load(std::memory_order_relaxed);
+    }
+    u64 violations(Subsystem s) const
+    {
+        return per_[std::size_t(s)].load(std::memory_order_relaxed);
+    }
+    std::string lastViolation() const
+    {
+        std::lock_guard<std::mutex> lk(last_mu_);
+        return last_;
+    }
 
     /** One line per subsystem with a violation count; "" when clean. */
     std::string report() const;
@@ -157,8 +170,14 @@ class Checker
     bool gcRelease(const void *heap, u32 ref);
     /** Leak report, not a violation: live cells at heap destruction. */
     void gcHeapShutdown(const void *heap, u64 live_cells, u64 live_bytes);
-    u64 gcLeakedCells() const { return gc_leaked_cells_; }
-    u64 gcLeakedBytes() const { return gc_leaked_bytes_; }
+    u64 gcLeakedCells() const
+    {
+        return gc_leaked_cells_.load(std::memory_order_relaxed);
+    }
+    u64 gcLeakedBytes() const
+    {
+        return gc_leaked_bytes_.load(std::memory_order_relaxed);
+    }
 
   private:
     struct GrantShadow
@@ -191,18 +210,23 @@ class Checker
 
     bool enabled_ = false;
     Mode mode_;
-    u64 total_ = 0;
-    std::array<u64, subsystemCount> per_{};
+    std::atomic<u64> total_{0};
+    std::array<std::atomic<u64>, subsystemCount> per_{};
+    mutable std::mutex last_mu_; //!< guards last_ only
     std::string last_;
     std::function<void()> violation_hook_;
 
+    // Guards the shadow state below; protocol hooks arrive from every
+    // shard. violation() takes only last_mu_, so hooks may report
+    // while holding mu_.
+    mutable std::mutex mu_;
     std::unordered_map<u64, GrantShadow> grants_;
     std::unordered_set<u64> revoked_;
     std::unordered_map<const void *, u32> ring_ids_;
     std::vector<RingShadow> rings_;
     std::unordered_map<const void *, HeapShadow> heaps_;
-    u64 gc_leaked_cells_ = 0;
-    u64 gc_leaked_bytes_ = 0;
+    std::atomic<u64> gc_leaked_cells_{0};
+    std::atomic<u64> gc_leaked_bytes_{0};
 
     trace::Counter *c_total_ = nullptr;
     std::array<trace::Counter *, subsystemCount> c_per_{};

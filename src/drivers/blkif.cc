@@ -24,12 +24,12 @@ Blkif::Blkif(pvboot::PVBoot &boot, xen::Blkback &backend)
     ring_page_ = Cstruct::create(xen::RingLayout::pageBytes());
     xen::SharedRing(ring_page_).init();
     ring_ = std::make_unique<xen::FrontRing>(ring_page_);
-    if (auto *m = hv.engine().metrics()) {
+    if (auto *m = dom.engine().metrics()) {
         ring_->attachMetrics(*m, "ring.blkif");
         c_completed_ = &m->counter("blk.completed");
         c_errors_ = &m->counter("blk.errors");
     }
-    ring_->attachChecker(hv.engine().checker(), "ring.blkif");
+    ring_->attachChecker(dom.engine().checker(), "ring.blkif");
 
     xen::GrantRef ring_grant =
         dom.grantTable().grantAccess(back_dom.id(), ring_page_, false);
@@ -40,13 +40,13 @@ Blkif::Blkif(pvboot::PVBoot &boot, xen::Blkback &backend)
         onEvent();
     });
     poller_ = std::make_unique<sim::Poller>(
-        hv.engine(), [this] { return drainResponses(true); },
+        dom.engine(), [this] { return drainResponses(true); },
         [this] { return ring_->finalCheckForResponses(); });
     backend.connect(dom, ring_grant, back_port);
 
     // Structural connect work for the boot-phase breakdown: one shared
     // ring initialised + granted, one event-channel pair wired.
-    if (trace::BootTracker *boots = hv.engine().boots())
+    if (trace::BootTracker *boots = dom.engine().boots())
         boots->notePhaseOps(boots->current(), "device_connect", 3);
 }
 
@@ -65,7 +65,7 @@ u32
 Blkif::blkTrack()
 {
     if (trace_track_ == 0) {
-        if (auto *tr = boot_.domain().hypervisor().engine().tracer();
+        if (auto *tr = boot_.domain().engine().tracer();
             tr && tr->enabled())
             trace_track_ = tr->track(boot_.domain().name() + "/blkif");
     }
@@ -86,7 +86,7 @@ Blkif::submit(u8 op, u64 sector, u32 count, Cstruct page)
         p->cancel();
         return p;
     }
-    sim::Engine &engine = dom.hypervisor().engine();
+    sim::Engine &engine = dom.engine();
     u64 flow = 0;
     if (auto *fl = engine.flows();
         fl && fl->enabled() && fl->current()) {
@@ -156,7 +156,7 @@ Blkif::enqueueOnRing(u8 op, u64 sector, u32 count, const Cstruct &page,
 
     pending_.emplace(
         id, Pending{p, gref, page, op, count,
-                    dom.hypervisor().engine().now(), flow});
+                    dom.engine().now(), flow});
     if (!persistent) {
         p->addFinalizer([this, gref] {
             Status st = boot_.domain().grantTable().endAccess(gref);
@@ -221,7 +221,7 @@ Blkif::drainResponses(bool park)
                 continue;
             Pending pending = std::move(it->second);
             pending_.erase(it);
-            sim::Engine &eng = boot_.domain().hypervisor().engine();
+            sim::Engine &eng = boot_.domain().engine();
             if (auto *tr = eng.tracer(); tr && tr->enabled()) {
                 if (trace_track_ == 0)
                     trace_track_ =

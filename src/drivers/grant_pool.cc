@@ -30,7 +30,7 @@ GrantPool::~GrantPool()
 void
 GrantPool::wireMetrics()
 {
-    auto *m = boot_.domain().hypervisor().engine().metrics();
+    auto *m = boot_.domain().engine().metrics();
     if (c_issued_ || !m)
         return;
     c_issued_ = &m->counter("grant.issued");

@@ -28,12 +28,12 @@ Netif::Netif(pvboot::PVBoot &boot, xen::Netback &backend,
     xen::SharedRing(rx_ring_page_).init();
     tx_ring_ = std::make_unique<xen::FrontRing>(tx_ring_page_);
     rx_ring_ = std::make_unique<xen::FrontRing>(rx_ring_page_);
-    if (auto *m = hv.engine().metrics()) {
+    if (auto *m = dom.engine().metrics()) {
         tx_ring_->attachMetrics(*m, "ring.netif.tx");
         rx_ring_->attachMetrics(*m, "ring.netif.rx");
     }
-    tx_ring_->attachChecker(hv.engine().checker(), "ring.netif.tx");
-    rx_ring_->attachChecker(hv.engine().checker(), "ring.netif.rx");
+    tx_ring_->attachChecker(dom.engine().checker(), "ring.netif.tx");
+    rx_ring_->attachChecker(dom.engine().checker(), "ring.netif.rx");
 
     xen::GrantRef tx_grant = dom.grantTable().grantAccess(
         back_dom.id(), tx_ring_page_, false);
@@ -72,7 +72,7 @@ Netif::Netif(pvboot::PVBoot &boot, xen::Netback &backend,
     });
 
     poller_ = std::make_unique<sim::Poller>(
-        hv.engine(),
+        dom.engine(),
         [this] {
             bool tx = drainTxResponses(true);
             bool rx = drainRxResponses(true);
@@ -93,7 +93,7 @@ Netif::Netif(pvboot::PVBoot &boot, xen::Netback &backend,
     // Structural connect work for the boot-phase breakdown: two shared
     // rings initialised, two ring pages granted, two event-channel
     // pairs wired.
-    if (trace::BootTracker *boots = hv.engine().boots())
+    if (trace::BootTracker *boots = dom.engine().boots())
         boots->notePhaseOps(boots->current(), "device_connect", 6);
 }
 
@@ -102,7 +102,7 @@ Netif::~Netif()
     pool_->removeRecycleListener(pool_recycle_listener_);
     boot_.ioPages().removeRecycleListener(recycle_listener_);
     if (repost_pending_)
-        boot_.domain().hypervisor().engine().cancel(repost_event_);
+        boot_.domain().engine().cancel(repost_event_);
 }
 
 Result<Cstruct>
@@ -126,7 +126,7 @@ u32
 Netif::flowTrack()
 {
     if (track_ == 0) {
-        if (auto *tr = boot_.domain().hypervisor().engine().tracer();
+        if (auto *tr = boot_.domain().engine().tracer();
             tr && tr->enabled())
             track_ = tr->track(boot_.domain().name() + "/netif");
     }
@@ -142,7 +142,7 @@ Netif::writeFrameV(const std::vector<Cstruct> &frags, TxOffload offload)
         p->cancel();
         return p;
     }
-    sim::Engine &engine = boot_.domain().hypervisor().engine();
+    sim::Engine &engine = boot_.domain().engine();
     u64 flow = 0;
     if (auto *fl = engine.flows();
         fl && fl->enabled() && fl->current()) {
@@ -177,7 +177,7 @@ Netif::abortTx(const std::vector<Cstruct> &frags, const rt::PromisePtr &p,
                u64 flow)
 {
     tx_errors_++;
-    sim::Engine &engine = boot_.domain().hypervisor().engine();
+    sim::Engine &engine = boot_.domain().engine();
     if (flow) {
         if (auto *fl = engine.flows())
             fl->stageEnd(flow, "netif_tx", engine.now(), flowTrack());
@@ -317,7 +317,7 @@ Netif::scheduleRxRepost()
     if (repost_pending_)
         return;
     repost_pending_ = true;
-    repost_event_ = boot_.domain().hypervisor().engine().after(
+    repost_event_ = boot_.domain().engine().after(
         Duration::nanos(0), [this] {
             repost_pending_ = false;
             postRxBuffers();
@@ -384,7 +384,7 @@ Netif::postRxBuffers()
             rx_stalls_++;
             if (!c_rx_stalls_) {
                 if (auto *m =
-                        dom.hypervisor().engine().metrics())
+                        dom.engine().metrics())
                     c_rx_stalls_ = &m->counter("netif.rx.stalls");
             }
             trace::bump(c_rx_stalls_);
@@ -413,7 +413,7 @@ bool
 Netif::drainTxResponses(bool park)
 {
     trace::ProfScope pscope(
-        boot_.domain().hypervisor().engine().profiler(), "net/netif");
+        boot_.domain().engine().profiler(), "net/netif");
     bool any = false;
     do {
         while (tx_ring_->unconsumedResponses() > 0) {
@@ -441,7 +441,7 @@ Netif::drainTxResponses(bool park)
             // non-final one.
             if (--frame.remaining > 0)
                 continue;
-            sim::Engine &engine = boot_.domain().hypervisor().engine();
+            sim::Engine &engine = boot_.domain().engine();
             if (frame.flow) {
                 if (auto *fl = engine.flows())
                     fl->stageEnd(frame.flow, "netif_tx", engine.now(),
@@ -474,7 +474,7 @@ bool
 Netif::drainRxResponses(bool park)
 {
     trace::ProfScope pscope(
-        boot_.domain().hypervisor().engine().profiler(), "net/netif");
+        boot_.domain().engine().profiler(), "net/netif");
     bool delivered = false;
     do {
         while (rx_ring_->unconsumedResponses() > 0) {
@@ -503,7 +503,7 @@ Netif::drainRxResponses(bool park)
                 // no flow of its own, so the stamp is the only tie
                 // between the frame and its request.
                 sim::Engine &engine =
-                    boot_.domain().hypervisor().engine();
+                    boot_.domain().engine();
                 u64 flow = rsp.getLe32(xen::NetifWire::rxrspFlow);
                 trace::FlowScope scope(flow ? engine.flows() : nullptr,
                                        flow);

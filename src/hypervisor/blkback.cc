@@ -147,9 +147,9 @@ Blkback::connect(Domain &frontend, GrantRef ring_grant, Port backend_port)
     pmap_.bind(&frontend);
     bell_ = std::make_unique<LazyDoorbell>(hv.events(), dom_, port_);
     ring_ = std::make_unique<BackRing>(page.value());
-    if (auto *m = hv.engine().metrics())
+    if (auto *m = dom_.engine().metrics())
         ring_->attachMetrics(*m, "ring.blkback");
-    ring_->attachChecker(hv.engine().checker(), "ring.blkback");
+    ring_->attachChecker(dom_.engine().checker(), "ring.blkback");
     dom_.setPortHandler(port_, [this] {
         dom_.clearPending(port_);
         onEvent();
@@ -198,7 +198,7 @@ u32
 Blkback::flowTrack()
 {
     if (track_ == 0) {
-        if (auto *tr = dom_.hypervisor().engine().tracer();
+        if (auto *tr = dom_.engine().tracer();
             tr && tr->enabled())
             track_ = tr->track(dom_.name() + "/blkback");
     }
@@ -212,13 +212,13 @@ Blkback::onEvent()
         return; // event raced with disconnect
     Hypervisor &hv = dom_.hypervisor();
     const auto &c = sim::costs();
-    trace::ProfScope pscope(hv.engine().profiler(), "hyp/blkback");
+    trace::ProfScope pscope(dom_.engine().profiler(), "hyp/blkback");
     if (frontend_) {
         if (auto *s = frontend_->stats())
             s->noteRing("blkback", ring_->unconsumedRequests(),
                         RingLayout::slotCount);
     }
-    trace::FlowTracker *fl = hv.engine().flows();
+    trace::FlowTracker *fl = dom_.engine().flows();
     if (fl && !fl->enabled())
         fl = nullptr;
     do {
@@ -238,12 +238,12 @@ Blkback::onEvent()
             dom_.vcpu().charge(c.backendPerRequest, "blkback.request",
                                trace::Cat::Hypervisor);
             if (flow)
-                fl->stageBegin(flow, "blkback", hv.engine().now(),
+                fl->stageBegin(flow, "blkback", dom_.engine().now(),
                                flowTrack());
 
             if (sectors == 0 || sectors > BlkifWire::maxSectors) {
                 if (flow)
-                    fl->stageEnd(flow, "blkback", hv.engine().now(),
+                    fl->stageEnd(flow, "blkback", dom_.engine().now(),
                                  flowTrack());
                 complete(id, BlkifWire::statusError);
                 continue;
@@ -265,7 +265,7 @@ Blkback::onEvent()
             }
             if (!page.ok()) {
                 if (flow)
-                    fl->stageEnd(flow, "blkback", hv.engine().now(),
+                    fl->stageEnd(flow, "blkback", dom_.engine().now(),
                                  flowTrack());
                 complete(id, BlkifWire::statusError);
                 continue;
@@ -276,7 +276,7 @@ Blkback::onEvent()
             inflight_++;
             auto finish = [this, id, gref, persistent, flow](Status st) {
                 inflight_--;
-                sim::Engine &eng = dom_.hypervisor().engine();
+                sim::Engine &eng = dom_.engine();
                 if (flow) {
                     if (auto *f = eng.flows())
                         f->stageEnd(flow, "blkback", eng.now(),

@@ -4,6 +4,7 @@
 
 #include "sim/cost_model.h"
 #include "sim/engine.h"
+#include "sim/shard.h"
 #include "trace/boot.h"
 
 namespace mirage::xen {
@@ -86,7 +87,10 @@ void
 Toolstack::boot(BootSpec spec,
                 std::function<void(Domain &, BootBreakdown)> on_ready)
 {
-    auto &engine = hv_.engine();
+    // Submission time is the calling shard's clock (the control shard
+    // when called outside dispatch).
+    sim::Engine &engine = sim::Engine::current() ? *sim::Engine::current()
+                                                 : hv_.engine();
     const auto &c = sim::costs();
 
     Duration build = buildCost(spec.memoryMib);
@@ -97,6 +101,7 @@ Toolstack::boot(BootSpec spec,
     Duration toolstack_cost;
     if (mode_ == Mode::Synchronous) {
         // xend handles one request at a time; later requests queue.
+        std::lock_guard<std::mutex> lk(free_at_mu_);
         build_start = std::max(submit, toolstack_free_at_) +
                       c.toolstackSync;
         toolstack_free_at_ = build_start + build;
@@ -108,7 +113,7 @@ Toolstack::boot(BootSpec spec,
     }
 
     Domain &dom = hv_.createDomain(spec.name, spec.kind, spec.memoryMib,
-                                   spec.vcpus);
+                                   spec.vcpus, spec.home);
     BootBreakdown breakdown{toolstack_cost, build, init, {}};
     breakdown.phases.emplace_back("toolstack", toolstack_cost);
     breakdown.phases.emplace_back("build", build);
@@ -128,12 +133,16 @@ Toolstack::boot(BootSpec spec,
     }
 
     TimePoint ready = build_start + build + init;
-    engine.at(ready, [&engine, &dom, bid,
-                      breakdown = std::move(breakdown),
+    // The ready event runs on the new domain's home shard; the
+    // toolstack/build latencies dwarf the shard lookahead, so the hop
+    // always merges at a window barrier.
+    sim::crossPostAt(dom.engine(), ready,
+                     [&dom, bid, breakdown = std::move(breakdown),
                       entry = std::move(spec.entry),
                       cb = std::move(on_ready)] {
+        sim::Engine &home = dom.engine();
         dom.setState(DomainState::Running);
-        trace::BootTracker *boots = engine.boots();
+        trace::BootTracker *boots = home.boots();
         {
             // Structural bring-up (PVBoot, driver connects) runs here
             // in zero virtual time; the ambient id lets it annotate
@@ -143,7 +152,7 @@ Toolstack::boot(BootSpec spec,
                 entry(dom);
         }
         if (boots && bid)
-            boots->ready(bid, engine.now());
+            boots->ready(bid, home.now());
         if (cb)
             cb(dom, breakdown);
     });

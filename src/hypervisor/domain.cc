@@ -9,18 +9,19 @@
 namespace mirage::xen {
 
 Domain::Domain(Hypervisor &hv, DomId id, std::string name, GuestKind kind,
-               std::size_t memory_mib, unsigned vcpus)
-    : hv_(hv), id_(id), name_(std::move(name)), kind_(kind),
-      memory_mib_(memory_mib), grants_(id)
+               std::size_t memory_mib, unsigned vcpus, sim::Engine *home)
+    : hv_(hv), engine_(home ? *home : hv.engine()), id_(id),
+      name_(std::move(name)), kind_(kind), memory_mib_(memory_mib),
+      grants_(id)
 {
     if (vcpus == 0)
         fatal("domain %s: at least one vCPU required", name_.c_str());
-    grants_.bindEngine(&hv_.engine());
+    grants_.bindEngine(&engine_);
     for (unsigned i = 0; i < vcpus; i++) {
         vcpus_.push_back(std::make_unique<sim::Cpu>(
-            hv_.engine(), strprintf("%s/vcpu%u", name_.c_str(), i)));
+            engine_, strprintf("%s/vcpu%u", name_.c_str(), i)));
     }
-    if (auto *p = hv_.engine().profiler())
+    if (auto *p = engine_.profiler())
         bindProfiler(*p);
 }
 
@@ -46,7 +47,7 @@ Domain::shutdown(int exit_code)
     state_ = DomainState::Shutdown;
     exit_code_ = exit_code;
     if (poll_timer_) {
-        hv_.engine().cancel(poll_timer_);
+        engine_.cancel(poll_timer_);
         poll_timer_ = 0;
     }
     poll_active_ = false;
@@ -59,7 +60,7 @@ Domain::shutdown(int exit_code)
         hook();
     }
     hv_.events().closeAllFor(*this);
-    if (auto *ck = hv_.engine().checker(); ck && ck->enabled())
+    if (auto *ck = engine_.checker(); ck && ck->enabled())
         ck->domainTeardown(id_);
     grants_.releaseAll();
 }
@@ -122,18 +123,18 @@ Domain::poll(const std::vector<Port> &ports, Duration timeout,
     poll_ports_ = ports;
     poll_wake_ = std::move(wake);
     poll_active_ = true;
-    poll_started_ = hv_.engine().now();
+    poll_started_ = engine_.now();
     state_ = DomainState::Blocked;
 
     // A pending watched port completes the poll immediately (next turn).
     for (Port p : poll_ports_) {
         if (portPending(p)) {
-            poll_timer_ = hv_.engine().after(
+            poll_timer_ = engine_.after(
                 Duration(0), [this] { finishPoll(WakeReason::Event); });
             return;
         }
     }
-    poll_timer_ = hv_.engine().after(
+    poll_timer_ = engine_.after(
         timeout, [this] { finishPoll(WakeReason::Timeout); });
 }
 
@@ -144,19 +145,19 @@ Domain::finishPoll(WakeReason reason)
         return;
     poll_active_ = false;
     if (poll_timer_) {
-        hv_.engine().cancel(poll_timer_);
+        engine_.cancel(poll_timer_);
         poll_timer_ = 0;
     }
     if (stats_) {
         stats_->blocked_ns +=
-            u64((hv_.engine().now() - poll_started_).ns());
+            u64((engine_.now() - poll_started_).ns());
         stats_->polls++;
     }
-    if (auto *tr = hv_.engine().tracer(); tr && tr->enabled()) {
+    if (auto *tr = engine_.tracer(); tr && tr->enabled()) {
         if (trace_track_ == 0)
             trace_track_ = tr->track(name_ + "/domainpoll");
         tr->span(trace::Cat::Hypervisor, "domainpoll", poll_started_,
-                 hv_.engine().now() - poll_started_, trace_track_,
+                 engine_.now() - poll_started_, trace_track_,
                  strprintf("\"wake\":\"%s\"",
                            reason == WakeReason::Event ? "event"
                                                        : "timeout"));

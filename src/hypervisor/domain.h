@@ -46,8 +46,15 @@ class Domain
     /** Reason a domainpoll block completed. */
     enum class WakeReason { Event, Timeout };
 
+    /**
+     * @p home is the simulation engine (shard) this domain lives on;
+     * null places it on the hypervisor's control engine (shard 0).
+     * All of the domain's timers, vcpus and driver work run there;
+     * cross-shard interactions go through sim::crossPost.
+     */
     Domain(Hypervisor &hv, DomId id, std::string name, GuestKind kind,
-           std::size_t memory_mib, unsigned vcpus);
+           std::size_t memory_mib, unsigned vcpus,
+           sim::Engine *home = nullptr);
 
     DomId id() const { return id_; }
     const std::string &name() const { return name_; }
@@ -57,6 +64,9 @@ class Domain
     void setState(DomainState s) { state_ = s; }
 
     Hypervisor &hypervisor() { return hv_; }
+    /** The domain's home shard engine (== hypervisor().engine() in
+     *  single-shard runs). */
+    sim::Engine &engine() { return engine_; }
     sim::Cpu &vcpu(unsigned i = 0) { return *vcpus_.at(i); }
     unsigned vcpuCount() const { return unsigned(vcpus_.size()); }
 
@@ -128,6 +138,7 @@ class Domain
     };
 
     Hypervisor &hv_;
+    sim::Engine &engine_; //!< home shard
     DomId id_;
     std::string name_;
     GuestKind kind_;

@@ -5,6 +5,7 @@
 #include "hypervisor/domain.h"
 #include "hypervisor/xen.h"
 #include "sim/cost_model.h"
+#include "sim/shard.h"
 #include "sim/tuning.h"
 #include "trace/profile.h"
 #include "trace/trace.h"
@@ -19,7 +20,7 @@ EventChannelHub::checker() const
 }
 
 bool
-EventChannelHub::wasBound(Domain &dom, Port port) const
+EventChannelHub::wasBoundLocked(Domain &dom, Port port) const
 {
     for (const auto &ch : channels_) {
         if (ch.open)
@@ -36,12 +37,13 @@ EventChannelHub::connect(Domain &a, Domain &b)
 {
     Port pa = a.allocPort();
     Port pb = b.allocPort();
+    std::lock_guard<std::mutex> lk(mu_);
     channels_.push_back(Channel{{&a, pa}, {&b, pb}, true});
     return {pa, pb};
 }
 
 EventChannelHub::Channel *
-EventChannelHub::findChannel(Domain &dom, Port port, bool &is_a)
+EventChannelHub::findChannelLocked(Domain &dom, Port port, bool &is_a)
 {
     for (auto &ch : channels_) {
         if (!ch.open)
@@ -61,13 +63,14 @@ EventChannelHub::findChannel(Domain &dom, Port port, bool &is_a)
 void
 EventChannelHub::close(Domain &dom, Port port)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     bool is_a = false;
-    Channel *ch = findChannel(dom, port, is_a);
+    Channel *ch = findChannelLocked(dom, port, is_a);
     if (!ch) {
         if (check::Checker *ck = checker())
             ck->violation(check::Subsystem::Event,
-                          wasBound(dom, port) ? "close_closed_port"
-                                              : "close_unbound_port",
+                          wasBoundLocked(dom, port) ? "close_closed_port"
+                                                    : "close_unbound_port",
                           strprintf("%s closed port %u",
                                     dom.name().c_str(), port));
         return;
@@ -78,6 +81,7 @@ EventChannelHub::close(Domain &dom, Port port)
 std::size_t
 EventChannelHub::closeAllFor(Domain &dom)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     std::size_t n = 0;
     for (auto &ch : channels_) {
         if (ch.open && (ch.a.dom == &dom || ch.b.dom == &dom)) {
@@ -91,6 +95,7 @@ EventChannelHub::closeAllFor(Domain &dom)
 std::size_t
 EventChannelHub::openChannels() const
 {
+    std::lock_guard<std::mutex> lk(mu_);
     std::size_t n = 0;
     for (const auto &ch : channels_)
         if (ch.open)
@@ -101,50 +106,64 @@ EventChannelHub::openChannels() const
 Status
 EventChannelHub::notify(Domain &dom, Port port)
 {
-    bool is_a = false;
-    Channel *ch = findChannel(dom, port, is_a);
-    if (!ch) {
-        if (check::Checker *ck = checker())
-            ck->violation(check::Subsystem::Event,
-                          wasBound(dom, port) ? "notify_closed_port"
-                                              : "notify_unbound_port",
-                          strprintf("%s notified port %u",
-                                    dom.name().c_str(), port));
-        return notFoundError("notify on unbound port");
+    sim::Engine &eng = dom.engine();
+    Domain *peer = nullptr;
+    Port peer_port = 0;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        bool is_a = false;
+        Channel *ch = findChannelLocked(dom, port, is_a);
+        if (!ch) {
+            if (check::Checker *ck = checker())
+                ck->violation(check::Subsystem::Event,
+                              wasBoundLocked(dom, port)
+                                  ? "notify_closed_port"
+                                  : "notify_unbound_port",
+                              strprintf("%s notified port %u",
+                                        dom.name().c_str(), port));
+            return notFoundError("notify on unbound port");
+        }
+        peer = is_a ? ch->b.dom : ch->a.dom;
+        peer_port = is_a ? ch->b.port : ch->a.port;
+        // Metrics may be attached to the engine after the hub exists
+        // (Cloud wires them in its constructor body), so resolve
+        // lazily; the counter pointers are only touched under mu_.
+        if (!c_notifications_ && engine_.metrics()) {
+            c_notifications_ =
+                &engine_.metrics()->counter("evtchn.notifications");
+            c_sent_ = &engine_.metrics()->counter("notify.sent");
+        }
+        trace::bump(c_notifications_);
+        trace::bump(c_sent_);
     }
-    notifications_++;
-    // Metrics may be attached to the engine after the hub exists
-    // (Cloud wires them in its constructor body), so resolve lazily.
-    if (!c_notifications_ && engine_.metrics()) {
-        c_notifications_ = &engine_.metrics()->counter("evtchn.notifications");
-        c_sent_ = &engine_.metrics()->counter("notify.sent");
-    }
-    trace::bump(c_notifications_);
-    trace::bump(c_sent_);
-    if (auto *tr = engine_.tracer(); tr && tr->enabled())
+    notifications_.fetch_add(1, std::memory_order_relaxed);
+    if (auto *tr = eng.tracer(); tr && tr->enabled())
         tr->instant(trace::Cat::Hypervisor, "evtchn.notify",
-                    engine_.now(), 0,
+                    eng.now(), 0,
                     strprintf("\"from\":\"%s\",\"port\":%u",
                               dom.name().c_str(), port));
-    trace::ProfScope pscope(engine_.profiler(), "hyp/evtchn");
+    trace::ProfScope pscope(eng.profiler(), "hyp/evtchn");
     dom.hypervisor().chargeHypercall(dom, Hypercall::EventNotify);
     dom.vcpu().charge(sim::costs().eventNotify, "evtchn.send",
                       trace::Cat::Hypervisor);
-    Domain *peer = is_a ? ch->b.dom : ch->a.dom;
-    Port peer_port = is_a ? ch->b.port : ch->a.port;
     if (auto *s = dom.stats())
         s->notifies_sent++;
-    if (auto *s = peer->stats())
-        s->notifies_received++;
-    engine_.after(sim::costs().interrupt,
-                  [peer, peer_port] { peer->deliverEvent(peer_port); });
+    // The receive side of the upcall — including its stats — runs on
+    // the peer's home shard at delivery time.
+    sim::crossPost(peer->engine(), sim::costs().interrupt,
+                   [peer, peer_port] {
+                       if (auto *s = peer->stats())
+                           s->notifies_received++;
+                       peer->deliverEvent(peer_port);
+                   });
     return Status::success();
 }
 
 void
 EventChannelHub::countSuppressed(u64 n)
 {
-    suppressed_ += n;
+    suppressed_.fetch_add(n, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(mu_);
     if (!c_suppressed_ && engine_.metrics())
         c_suppressed_ = &engine_.metrics()->counter("notify.suppressed");
     trace::bump(c_suppressed_, n);
@@ -182,8 +201,10 @@ LazyDoorbell::ring()
         return;
     }
     armed_ = true;
+    // The window timer lives on the owning domain's shard: ring() and
+    // the flush callback both run there, so armed_ needs no lock.
     flush_event_ =
-        hub_.engine_.after(sim::tuning().doorbellWindow, [this] {
+        dom_.engine().after(sim::tuning().doorbellWindow, [this] {
             armed_ = false;
             hub_.notify(dom_, port_);
         });
@@ -194,7 +215,7 @@ LazyDoorbell::cancel()
 {
     if (!armed_)
         return;
-    hub_.engine_.cancel(flush_event_);
+    dom_.engine().cancel(flush_event_);
     armed_ = false;
 }
 

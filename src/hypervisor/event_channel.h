@@ -13,7 +13,10 @@
 #ifndef MIRAGE_HYPERVISOR_EVENT_CHANNEL_H
 #define MIRAGE_HYPERVISOR_EVENT_CHANNEL_H
 
+#include <atomic>
 #include <functional>
+// mirage-lint: allow(wall-clock-in-sim)
+#include <mutex>
 #include <vector>
 
 #include "base/result.h"
@@ -60,15 +63,23 @@ class EventChannelHub
     /**
      * Send an event from @p dom's @p port to its peer. Charges the
      * notify hypercall on the sender and delivers the upcall after the
-     * interrupt latency.
+     * interrupt latency. When the peer lives on another shard the
+     * upcall crosses via sim::crossPost (the interrupt latency is the
+     * ShardSet lookahead, so delivery is always merged at a barrier).
      */
     Status notify(Domain &dom, Port port);
 
     /** Count of notify() calls, for hypercall-traffic assertions. */
-    u64 notifications() const { return notifications_; }
+    u64 notifications() const
+    {
+        return notifications_.load(std::memory_order_relaxed);
+    }
 
     /** Doorbells coalesced away by batching helpers (see below). */
-    u64 suppressed() const { return suppressed_; }
+    u64 suppressed() const
+    {
+        return suppressed_.load(std::memory_order_relaxed);
+    }
 
     /** Record @p n doorbells a batching helper elided. */
     void countSuppressed(u64 n = 1);
@@ -88,15 +99,20 @@ class EventChannelHub
         bool open = false;
     };
 
-    Channel *findChannel(Domain &dom, Port port, bool &is_a);
+    /** Requires mu_ held. */
+    Channel *findChannelLocked(Domain &dom, Port port, bool &is_a);
     check::Checker *checker() const;
-    /** True when a now-closed channel once bound @p port in @p dom. */
-    bool wasBound(Domain &dom, Port port) const;
+    /** True when a now-closed channel once bound @p port in @p dom.
+     *  Requires mu_ held. */
+    bool wasBoundLocked(Domain &dom, Port port) const;
 
     sim::Engine &engine_;
+    // Channels are connected/closed from whichever shard runs the
+    // toolstack or teardown while guests notify from their own shards.
+    mutable std::mutex mu_;
     std::vector<Channel> channels_;
-    u64 notifications_ = 0;
-    u64 suppressed_ = 0;
+    std::atomic<u64> notifications_{0};
+    std::atomic<u64> suppressed_{0};
     trace::Counter *c_notifications_ = nullptr;
     trace::Counter *c_sent_ = nullptr;
     trace::Counter *c_suppressed_ = nullptr;

@@ -15,7 +15,7 @@ GrantMapCache::GrantMapCache(Domain &mapper, std::string prefix)
 void
 GrantMapCache::wireMetrics()
 {
-    auto *m = dom_.hypervisor().engine().metrics();
+    auto *m = dom_.engine().metrics();
     if (c_hits_ || !m)
         return;
     c_hits_ = &m->counter(prefix_ + ".pmap.hits");

@@ -8,6 +8,7 @@
 #include "hypervisor/xen.h"
 #include "hypervisor/ring.h"
 #include "sim/cost_model.h"
+#include "sim/shard.h"
 #include "sim/tuning.h"
 #include "trace/flow.h"
 #include "trace/profile.h"
@@ -87,12 +88,14 @@ Bridge::Bridge(sim::Engine &engine, std::string name)
 void
 Bridge::attach(BridgeEndpoint *ep)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     ports_.push_back(ep);
 }
 
 void
 Bridge::detach(BridgeEndpoint *ep)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     std::erase(ports_, ep);
     for (auto it = learned_.begin(); it != learned_.end();) {
         if (it->second == ep)
@@ -107,31 +110,33 @@ Bridge::send(BridgeEndpoint *from, Cstruct frame)
 {
     if (frame.length() < 12)
         return; // runt frame: not even two MAC addresses
+    // Ingress hop onto the bridge's home shard. The first `interrupt`
+    // slice of bridgeLatency pays for the hop (== the ShardSet
+    // lookahead, so the merge is always conservative); arrive() adds
+    // the remainder after the fabric transfer, keeping the idle-path
+    // end-to-end latency exactly transfer + bridgeLatency.
+    sim::crossPost(engine_, sim::costs().interrupt,
+                   [this, from, frame = std::move(frame)]() mutable {
+                       arrive(from, std::move(frame));
+                   });
+}
+
+void
+Bridge::arrive(BridgeEndpoint *from, Cstruct frame)
+{
     MacBytes src;
     for (int i = 0; i < 6; i++)
         src[std::size_t(i)] = frame.getU8(std::size_t(6 + i));
-    learned_[src] = from;
 
     const auto &c = sim::costs();
     // Only the wire transfer serialises on the fabric; switch latency
     // is a pipelined delay, so the bridge does not become the
     // bottleneck of host-CPU-bound comparisons (Fig 8).
     Duration transfer(i64(c.bridgeNsPerByte * double(frame.length())));
-    fabric_.submit(
-        transfer,
-        [this, from, frame = std::move(frame)]() mutable {
-            engine_.after(sim::costs().bridgeLatency,
-                          [this, from,
-                           frame = std::move(frame)]() mutable {
-                              deliver(from, frame);
-                          });
-        },
-        "bridge.xfer", trace::Cat::Hypervisor);
-}
+    TimePoint done =
+        fabric_.finishAt(transfer, "bridge.xfer", trace::Cat::Hypervisor);
+    TimePoint when = done + (c.bridgeLatency - c.interrupt);
 
-void
-Bridge::deliver(BridgeEndpoint *from, const Cstruct &frame)
-{
     if (drop_fn_ && drop_fn_(frame)) {
         dropped_++;
         return;
@@ -139,15 +144,17 @@ Bridge::deliver(BridgeEndpoint *from, const Cstruct &frame)
     MacBytes dst;
     for (int i = 0; i < 6; i++)
         dst[std::size_t(i)] = frame.getU8(std::size_t(i));
-
     bool broadcast = std::all_of(dst.begin(), dst.end(),
                                  [](u8 b) { return b == 0xff; });
+
+    std::lock_guard<std::mutex> lk(mu_);
+    learned_[src] = from;
     if (!broadcast) {
         auto it = learned_.find(dst);
         if (it != learned_.end()) {
             if (it->second != from) {
                 switched_++;
-                it->second->frameFromBridge(frame);
+                dispatch(it->second, frame, when);
             }
             return;
         }
@@ -156,7 +163,15 @@ Bridge::deliver(BridgeEndpoint *from, const Cstruct &frame)
     flooded_++;
     for (BridgeEndpoint *ep : ports_)
         if (ep != from)
-            ep->frameFromBridge(frame);
+            dispatch(ep, frame, when);
+}
+
+void
+Bridge::dispatch(BridgeEndpoint *ep, const Cstruct &frame, TimePoint when)
+{
+    sim::Engine *home = ep->homeEngine();
+    sim::crossPostAt(home ? *home : engine_, when,
+                     [ep, frame] { ep->frameFromBridge(frame); });
 }
 
 // ---- Netback ----------------------------------------------------------------
@@ -197,7 +212,7 @@ Netback::Vif::Vif(Netback &owner, const NetConnectInfo &info)
     rx_bell_ = std::make_unique<LazyDoorbell>(hv.events(), owner_.dom_,
                                               rx_port_);
     tx_poller_ = std::make_unique<sim::Poller>(
-        hv.engine(),
+        owner_.dom_.engine(),
         [this] { return tx_ring_ ? drainTx(true) : false; },
         [this] {
             return tx_ring_ && tx_ring_->finalCheckForRequests();
@@ -211,12 +226,12 @@ Netback::Vif::Vif(Netback &owner, const NetConnectInfo &info)
               frontend_.name().c_str());
     tx_ring_ = std::make_unique<BackRing>(tx_page.value());
     rx_ring_ = std::make_unique<BackRing>(rx_page.value());
-    if (auto *m = hv.engine().metrics()) {
+    if (auto *m = owner_.dom_.engine().metrics()) {
         tx_ring_->attachMetrics(*m, "ring.netback.tx");
         rx_ring_->attachMetrics(*m, "ring.netback.rx");
     }
-    tx_ring_->attachChecker(hv.engine().checker(), "ring.netback.tx");
-    rx_ring_->attachChecker(hv.engine().checker(), "ring.netback.rx");
+    tx_ring_->attachChecker(owner_.dom_.engine().checker(), "ring.netback.tx");
+    rx_ring_->attachChecker(owner_.dom_.engine().checker(), "ring.netback.rx");
 
     owner_.dom_.setPortHandler(tx_port_, [this] {
         owner_.dom_.clearPending(tx_port_);
@@ -249,7 +264,7 @@ u32
 Netback::Vif::flowTrack()
 {
     if (track_ == 0) {
-        if (auto *tr = owner_.dom_.hypervisor().engine().tracer();
+        if (auto *tr = owner_.dom_.engine().tracer();
             tr && tr->enabled())
             track_ = tr->track(owner_.dom_.name() + "/netback");
     }
@@ -274,11 +289,11 @@ Netback::Vif::drainTx(bool park)
 {
     Hypervisor &hv = owner_.dom_.hypervisor();
     const auto &c = sim::costs();
-    trace::ProfScope pscope(hv.engine().profiler(), "hyp/netback/tx");
+    trace::ProfScope pscope(owner_.dom_.engine().profiler(), "hyp/netback/tx");
     if (auto *s = frontend_.stats())
         s->noteRing("netback.tx", tx_ring_->unconsumedRequests(),
                     RingLayout::slotCount);
-    trace::FlowTracker *fl = hv.engine().flows();
+    trace::FlowTracker *fl = owner_.dom_.engine().flows();
     if (fl && !fl->enabled())
         fl = nullptr;
     bool any = false;
@@ -313,15 +328,15 @@ Netback::Vif::drainTx(bool park)
                             req.getLe32(NetifWire::txreqFlow);
                         if (pending_flow_) {
                             fl->stageBegin(pending_flow_, "netback_tx",
-                                           hv.engine().now(),
+                                           owner_.dom_.engine().now(),
                                            flowTrack());
                             // Baseline of dom0's CPU backlog, so the
                             // stage charges only this packet's own
                             // modeled work.
                             pending_busy0_ =
                                 owner_.dom_.vcpu().freeAt();
-                            if (pending_busy0_ < hv.engine().now())
-                                pending_busy0_ = hv.engine().now();
+                            if (pending_busy0_ < owner_.dom_.engine().now())
+                                pending_busy0_ = owner_.dom_.engine().now();
                         }
                     }
                     // A frontend must not use offloads it never
@@ -334,7 +349,7 @@ Netback::Vif::drainTx(bool park)
                             discard_chain_ = true;
                         if (fl && pending_flow_) {
                             fl->stageEnd(pending_flow_, "netback_tx",
-                                         hv.engine().now(),
+                                         owner_.dom_.engine().now(),
                                          flowTrack());
                             pending_flow_ = 0;
                         }
@@ -375,7 +390,7 @@ Netback::Vif::drainTx(bool park)
                             discard_chain_ = true;
                         if (fl && pending_flow_) {
                             fl->stageEnd(pending_flow_, "netback_tx",
-                                         hv.engine().now(),
+                                         owner_.dom_.engine().now(),
                                          flowTrack());
                             pending_flow_ = 0;
                         }
@@ -412,7 +427,6 @@ Netback::Vif::drainTx(bool park)
 void
 Netback::Vif::forwardChain(trace::FlowTracker *fl)
 {
-    Hypervisor &hv = owner_.dom_.hypervisor();
     const auto &c = sim::costs();
     std::vector<Cstruct> frags = std::move(pending_frags_);
     std::size_t total = pending_bytes_;
@@ -451,7 +465,7 @@ Netback::Vif::forwardChain(trace::FlowTracker *fl)
             }
         }
     }
-    check::Checker *ck = hv.engine().checker();
+    check::Checker *ck = owner_.dom_.engine().checker();
     if (ck && !ck->enabled())
         ck = nullptr;
     if ((gso != 0 || csum_blank) && !parsed) {
@@ -561,7 +575,7 @@ Netback::Vif::forwardChain(trace::FlowTracker *fl)
         // packet (map, copy-out/segment, switch): the growth of dom0's
         // vCPU backlog since the first fragment, not the whole
         // shared-queue drain.
-        TimePoint now = hv.engine().now();
+        TimePoint now = owner_.dom_.engine().now();
         TimePoint busy = owner_.dom_.vcpu().freeAt();
         i64 work_ns = busy.ns() - pending_busy0_.ns();
         if (work_ns < 0)
@@ -635,7 +649,7 @@ Netback::Vif::deliverFrame(const Cstruct &frame)
 {
     Hypervisor &hv = owner_.dom_.hypervisor();
     const auto &c = sim::costs();
-    trace::ProfScope pscope(hv.engine().profiler(), "hyp/netback/rx");
+    trace::ProfScope pscope(owner_.dom_.engine().profiler(), "hyp/netback/rx");
     PostedRx post = posted_rx_.front();
     posted_rx_.pop_front();
 
@@ -660,7 +674,7 @@ Netback::Vif::deliverFrame(const Cstruct &frame)
     // Stamp the delivery's ambient flow (carried here through the
     // bridge hop) so the frontend can restore it per drained slot —
     // its rx ring may be drained by a flow-less poll timer.
-    trace::FlowTracker *fl = hv.engine().flows();
+    trace::FlowTracker *fl = owner_.dom_.engine().flows();
     u64 flow = (fl && fl->enabled()) ? fl->current() : 0;
 
     Cstruct rsp = rx_ring_->startResponse().value();

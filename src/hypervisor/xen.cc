@@ -15,16 +15,20 @@ Hypervisor::~Hypervisor() = default;
 
 Domain &
 Hypervisor::createDomain(const std::string &name, GuestKind kind,
-                         std::size_t memory_mib, unsigned vcpus)
+                         std::size_t memory_mib, unsigned vcpus,
+                         sim::Engine *home)
 {
+    std::lock_guard<std::mutex> lk(domains_mu_);
     domains_.push_back(std::make_unique<Domain>(*this, next_domid_++, name,
-                                                kind, memory_mib, vcpus));
+                                                kind, memory_mib, vcpus,
+                                                home));
     return *domains_.back();
 }
 
 Domain *
 Hypervisor::domainById(DomId id)
 {
+    std::lock_guard<std::mutex> lk(domains_mu_);
     for (auto &d : domains_)
         if (d->id() == id)
             return d.get();
@@ -58,7 +62,7 @@ Hypervisor::seal(Domain &dom)
 void
 Hypervisor::chargeHypercall(Domain &dom, Hypercall call)
 {
-    counts_[std::size_t(call)]++;
+    counts_[std::size_t(call)].fetch_add(1, std::memory_order_relaxed);
     dom.vcpu().charge(sim::costs().hypercall, "hypercall",
                       trace::Cat::Hypervisor);
 }
@@ -66,13 +70,16 @@ Hypervisor::chargeHypercall(Domain &dom, Hypercall call)
 u64
 Hypervisor::hypercallCount(Hypercall call) const
 {
-    return counts_[std::size_t(call)];
+    return counts_[std::size_t(call)].load(std::memory_order_relaxed);
 }
 
 u64
 Hypervisor::totalHypercalls() const
 {
-    return std::accumulate(counts_.begin(), counts_.end(), u64(0));
+    u64 n = 0;
+    for (const auto &c : counts_)
+        n += c.load(std::memory_order_relaxed);
+    return n;
 }
 
 } // namespace mirage::xen

@@ -66,7 +66,7 @@ NetworkStack::wireTxMetrics()
 {
     if (c_tx_bytes_)
         return;
-    if (auto *m = domain().hypervisor().engine().metrics()) {
+    if (auto *m = domain().engine().metrics()) {
         c_tx_bytes_ = &m->counter("net.tx.bytes");
         c_tx_copy_bytes_ = &m->counter("net.tx.copy_bytes");
     }

@@ -30,14 +30,14 @@ class PVBoot
     explicit PVBoot(xen::Domain &dom, LayoutSpec spec = LayoutSpec{});
 
     xen::Domain &domain() { return dom_; }
-    sim::Engine &engine() { return dom_.hypervisor().engine(); }
+    sim::Engine &engine() { return dom_.engine(); }
 
     SlabAllocator &slab() { return slab_; }
     IoPagePool &ioPages() { return io_pages_; }
     ExtentAllocator &majorExtent() { return major_extent_; }
 
     /** Current wallclock (domain wallclock == virtual sim time). */
-    TimePoint wallclock() const { return dom_.hypervisor().engine().now(); }
+    TimePoint wallclock() const { return dom_.engine().now(); }
 
     /**
      * Block on a set of event channels and a timeout (§3.2). Thin

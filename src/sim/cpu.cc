@@ -40,6 +40,13 @@ Cpu::charge(Duration cost, const char *what, trace::Cat cat)
 }
 
 TimePoint
+Cpu::finishAt(Duration cost, const char *what, trace::Cat cat)
+{
+    charge(cost, what, cat);
+    return free_at_;
+}
+
+TimePoint
 Cpu::freeAt() const
 {
     return std::max(engine_.now(), free_at_);

@@ -50,6 +50,15 @@ class Cpu
     /** Earliest time at which newly submitted work could start. */
     TimePoint freeAt() const;
 
+    /**
+     * Charge @p cost and return its completion time instead of
+     * scheduling a callback. The cross-shard fabric lanes use this to
+     * compute a hop's delivery time synchronously on the sending shard,
+     * then sim::crossPostAt the receive side at that instant.
+     */
+    TimePoint finishAt(Duration cost, const char *what = "cpu.work",
+                       trace::Cat cat = trace::Cat::Cpu);
+
     /** Total CPU time charged so far. */
     Duration busyTime() const { return busy_; }
 

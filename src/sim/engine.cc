@@ -1,5 +1,7 @@
 #include "sim/engine.h"
 
+#include "sim/shard.h"
+
 #include "base/logging.h"
 #include "trace/flow.h"
 #include "trace/metrics.h"
@@ -7,6 +9,8 @@
 #include "trace/trace.h"
 
 namespace mirage::sim {
+
+thread_local Engine *Engine::current_ = nullptr;
 
 Engine::Slot *
 Engine::slotFor(EventId id)
@@ -29,8 +33,19 @@ Engine::releaseSlot(u32 idx)
     free_slots_.push_back(idx);
 }
 
+CrossKey
+Engine::nextKey()
+{
+    CrossKey k;
+    k.strand = cur_hash_;
+    k.idx = next_child_++;
+    k.hash = mixKey(k.strand, k.idx);
+    return k;
+}
+
 EventId
-Engine::at(TimePoint t, std::function<void()> fn)
+Engine::atKeyed(TimePoint t, const CrossKey &key, u64 flow, u32 pscope,
+                std::function<void()> fn)
 {
     if (t < now_)
         t = now_; // late scheduling runs as soon as possible
@@ -46,10 +61,29 @@ Engine::at(TimePoint t, std::function<void()> fn)
     s.state = SlotState::Pending;
     EventId id = (u64(s.gen) << 32) | (idx + 1);
     live_++;
+    queue_.push(Item{t, key.strand, key.idx, key.hash, id, flow, pscope,
+                     std::move(fn)});
+    return id;
+}
+
+EventId
+Engine::at(TimePoint t, std::function<void()> fn)
+{
     u64 flow = flows_ ? flows_->current() : 0;
     u32 pscope = profiler_ ? profiler_->current() : 0;
-    queue_.push(Item{t, next_seq_++, id, flow, pscope, std::move(fn)});
-    return id;
+    // Root-context scheduling (setup code, no event dispatching) on a
+    // sharded engine draws its key from the *primary* shard's root
+    // counter: setup runs in program order on one thread, so the key
+    // sequence — and with it every derived causal hash — is identical
+    // no matter which shard each domain was placed on.
+    CrossKey key = (!current_ && shards_) ? rootKeyFromSet() : nextKey();
+    return atKeyed(t, key, flow, pscope, std::move(fn));
+}
+
+CrossKey
+Engine::rootKeyFromSet()
+{
+    return shards_->rootKey();
 }
 
 EventId
@@ -103,6 +137,7 @@ Engine::dispatchOne(bool bounded, TimePoint limit)
         live_--;
         now_ = item.when;
         events_run_++;
+        checksum_ += mixKey(u64(item.when.ns()), item.hash);
         trace::bump(c_dispatched_);
         if (tracer_ && tracer_->enabled())
             tracer_->instant(trace::Cat::Engine, "dispatch", now_, 0,
@@ -111,10 +146,22 @@ Engine::dispatchOne(bool bounded, TimePoint limit)
         {
             // Restore the scheduling context's flow and profiler scope
             // for the duration of the callback; anything it schedules
-            // inherits them. Both scopes are null-safe.
+            // inherits them — including the causal key context, so
+            // children order deterministically under (when, strand,
+            // idx) whatever thread runs this. Both scopes are
+            // null-safe.
             trace::FlowScope scope(flows_, item.flow);
             trace::ProfRestore pscope(profiler_, item.pscope);
+            Engine *prev_engine = current_;
+            u64 prev_hash = cur_hash_;
+            u64 prev_child = next_child_;
+            current_ = this;
+            cur_hash_ = item.hash;
+            next_child_ = 0;
             item.fn();
+            cur_hash_ = prev_hash;
+            next_child_ = prev_child;
+            current_ = prev_engine;
         }
         return true;
     }
@@ -147,6 +194,37 @@ void
 Engine::runFor(Duration d)
 {
     runUntil(now_ + d);
+}
+
+u64
+Engine::runWindow(TimePoint end)
+{
+    // Events at exactly `end` belong to the next window; the clock is
+    // left on the last dispatched event so barrier-time bookkeeping
+    // (nextEventTime, cross-post lookahead checks) sees event time.
+    u64 n = 0;
+    while (dispatchOne(true, TimePoint(end.ns() - 1)))
+        n++;
+    return n;
+}
+
+TimePoint
+Engine::nextEventTime()
+{
+    while (!queue_.empty()) {
+        const Item &top = queue_.top();
+        u32 idx = u32(top.id & 0xffffffffu) - 1;
+        if (slots_[idx].state == SlotState::Cancelled) {
+            releaseSlot(idx);
+            cancelled_count_--;
+            live_--;
+            queue_.pop();
+            trace::bump(c_cancelled_);
+            continue;
+        }
+        return top.when;
+    }
+    return kNever;
 }
 
 } // namespace mirage::sim

@@ -3,9 +3,16 @@
  * The discrete-event simulation engine.
  *
  * Everything comparative in this reproduction — domain scheduling,
- * device service times, syscall costs — runs on one deterministic,
- * single-threaded event queue keyed by virtual time. Ties are broken by
- * insertion order, so a run is a pure function of its seed.
+ * device service times, syscall costs — runs on deterministic event
+ * queues keyed by virtual time. Ties at the same instant are broken by
+ * a *causal* key rather than global insertion order: every event
+ * carries the identity hash of the event that scheduled it (its
+ * "strand") plus its sibling index within that dispatch, and the queue
+ * orders by (when, strand, idx). Siblings therefore stay FIFO, and —
+ * crucially for the sharded engine — the key depends only on the
+ * causal tree rooted at the seed, never on which shard or worker
+ * thread scheduled the event. A run is a pure function of its seed,
+ * bit-identical at any shard count (see sim/shard.h).
  *
  * The engine is also the attachment point for the observability layer:
  * an optional trace::TraceRecorder and trace::MetricsRegistry hang off
@@ -39,6 +46,8 @@ class Checker;
 
 namespace mirage::sim {
 
+class ShardSet;
+
 /**
  * Handle identifying a scheduled event, usable for cancellation.
  * Encodes (generation << 32 | slot + 1): the slot indexes a reusable
@@ -47,9 +56,36 @@ namespace mirage::sim {
  */
 using EventId = u64;
 
+/** splitmix64-style finaliser used to derive causal event keys. */
+inline u64
+mixKey(u64 a, u64 b)
+{
+    u64 z = a + 0x9e3779b97f4a7c15ull + b * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/**
+ * The causal ordering key of one event: the scheduling event's
+ * identity hash, the sibling index within that dispatch, and the new
+ * event's own identity hash (`mixKey(strand, idx)`). Computed at
+ * schedule time — on the *sender's* shard for cross-shard posts — so
+ * the merged order is independent of shard count.
+ */
+struct CrossKey
+{
+    u64 strand = 0;
+    u64 idx = 0;
+    u64 hash = 0;
+};
+
 class Engine
 {
   public:
+    /** Sentinel "no pending event" time (nextEventTime()). */
+    static constexpr TimePoint kNever{INT64_MAX};
+
     Engine() = default;
 
     /** Current virtual time. */
@@ -60,6 +96,29 @@ class Engine
 
     /** Schedule @p fn to run @p d after now. */
     EventId after(Duration d, std::function<void()> fn);
+
+    /**
+     * Schedule with an explicit causal key and ambient context, both
+     * captured on the scheduling shard. This is the injection half of
+     * the cross-shard mailbox (sim::ShardSet): the coordinator calls
+     * it while the target shard is quiescent at a window barrier.
+     */
+    EventId atKeyed(TimePoint t, const CrossKey &key, u64 flow,
+                    u32 pscope, std::function<void()> fn);
+
+    /**
+     * Consume and return the next causal key in the current dispatch
+     * context (what the next at() would have used). Cross-shard posts
+     * take their key from the sending engine via this.
+     */
+    CrossKey nextKey();
+
+    /**
+     * Derive a deterministic token from the current dispatch context
+     * (consumes one sibling slot). Used as a shard-count-invariant id
+     * source, e.g. for FlowTracker flow ids.
+     */
+    u64 deriveToken() { return mixKey(cur_hash_ | 1, next_child_++); }
 
     /** Cancel a pending event. Idempotent; no-op after it fired. */
     void cancel(EventId id);
@@ -85,8 +144,32 @@ class Engine
     /** runUntil(now + d). */
     void runFor(Duration d);
 
+    /**
+     * Dispatch every event strictly before @p end without bumping the
+     * clock past the last event (the shard worker loop: events at
+     * exactly @p end belong to the next window).
+     * @return events dispatched.
+     */
+    u64 runWindow(TimePoint end);
+
+    /**
+     * Time of the earliest pending (non-cancelled) event, or kNever.
+     * Drops cancelled queue heads as a side effect; call only while
+     * the engine is quiescent (window barriers, tests).
+     */
+    TimePoint nextEventTime();
+
     /** Number of events executed since construction. */
     u64 eventsRun() const { return events_run_; }
+
+    /**
+     * Commutative fold of mixKey(when, hash) over every dispatched
+     * event. Two runs dispatching the same causal set of events at the
+     * same times produce the same checksum regardless of sharding —
+     * the determinism regression tests compare this across shard
+     * counts (order within a shard is implied by the keyed queue).
+     */
+    u64 dispatchChecksum() const { return checksum_; }
 
     /** Events scheduled and not yet dispatched (cancelled or not). */
     std::size_t pendingEvents() const { return live_; }
@@ -97,6 +180,17 @@ class Engine
      * so long simulations cannot accumulate cancellation garbage.
      */
     std::size_t cancelledBacklog() const { return cancelled_count_; }
+
+    /**
+     * The engine currently dispatching on this thread, or null outside
+     * dispatch. Cross-shard posts use it to find their sending context
+     * without plumbing an engine reference through every call chain.
+     */
+    static Engine *current() { return current_; }
+
+    /** The shard set this engine belongs to, or null (unsharded). */
+    ShardSet *shards() const { return shards_; }
+    void setShards(ShardSet *s) { shards_ = s; }
 
     // ---- Observability ----------------------------------------------
     /** Attach (or detach with nullptr) a trace recorder. Not owned. */
@@ -141,7 +235,9 @@ class Engine
     struct Item
     {
         TimePoint when;
-        u64 seq;
+        u64 strand; //!< identity hash of the scheduling event
+        u64 idx;    //!< sibling index within that dispatch
+        u64 hash;   //!< this event's own identity (mixKey(strand, idx))
         EventId id;
         u64 flow;   //!< ambient FlowId captured at schedule time
         u32 pscope; //!< ambient profiler scope captured alongside
@@ -152,7 +248,9 @@ class Engine
         {
             if (when != o.when)
                 return when > o.when;
-            return seq > o.seq;
+            if (strand != o.strand)
+                return strand > o.strand;
+            return idx > o.idx;
         }
     };
 
@@ -182,18 +280,24 @@ class Engine
      */
     bool dispatchOne(bool bounded, TimePoint limit);
 
+    /** Borrow a root-context key from the shard set's primary. */
+    CrossKey rootKeyFromSet();
+
     /** The slot an id names, or null for stale/invalid ids. */
     Slot *slotFor(EventId id);
     void releaseSlot(u32 idx);
 
     TimePoint now_;
-    u64 next_seq_ = 0;
+    u64 cur_hash_ = 0;   //!< identity hash of the dispatching event (0 = root)
+    u64 next_child_ = 0; //!< next sibling index in the current context
     u64 events_run_ = 0;
+    u64 checksum_ = 0;
     std::priority_queue<Item, std::vector<Item>, std::greater<Item>> queue_;
     std::vector<Slot> slots_;
     std::vector<u32> free_slots_;
     std::size_t live_ = 0;            //!< scheduled, not dispatched
     std::size_t cancelled_count_ = 0; //!< subset of live_
+    ShardSet *shards_ = nullptr;
     trace::TraceRecorder *tracer_ = nullptr;
     trace::MetricsRegistry *metrics_ = nullptr;
     check::Checker *checker_ = nullptr;
@@ -202,6 +306,8 @@ class Engine
     trace::BootTracker *boots_ = nullptr;
     trace::Counter *c_dispatched_ = nullptr;
     trace::Counter *c_cancelled_ = nullptr;
+
+    static thread_local Engine *current_;
 };
 
 } // namespace mirage::sim

@@ -1,0 +1,337 @@
+#include "sim/shard.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "trace/flow.h"
+#include "trace/profile.h"
+
+namespace mirage::sim {
+
+ShardSet::ShardSet(Engine &primary, unsigned shards, Duration lookahead)
+    : lookahead_(lookahead)
+{
+    if (shards == 0)
+        shards = 1;
+    if (lookahead_.ns() <= 0)
+        fatal("ShardSet: lookahead must be positive");
+    engines_.push_back(&primary);
+    for (unsigned i = 1; i < shards; i++) {
+        owned_.push_back(std::make_unique<Engine>());
+        engines_.push_back(owned_.back().get());
+    }
+    for (Engine *e : engines_)
+        e->setShards(this);
+}
+
+ShardSet::~ShardSet()
+{
+    if (!workers_.empty()) {
+        {
+            std::lock_guard<std::mutex> lk(ctl_mu_);
+            quit_ = true;
+        }
+        cv_go_.notify_all();
+        for (auto &w : workers_)
+            w.join();
+    }
+    for (Engine *e : engines_)
+        e->setShards(nullptr);
+}
+
+void
+ShardSet::syncAttachments()
+{
+    Engine &p = *engines_[0];
+    for (auto &e : owned_) {
+        e->setTracer(p.tracer());
+        e->setMetrics(p.metrics());
+        e->setChecker(p.checker());
+        e->setFlows(p.flows());
+        e->setProfiler(p.profiler());
+        e->setBoots(p.boots());
+    }
+}
+
+CrossHandle
+ShardSet::postAt(Engine &target, TimePoint when, std::function<void()> fn)
+{
+    Engine *src = Engine::current();
+    CrossHandle h;
+    h.target = &target;
+    h.when = when;
+    if (src == &target || engines_.size() == 1) {
+        // Same shard (or a single-shard set, where the caller's thread
+        // owns every queue): a plain schedule, identical key
+        // consumption — the mailbox would only defer delivery.
+        h.event = target.at(when, std::move(fn));
+        return h;
+    }
+    // The causal key comes from the *sending* context: the dispatching
+    // engine mid-run, or shard 0's root counter during single-threaded
+    // setup. That makes the key — and hence the merged dispatch order —
+    // independent of where the target domain was placed.
+    Engine &key_src = src ? *src : *engines_[0];
+    if (running_ && src && when < src->now() + lookahead_)
+        fatal("cross-shard post at t=%lld violates lookahead "
+              "(sender now=%lld, lookahead=%lld ns)",
+              (long long)when.ns(), (long long)src->now().ns(),
+              (long long)lookahead_.ns());
+    CrossMsg m;
+    m.target = &target;
+    m.when = when;
+    m.key = key_src.nextKey();
+    trace::FlowTracker *fl = engines_[0]->flows();
+    trace::Profiler *pr = engines_[0]->profiler();
+    m.flow = fl ? fl->current() : 0;
+    m.pscope = pr ? pr->current() : 0;
+    m.fn = std::move(fn);
+    h.hash = m.key.hash;
+    {
+        std::lock_guard<std::mutex> lk(post_mu_);
+        pending_.push_back(std::move(m));
+        cross_posts_++;
+    }
+    return h;
+}
+
+void
+ShardSet::cancelCross(const CrossHandle &h)
+{
+    if (!h.valid())
+        return;
+    if (h.event) {
+        // Same-shard handle: only its own shard may touch the queue.
+        h.target->cancel(h.event);
+        return;
+    }
+    std::lock_guard<std::mutex> lk(post_mu_);
+    cancels_.push_back(h.hash);
+}
+
+bool
+ShardSet::stepWindow(TimePoint deadline)
+{
+    // Barrier: every worker is parked, so the coordinator owns all
+    // shard queues and the mailbox.
+    std::unique_lock<std::mutex> lk(post_mu_);
+    if (!cancels_.empty()) {
+        for (u64 hash : cancels_) {
+            auto it = std::find_if(pending_.begin(), pending_.end(),
+                                   [hash](const CrossMsg &m) {
+                                       return m.key.hash == hash;
+                                   });
+            if (it != pending_.end()) {
+                // Windows never extend past an undelivered cross
+                // message, so reaching here means the cancel's virtual
+                // time preceded delivery: removal is exact.
+                pending_.erase(it);
+                cross_cancelled_++;
+            }
+        }
+        cancels_.clear();
+    }
+
+    TimePoint t = Engine::kNever;
+    for (Engine *e : engines_)
+        t = std::min(t, e->nextEventTime());
+    for (const CrossMsg &m : pending_)
+        t = std::min(t, m.when);
+    if (t == Engine::kNever || t > deadline)
+        return false;
+
+    // Deliver every mailbox message due now; everything later bounds
+    // the window so cancels stay exact and merges stay conservative.
+    TimePoint wend = t + lookahead_;
+    for (std::size_t i = 0; i < pending_.size();) {
+        CrossMsg &m = pending_[i];
+        if (m.when <= t) {
+            m.target->atKeyed(m.when, m.key, m.flow, m.pscope,
+                              std::move(m.fn));
+            pending_.erase(pending_.begin() + i);
+        } else {
+            wend = std::min(wend, m.when);
+            i++;
+        }
+    }
+    if (deadline < Engine::kNever)
+        wend = std::min(wend, deadline + Duration::nanos(1));
+    lk.unlock();
+
+    windows_++;
+    runWorkers(wend);
+    return true;
+}
+
+void
+ShardSet::startWorkers()
+{
+    if (engines_.size() <= 1 || !workers_.empty())
+        return;
+    for (unsigned i = 1; i < engines_.size(); i++)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+void
+ShardSet::workerLoop(unsigned shard)
+{
+    u64 seen = 0;
+    for (;;) {
+        TimePoint end;
+        {
+            std::unique_lock<std::mutex> lk(ctl_mu_);
+            cv_go_.wait(lk,
+                        [&] { return quit_ || epoch_ != seen; });
+            if (quit_)
+                return;
+            seen = epoch_;
+            end = window_end_;
+        }
+        engines_[shard]->runWindow(end);
+        {
+            std::lock_guard<std::mutex> lk(ctl_mu_);
+            done_++;
+        }
+        cv_done_.notify_one();
+    }
+}
+
+void
+ShardSet::runWorkers(TimePoint window_end)
+{
+    if (engines_.size() == 1) {
+        engines_[0]->runWindow(window_end);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(ctl_mu_);
+        window_end_ = window_end;
+        done_ = 0;
+        epoch_++;
+    }
+    cv_go_.notify_all();
+    // Shard 0 runs on the coordinator's thread: one fewer worker, and
+    // primary-engine thread-locals stay on the caller.
+    engines_[0]->runWindow(window_end);
+    std::unique_lock<std::mutex> lk(ctl_mu_);
+    cv_done_.wait(lk, [&] { return done_ == engines_.size() - 1; });
+}
+
+void
+ShardSet::run()
+{
+    startWorkers();
+    running_ = true;
+    while (stepWindow(Engine::kNever)) {
+    }
+    running_ = false;
+}
+
+void
+ShardSet::runUntil(TimePoint t)
+{
+    startWorkers();
+    running_ = true;
+    while (stepWindow(t)) {
+    }
+    for (Engine *e : engines_)
+        e->runUntil(t); // clock bump only; events <= t already ran
+    running_ = false;
+}
+
+void
+ShardSet::runFor(Duration d)
+{
+    runUntil(engines_[0]->now() + d);
+}
+
+bool
+ShardSet::empty() const
+{
+    for (Engine *e : engines_)
+        if (!e->empty())
+            return false;
+    std::lock_guard<std::mutex> lk(post_mu_);
+    return pending_.empty();
+}
+
+std::size_t
+ShardSet::pendingEvents() const
+{
+    std::size_t n = 0;
+    for (Engine *e : engines_)
+        n += e->pendingEvents();
+    std::lock_guard<std::mutex> lk(post_mu_);
+    return n + pending_.size();
+}
+
+std::size_t
+ShardSet::cancelledBacklog() const
+{
+    std::size_t n = 0;
+    for (Engine *e : engines_)
+        n += e->cancelledBacklog();
+    return n;
+}
+
+u64
+ShardSet::eventsRun() const
+{
+    u64 n = 0;
+    for (Engine *e : engines_)
+        n += e->eventsRun();
+    return n;
+}
+
+u64
+ShardSet::dispatchChecksum() const
+{
+    u64 ck = 0;
+    for (Engine *e : engines_)
+        ck += e->dispatchChecksum();
+    return ck;
+}
+
+TimePoint
+ShardSet::maxNow() const
+{
+    TimePoint t;
+    for (Engine *e : engines_)
+        t = std::max(t, e->now());
+    return t;
+}
+
+CrossHandle
+crossPostAt(Engine &target, TimePoint when, std::function<void()> fn)
+{
+    if (ShardSet *s = target.shards())
+        return s->postAt(target, when, std::move(fn));
+    CrossHandle h;
+    h.target = &target;
+    h.when = when;
+    h.event = target.at(when, std::move(fn));
+    return h;
+}
+
+CrossHandle
+crossPost(Engine &target, Duration delay, std::function<void()> fn)
+{
+    Engine *src = Engine::current();
+    TimePoint base = src ? src->now() : target.now();
+    return crossPostAt(target, base + delay, std::move(fn));
+}
+
+void
+crossCancel(const CrossHandle &h)
+{
+    if (!h.valid())
+        return;
+    if (ShardSet *s = h.target->shards(); s && h.hash) {
+        s->cancelCross(h);
+        return;
+    }
+    if (h.event)
+        h.target->cancel(h.event);
+}
+
+} // namespace mirage::sim

@@ -32,8 +32,11 @@
 #ifndef MIRAGE_TRACE_BOOT_H
 #define MIRAGE_TRACE_BOOT_H
 
+#include <atomic>
 #include <deque>
 #include <map>
+// mirage-lint: allow(wall-clock-in-sim)
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -123,13 +126,24 @@ class BootTracker
     void firstRequest(const std::string &domain, TimePoint ts);
 
     // ---- Ambient propagation ----------------------------------------
-    /** The boot whose bring-up code is currently executing. */
-    BootId current() const { return current_; }
-    void setCurrent(BootId id) { current_ = id; }
+    /** The boot whose bring-up code is currently executing
+     *  (thread-local: one per shard worker). */
+    BootId current() const { return current_tls_; }
+    void setCurrent(BootId id) { current_tls_ = id; }
 
-    // ---- Introspection ----------------------------------------------
-    u64 started() const { return started_; }
-    u64 completedBoots() const { return completed_; }
+    // ---- Introspection (lock-free) ----------------------------------
+    u64 started() const { return started_.load(std::memory_order_relaxed); }
+    u64 completedBoots() const
+    {
+        return completed_.load(std::memory_order_relaxed);
+    }
+
+    /** Boot-record history retained before eviction (default 256). */
+    void setCapacity(std::size_t n)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        capacity_ = n;
+    }
 
     const Record *find(BootId id) const;
     /** The open (ready but first-request pending) boot of @p domain. */
@@ -141,6 +155,13 @@ class BootTracker
     /** Merged per-phase histograms (fleet rollup source). */
     const std::map<std::string, HdrHistogram> &phaseHistograms() const
     {
+        return phase_hist_;
+    }
+    /** Copy of the per-phase histograms, safe against concurrent
+     *  boots (the hub renders while other shards bring domains up). */
+    std::map<std::string, HdrHistogram> phaseHistogramsSnapshot() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
         return phase_hist_;
     }
     const HdrHistogram &totalHistogram() const { return total_hist_; }
@@ -163,16 +184,20 @@ class BootTracker
     bool enabled_ = false;
     TraceRecorder *tracer_ = nullptr;
     MetricsRegistry *metrics_ = nullptr;
-    BootId current_ = 0;
     BootId next_id_ = 1;
-    u64 started_ = 0;
-    u64 completed_ = 0;
+    std::atomic<u64> started_{0};
+    std::atomic<u64> completed_{0};
+    // Guards records_/open_by_domain_/phase_hist_/next_id_; toolstack
+    // boots land on every shard.
+    mutable std::mutex mu_;
     std::deque<Record> records_;
     std::size_t capacity_ = 256;
     std::map<std::string, BootId> open_by_domain_;
     std::map<std::string, HdrHistogram> phase_hist_;
     HdrHistogram total_hist_;
     HdrHistogram first_request_hist_;
+
+    static thread_local BootId current_tls_;
 };
 
 /** RAII save/restore of the ambient boot id (mirrors FlowScope). */

@@ -6,9 +6,12 @@
 
 namespace mirage::trace {
 
+thread_local FlowId FlowTracker::current_tls_ = 0;
+
 FlowTracker::Flow *
 FlowTracker::find(FlowId id)
 {
+    // Callers hold mu_.
     if (id == 0)
         return nullptr;
     auto it = live_.find(id);
@@ -21,27 +24,40 @@ FlowTracker::begin(const char *kind, TimePoint ts, u32 tid,
 {
     if (!enabled_)
         return 0;
-    if (live_.size() >= live_capacity_) {
-        // A stuck flow (lost ACK, dead peer) must not pin memory
-        // forever; evict the map's first victim and count it.
-        live_.erase(live_.begin());
-        abandoned_++;
+    // The id source reads the engine's ambient dispatch context; call
+    // it before taking the lock so it never nests under mu_.
+    FlowId id = id_source_ ? id_source_() : 0;
+    std::string detail_copy;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (live_.size() >= live_capacity_) {
+            // A stuck flow (lost ACK, dead peer) must not pin memory
+            // forever; evict the map's first victim and count it.
+            live_.erase(live_.begin());
+            live_count_.fetch_sub(1, std::memory_order_relaxed);
+            abandoned_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (id == 0)
+            id = next_id_++;
+        Flow &f = live_[id];
+        f.id = id;
+        f.kind = kind;
+        f.detail = std::move(detail);
+        f.domain = std::move(domain);
+        f.start_ns = ts.ns();
+        detail_copy = f.detail;
+        live_count_.fetch_add(1, std::memory_order_relaxed);
+        started_.fetch_add(1, std::memory_order_relaxed);
     }
-    FlowId id = next_id_++;
-    Flow &f = live_[id];
-    f.id = id;
-    f.kind = kind;
-    f.detail = std::move(detail);
-    f.domain = std::move(domain);
-    f.start_ns = ts.ns();
-    started_++;
     if (tracer_)
         tracer_->asyncBegin(Cat::Flow, kind, id, ts, tid,
-                            f.detail.empty()
+                            detail_copy.empty()
                                 ? std::string()
                                 : strprintf("\"detail\":\"%s\"",
-                                            jsonEscape(f.detail).c_str()));
-    current_ = id;
+                                            jsonEscape(detail_copy).c_str()));
+    current_tls_ = id;
+    // Hooks run outside the lock: the stall watchdog re-arms off this
+    // and reads completed()/liveCount() in the process.
     if (activity_hook_)
         activity_hook_();
     return id;
@@ -51,24 +67,27 @@ void
 FlowTracker::stageBegin(FlowId id, const char *stage, TimePoint ts,
                         u32 tid)
 {
-    Flow *f = find(id);
-    if (!f)
-        return;
-    Stage *s = nullptr;
-    for (Stage &cand : f->stages) {
-        if (cand.name == stage) {
-            s = &cand;
-            break;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        Flow *f = find(id);
+        if (!f)
+            return;
+        Stage *s = nullptr;
+        for (Stage &cand : f->stages) {
+            if (cand.name == stage) {
+                s = &cand;
+                break;
+            }
         }
+        if (!s) {
+            f->stages.push_back(Stage{stage, 0, 0, 0, 0});
+            s = &f->stages.back();
+        }
+        s->count++;
+        if (s->open++ == 0)
+            s->open_start = ts.ns();
+        f->open_total++;
     }
-    if (!s) {
-        f->stages.push_back(Stage{stage, 0, 0, 0, 0});
-        s = &f->stages.back();
-    }
-    s->count++;
-    if (s->open++ == 0)
-        s->open_start = ts.ns();
-    f->open_total++;
     if (tracer_)
         tracer_->asyncBegin(Cat::Flow, stage, id, ts, tid);
 }
@@ -76,32 +95,43 @@ FlowTracker::stageBegin(FlowId id, const char *stage, TimePoint ts,
 void
 FlowTracker::stageEnd(FlowId id, const char *stage, TimePoint ts, u32 tid)
 {
-    Flow *f = find(id);
-    if (!f)
-        return;
-    Stage *s = nullptr;
-    for (Stage &cand : f->stages) {
-        if (cand.name == stage) {
-            s = &cand;
-            break;
+    bool closed = false;
+    Flow done;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        Flow *f = find(id);
+        if (!f)
+            return;
+        Stage *s = nullptr;
+        for (Stage &cand : f->stages) {
+            if (cand.name == stage) {
+                s = &cand;
+                break;
+            }
+        }
+        if (!s || s->open == 0)
+            return; // unmatched end: stage never opened (stamp lost)
+        if (--s->open == 0)
+            s->total_ns += u64(ts.ns() - s->open_start);
+        f->open_total--;
+        if (f->end_requested && f->open_total == 0) {
+            f->end_ns = ts.ns();
+            done = std::move(*f);
+            live_.erase(id);
+            live_count_.fetch_sub(1, std::memory_order_relaxed);
+            closed = true;
         }
     }
-    if (!s || s->open == 0)
-        return; // unmatched end: stage never opened (stamp lost)
-    if (--s->open == 0)
-        s->total_ns += u64(ts.ns() - s->open_start);
-    f->open_total--;
     if (tracer_)
         tracer_->asyncEnd(Cat::Flow, stage, id, ts, tid);
-    if (f->end_requested && f->open_total == 0) {
-        f->end_ns = ts.ns();
-        finalize(*f, tid);
-    }
+    if (closed)
+        finalize(done, tid);
 }
 
 void
 FlowTracker::markFailed(FlowId id)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     if (Flow *f = find(id))
         f->failed = true;
 }
@@ -109,20 +139,34 @@ FlowTracker::markFailed(FlowId id)
 void
 FlowTracker::end(FlowId id, TimePoint ts, u32 tid)
 {
-    Flow *f = find(id);
-    if (!f || f->end_requested)
-        return;
-    f->end_requested = true;
-    f->end_ns = ts.ns();
-    if (f->open_total == 0)
-        finalize(*f, tid);
+    bool closed = false;
+    Flow done;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        Flow *f = find(id);
+        if (!f || f->end_requested)
+            return;
+        f->end_requested = true;
+        f->end_ns = ts.ns();
+        if (f->open_total == 0) {
+            done = std::move(*f);
+            live_.erase(id);
+            live_count_.fetch_sub(1, std::memory_order_relaxed);
+            closed = true;
+        }
+    }
+    if (closed)
+        finalize(done, tid);
 }
 
 void
 FlowTracker::finalize(Flow &f, u32 tid)
 {
+    // Runs WITHOUT mu_ held; @p f has already been removed from live_.
+    // Tracer/metrics are internally thread-safe, and the finalize hook
+    // (SLO tracker, telemetry hub) may take its own locks.
     f.done = true;
-    completed_++;
+    completed_.fetch_add(1, std::memory_order_relaxed);
     if (tracer_)
         tracer_->asyncEnd(Cat::Flow, f.kind, f.id, TimePoint(f.end_ns),
                           tid);
@@ -137,17 +181,18 @@ FlowTracker::finalize(Flow &f, u32 tid)
     }
     if (finalize_hook_)
         finalize_hook_(f);
-    if (current_ == f.id)
-        current_ = 0;
+    if (current_tls_ == f.id)
+        current_tls_ = 0;
+    std::lock_guard<std::mutex> lk(mu_);
     recent_.push_back(std::move(f));
     while (recent_.size() > recent_capacity_)
         recent_.pop_front();
-    live_.erase(recent_.back().id);
 }
 
 void
 FlowTracker::setRecentCapacity(std::size_t n)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     recent_capacity_ = n;
     while (recent_.size() > recent_capacity_)
         recent_.pop_front();
@@ -156,6 +201,7 @@ FlowTracker::setRecentCapacity(std::size_t n)
 std::string
 FlowTracker::recentJson() const
 {
+    std::lock_guard<std::mutex> lk(mu_);
     std::string out = "[";
     bool first = true;
     // Newest first: a dashboard polling /flows wants the fresh tail.

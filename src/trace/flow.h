@@ -36,8 +36,11 @@
 #ifndef MIRAGE_TRACE_FLOW_H
 #define MIRAGE_TRACE_FLOW_H
 
+#include <atomic>
 #include <deque>
 #include <functional>
+// mirage-lint: allow(wall-clock-in-sim)
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -120,15 +123,44 @@ class FlowTracker
                   u32 tid = 0);
 
     // ---- Ambient propagation (used by sim::Engine) ------------------
-    FlowId current() const { return current_; }
-    void setCurrent(FlowId id) { current_ = id; }
+    // The ambient flow is thread-local: each simulation shard worker
+    // carries its own dispatch context, restored by FlowScope.
+    FlowId current() const { return current_tls_; }
+    void setCurrent(FlowId id) { current_tls_ = id; }
 
-    // ---- Introspection ----------------------------------------------
-    u64 started() const { return started_; }
-    u64 completed() const { return completed_; }
+    /**
+     * Install a deterministic id source (e.g. the engine's causal
+     * token derivation) so flow ids are a pure function of the seed at
+     * any shard count. Falls back to a sequential counter when unset
+     * or when the source yields 0.
+     */
+    void setIdSource(std::function<FlowId()> source)
+    {
+        id_source_ = std::move(source);
+    }
+
+    // ---- Introspection (lock-free: watchdog hooks read these) -------
+    u64 started() const { return started_.load(std::memory_order_relaxed); }
+    u64 completed() const
+    {
+        return completed_.load(std::memory_order_relaxed);
+    }
     /** Flows evicted while still live (ran past liveCapacity). */
-    u64 abandoned() const { return abandoned_; }
-    std::size_t liveCount() const { return live_.size(); }
+    u64 abandoned() const
+    {
+        return abandoned_.load(std::memory_order_relaxed);
+    }
+    std::size_t liveCount() const
+    {
+        return live_count_.load(std::memory_order_relaxed);
+    }
+
+    /** Live-flow cap before the tracker starts evicting (default 1024). */
+    void setLiveCapacity(std::size_t n)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        live_capacity_ = n;
+    }
 
     /** Completed-flow history retained for recentJson(). */
     void setRecentCapacity(std::size_t n);
@@ -164,17 +196,24 @@ class FlowTracker
     bool enabled_ = false;
     TraceRecorder *tracer_ = nullptr;
     MetricsRegistry *metrics_ = nullptr;
-    FlowId current_ = 0;
+    std::function<FlowId()> id_source_;
     FlowId next_id_ = 1;
-    u64 started_ = 0;
-    u64 completed_ = 0;
-    u64 abandoned_ = 0;
+    std::atomic<u64> started_{0};
+    std::atomic<u64> completed_{0};
+    std::atomic<u64> abandoned_{0};
+    std::atomic<std::size_t> live_count_{0};
+    // Guards live_/recent_/next_id_; shard workers begin and finalize
+    // flows concurrently. The counters above stay lock-free so the
+    // stall watchdog's hooks can read them from any shard.
+    mutable std::mutex mu_;
     std::unordered_map<FlowId, Flow> live_;
     std::size_t live_capacity_ = 1024;
     std::deque<Flow> recent_;
     std::size_t recent_capacity_ = 128;
     std::function<void()> activity_hook_;
     std::function<void(const Flow &)> finalize_hook_;
+
+    static thread_local FlowId current_tls_;
 };
 
 /**

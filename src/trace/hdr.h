@@ -27,6 +27,7 @@
 #define MIRAGE_TRACE_HDR_H
 
 #include <array>
+#include <atomic>
 #include <bit>
 #include <string>
 
@@ -45,16 +46,29 @@ class HdrHistogram
     static constexpr std::size_t bucketCount =
         std::size_t(subBuckets) * (64 - subBucketShift + 1);
 
+    HdrHistogram() = default;
+
+    // Buckets are relaxed atomics so per-shard workers can record into
+    // shared histograms without locks; totals are exact once the
+    // shards quiesce. Copies snapshot the source (readers that want a
+    // consistent view copy at a barrier).
+    HdrHistogram(const HdrHistogram &o) { copyFrom(o); }
+    HdrHistogram &
+    operator=(const HdrHistogram &o)
+    {
+        if (this != &o)
+            copyFrom(o);
+        return *this;
+    }
+
     void
     record(u64 v)
     {
-        buckets_[bucketIndex(v)]++;
-        count_++;
-        sum_ += v;
-        if (v < min_)
-            min_ = v;
-        if (v > max_)
-            max_ = v;
+        buckets_[bucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(v, std::memory_order_relaxed);
+        atomicMin(min_, v);
+        atomicMax(max_, v);
     }
 
     /**
@@ -65,21 +79,28 @@ class HdrHistogram
     void
     merge(const HdrHistogram &other)
     {
-        for (std::size_t i = 0; i < bucketCount; i++)
-            buckets_[i] += other.buckets_[i];
-        count_ += other.count_;
-        sum_ += other.sum_;
-        if (other.count_ && other.min_ < min_)
-            min_ = other.min_;
-        if (other.max_ > max_)
-            max_ = other.max_;
+        for (std::size_t i = 0; i < bucketCount; i++) {
+            u64 n = other.buckets_[i].load(std::memory_order_relaxed);
+            if (n)
+                buckets_[i].fetch_add(n, std::memory_order_relaxed);
+        }
+        u64 ocount = other.count_.load(std::memory_order_relaxed);
+        count_.fetch_add(ocount, std::memory_order_relaxed);
+        sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+        if (ocount)
+            atomicMin(min_, other.min_.load(std::memory_order_relaxed));
+        atomicMax(max_, other.max_.load(std::memory_order_relaxed));
     }
 
-    u64 count() const { return count_; }
-    u64 sum() const { return sum_; }
-    u64 min() const { return count_ ? min_ : 0; }
-    u64 max() const { return max_; }
-    double mean() const { return count_ ? double(sum_) / double(count_) : 0; }
+    u64 count() const { return count_.load(std::memory_order_relaxed); }
+    u64 sum() const { return sum_.load(std::memory_order_relaxed); }
+    u64 min() const
+    {
+        return count() ? min_.load(std::memory_order_relaxed) : 0;
+    }
+    u64 max() const { return max_.load(std::memory_order_relaxed); }
+    double mean() const { return count() ? double(sum()) / double(count()) : 0; }
 
     /**
      * Upper bound of the bucket containing quantile @p q in (0, 1] —
@@ -89,23 +110,25 @@ class HdrHistogram
     u64
     quantile(double q) const
     {
-        if (count_ == 0)
+        u64 n = count();
+        if (n == 0)
             return 0;
         if (q < 0)
             q = 0;
         if (q > 1)
             q = 1;
-        u64 rank = u64(q * double(count_));
-        if (rank >= count_)
-            rank = count_ - 1;
+        u64 rank = u64(q * double(n));
+        if (rank >= n)
+            rank = n - 1;
         u64 seen = 0;
+        u64 mx = max();
         for (std::size_t i = 0; i < bucketCount; i++) {
-            seen += buckets_[i];
+            seen += buckets_[i].load(std::memory_order_relaxed);
             if (seen > rank)
-                return bucketUpperBound(i) < max_ ? bucketUpperBound(i)
-                                                  : max_;
+                return bucketUpperBound(i) < mx ? bucketUpperBound(i)
+                                                : mx;
         }
-        return max_;
+        return mx;
     }
 
     /** One-line "count=… mean=… p50=… p99=… p999=… max=…" summary. */
@@ -114,11 +137,11 @@ class HdrHistogram
     {
         return strprintf(
             "count=%llu mean=%.1f p50=%llu p99=%llu p999=%llu max=%llu",
-            (unsigned long long)count_, mean(),
+            (unsigned long long)count(), mean(),
             (unsigned long long)quantile(0.50),
             (unsigned long long)quantile(0.99),
             (unsigned long long)quantile(0.999),
-            (unsigned long long)max_);
+            (unsigned long long)max());
     }
 
     static std::size_t
@@ -149,14 +172,51 @@ class HdrHistogram
     }
 
     /** Raw per-bucket counts (for exposition-format export). */
-    u64 bucketCountAt(std::size_t index) const { return buckets_[index]; }
+    u64 bucketCountAt(std::size_t index) const
+    {
+        return buckets_[index].load(std::memory_order_relaxed);
+    }
 
   private:
-    std::array<u64, bucketCount> buckets_{};
-    u64 count_ = 0;
-    u64 sum_ = 0;
-    u64 min_ = ~u64(0);
-    u64 max_ = 0;
+    static void
+    atomicMin(std::atomic<u64> &slot, u64 v)
+    {
+        u64 cur = slot.load(std::memory_order_relaxed);
+        while (v < cur && !slot.compare_exchange_weak(
+                              cur, v, std::memory_order_relaxed)) {
+        }
+    }
+
+    static void
+    atomicMax(std::atomic<u64> &slot, u64 v)
+    {
+        u64 cur = slot.load(std::memory_order_relaxed);
+        while (v > cur && !slot.compare_exchange_weak(
+                              cur, v, std::memory_order_relaxed)) {
+        }
+    }
+
+    void
+    copyFrom(const HdrHistogram &o)
+    {
+        for (std::size_t i = 0; i < bucketCount; i++)
+            buckets_[i].store(o.buckets_[i].load(std::memory_order_relaxed),
+                              std::memory_order_relaxed);
+        count_.store(o.count_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+        sum_.store(o.sum_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+        min_.store(o.min_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+        max_.store(o.max_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    }
+
+    std::array<std::atomic<u64>, bucketCount> buckets_{};
+    std::atomic<u64> count_{0};
+    std::atomic<u64> sum_{0};
+    std::atomic<u64> min_{~u64(0)};
+    std::atomic<u64> max_{0};
 };
 
 } // namespace mirage::trace

@@ -13,6 +13,7 @@ TelemetryHub::onFlowDone(const FlowTracker::Flow &f)
 {
     const std::string &name =
         f.domain.empty() ? std::string("(untagged)") : f.domain;
+    std::lock_guard<std::mutex> lk(mu_);
     DomainAgg &agg = domains_[name];
     agg.requests++;
     if (f.failed)
@@ -23,6 +24,7 @@ TelemetryHub::onFlowDone(const FlowTracker::Flow &f)
 HdrHistogram
 TelemetryHub::fleetLatency() const
 {
+    std::lock_guard<std::mutex> lk(mu_);
     HdrHistogram merged;
     for (const auto &[name, agg] : domains_)
         merged.merge(agg.latency);
@@ -32,6 +34,7 @@ TelemetryHub::fleetLatency() const
 u64
 TelemetryHub::fleetRequests() const
 {
+    std::lock_guard<std::mutex> lk(mu_);
     u64 n = 0;
     for (const auto &[name, agg] : domains_)
         n += agg.requests;
@@ -41,6 +44,7 @@ TelemetryHub::fleetRequests() const
 u64
 TelemetryHub::fleetErrors() const
 {
+    std::lock_guard<std::mutex> lk(mu_);
     u64 n = 0;
     for (const auto &[name, agg] : domains_)
         n += agg.errors;
@@ -67,11 +71,25 @@ latencyJson(const HdrHistogram &h)
 std::string
 TelemetryHub::fleetJson() const
 {
+    // Snapshot under the lock, render without it: the render path reads
+    // the profiler and SLO tracker, which take their own locks.
+    std::map<std::string, DomainAgg> domains;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        domains = domains_;
+    }
+    u64 requests = 0, errors = 0;
+    HdrHistogram fleet_latency;
+    for (const auto &[name, agg] : domains) {
+        requests += agg.requests;
+        errors += agg.errors;
+        fleet_latency.merge(agg.latency);
+    }
     std::string out = "{\n\"domains\":[";
     bool first = true;
     u64 run_sum = 0, steal_sum = 0, blocked_sum = 0;
     u64 run_max = 0, steal_max = 0;
-    for (const auto &[name, agg] : domains_) {
+    for (const auto &[name, agg] : domains) {
         out += strprintf(
             "%s\n{\"name\":\"%s\",\"requests\":%llu,\"errors\":%llu,"
             "\"latency\":%s",
@@ -109,9 +127,9 @@ TelemetryHub::fleetJson() const
         "\"cpu\":{\"run_ns_sum\":%llu,\"run_ns_max\":%llu,"
         "\"steal_ns_sum\":%llu,\"steal_ns_max\":%llu,"
         "\"blocked_ns_sum\":%llu}",
-        domains_.size(), (unsigned long long)fleetRequests(),
-        (unsigned long long)fleetErrors(),
-        latencyJson(fleetLatency()).c_str(),
+        domains.size(), (unsigned long long)requests,
+        (unsigned long long)errors,
+        latencyJson(fleet_latency).c_str(),
         (unsigned long long)run_sum, (unsigned long long)run_max,
         (unsigned long long)steal_sum, (unsigned long long)steal_max,
         (unsigned long long)blocked_sum);
@@ -136,7 +154,7 @@ TelemetryHub::fleetJson() const
             latencyJson(boots_->totalHistogram()).c_str(),
             latencyJson(boots_->firstRequestHistogram()).c_str());
         bool fp = true;
-        for (const auto &[phase, h] : boots_->phaseHistograms()) {
+        for (const auto &[phase, h] : boots_->phaseHistogramsSnapshot()) {
             out += strprintf("%s\"%s\":%s", fp ? "" : ",",
                              jsonEscape(phase).c_str(),
                              latencyJson(h).c_str());
@@ -175,6 +193,7 @@ promLabel(const std::string &s)
 std::string
 TelemetryHub::toPrometheus() const
 {
+    std::lock_guard<std::mutex> lk(mu_);
     std::string out;
     out += "# TYPE fleet_requests_total counter\n";
     for (const auto &[name, agg] : domains_)

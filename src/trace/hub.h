@@ -33,6 +33,8 @@
 #define MIRAGE_TRACE_HUB_H
 
 #include <map>
+// mirage-lint: allow(wall-clock-in-sim)
+#include <mutex>
 #include <string>
 
 #include "base/types.h"
@@ -116,6 +118,9 @@ class TelemetryHub
     BootTracker *boots_ = nullptr;
     SloTracker *slo_ = nullptr;
     MetricsRegistry *metrics_ = nullptr;
+    // Guards domains_; flows finalize on every shard while /fleet
+    // renders from the monitor's shard.
+    mutable std::mutex mu_;
     std::map<std::string, DomainAgg> domains_;
 };
 

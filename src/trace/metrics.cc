@@ -9,6 +9,7 @@ namespace mirage::trace {
 Counter &
 MetricsRegistry::counter(const std::string &name)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     auto it = counters_.find(name);
     if (it == counters_.end())
         it = counters_.emplace(name, std::make_unique<Counter>()).first;
@@ -18,6 +19,7 @@ MetricsRegistry::counter(const std::string &name)
 Histogram &
 MetricsRegistry::histogram(const std::string &name)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     auto it = histograms_.find(name);
     if (it == histograms_.end())
         it = histograms_.emplace(name, std::make_unique<Histogram>()).first;
@@ -27,6 +29,7 @@ MetricsRegistry::histogram(const std::string &name)
 const Counter *
 MetricsRegistry::findCounter(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lk(mu_);
     auto it = counters_.find(name);
     return it == counters_.end() ? nullptr : it->second.get();
 }
@@ -34,6 +37,7 @@ MetricsRegistry::findCounter(const std::string &name) const
 const Histogram *
 MetricsRegistry::findHistogram(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lk(mu_);
     auto it = histograms_.find(name);
     return it == histograms_.end() ? nullptr : it->second.get();
 }
@@ -41,6 +45,7 @@ MetricsRegistry::findHistogram(const std::string &name) const
 std::string
 MetricsRegistry::dump() const
 {
+    std::lock_guard<std::mutex> lk(mu_);
     std::string out;
     for (const auto &[name, c] : counters_)
         out += strprintf("%-40s %llu\n", name.c_str(),
@@ -73,6 +78,7 @@ promName(const std::string &name)
 std::string
 MetricsRegistry::toPrometheus() const
 {
+    std::lock_guard<std::mutex> lk(mu_);
     std::string out;
     for (const auto &[name, c] : counters_) {
         std::string p = promName(name);

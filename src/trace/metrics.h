@@ -18,8 +18,11 @@
 #ifndef MIRAGE_TRACE_METRICS_H
 #define MIRAGE_TRACE_METRICS_H
 
+#include <atomic>
 #include <map>
 #include <memory>
+// mirage-lint: allow(wall-clock-in-sim)
+#include <mutex>
 #include <string>
 
 #include "base/types.h"
@@ -27,15 +30,19 @@
 
 namespace mirage::trace {
 
-/** A monotonically increasing named value. */
+/**
+ * A monotonically increasing named value. Increments are relaxed
+ * atomics so per-shard simulation workers can share one registry; the
+ * total is exact once the shards quiesce (window barriers, run end).
+ */
 class Counter
 {
   public:
-    void inc(u64 n = 1) { value_ += n; }
-    u64 value() const { return value_; }
+    void inc(u64 n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+    u64 value() const { return value_.load(std::memory_order_relaxed); }
 
   private:
-    u64 value_ = 0;
+    std::atomic<u64> value_{0};
 };
 
 /** Null-safe increment for optionally-wired counter pointers. */
@@ -75,7 +82,11 @@ class MetricsRegistry
     const Counter *findCounter(const std::string &name) const;
     const Histogram *findHistogram(const std::string &name) const;
 
-    std::size_t counterCount() const { return counters_.size(); }
+    std::size_t counterCount() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return counters_.size();
+    }
 
     /**
      * Text dump, one `name value` / `name summary` line per metric,
@@ -93,6 +104,9 @@ class MetricsRegistry
     std::string toPrometheus() const;
 
   private:
+    // Guards the name maps only; Counter/Histogram are internally
+    // thread-safe and references stay valid without the lock.
+    mutable std::mutex mu_;
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };

@@ -8,25 +8,32 @@
 
 namespace mirage::trace {
 
+thread_local Profiler::ScopeId Profiler::current_tls_ = 0;
+
 // ---- DomainStats -----------------------------------------------------------
 
 void
 DomainStats::noteRing(const std::string &ring, u32 occupancy,
                       u32 capacity, bool alert_on_full)
 {
-    Ring &r = rings[ring];
-    r.capacity = capacity;
-    if (occupancy > r.hwm)
-        r.hwm = occupancy;
-    if (alert_on_full && occupancy >= capacity && !r.full_alerted) {
-        r.full_alerted = true;
-        if (owner)
-            owner->alert("ring_full",
-                         strprintf("%s: ring %s observed full "
-                                   "(%u/%u slots)",
-                                   name.c_str(), ring.c_str(), occupancy,
-                                   capacity));
+    bool raise = false;
+    {
+        std::lock_guard<std::mutex> lk(rings_mu_);
+        Ring &r = rings[ring];
+        r.capacity = capacity;
+        if (occupancy > r.hwm)
+            r.hwm = occupancy;
+        if (alert_on_full && occupancy >= capacity && !r.full_alerted) {
+            r.full_alerted = true;
+            raise = true;
+        }
     }
+    if (raise && owner)
+        owner->alert("ring_full",
+                     strprintf("%s: ring %s observed full "
+                               "(%u/%u slots)",
+                               name.c_str(), ring.c_str(), occupancy,
+                               capacity));
 }
 
 // ---- Profiler: scope tree --------------------------------------------------
@@ -56,9 +63,11 @@ Profiler::childOf(u32 parent, const char *label)
 Profiler::ScopeId
 Profiler::push(const char *label)
 {
-    ScopeId saved = current_;
-    if (enabled_)
-        current_ = childOf(current_, label);
+    ScopeId saved = current_tls_;
+    if (enabled_) {
+        std::lock_guard<std::mutex> lk(mu_);
+        current_tls_ = childOf(current_tls_, label);
+    }
     return saved;
 }
 
@@ -67,10 +76,11 @@ Profiler::charge(const char *leaf, u64 ns, i64 now_ns)
 {
     if (!enabled_)
         return;
-    u32 node = childOf(current_, leaf);
+    std::lock_guard<std::mutex> lk(mu_);
+    u32 node = childOf(current_tls_, leaf);
     nodes_[node].self_ns += ns;
     nodes_[node].samples++;
-    total_ns_ += ns;
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
     // Subtree totals accumulate up the ancestry; depth is the static
     // scope nesting (single digits), not anything time-dependent.
     for (u32 at = node; at != 0; at = nodes_[at].parent)
@@ -102,7 +112,7 @@ Profiler::emitCounterSample(i64 now_ns)
 }
 
 u64
-Profiler::unattributedNs() const
+Profiler::unattributedNsLocked() const
 {
     u64 ns = nodes_[0].self_ns;
     for (u32 c : nodes_[0].children)
@@ -111,12 +121,27 @@ Profiler::unattributedNs() const
     return ns;
 }
 
+u64
+Profiler::unattributedNs() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return unattributedNsLocked();
+}
+
+double
+Profiler::attributedFractionLocked() const
+{
+    u64 total = total_ns_.load(std::memory_order_relaxed);
+    if (total == 0)
+        return 1.0;
+    return 1.0 - double(unattributedNsLocked()) / double(total);
+}
+
 double
 Profiler::attributedFraction() const
 {
-    if (total_ns_ == 0)
-        return 1.0;
-    return 1.0 - double(unattributedNs()) / double(total_ns_);
+    std::lock_guard<std::mutex> lk(mu_);
+    return attributedFractionLocked();
 }
 
 std::string
@@ -165,6 +190,7 @@ Profiler::findPath(const std::string &path) const
 u64
 Profiler::selfNs(const std::string &path) const
 {
+    std::lock_guard<std::mutex> lk(mu_);
     u32 n = findPath(path);
     return n ? nodes_[n].self_ns : 0;
 }
@@ -172,6 +198,7 @@ Profiler::selfNs(const std::string &path) const
 u64
 Profiler::samples(const std::string &path) const
 {
+    std::lock_guard<std::mutex> lk(mu_);
     u32 n = findPath(path);
     return n ? nodes_[n].samples : 0;
 }
@@ -179,6 +206,7 @@ Profiler::samples(const std::string &path) const
 std::string
 Profiler::folded() const
 {
+    std::lock_guard<std::mutex> lk(mu_);
     std::string out;
     for (u32 i = 1; i < u32(nodes_.size()); i++) {
         if (nodes_[i].self_ns == 0)
@@ -214,6 +242,7 @@ Profiler::writeFolded(const std::string &path) const
 DomainStats &
 Profiler::domain(const std::string &name)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     auto it = domains_.find(name);
     if (it == domains_.end()) {
         auto stats = std::make_unique<DomainStats>();
@@ -227,6 +256,7 @@ Profiler::domain(const std::string &name)
 const DomainStats *
 Profiler::findDomain(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lk(mu_);
     auto it = domains_.find(name);
     return it == domains_.end() ? nullptr : it->second.get();
 }
@@ -249,6 +279,7 @@ histJson(const Histogram &h)
 std::string
 Profiler::topJson() const
 {
+    std::lock_guard<std::mutex> lk(mu_);
     std::string out = "{\"domains\":[";
     bool first_dom = true;
     for (const auto &[name, d] : domains_) {
@@ -267,14 +298,17 @@ Profiler::topJson() const
             (unsigned long long)d->notifies_sent,
             (unsigned long long)d->notifies_received);
         out += "\"rings\":{";
-        bool first_ring = true;
-        for (const auto &[rname, ring] : d->rings) {
-            if (!first_ring)
-                out += ",";
-            first_ring = false;
-            out += strprintf("\"%s\":{\"hwm\":%u,\"capacity\":%u}",
-                             jsonEscape(rname).c_str(), ring.hwm,
-                             ring.capacity);
+        {
+            std::lock_guard<std::mutex> rlk(d->rings_mu_);
+            bool first_ring = true;
+            for (const auto &[rname, ring] : d->rings) {
+                if (!first_ring)
+                    out += ",";
+                first_ring = false;
+                out += strprintf("\"%s\":{\"hwm\":%u,\"capacity\":%u}",
+                                 jsonEscape(rname).c_str(), ring.hwm,
+                                 ring.capacity);
+            }
         }
         out += "},";
         out += strprintf(
@@ -290,14 +324,16 @@ Profiler::topJson() const
     }
     out += strprintf("],\"charged_ns\":%llu,"
                      "\"attributed_fraction\":%.4f,\"alerts\":%llu}",
-                     (unsigned long long)total_ns_, attributedFraction(),
-                     (unsigned long long)alerts_);
+                     (unsigned long long)totalNs(),
+                     attributedFractionLocked(),
+                     (unsigned long long)alerts());
     return out;
 }
 
 std::string
 Profiler::topText() const
 {
+    std::lock_guard<std::mutex> lk(mu_);
     std::string out =
         strprintf("%-12s %10s %10s %10s %6s %7s %7s %6s %6s %10s\n",
                   "NAME", "RUN(ms)", "STEAL(ms)", "BLOCK(ms)", "POLLS",
@@ -314,15 +350,16 @@ Profiler::topText() const
             (unsigned long long)d->gc_minor,
             (unsigned long long)d->gc_major,
             double(d->gc_minor_pause_ns.quantile(0.99)) / 1e3);
+        std::lock_guard<std::mutex> rlk(d->rings_mu_);
         for (const auto &[rname, ring] : d->rings)
             out += strprintf("  ring %-20s hwm %2u / %u%s\n",
                              rname.c_str(), ring.hwm, ring.capacity,
                              ring.full_alerted ? "  [was full]" : "");
     }
     out += strprintf("charged %.2f ms, %.1f%% attributed, %llu alert(s)\n",
-                     double(total_ns_) / 1e6,
-                     attributedFraction() * 100.0,
-                     (unsigned long long)alerts_);
+                     double(totalNs()) / 1e6,
+                     attributedFractionLocked() * 100.0,
+                     (unsigned long long)alerts());
     return out;
 }
 
@@ -331,11 +368,16 @@ Profiler::topText() const
 void
 Profiler::alert(const char *kind, const std::string &detail)
 {
-    alerts_++;
+    alerts_.fetch_add(1, std::memory_order_relaxed);
     bump(c_alerts_);
-    if (alert_log_.size() >= alertLogCapacity)
-        alert_log_.erase(alert_log_.begin());
-    alert_log_.push_back(std::string(kind) + ": " + detail);
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (alert_log_.size() >= alertLogCapacity)
+            alert_log_.erase(alert_log_.begin());
+        alert_log_.push_back(std::string(kind) + ": " + detail);
+    }
+    // The hook (flight-recorder dump) takes the tracer's lock; keep it
+    // outside ours.
     if (alert_hook_)
         alert_hook_(kind, detail);
 }

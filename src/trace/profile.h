@@ -40,9 +40,12 @@
 #ifndef MIRAGE_TRACE_PROFILE_H
 #define MIRAGE_TRACE_PROFILE_H
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
+// mirage-lint: allow(wall-clock-in-sim)
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -55,6 +58,49 @@ namespace mirage::trace {
 
 class TraceRecorder;
 class Profiler;
+
+/**
+ * A u64 cell with relaxed-atomic access, drop-in for the plain counters
+ * in DomainStats: each field is written by the owning domain's shard
+ * while rollups (/top, TelemetryHub) read from another thread. Totals
+ * are exact at window barriers.
+ */
+class RelaxedU64
+{
+  public:
+    RelaxedU64(u64 v = 0) : v_(v) {}
+    RelaxedU64(const RelaxedU64 &o) : v_(o.load()) {}
+    RelaxedU64 &operator=(const RelaxedU64 &o)
+    {
+        store(o.load());
+        return *this;
+    }
+    RelaxedU64 &operator=(u64 v)
+    {
+        store(v);
+        return *this;
+    }
+    RelaxedU64 &operator+=(u64 n)
+    {
+        v_.fetch_add(n, std::memory_order_relaxed);
+        return *this;
+    }
+    RelaxedU64 &operator++()
+    {
+        v_.fetch_add(1, std::memory_order_relaxed);
+        return *this;
+    }
+    u64 operator++(int)
+    {
+        return v_.fetch_add(1, std::memory_order_relaxed);
+    }
+    operator u64() const { return load(); }
+    u64 load() const { return v_.load(std::memory_order_relaxed); }
+    void store(u64 v) { v_.store(v, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<u64> v_;
+};
 
 /**
  * Per-domain resource accounting — one record per domain, owned by the
@@ -77,23 +123,26 @@ struct DomainStats
     Profiler *owner = nullptr; //!< for ring-full alerts
 
     // ---- vCPU time (summed over the domain's vcpus) -----------------
-    u64 run_ns = 0;     //!< work charged to the vcpus
-    u64 steal_ns = 0;   //!< charged work queued behind earlier work
-    u64 blocked_ns = 0; //!< time spent inside domainpoll
-    u64 polls = 0;      //!< completed domainpolls
+    RelaxedU64 run_ns;     //!< work charged to the vcpus
+    RelaxedU64 steal_ns;   //!< charged work queued behind earlier work
+    RelaxedU64 blocked_ns; //!< time spent inside domainpoll
+    RelaxedU64 polls;      //!< completed domainpolls
 
     // ---- Event channels ---------------------------------------------
-    u64 notifies_sent = 0;
-    u64 notifies_received = 0;
+    RelaxedU64 notifies_sent;
+    RelaxedU64 notifies_received;
 
     // ---- Ring occupancy high-water marks (keyed by ring name) -------
+    // Guarded by rings_mu_: the owning shard updates marks while /top
+    // renders from another thread.
+    mutable std::mutex rings_mu_;
     std::map<std::string, Ring> rings;
 
     // ---- GC ----------------------------------------------------------
-    u64 gc_minor = 0;
-    u64 gc_major = 0;
-    u64 gc_promoted_bytes = 0;
-    u64 gc_live_after_major_bytes = 0;
+    RelaxedU64 gc_minor;
+    RelaxedU64 gc_major;
+    RelaxedU64 gc_promoted_bytes;
+    RelaxedU64 gc_live_after_major_bytes;
     Histogram gc_minor_pause_ns;
     Histogram gc_major_pause_ns;
 
@@ -127,8 +176,10 @@ class Profiler
     void attach(TraceRecorder *tracer, MetricsRegistry *metrics);
 
     // ---- Ambient scope stack ----------------------------------------
-    ScopeId current() const { return current_; }
-    void setCurrent(ScopeId s) { current_ = s; }
+    // Thread-local, like FlowTracker's ambient flow: each shard worker
+    // carries its own attribution context across dispatch.
+    ScopeId current() const { return current_tls_; }
+    void setCurrent(ScopeId s) { current_tls_ = s; }
 
     /**
      * Descend into child @p label of the current scope (interning it on
@@ -145,7 +196,10 @@ class Profiler
      */
     void charge(const char *leaf, u64 ns, i64 now_ns);
 
-    u64 totalNs() const { return total_ns_; }
+    u64 totalNs() const
+    {
+        return total_ns_.load(std::memory_order_relaxed);
+    }
     /** Charged ns in the root-level generic bucket ("cpu.work"). */
     u64 unattributedNs() const;
     /** 1 - unattributed/total; 1.0 when nothing was charged. */
@@ -205,9 +259,13 @@ class Profiler
     /** Raise alert @p kind (e.g. "stall", "gc_pause", "ring_full"). */
     void alert(const char *kind, const std::string &detail);
 
-    u64 alerts() const { return alerts_; }
+    u64 alerts() const { return alerts_.load(std::memory_order_relaxed); }
     /** Most recent alerts, oldest first ("kind: detail"), bounded. */
-    const std::vector<std::string> &alertLog() const { return alert_log_; }
+    std::vector<std::string> alertLog() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return alert_log_;
+    }
 
     /** GC pauses at or above this raise `gc_pause` (0 disables). */
     void setGcPauseAlertThreshold(Duration d)
@@ -237,21 +295,27 @@ class Profiler
     u32 findPath(const std::string &path) const;
     std::string pathOf(u32 node) const;
     void emitCounterSample(i64 now_ns);
+    u64 unattributedNsLocked() const;
+    double attributedFractionLocked() const;
 
     bool enabled_ = false;
     TraceRecorder *tracer_ = nullptr;
     Counter *c_alerts_ = nullptr;
-    ScopeId current_ = 0;
+    // Guards the scope tree, domain map and alert log; charges arrive
+    // from every shard worker. totalNs()/alerts() stay lock-free.
+    mutable std::mutex mu_;
     std::vector<Node> nodes_{Node{}}; //!< [0] is the root
-    u64 total_ns_ = 0;
+    std::atomic<u64> total_ns_{0};
     i64 sample_interval_ns_ = 100'000;
     i64 next_sample_ns_ = 0;
     std::map<std::string, std::unique_ptr<DomainStats>> domains_;
     std::function<void(const char *, const std::string &)> alert_hook_;
-    u64 alerts_ = 0;
+    std::atomic<u64> alerts_{0};
     std::vector<std::string> alert_log_;
     u64 gc_pause_alert_ns_ = 0;
     static constexpr std::size_t alertLogCapacity = 64;
+
+    static thread_local ScopeId current_tls_;
 };
 
 /**

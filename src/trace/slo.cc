@@ -8,6 +8,7 @@ namespace mirage::trace {
 void
 SloTracker::setTarget(const std::string &kind, SloTarget target)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     State s;
     s.target = target;
     states_[kind] = std::move(s);
@@ -16,6 +17,7 @@ SloTracker::setTarget(const std::string &kind, SloTarget target)
 const SloTracker::State *
 SloTracker::find(const std::string &kind) const
 {
+    std::lock_guard<std::mutex> lk(mu_);
     auto it = states_.find(kind);
     return it == states_.end() ? nullptr : &it->second;
 }
@@ -66,7 +68,8 @@ burnOver(const SloTracker::State &s, i64 now_ns, i64 window_ns,
 } // namespace
 
 void
-SloTracker::check(const std::string &kind, State &s, TimePoint ts)
+SloTracker::check(const std::string &kind, State &s, TimePoint ts,
+                  PendingAlerts &fired)
 {
     i64 width = sliceWidthNs(s);
     s.fast_burn = burnOver(s, ts.ns(), s.target.fastWindow.ns(), width);
@@ -76,7 +79,7 @@ SloTracker::check(const std::string &kind, State &s, TimePoint ts)
     if (firing && !s.alerting) {
         s.alerting = true;
         s.alerts++;
-        alerts_++;
+        alerts_.fetch_add(1, std::memory_order_relaxed);
         std::string detail = strprintf(
             "%s: burn rate %.1fx over %lld ms and %.1fx over %lld ms "
             "(threshold %.1fx, objective %.4f, latency target %llu us)",
@@ -86,8 +89,7 @@ SloTracker::check(const std::string &kind, State &s, TimePoint ts)
             (long long)(s.target.slowWindow.ns() / 1'000'000),
             s.target.burnThreshold, s.target.objective,
             (unsigned long long)(s.target.latencyTargetNs / 1000));
-        if (alert_hook_)
-            alert_hook_(kind, detail);
+        fired.emplace_back(kind, std::move(detail));
     } else if (!firing && s.alerting &&
                s.fast_burn < s.target.burnThreshold) {
         // Fast-window recovery re-arms the alert; the slow window may
@@ -100,35 +102,50 @@ void
 SloTracker::record(const std::string &kind, u64 latency_ns, bool failed,
                    TimePoint ts)
 {
-    auto it = states_.find(kind);
-    if (it == states_.end())
-        return;
-    State &s = it->second;
-    advance(s, ts);
-    bool good = !failed && (s.target.latencyTargetNs == 0 ||
-                            latency_ns <= s.target.latencyTargetNs);
-    if (good) {
-        s.good++;
-        s.slices.back().good++;
-    } else {
-        s.bad++;
-        s.slices.back().bad++;
+    PendingAlerts fired;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = states_.find(kind);
+        if (it == states_.end())
+            return;
+        State &s = it->second;
+        advance(s, ts);
+        bool good = !failed && (s.target.latencyTargetNs == 0 ||
+                                latency_ns <= s.target.latencyTargetNs);
+        if (good) {
+            s.good++;
+            s.slices.back().good++;
+        } else {
+            s.bad++;
+            s.slices.back().bad++;
+        }
+        check(kind, s, ts, fired);
     }
-    check(kind, s, ts);
+    if (alert_hook_)
+        for (auto &[k, detail] : fired)
+            alert_hook_(k, detail);
 }
 
 void
 SloTracker::evaluate(TimePoint ts)
 {
-    for (auto &[kind, s] : states_) {
-        advance(s, ts);
-        check(kind, s, ts);
+    PendingAlerts fired;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        for (auto &[kind, s] : states_) {
+            advance(s, ts);
+            check(kind, s, ts, fired);
+        }
     }
+    if (alert_hook_)
+        for (auto &[k, detail] : fired)
+            alert_hook_(k, detail);
 }
 
 std::string
 SloTracker::json() const
 {
+    std::lock_guard<std::mutex> lk(mu_);
     std::string out = "[";
     bool first = true;
     for (const auto &[kind, s] : states_) {

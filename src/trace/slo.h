@@ -29,10 +29,15 @@
 #ifndef MIRAGE_TRACE_SLO_H
 #define MIRAGE_TRACE_SLO_H
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <map>
+// mirage-lint: allow(wall-clock-in-sim)
+#include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "base/time.h"
 #include "base/types.h"
@@ -76,6 +81,7 @@ class SloTracker
 
     bool hasTarget(const std::string &kind) const
     {
+        std::lock_guard<std::mutex> lk(mu_);
         return states_.count(kind) != 0;
     }
 
@@ -106,7 +112,7 @@ class SloTracker
         alert_hook_ = std::move(hook);
     }
 
-    u64 alerts() const { return alerts_; }
+    u64 alerts() const { return alerts_.load(std::memory_order_relaxed); }
     const State *find(const std::string &kind) const;
 
     /**
@@ -117,14 +123,20 @@ class SloTracker
     std::string json() const;
 
   private:
+    using PendingAlerts = std::vector<std::pair<std::string, std::string>>;
+
     void advance(State &s, TimePoint ts);
-    void check(const std::string &kind, State &s, TimePoint ts);
+    void check(const std::string &kind, State &s, TimePoint ts,
+               PendingAlerts &fired);
     static i64 sliceWidthNs(const State &s);
 
+    // Guards states_; flows finalize on every shard. The alert hook
+    // fires outside the lock (it reaches the profiler's watchdog path).
+    mutable std::mutex mu_;
     std::map<std::string, State> states_;
     std::function<void(const std::string &, const std::string &)>
         alert_hook_;
-    u64 alerts_ = 0;
+    std::atomic<u64> alerts_{0};
 };
 
 } // namespace mirage::trace

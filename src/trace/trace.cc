@@ -65,6 +65,7 @@ jsonEscape(const std::string &s)
 u32
 TraceRecorder::track(const std::string &name)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     auto it = track_index_.find(name);
     if (it != track_index_.end())
         return it->second;
@@ -77,6 +78,7 @@ TraceRecorder::track(const std::string &name)
 void
 TraceRecorder::push(Event &&e)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     if (flight_cap_ == 0) {
         events_.push_back(std::move(e));
         return;
@@ -149,6 +151,7 @@ TraceRecorder::counter(Cat cat, const char *name, TimePoint ts,
 void
 TraceRecorder::setFlightCapacity(std::size_t n)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     flight_cap_ = n;
     if (n == 0) {
         head_ = 0;
@@ -167,6 +170,13 @@ TraceRecorder::setFlightCapacity(std::size_t n)
 std::vector<TraceRecorder::Event>
 TraceRecorder::events() const
 {
+    std::lock_guard<std::mutex> lk(mu_);
+    return eventsLocked();
+}
+
+std::vector<TraceRecorder::Event>
+TraceRecorder::eventsLocked() const
+{
     std::vector<Event> out;
     out.reserve(events_.size());
     if (flight_cap_ != 0 && events_.size() == flight_cap_) {
@@ -182,6 +192,7 @@ TraceRecorder::events() const
 void
 TraceRecorder::clear()
 {
+    std::lock_guard<std::mutex> lk(mu_);
     events_.clear();
     head_ = 0;
     dropped_ = 0;
@@ -193,7 +204,15 @@ TraceRecorder::toChromeJson() const
     // Spans are recorded when scheduled, which may predate events that
     // execute earlier (a Cpu books work at its future freeAt); sort by
     // virtual start time so the export reads in timeline order.
-    std::vector<Event> store = events();
+    std::vector<Event> store;
+    std::vector<std::string> tracks;
+    u64 dropped;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        store = eventsLocked();
+        tracks = tracks_;
+        dropped = dropped_;
+    }
     std::vector<const Event *> ordered;
     ordered.reserve(store.size());
     for (const Event &e : store)
@@ -206,14 +225,14 @@ TraceRecorder::toChromeJson() const
     std::string out = strprintf(
         "{\"displayTimeUnit\":\"ms\",\"droppedEvents\":%llu,"
         "\"traceEvents\":[\n",
-        (unsigned long long)dropped_);
+        (unsigned long long)dropped);
     out += "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
            "\"args\":{\"name\":\"mirage\"}}";
-    for (std::size_t i = 0; i < tracks_.size(); i++) {
+    for (std::size_t i = 0; i < tracks.size(); i++) {
         out += strprintf(",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%zu,"
                          "\"name\":\"thread_name\","
                          "\"args\":{\"name\":\"%s\"}}",
-                         i, jsonEscape(tracks_[i]).c_str());
+                         i, jsonEscape(tracks[i]).c_str());
     }
     for (const Event *e : ordered) {
         // Chrome expects microsecond timestamps; keep ns resolution

@@ -34,6 +34,8 @@
 #define MIRAGE_TRACE_TRACE_H
 
 #include <map>
+// mirage-lint: allow(wall-clock-in-sim)
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -125,9 +127,17 @@ class TraceRecorder
     std::size_t flightCapacity() const { return flight_cap_; }
 
     /** Events overwritten (lost) since the last clear(). */
-    u64 droppedEvents() const { return dropped_; }
+    u64 droppedEvents() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return dropped_;
+    }
 
-    std::size_t eventCount() const { return events_.size(); }
+    std::size_t eventCount() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return events_.size();
+    }
 
     /**
      * Raw event store. In flight mode the ring is rotated so events
@@ -149,8 +159,12 @@ class TraceRecorder
 
   private:
     void push(Event &&e);
+    std::vector<Event> eventsLocked() const;
 
     bool enabled_ = false;
+    // Serialises the event store and track interning; shard workers
+    // record concurrently into one recorder.
+    mutable std::mutex mu_;
     std::vector<Event> events_;
     std::size_t flight_cap_ = 0; //!< 0 = unbounded
     std::size_t head_ = 0;       //!< next overwrite slot (ring mode)

@@ -491,7 +491,7 @@ TEST_F(BootTest, EntryRunsOnceReady)
 {
     Toolstack ts(hv, Toolstack::Mode::Parallel);
     bool entered = false;
-    ts.boot({"uk", GuestKind::Unikernel, 64, 1,
+    ts.boot({"uk", GuestKind::Unikernel, 64, 1, nullptr,
              [&](Domain &d) {
                  entered = true;
                  EXPECT_EQ(d.state(), DomainState::Running);

@@ -129,9 +129,11 @@ lowerIsBetter(const Row &row, bool *known)
         "latency", "per_packet", "pause",  "jitter", "boot",
         "init",    "rtt",        "cost",   "time",   "_ns",
         "copies",  "loc",        "image",  "size",   "bytes",
+        "_ms",     "response",
     };
     static const char *const kHigher[] = {
-        "throughput", "rate", "ratio", "reuse", "qps", "ops", "hits",
+        "throughput", "rate",    "ratio", "reuse", "qps", "ops",
+        "hits",       "per_sec", "speedup",
     };
     std::string key = row.metric + "/" + row.name;
     std::transform(key.begin(), key.end(), key.begin(),

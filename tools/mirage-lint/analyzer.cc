@@ -10,6 +10,7 @@ namespace {
 const std::vector<std::string> kChecks = {
     "continuation-self-capture", "lease-escape", "wall-clock-in-sim",
     "ring-index-unmasked",       "flow-scope-hop",
+    "cross-shard-direct-schedule",
 };
 
 bool
@@ -849,6 +850,45 @@ Analyzer::checkFlowScope(const LexedFile &f, const Function &fn,
     }
 }
 
+// ---- Check 6: cross-shard-direct-schedule --------------------------------
+
+void
+Analyzer::checkCrossShard(const LexedFile &f,
+                          std::vector<Finding> &out) const
+{
+    const auto &t = f.toks;
+    static const std::set<std::string> schedulers = {"at", "after",
+                                                     "atKeyed"};
+    for (std::size_t i = 0; i + 5 < t.size(); i++) {
+        // X->engine().at(... / X->engine().after(...: scheduling
+        // straight onto a peer domain's engine. A pointer-derefed
+        // receiver is another domain by convention (a domain's own
+        // engine is reached through a held reference: engine_,
+        // dom.engine()); such hops must route through the mailbox
+        // (sim::crossPost / crossPostAt) or the merged dispatch order
+        // is no longer a pure function of the seed.
+        if (!isIdent(t[i], "engine") || !isPunct(t[i + 1], "(") ||
+            !isPunct(t[i + 2], ")") || !isPunct(t[i + 3], "."))
+            continue;
+        if (t[i + 4].kind != TokKind::Ident ||
+            !schedulers.count(t[i + 4].text) ||
+            !isPunct(t[i + 5], "("))
+            continue;
+        std::string root;
+        bool arrow = false;
+        receiverChain(t, i, root, arrow);
+        if (!arrow || root.empty())
+            continue;
+        out.push_back(Finding{
+            "cross-shard-direct-schedule", f.path, t[i + 4].line, root,
+            "'" + root + "->engine()." + t[i + 4].text +
+                "(...)' schedules directly onto another domain's "
+                "engine: cross-shard work must go through "
+                "sim::crossPost/crossPostAt so the mailbox preserves "
+                "the deterministic (when, seq) merge"});
+    }
+}
+
 // ---- Driver --------------------------------------------------------------
 
 std::vector<Finding>
@@ -865,6 +905,7 @@ Analyzer::check(const LexedFile &f, bool wallclock_allowed)
     if (!wallclock_allowed)
         checkWallClock(f, out);
     checkRingIndex(f, out);
+    checkCrossShard(f, out);
 
     // Apply suppression comments.
     std::vector<std::pair<int, std::string>> allows;

@@ -31,6 +31,16 @@
  *      running (they wrap at 2^32); only the masked slot() accessor
  *      may turn one into a slot address.
  *
+ *  cross-shard-direct-schedule  an event scheduled straight onto
+ *      another domain's engine (peer->engine().at/after/atKeyed)
+ *      instead of through the sharded mailbox
+ *      (sim::crossPost/crossPostAt). Direct posts bypass the
+ *      conservative window merge: the event's causal key is consumed
+ *      on the wrong shard and replay stops being a pure function of
+ *      the seed once the domains land on different shards. A domain's
+ *      own engine, reached through a held reference (engine_,
+ *      dom.engine()), stays fair game.
+ *
  *  flow-scope-hop  a function that enqueues onto a cross-domain ring
  *      (startRequest/startResponse) with no flow handling in sight —
  *      neither a per-slot flow stamp nor a FlowScope nor restored
@@ -108,6 +118,8 @@ class Analyzer
                         std::vector<Finding> &out) const;
     void checkRingIndex(const LexedFile &f,
                         std::vector<Finding> &out) const;
+    void checkCrossShard(const LexedFile &f,
+                         std::vector<Finding> &out) const;
 
     bool isShared(const std::string &name) const;
 

@@ -1,0 +1,35 @@
+// Fixture: cross-shard-direct-schedule negatives. The mailbox API is
+// the sanctioned route for cross-shard work, and a domain's own home
+// engine — reached through a held reference — may schedule directly.
+
+void
+notify_peer(Domain *peer, Duration upcall)
+{
+    // Cross-shard hop through the mailbox: key captured on the
+    // sender's shard, delivery merged at the window barrier.
+    sim::crossPost(peer->engine(), upcall, [] {});
+}
+
+void
+boot_ready(Domain *dom, TimePoint ready)
+{
+    sim::crossPostAt(dom->engine(), ready, [] {});
+}
+
+void
+local_timer(Domain &dom, Duration poll)
+{
+    // The domain's own engine via a held reference: same shard by
+    // construction, plain scheduling is fine.
+    dom.engine().after(poll, [] {});
+}
+
+struct Netif
+{
+    Domain &dom_;
+    void
+    arm(Duration d)
+    {
+        dom_.engine().after(d, [] {});
+    }
+};

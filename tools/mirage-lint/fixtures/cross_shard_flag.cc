@@ -1,0 +1,26 @@
+// Fixture: cross-shard-direct-schedule positives. Scheduling straight
+// onto a peer domain's engine (reached through a pointer) bypasses the
+// sharded mailbox merge: the causal key is consumed on the wrong shard
+// and replay is no longer a pure function of the seed.
+
+void
+notify_peer(Domain *peer, Duration upcall)
+{
+    // expect: cross-shard-direct-schedule
+    peer->engine().after(upcall, [] {});
+}
+
+void
+boot_ready(Toolstack *ts, TimePoint ready)
+{
+    Domain *dom = ts->domainById(3);
+    // expect: cross-shard-direct-schedule
+    dom->engine().at(ready, [] {});
+}
+
+void
+replay_key(Domain *peer, TimePoint when, CrossKey key)
+{
+    // expect: cross-shard-direct-schedule
+    peer->engine().atKeyed(when, key, 0, 0, [] {});
+}
