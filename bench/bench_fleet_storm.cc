@@ -18,7 +18,14 @@
  * informational there (hardware-dependent) and the scaling verdict
  * comes from bench_microops' speedup_vs_1shard row.
  *
+ * With --shards>1 the wall profiler rides along: efficiency /
+ * imbalance / barrier_wait_frac / mailbox_lag rows land in the --json
+ * report, and --trace=FILE dumps the per-worker wall timeline as
+ * Chrome trace JSON (execute/wait/drain spans, correlated to the
+ * virtual window each one served).
+ *
  *   bench_fleet_storm [--domains=N] [--shards=K] [--json=FILE]
+ *                     [--trace=FILE]
  */
 
 #include <algorithm>
@@ -33,6 +40,7 @@
 
 #include "bench_json.h"
 #include "core/cloud.h"
+#include "trace/wallprof.h"
 #include "protocols/http/client.h"
 #include "protocols/http/server.h"
 
@@ -57,17 +65,20 @@ main(int argc, char **argv)
 {
     int domains = 1000;
     unsigned shards = 4;
+    std::string trace_path;
     for (int i = 1; i < argc; i++) {
         if (std::strncmp(argv[i], "--domains=", 10) == 0) {
             domains = std::atoi(argv[i] + 10);
         } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
             shards = unsigned(std::atoi(argv[i] + 9));
+        } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+            trace_path = argv[i] + 8;
         } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
             // consumed by JsonReport
         } else {
             std::fprintf(stderr,
                          "usage: %s [--domains=N] [--shards=K] "
-                         "[--json=FILE]\n",
+                         "[--json=FILE] [--trace=FILE]\n",
                          argv[0]);
             return 2;
         }
@@ -164,6 +175,9 @@ main(int argc, char **argv)
             });
     }
 
+    if (!trace_path.empty())
+        cloud.shards().wallprof().enableTimeline(true);
+
     auto t0 = std::chrono::steady_clock::now();
     cloud.run();
     double wall_s = std::chrono::duration<double>(
@@ -211,6 +225,36 @@ main(int argc, char **argv)
     json.add(name, "boot_ms", boot_p50, "ms", boot_p50, boot_p99);
     json.add(name, "first_response_p99_ms", fr_p99, "ms");
     json.add(name, "boot_p99_ms", boot_p99, "ms");
+
+    // Wall accounting only exists for sharded runs (a 1-shard cloud
+    // bypasses the ShardSet and the profiler never sees a window).
+    const trace::WallProfiler &wp = cloud.shards().wallprof();
+    if (wp.windows() > 0) {
+        std::printf("  wall profile   attribution %.3f, efficiency "
+                    "%.3f, barrier wait %.3f, imbalance %.2fx\n",
+                    wp.attributedFraction(), wp.parallelEfficiency(),
+                    wp.barrierWaitFraction(), wp.imbalanceRatio());
+        json.add(name, "efficiency", wp.parallelEfficiency(), "frac");
+        json.add(name, "wall_attribution_ratio",
+                 wp.attributedFraction(), "frac");
+        json.add(name, "barrier_wait_frac", wp.barrierWaitFraction(),
+                 "frac");
+        json.add(name, "imbalance", wp.imbalanceRatio(), "x");
+        json.add(name, "mailbox_lag_p99_ns",
+                 double(wp.mailboxLagWall().quantile(0.99)), "ns");
+    }
+    if (!trace_path.empty()) {
+        Status st = wp.writeChromeJson(trace_path);
+        if (!st.ok()) {
+            std::fprintf(stderr, "trace export failed: %s\n",
+                         st.error().message.c_str());
+            return 1;
+        }
+        std::printf("  wall timeline  %s (%llu spans, %llu dropped)\n",
+                    trace_path.c_str(),
+                    (unsigned long long)wp.spansRecorded(),
+                    (unsigned long long)wp.spansDropped());
+    }
 
     bool ok = failures.load() == 0 &&
               first_response_ns.size() == std::size_t(domains) &&

@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <unistd.h>
 
 #include "base/checksum.h"
 #include "bench_json.h"
@@ -209,8 +210,18 @@ BM_BTreeLookup(benchmark::State &state)
 
 volatile u64 g_storm_sink;
 
+/** Wall-profiler readout of one storm run, for the --json rows. */
+struct StormWallStats
+{
+    double attribution = 0;      //!< fraction of wall time accounted
+    double efficiency = 0;       //!< Σbusy / (workers × elapsed)
+    double barrier_wait_frac = 0;
+    double imbalance = 0;        //!< mean per-window max/mean ratio
+    double mailbox_lag_p99_ns = 0;
+};
+
 u64
-runShardStorm(unsigned shards)
+runShardStorm(unsigned shards, StormWallStats *wall = nullptr)
 {
     sim::Engine primary;
     sim::ShardSet set(primary, shards);
@@ -248,6 +259,15 @@ runShardStorm(unsigned shards)
                            (*h)(a, kChain);
                    });
     set.run();
+    if (wall) {
+        const trace::WallProfiler &wp = set.wallprof();
+        wall->attribution = wp.attributedFraction();
+        wall->efficiency = wp.parallelEfficiency();
+        wall->barrier_wait_frac = wp.barrierWaitFraction();
+        wall->imbalance = wp.imbalanceRatio();
+        wall->mailbox_lag_p99_ns =
+            double(wp.mailboxLagWall().quantile(0.99));
+    }
     return set.eventsRun();
 }
 
@@ -268,19 +288,28 @@ BM_ShardStormEvents(benchmark::State &state)
 int
 runShardSweep(mirage::bench::JsonReport &json)
 {
+    // The speedup row only means anything relative to the machine it
+    // ran on; record the core count next to it so a reader (or the CI
+    // override) can tell "no speedup" from "no cores".
+    long cores = sysconf(_SC_NPROCESSORS_ONLN);
+    json.add("engine/storm", "runner_cores",
+             double(cores > 0 ? cores : 1), "cores");
     double base = 0;
     for (unsigned s : {1u, 2u, 4u, 8u}) {
         double best = 0;
         u64 events = 0;
+        StormWallStats wall, best_wall;
         for (int rep = 0; rep < 5; rep++) {
             auto t0 = std::chrono::steady_clock::now();
-            events = runShardStorm(s);
+            events = runShardStorm(s, &wall);
             double secs =
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - t0)
                     .count();
-            if (secs > 0)
-                best = std::max(best, double(events) / secs);
+            if (secs > 0 && double(events) / secs > best) {
+                best = double(events) / secs;
+                best_wall = wall;
+            }
         }
         std::string name = strprintf("engine/storm/shards=%u", s);
         json.add(name, "wall_events_per_sec", best, "events/s");
@@ -289,8 +318,23 @@ runShardSweep(mirage::bench::JsonReport &json)
             base = best;
         if (s == 4 && base > 0)
             json.add(name, "speedup_vs_1shard", best / base, "x");
-        std::printf("%-24s %14.0f events/s   (%llu events)\n",
-                    name.c_str(), best, (unsigned long long)events);
+        if (s > 1) {
+            // Wall rows from the best rep: efficiency and attribution
+            // are higher-is-better, the rest lower-is-better (the
+            // bench-diff direction heuristics key off these suffixes).
+            json.add(name, "efficiency", best_wall.efficiency, "frac");
+            json.add(name, "wall_attribution_ratio",
+                     best_wall.attribution, "frac");
+            json.add(name, "barrier_wait_frac",
+                     best_wall.barrier_wait_frac, "frac");
+            json.add(name, "imbalance", best_wall.imbalance, "x");
+            json.add(name, "mailbox_lag_p99_ns",
+                     best_wall.mailbox_lag_p99_ns, "ns");
+        }
+        std::printf("%-24s %14.0f events/s   (%llu events)"
+                    "  eff=%.2f attr=%.2f\n",
+                    name.c_str(), best, (unsigned long long)events,
+                    best_wall.efficiency, best_wall.attribution);
     }
     return 0;
 }

@@ -28,6 +28,7 @@
 #include "protocols/http/server.h"
 #include "protocols/http/telemetry.h"
 #include "runtime/loop.h"
+#include "trace/wallprof.h"
 
 using namespace mirage;
 
@@ -276,6 +277,23 @@ main(int argc, char **argv)
                 (unsigned long long)cloud.hub().fleetRequests());
     std::printf("slo: %llu burn-rate alert(s)\n",
                 (unsigned long long)slo_alerts);
+    // Sharded runs surface the wall profiler: a "shards" section in
+    // /fleet plus per-shard shard_* series on /metrics. A 1-shard run
+    // bypasses the ShardSet, so the section is rightly absent.
+    bool shards_ok = true;
+    if (shards > 1) {
+        const trace::WallProfiler &wp = cloud.shards().wallprof();
+        std::printf("shards: %u workers, parallel efficiency %.2f, "
+                    "attribution %.2f, imbalance %.2fx\n",
+                    shards, wp.parallelEfficiency(),
+                    wp.attributedFraction(), wp.imbalanceRatio());
+        shards_ok =
+            wp.windows() > 0 &&
+            cloud.hub().fleetJson().find("\"shards\":") !=
+                std::string::npos &&
+            cloud.hub().toPrometheus().find("shard_busy_ns{") !=
+                std::string::npos;
+    }
 
     if (!trace_path.empty()) {
         if (auto st = cloud.tracer().writeChromeJson(trace_path);
@@ -293,6 +311,11 @@ main(int argc, char **argv)
         std::fprintf(stderr, "fleet readback failed (fleet=%d "
                              "metrics=%d)\n",
                      fleet_ok, metrics_ok);
+        ok = false;
+    }
+    if (!shards_ok) {
+        std::fprintf(stderr,
+                     "sharded run missing wall-profiler surfacing\n");
         ok = false;
     }
     // completedBoots() counts the tracker's retained history (bounded

@@ -54,6 +54,9 @@ Cloud::Cloud(const Config &cfg)
             profiler_.alert("slo_burn", detail);
         });
     hub_.attach(&profiler_, &flows_, &boots_, &slo_, &metrics_);
+    // The wall profiler rides on the ShardSet (it observes the worker
+    // threads); the hub only renders it, so a const borrow suffices.
+    hub_.attachWall(&shards_.wallprof());
     // dom0 was constructed in the member-init list, before the
     // profiler attached to the engine — bind it (and any other early
     // domain) now so its accounting record exists from the start.

@@ -22,6 +22,7 @@ ShardSet::ShardSet(Engine &primary, unsigned shards, Duration lookahead)
     }
     for (Engine *e : engines_)
         e->setShards(this);
+    wallprof_.configure(unsigned(engines_.size()));
 }
 
 ShardSet::~ShardSet()
@@ -85,13 +86,20 @@ ShardSet::postAt(Engine &target, TimePoint when, std::function<void()> fn)
     trace::Profiler *pr = engines_[0]->profiler();
     m.flow = fl ? fl->current() : 0;
     m.pscope = pr ? pr->current() : 0;
+    m.posted_vt = src ? src->now().ns() : engines_[0]->now().ns();
     m.fn = std::move(fn);
     h.hash = m.key.hash;
+    // Wall stamps are observation only (delivery-lag histograms and
+    // the posting worker's drain phase); nothing here feeds back into
+    // the virtual schedule.
+    i64 a0 = wallprof_.nowNs();
+    m.posted_wall = a0;
     {
         std::lock_guard<std::mutex> lk(post_mu_);
         pending_.push_back(std::move(m));
         cross_posts_++;
     }
+    wallprof_.mailboxAppend(a0, wallprof_.nowNs());
     return h;
 }
 
@@ -110,10 +118,15 @@ ShardSet::cancelCross(const CrossHandle &h)
 }
 
 bool
-ShardSet::stepWindow(TimePoint deadline)
+ShardSet::stepWindow(TimePoint deadline, i64 &coord_ns)
 {
     // Barrier: every worker is parked, so the coordinator owns all
-    // shard queues and the mailbox.
+    // shard queues and the mailbox. Wall stamps bracket the barrier's
+    // two jobs — window computation (calc) and mailbox delivery
+    // (drain) — and the carried coord_ns stamp opens this window right
+    // where the previous one closed, so every coordinator nanosecond
+    // lands in a phase.
+    i64 w0 = coord_ns;
     std::unique_lock<std::mutex> lk(post_mu_);
     if (!cancels_.empty()) {
         for (u64 hash : cancels_) {
@@ -124,7 +137,9 @@ ShardSet::stepWindow(TimePoint deadline)
             if (it != pending_.end()) {
                 // Windows never extend past an undelivered cross
                 // message, so reaching here means the cancel's virtual
-                // time preceded delivery: removal is exact.
+                // time preceded delivery: removal is exact, and the
+                // message never reaches the delivered count or the
+                // delivery-lag histograms.
                 pending_.erase(it);
                 cross_cancelled_++;
             }
@@ -137,15 +152,26 @@ ShardSet::stepWindow(TimePoint deadline)
         t = std::min(t, e->nextEventTime());
     for (const CrossMsg &m : pending_)
         t = std::min(t, m.when);
-    if (t == Engine::kNever || t > deadline)
+    if (t == Engine::kNever || t > deadline) {
+        lk.unlock();
+        coord_ns = wallprof_.nowNs();
+        wallprof_.barrierCalc(w0, coord_ns);
         return false;
+    }
+    TimePoint wend = t + lookahead_;
+    i64 w1 = wallprof_.nowNs();
+    wallprof_.barrierCalc(w0, w1);
 
     // Deliver every mailbox message due now; everything later bounds
     // the window so cancels stay exact and merges stay conservative.
-    TimePoint wend = t + lookahead_;
     for (std::size_t i = 0; i < pending_.size();) {
         CrossMsg &m = pending_[i];
         if (m.when <= t) {
+            cross_delivered_++;
+            wallprof_.deliveryLag(m.when.ns() > m.posted_vt
+                                      ? u64(m.when.ns() - m.posted_vt)
+                                      : 0,
+                                  m.posted_wall, w1);
             m.target->atKeyed(m.when, m.key, m.flow, m.pscope,
                               std::move(m.fn));
             pending_.erase(pending_.begin() + i);
@@ -157,9 +183,11 @@ ShardSet::stepWindow(TimePoint deadline)
     if (deadline < Engine::kNever)
         wend = std::min(wend, deadline + Duration::nanos(1));
     lk.unlock();
+    i64 w2 = wallprof_.nowNs();
+    wallprof_.barrierDrain(w1, w2, t.ns(), wend.ns());
 
     windows_++;
-    runWorkers(wend);
+    coord_ns = runWorkers(t, wend, w2);
     return true;
 }
 
@@ -177,7 +205,7 @@ ShardSet::workerLoop(unsigned shard)
 {
     u64 seen = 0;
     for (;;) {
-        TimePoint end;
+        TimePoint start, end;
         {
             std::unique_lock<std::mutex> lk(ctl_mu_);
             cv_go_.wait(lk,
@@ -185,9 +213,18 @@ ShardSet::workerLoop(unsigned shard)
             if (quit_)
                 return;
             seen = epoch_;
+            start = window_start_;
             end = window_end_;
         }
-        engines_[shard]->runWindow(end);
+        // One stamp closes the park interval and opens the dispatch
+        // span, so the worker's wall time tiles with no gaps.
+        i64 woke = wallprof_.nowNs();
+        wallprof_.workerWake(shard, woke);
+        trace::WallProfiler::DispatchCtx ctx;
+        wallprof_.dispatchBegin(ctx, shard, woke);
+        u64 n = engines_[shard]->runWindow(end);
+        wallprof_.dispatchEnd(ctx, wallprof_.nowNs(), start.ns(),
+                              end.ns(), n);
         {
             std::lock_guard<std::mutex> lk(ctl_mu_);
             done_++;
@@ -196,25 +233,51 @@ ShardSet::workerLoop(unsigned shard)
     }
 }
 
-void
-ShardSet::runWorkers(TimePoint window_end)
+i64
+ShardSet::runWorkers(TimePoint window_start, TimePoint window_end,
+                     i64 coord_ns)
 {
     if (engines_.size() == 1) {
-        engines_[0]->runWindow(window_end);
-        return;
+        trace::WallProfiler::DispatchCtx ctx;
+        wallprof_.dispatchBegin(ctx, 0, coord_ns);
+        u64 n = engines_[0]->runWindow(window_end);
+        i64 e = wallprof_.nowNs();
+        wallprof_.dispatchEnd(ctx, e, window_start.ns(),
+                              window_end.ns(), n);
+        wallprof_.recordWindow();
+        return e;
     }
     {
         std::lock_guard<std::mutex> lk(ctl_mu_);
+        window_start_ = window_start;
         window_end_ = window_end;
         done_ = 0;
         epoch_++;
     }
     cv_go_.notify_all();
+    // The wake-up broadcast is coordinator bookkeeping, not guest
+    // work: charge it as calc so it can't inflate busy/efficiency.
+    i64 g = wallprof_.nowNs();
+    wallprof_.barrierCalc(coord_ns, g);
     // Shard 0 runs on the coordinator's thread: one fewer worker, and
     // primary-engine thread-locals stay on the caller.
-    engines_[0]->runWindow(window_end);
-    std::unique_lock<std::mutex> lk(ctl_mu_);
-    cv_done_.wait(lk, [&] { return done_ == engines_.size() - 1; });
+    trace::WallProfiler::DispatchCtx ctx;
+    wallprof_.dispatchBegin(ctx, 0, g);
+    u64 n = engines_[0]->runWindow(window_end);
+    i64 e1 = wallprof_.nowNs();
+    wallprof_.dispatchEnd(ctx, e1, window_start.ns(),
+                          window_end.ns(), n);
+    {
+        std::unique_lock<std::mutex> lk(ctl_mu_);
+        cv_done_.wait(lk, [&] { return done_ == engines_.size() - 1; });
+    }
+    // All workers parked: publish the barrier instant (workers split
+    // their park into idle/wait against it) and fold this window's
+    // per-shard event counts into the imbalance histogram.
+    i64 e2 = wallprof_.nowNs();
+    wallprof_.coordinatorWait(e1, e2);
+    wallprof_.recordWindow();
+    return e2;
 }
 
 void
@@ -222,8 +285,11 @@ ShardSet::run()
 {
     startWorkers();
     running_ = true;
-    while (stepWindow(Engine::kNever)) {
+    i64 coord = wallprof_.nowNs();
+    wallprof_.beginRun(coord);
+    while (stepWindow(Engine::kNever, coord)) {
     }
+    wallprof_.endRun(wallprof_.nowNs());
     running_ = false;
 }
 
@@ -232,8 +298,11 @@ ShardSet::runUntil(TimePoint t)
 {
     startWorkers();
     running_ = true;
-    while (stepWindow(t)) {
+    i64 coord = wallprof_.nowNs();
+    wallprof_.beginRun(coord);
+    while (stepWindow(t, coord)) {
     }
+    wallprof_.endRun(wallprof_.nowNs());
     for (Engine *e : engines_)
         e->runUntil(t); // clock bump only; events <= t already ran
     running_ = false;

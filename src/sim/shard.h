@@ -49,6 +49,7 @@
 #include "base/time.h"
 #include "base/types.h"
 #include "sim/engine.h"
+#include "trace/wallprof.h"
 
 namespace mirage::sim {
 
@@ -160,9 +161,22 @@ class ShardSet
     /** Synchronisation windows executed (scaling diagnostics). */
     u64 windows() const { return windows_; }
 
-    /** Mailbox messages sent / exactly cancelled. */
+    /** Mailbox messages sent / exactly cancelled / delivered. A
+     *  cancelled message never counts as delivered (and never reaches
+     *  the delivery-lag histograms). */
     u64 crossPosts() const { return cross_posts_; }
     u64 crossCancelled() const { return cross_cancelled_; }
+    u64 crossDelivered() const { return cross_delivered_; }
+
+    /**
+     * Wall-clock attribution for this set's runs: per-worker phase
+     * totals (execute/calc/drain/wait/idle), parallel efficiency,
+     * load imbalance and cross-shard delivery-lag histograms, plus
+     * the per-worker Chrome timeline (wallprof().enableTimeline()).
+     * Observation only — it never perturbs virtual determinism.
+     */
+    trace::WallProfiler &wallprof() { return wallprof_; }
+    const trace::WallProfiler &wallprof() const { return wallprof_; }
 
   private:
     struct CrossMsg
@@ -172,13 +186,19 @@ class ShardSet
         CrossKey key;
         u64 flow;
         u32 pscope;
+        i64 posted_vt;   //!< sender's virtual clock at post time
+        i64 posted_wall; //!< wall clock at enqueue (delivery lag)
         std::function<void()> fn;
     };
 
-    /** One barrier + one parallel window. False when quiescent. */
-    bool stepWindow(TimePoint deadline);
+    /** One barrier + one parallel window. False when quiescent.
+     *  @p coord_ns carries the coordinator thread's last wall stamp
+     *  across windows so its phase accounting tiles with no gaps. */
+    bool stepWindow(TimePoint deadline, i64 &coord_ns);
 
-    void runWorkers(TimePoint window_end);
+    /** @return the coordinator's wall stamp at window completion. */
+    i64 runWorkers(TimePoint window_start, TimePoint window_end,
+                   i64 coord_ns);
     void workerLoop(unsigned shard);
     void startWorkers();
 
@@ -196,6 +216,9 @@ class ShardSet
     u64 windows_ = 0;
     u64 cross_posts_ = 0;
     u64 cross_cancelled_ = 0;
+    u64 cross_delivered_ = 0;
+
+    trace::WallProfiler wallprof_;
 
     // Worker-thread barrier (only used when count() > 1).
     std::vector<std::thread> workers_; // mirage-lint: allow(wall-clock-in-sim)
@@ -204,6 +227,7 @@ class ShardSet
     std::condition_variable cv_done_;
     u64 epoch_ = 0;
     unsigned done_ = 0;
+    TimePoint window_start_;
     TimePoint window_end_;
     bool quit_ = false;
 };

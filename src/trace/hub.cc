@@ -5,6 +5,7 @@
 #include "trace/profile.h"
 #include "trace/slo.h"
 #include "trace/trace.h"
+#include "trace/wallprof.h"
 
 namespace mirage::trace {
 
@@ -164,6 +165,14 @@ TelemetryHub::fleetJson() const
     }
     if (slo_)
         out += ",\n\"slo\":" + slo_->json();
+    // Only render the shard section once the profiler has seen a
+    // sharded run; a 1-shard cloud bypasses the ShardSet entirely and
+    // an all-zero section would just read as a broken profiler. Never
+    // render it mid-run: /fleet is also served to in-sim HTTP clients,
+    // and wall-clock bytes in the body would change packetisation and
+    // so virtual timing — breaking bit-identical replay.
+    if (wall_ && wall_->windows() > 0 && !wall_->inRun())
+        out += ",\n\"shards\":" + wall_->statsJson();
     out += "\n}\n";
     return out;
 }
@@ -232,6 +241,10 @@ TelemetryHub::toPrometheus() const
                          " %llu\n",
                          label.c_str(), (unsigned long long)h.count());
     }
+    // Same in-run gate as fleetJson: /metrics is fetched by in-sim
+    // clients, and wall-dependent bytes must never reach them.
+    if (wall_ && wall_->windows() > 0 && !wall_->inRun())
+        out += wall_->toPrometheus();
     return out;
 }
 

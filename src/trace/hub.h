@@ -47,6 +47,7 @@ class Profiler;
 class BootTracker;
 class SloTracker;
 class MetricsRegistry;
+class WallProfiler;
 
 class TelemetryHub
 {
@@ -75,6 +76,14 @@ class TelemetryHub
     }
 
     /**
+     * Borrow the sharded engine's wall profiler. Separate from
+     * attach() because the profiler lives on the other side of the
+     * dependency graph (sim::ShardSet, not a trace source) and only
+     * exists when the cloud actually shards. Null detaches.
+     */
+    void attachWall(const WallProfiler *wall) { wall_ = wall; }
+
+    /**
      * Fold one completed flow into its serving domain's aggregate.
      * Wired as (part of) FlowTracker's finalize hook by the composition
      * root. Untagged flows land under "(untagged)".
@@ -100,8 +109,10 @@ class TelemetryHub
      * The `GET /fleet` document: `domains` (per-domain requests,
      * errors, latency quantiles, CPU and GC from DomainStats), `fleet`
      * (sums, maxes and the histogram-merged latency), `boot`
-     * (per-phase cold-boot quantiles + recent boot records), and `slo`
-     * (burn-rate state per target).
+     * (per-phase cold-boot quantiles + recent boot records), `slo`
+     * (burn-rate state per target), and — when a wall profiler is
+     * attached and has observed windows — `shards` (per-worker wall
+     * phase accounting, parallel efficiency, imbalance, lag).
      */
     std::string fleetJson() const;
 
@@ -118,6 +129,7 @@ class TelemetryHub
     BootTracker *boots_ = nullptr;
     SloTracker *slo_ = nullptr;
     MetricsRegistry *metrics_ = nullptr;
+    const WallProfiler *wall_ = nullptr;
     // Guards domains_; flows finalize on every shard while /fleet
     // renders from the monitor's shard.
     mutable std::mutex mu_;

@@ -46,13 +46,19 @@ struct CascadeResult
  * A deterministic cross-shard cascade over D virtual "domains": each
  * hop does local work, schedules a local follow-up, and forwards to a
  * pseudo-random other domain with a latency safely above the
- * lookahead. The virtual result must not depend on the shard count.
+ * lookahead. The virtual result must not depend on the shard count —
+ * nor on whether the wall profiler's timeline capture is armed
+ * (@p timeline); @p inspect, when given, reads the ShardSet after the
+ * run so tests can check the profiler without widening the result.
  */
 CascadeResult
-runCascade(unsigned shards)
+runCascade(unsigned shards, bool timeline = false,
+           const std::function<void(ShardSet &)> &inspect = {})
 {
     Engine primary;
     ShardSet set(primary, shards);
+    if (timeline)
+        set.wallprof().enableTimeline(true);
     constexpr int kDomains = 12;
     constexpr int kDepth = 6;
     // Each slot is only ever touched from its home shard's thread.
@@ -89,6 +95,8 @@ runCascade(unsigned shards)
     r.max_now_ns = set.maxNow().ns();
     for (u64 w : *work)
         r.work += w;
+    if (inspect)
+        inspect(set);
     return r;
 }
 
@@ -194,6 +202,101 @@ TEST(ShardSetTest, MailboxCancelCountsAsCrossCancelled)
     EXPECT_FALSE(ran);
     EXPECT_GE(set.crossPosts(), u64(1));
     EXPECT_EQ(set.crossCancelled(), u64(1));
+}
+
+TEST(ShardSetTest, CancelledCrossMessagesLeaveNoDeliveryTrace)
+{
+    // A message cancelled before its delivery window must not reach
+    // the delivered count *or* the wall profiler's delivery-lag
+    // histograms: both must stay in lock-step with actual deliveries.
+    Engine primary;
+    ShardSet set(primary, 2);
+    bool ran = false;
+    auto handle = std::make_shared<CrossHandle>();
+    crossPostAt(set.engineFor(0), TimePoint(Duration::micros(10).ns()),
+                [&set, handle, &ran] {
+                    *handle = crossPost(
+                        set.engineFor(1), Duration::micros(100),
+                        [&ran] { ran = true; });
+                });
+    crossPostAt(set.engineFor(1), TimePoint(Duration::micros(30).ns()),
+                [handle] { crossCancel(*handle); });
+    crossPostAt(set.engineFor(2), TimePoint(Duration::micros(50).ns()),
+                [&set] {
+                    crossPost(set.engineFor(3), Duration::micros(5),
+                              [] {});
+                });
+    set.run();
+
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(set.crossCancelled(), u64(1));
+    EXPECT_EQ(set.crossDelivered(),
+              set.crossPosts() - set.crossCancelled());
+    const trace::WallProfiler &wp = set.wallprof();
+    EXPECT_EQ(wp.deliveryLagVirtual().count(), set.crossDelivered());
+    EXPECT_EQ(wp.mailboxLagWall().count(), set.crossDelivered());
+}
+
+// ---- Wall-clock observability --------------------------------------------
+
+TEST(ShardSetTest, ProfiledTimelineReplayIsBitIdentical)
+{
+    // Arming the wall profiler's span capture must not perturb the
+    // virtual result at any shard count: measurement is observe-only.
+    CascadeResult plain = runCascade(1);
+    double attr = 0;
+    u64 spans = 0;
+    std::string timeline;
+    auto grab = [&](ShardSet &set) {
+        attr = set.wallprof().attributedFraction();
+        spans = set.wallprof().spansRecorded();
+        timeline = set.wallprof().toChromeJson();
+    };
+    EXPECT_EQ(plain, runCascade(1, true, grab));
+    EXPECT_EQ(plain, runCascade(2, true, grab));
+    EXPECT_EQ(plain, runCascade(8, true, grab));
+
+    // The last grab saw the 8-shard run: every worker gets a named
+    // wall-time track, execute spans carry their virtual window.
+    EXPECT_GT(spans, u64(0));
+    EXPECT_NE(timeline.find("\"wall/shard0\""), std::string::npos);
+    EXPECT_NE(timeline.find("\"wall/shard7\""), std::string::npos);
+    EXPECT_NE(timeline.find("\"execute\""), std::string::npos);
+    EXPECT_NE(timeline.find("\"vt_ns\""), std::string::npos);
+    EXPECT_GE(attr, 0.95);
+}
+
+TEST(ShardSetTest, WallProfilerAccountsForElapsedTime)
+{
+    runCascade(4, false, [](ShardSet &set) {
+        const trace::WallProfiler &wp = set.wallprof();
+        ASSERT_GT(wp.windows(), u64(0));
+        ASSERT_GT(wp.elapsedNs(), i64(0));
+        // >=95% of (workers x elapsed) lands in a phase; efficiency
+        // and barrier-wait are fractions of the same denominator, so
+        // neither can exceed attribution.
+        EXPECT_GE(wp.attributedFraction(), 0.95);
+        EXPECT_LE(wp.attributedFraction(), 1.05);
+        EXPECT_GT(wp.parallelEfficiency(), 0.0);
+        EXPECT_LE(wp.parallelEfficiency(), wp.attributedFraction());
+        EXPECT_LE(wp.barrierWaitFraction(), wp.attributedFraction());
+        EXPECT_GE(wp.imbalanceRatio(), 1.0);
+        // Per-shard totals fold into the same events the engines ran.
+        u64 events = 0;
+        for (unsigned w = 0; w < set.count(); w++)
+            events += wp.shardStats(w).events;
+        EXPECT_EQ(events, set.eventsRun());
+        std::string json = wp.statsJson();
+        EXPECT_NE(json.find("\"per_shard\""), std::string::npos);
+        EXPECT_NE(json.find("\"efficiency\""), std::string::npos);
+        std::string prom = wp.toPrometheus();
+        EXPECT_NE(prom.find("shard_busy_ns{shard=\"0\"}"),
+                  std::string::npos);
+        EXPECT_NE(prom.find("shard_parallel_efficiency"),
+                  std::string::npos);
+        EXPECT_NE(prom.find("shard_delivery_lag_virtual_ns_bucket"),
+                  std::string::npos);
+    });
 }
 
 // ---- Shard-aware aggregates ----------------------------------------------
@@ -394,6 +497,19 @@ TEST(CloudShardTest, ShardAwareAggregatesReachQuiescence)
     EXPECT_EQ(cloud.shards().count(), 4u);
     EXPECT_GT(cloud.shards().windows(), u64(0));
     EXPECT_GT(cloud.shards().crossPosts(), u64(0));
+
+    // The wall profiler saw the same run, and the hub surfaces it:
+    // a "shards" section in /fleet and shard_* Prometheus series.
+    const trace::WallProfiler &wp = cloud.shards().wallprof();
+    EXPECT_GT(wp.windows(), u64(0));
+    EXPECT_GE(wp.attributedFraction(), 0.95);
+    std::string fleet = cloud.hub().fleetJson();
+    EXPECT_NE(fleet.find("\"shards\":"), std::string::npos);
+    EXPECT_NE(fleet.find("\"per_shard\""), std::string::npos);
+    std::string prom = cloud.hub().toPrometheus();
+    EXPECT_NE(prom.find("shard_wait_ns{shard=\"1\"}"),
+              std::string::npos);
+    EXPECT_NE(prom.find("shard_imbalance_ratio"), std::string::npos);
 }
 
 } // namespace

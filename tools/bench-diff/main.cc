@@ -120,20 +120,24 @@ containsToken(const std::string &haystack, const char *token)
  * Decide the good direction for a row from its metric and name. Checked
  * lower-is-better first so compound names like grant_ops_per_packet
  * (ops per packet: overhead, smaller is better) classify by their cost
- * suffix rather than the "ops" substring.
+ * suffix rather than the "ops" substring. The wall-profiler families
+ * follow the same rule: barrier_wait_frac / imbalance / *_lag_* are
+ * overheads (lower), efficiency and *_ratio are goodness (higher) —
+ * "efficiency" must not gain a lower-is-better substring, which is why
+ * "frac" carries its underscore.
  */
 bool
 lowerIsBetter(const Row &row, bool *known)
 {
     static const char *const kLower[] = {
-        "latency", "per_packet", "pause",  "jitter", "boot",
-        "init",    "rtt",        "cost",   "time",   "_ns",
-        "copies",  "loc",        "image",  "size",   "bytes",
-        "_ms",     "response",
+        "latency", "per_packet", "pause",  "jitter",    "boot",
+        "init",    "rtt",        "cost",   "time",      "_ns",
+        "copies",  "loc",        "image",  "size",      "bytes",
+        "_ms",     "response",   "_frac",  "imbalance", "lag",
     };
     static const char *const kHigher[] = {
-        "throughput", "rate",    "ratio", "reuse", "qps", "ops",
-        "hits",       "per_sec", "speedup",
+        "throughput", "rate",    "ratio",   "reuse", "qps", "ops",
+        "hits",       "per_sec", "speedup", "efficiency",
     };
     std::string key = row.metric + "/" + row.name;
     std::transform(key.begin(), key.end(), key.begin(),

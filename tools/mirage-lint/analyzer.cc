@@ -907,7 +907,33 @@ Analyzer::check(const LexedFile &f, bool wallclock_allowed)
     checkRingIndex(f, out);
     checkCrossShard(f, out);
 
-    // Apply suppression comments.
+    // File-scoped suppressions: "mirage-lint: allow-file(check)"
+    // anywhere in the file silences that one check for the whole
+    // file. For files whose entire purpose violates a check — the
+    // wall profiler (src/trace/wallprof.*) is host-clock measurement
+    // top to bottom — per-line allow() comments would just wallpaper
+    // every other line; the file-scoped form documents the audit once.
+    // Other checks (and other files) are untouched.
+    std::vector<std::pair<int, std::string>> file_allows;
+    commentDirectives(f, "mirage-lint: allow-file", file_allows);
+    if (!file_allows.empty()) {
+        std::vector<Finding> kept;
+        for (const Finding &fi : out) {
+            bool suppressed = false;
+            for (const auto &[line, name] : file_allows) {
+                (void)line;
+                if (name == fi.check || name == "all") {
+                    suppressed = true;
+                    break;
+                }
+            }
+            if (!suppressed)
+                kept.push_back(fi);
+        }
+        out = std::move(kept);
+    }
+
+    // Apply line-scoped suppression comments.
     std::vector<std::pair<int, std::string>> allows;
     commentDirectives(f, "mirage-lint: allow", allows);
     if (!allows.empty()) {

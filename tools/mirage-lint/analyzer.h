@@ -24,7 +24,14 @@
  *      simulation code: everything in src/ must draw time from the
  *      virtual clock and randomness from the seeded mirage::Rng, or
  *      replay determinism (and the sharded-engine merge that depends
- *      on it) is silently lost.
+ *      on it) is silently lost. The sanctioned exceptions carry
+ *      suppressions in-source: per-line "mirage-lint: allow(...)"
+ *      for the ShardSet's worker/barrier plumbing, and the
+ *      file-scoped "mirage-lint: allow-file(...)" for
+ *      src/trace/wallprof.* — the wall profiler is host-clock
+ *      measurement top to bottom and is the one component allowed to
+ *      read real time inside src/ (it observes the workers; nothing
+ *      it measures feeds back into virtual scheduling).
  *
  *  ring-index-unmasked  a shared-ring producer/consumer counter used
  *      directly as an array index or byte offset. Counters are free

@@ -1,0 +1,25 @@
+// Fixture: the file-scoped wall-clock suppression. This models
+// src/trace/wallprof.* — a file whose entire purpose is host-clock
+// measurement, where per-line allow() comments would wallpaper every
+// line. One directive silences wall-clock-in-sim for the whole file;
+// no expect comments here because no finding may survive.
+// mirage-lint: allow-file(wall-clock-in-sim)
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+long
+wall_profiler_now()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+wall_profiler_worker()
+{
+    std::mutex mu;
+    std::thread worker([&mu] { std::lock_guard<std::mutex> lk(mu); });
+    worker.join();
+}

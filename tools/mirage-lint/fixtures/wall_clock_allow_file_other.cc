@@ -1,0 +1,17 @@
+// Fixture: allow-file is scoped to the named check only. This file
+// suppresses a *different* check file-wide, so its wall-clock use in
+// simulation code must still fire — proving the wallprof carve-out
+// cannot silently blanket unrelated findings (or unrelated files).
+// mirage-lint: allow-file(ring-index-unmasked)
+// expect: wall-clock-in-sim
+#include <chrono>
+
+long
+unrelated_host_time()
+{
+    // expect: wall-clock-in-sim
+    auto t = std::chrono::system_clock::now();
+    (void)t;
+    // expect: wall-clock-in-sim
+    return time(nullptr);
+}
